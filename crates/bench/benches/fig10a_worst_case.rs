@@ -1,0 +1,38 @@
+//! **Fig 10a** (HOR/HOR-I worst case): `k = 40`, `|T| = 39`
+//! (`k mod |T| = 1`, Propositions 5 & 7) on all four datasets. Expected:
+//! HOR-I still outperforms every method except TOP; on Unf the bound-based
+//! methods (INC, HOR-I) lose their edge.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ses_algorithms::SchedulerKind;
+use ses_bench::instance;
+use ses_datasets::Dataset;
+use std::hint::black_box;
+
+const K: usize = 40;
+const INTERVALS: usize = 39; // k mod |T| = 1
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10a_worst_case");
+    group.sample_size(10);
+    for dataset in Dataset::ALL {
+        let inst = instance(dataset, 5 * K, INTERVALS, 0xF1A);
+        for kind in [
+            SchedulerKind::Alg,
+            SchedulerKind::Inc,
+            SchedulerKind::Hor,
+            SchedulerKind::HorI,
+            SchedulerKind::Top,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), dataset.name()),
+                &dataset,
+                |b, _| b.iter(|| black_box(kind.run(&inst, K))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

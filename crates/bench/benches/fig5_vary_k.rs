@@ -1,0 +1,35 @@
+//! **Fig 5i–l** (time vs `k`): ALG vs INC vs HOR vs HOR-I vs TOP as the
+//! number of scheduled events grows, on a skew (Zip) and a homogeneous
+//! (Unf) dataset. Expected ordering: ALG slowest; HOR-I fastest of the
+//! greedy methods; the ALG gap widens with `k`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ses_algorithms::SchedulerKind;
+use ses_bench::instance_for_k;
+use ses_datasets::Dataset;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    for dataset in [Dataset::Zip, Dataset::Unf] {
+        let mut group = c.benchmark_group(format!("fig5_time_vs_k/{}", dataset.name()));
+        group.sample_size(10);
+        for k in [25usize, 50, 100] {
+            let inst = instance_for_k(dataset, k, 0xF15 + k as u64);
+            for kind in [
+                SchedulerKind::Alg,
+                SchedulerKind::Inc,
+                SchedulerKind::Hor,
+                SchedulerKind::HorI,
+                SchedulerKind::Top,
+            ] {
+                group.bench_with_input(BenchmarkId::new(kind.name(), k), &k, |b, &k| {
+                    b.iter(|| black_box(kind.run(&inst, k)))
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! **Fig 6e–h** (time vs `|T|`): fixed `k = 40`, `|E| = 200`, varying the
+//! number of candidate intervals. Expected: HOR/HOR-I ≈ TOP and 2–5×
+//! faster than ALG, with the largest factors at few intervals.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ses_algorithms::SchedulerKind;
+use ses_bench::instance;
+use ses_datasets::Dataset;
+use std::hint::black_box;
+
+const K: usize = 40;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_time_vs_intervals/Zip");
+    group.sample_size(10);
+    for intervals in [8usize, 20, 40, 60] {
+        let inst = instance(Dataset::Zip, 200, intervals, 0xF16 + intervals as u64);
+        for kind in [
+            SchedulerKind::Alg,
+            SchedulerKind::Inc,
+            SchedulerKind::Hor,
+            SchedulerKind::HorI,
+            SchedulerKind::Top,
+        ] {
+            group.bench_with_input(BenchmarkId::new(kind.name(), intervals), &intervals, |b, _| {
+                b.iter(|| black_box(kind.run(&inst, K)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! **Fig 7c–d** (time vs `|E|`): fixed `k = 40`, `|T| = 60` (k < |T| ⇒
+//! HOR-I ≡ HOR, dropped per the paper), varying the candidate pool.
+//! Expected: the ALG-vs-proposed gap widens with `|E|` (more update work).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ses_algorithms::SchedulerKind;
+use ses_bench::instance;
+use ses_datasets::Dataset;
+use std::hint::black_box;
+
+const K: usize = 40;
+const INTERVALS: usize = 60;
+
+fn bench(c: &mut Criterion) {
+    for dataset in [Dataset::Concerts, Dataset::Unf] {
+        let mut group = c.benchmark_group(format!("fig7_time_vs_events/{}", dataset.name()));
+        group.sample_size(10);
+        for events in [50usize, 150, 300] {
+            let inst = instance(dataset, events, INTERVALS, 0xF17 + events as u64);
+            for kind in
+                [SchedulerKind::Alg, SchedulerKind::Inc, SchedulerKind::Hor, SchedulerKind::Top]
+            {
+                group.bench_with_input(BenchmarkId::new(kind.name(), events), &events, |b, _| {
+                    b.iter(|| black_box(kind.run(&inst, K)))
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Microbenchmarks of the scoring engine — the inner loop every algorithm
+//! spends its time in: one Eq.-4 evaluation over a dense vs sparse column,
+//! one mass `apply`, and the engine construction (competing-mass
+//! aggregation, the `O(|U|·|C|)` setup term).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ses_core::scoring::ScoringEngine;
+use ses_core::{EventId, IntervalId};
+use ses_datasets::{meetup, Dataset, MeetupParams};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Dense instance: 2 000 users, every column full.
+    let dense = Dataset::Concerts.build(2_000, 50, 10, 0x3C0);
+    // Sparse instance: Meetup-like, ~30% fill.
+    let sparse = meetup::generate(&MeetupParams {
+        num_users: 2_000,
+        num_events: 50,
+        num_intervals: 10,
+        ..MeetupParams::default()
+    });
+
+    let mut group = c.benchmark_group("micro_scoring");
+    for (label, inst) in [("dense", &dense), ("sparse", &sparse)] {
+        let mut engine = ScoringEngine::new(inst);
+        engine.apply(EventId::new(1), IntervalId::new(0));
+        group.bench_with_input(BenchmarkId::new("assignment_score", label), label, |b, _| {
+            b.iter(|| black_box(engine.assignment_score(EventId::new(0), IntervalId::new(0))))
+        });
+        group.bench_with_input(BenchmarkId::new("apply_unapply", label), label, |b, _| {
+            b.iter(|| {
+                engine.apply(EventId::new(2), IntervalId::new(3));
+                engine.unapply(EventId::new(2), IntervalId::new(3));
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("engine_new", label), label, |b, _| {
+            b.iter(|| black_box(ScoringEngine::new(inst)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Shared helpers for the Criterion benches.
+//!
+//! Every bench mirrors one figure of the paper at **bench scale**: the
+//! paper's parameter ratios (Table 1) at a user count small enough for
+//! Criterion's repeated sampling. Absolute times differ from the paper's
+//! Xeon runs by design; the *orderings* (who is faster, where crossovers
+//! fall) are the reproduction target — see EXPERIMENTS.md.
+
+use ses_core::model::Instance;
+use ses_datasets::Dataset;
+
+/// Users per bench instance.
+pub const BENCH_USERS: usize = 150;
+
+/// Builds a bench-scale instance with the Table-1 shape ratios for a given
+/// `k`: `|E| = 5k`, `|T| = 3k/2`.
+pub fn instance_for_k(dataset: Dataset, k: usize, seed: u64) -> Instance {
+    dataset.build(BENCH_USERS, 5 * k, (3 * k / 2).max(1), seed)
+}
+
+/// Builds a bench-scale instance with explicit shape.
+pub fn instance(dataset: Dataset, events: usize, intervals: usize, seed: u64) -> Instance {
+    dataset.build(BENCH_USERS, events, intervals, seed)
+}

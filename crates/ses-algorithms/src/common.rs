@@ -1,0 +1,175 @@
+//! Shared scaffolding for all SES schedulers: the [`Scheduler`] trait, the
+//! [`ScheduleResult`] record, candidate ordering, and per-interval candidate
+//! lists.
+
+use serde::{Deserialize, Serialize};
+use ses_core::model::Instance;
+use ses_core::schedule::Schedule;
+use ses_core::scoring::utility::total_utility;
+use ses_core::stats::Stats;
+use ses_core::{EventId, IntervalId};
+use std::time::{Duration, Instant};
+
+/// Everything a scheduling run produces: the schedule, its exact utility
+/// Ω(S) (recomputed from scratch by the independent evaluator), the
+/// instrumentation counters, and the wall-clock duration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScheduleResult {
+    /// Which algorithm produced this result.
+    pub algorithm: String,
+    /// The requested number of assignments `k`.
+    pub k: usize,
+    /// The feasible schedule found (`|S| ≤ k`; `< k` only when the instance
+    /// cannot feasibly host `k` events).
+    pub schedule: Schedule,
+    /// Total utility Ω(S) per Eq. 3, from the independent evaluator.
+    pub utility: f64,
+    /// Instrumentation counters (score computations, user ops, examined).
+    pub stats: Stats,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+/// A scheduling algorithm for the SES problem.
+pub trait Scheduler {
+    /// Short display name ("ALG", "INC", …) matching the paper.
+    fn name(&self) -> &'static str;
+
+    /// Computes a feasible schedule of (up to) `k` assignments.
+    fn run(&self, inst: &Instance, k: usize) -> ScheduleResult;
+}
+
+/// Helper used by every implementation: times `f`, evaluates the utility of
+/// the returned schedule with the independent evaluator, and packs a
+/// [`ScheduleResult`].
+pub(crate) fn timed_result(
+    name: &'static str,
+    inst: &Instance,
+    k: usize,
+    f: impl FnOnce() -> (Schedule, Stats),
+) -> ScheduleResult {
+    let start = Instant::now();
+    let (schedule, stats) = f();
+    let elapsed = start.elapsed();
+    let utility = total_utility(inst, &schedule);
+    ScheduleResult { algorithm: name.to_string(), k, schedule, utility, stats, elapsed }
+}
+
+/// A candidate assignment with its (possibly stale) score, ordered by the
+/// canonical tie-break used by **every** algorithm in this crate: larger
+/// score first, then smaller interval id, then smaller event id.
+///
+/// A single deterministic order is what makes Proposition 3 (INC ≡ ALG) and
+/// Proposition 6 (HOR-I ≡ HOR) hold as *exact schedule equality*, testable
+/// without tolerance fudging.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cand {
+    /// Assignment score (Eq. 4) — current or an upper bound, per context.
+    pub score: f64,
+    /// Interval of the assignment.
+    pub interval: IntervalId,
+    /// Event of the assignment.
+    pub event: EventId,
+}
+
+impl Cand {
+    /// Creates a candidate.
+    #[inline]
+    pub fn new(score: f64, interval: IntervalId, event: EventId) -> Self {
+        Self { score, interval, event }
+    }
+
+    /// Canonical strict ordering (see type docs).
+    #[inline]
+    pub fn beats(&self, other: &Cand) -> bool {
+        if self.score != other.score {
+            return self.score > other.score;
+        }
+        (self.interval, self.event) < (other.interval, other.event)
+    }
+}
+
+/// Returns the better of two optional candidates under [`Cand::beats`]
+/// (the paper's `getBetterAssgn`).
+#[inline]
+pub fn better(a: Option<Cand>, b: Option<Cand>) -> Option<Cand> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(if x.beats(&y) { x } else { y }),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+/// The largest event duration in the instance (1 in the paper's model).
+pub(crate) fn max_duration(inst: &Instance) -> usize {
+    inst.events.iter().map(|e| e.duration as usize).max().unwrap_or(1)
+}
+
+/// The window of *starting* intervals whose assignments may have gone stale
+/// after placing `event` at `t`: any assignment whose own span intersects
+/// the placed span. With the paper's duration-1 model this is exactly `{t}`.
+pub(crate) fn stale_window(
+    inst: &Instance,
+    max_dur: usize,
+    event: EventId,
+    t: IntervalId,
+) -> std::ops::Range<usize> {
+    let span_end = t.index() + inst.events[event.index()].duration as usize;
+    let lo = (t.index() + 1).saturating_sub(max_dur);
+    lo..span_end.min(inst.num_intervals())
+}
+
+/// Selects the best candidate from an iterator under the canonical order.
+pub fn best_candidate(iter: impl Iterator<Item = Cand>) -> Option<Cand> {
+    let mut best: Option<Cand> = None;
+    for c in iter {
+        best = better(best, Some(c));
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(score: f64, t: usize, e: usize) -> Cand {
+        Cand::new(score, IntervalId::new(t), EventId::new(e))
+    }
+
+    #[test]
+    fn higher_score_wins() {
+        assert!(c(0.9, 5, 5).beats(&c(0.8, 0, 0)));
+        assert!(!c(0.8, 0, 0).beats(&c(0.9, 5, 5)));
+    }
+
+    #[test]
+    fn ties_break_on_interval_then_event() {
+        assert!(c(0.5, 0, 9).beats(&c(0.5, 1, 0)));
+        assert!(c(0.5, 1, 0).beats(&c(0.5, 1, 1)));
+        assert!(!c(0.5, 1, 1).beats(&c(0.5, 1, 0)));
+    }
+
+    #[test]
+    fn better_handles_none() {
+        assert_eq!(better(None, None), None);
+        let x = c(0.5, 0, 0);
+        assert_eq!(better(Some(x), None), Some(x));
+        assert_eq!(better(None, Some(x)), Some(x));
+    }
+
+    #[test]
+    fn best_candidate_is_deterministic() {
+        let cands = vec![c(0.5, 1, 0), c(0.5, 0, 2), c(0.4, 0, 0), c(0.5, 0, 1)];
+        // 0.5 ties: interval 0 beats 1; event 1 beats 2.
+        assert_eq!(best_candidate(cands.into_iter()), Some(c(0.5, 0, 1)));
+    }
+
+    #[test]
+    fn beats_is_asymmetric_for_distinct() {
+        let a = c(0.3, 0, 0);
+        let b = c(0.3, 0, 1);
+        assert!(a.beats(&b) ^ b.beats(&a));
+        // A candidate never beats itself.
+        assert!(!a.beats(&a));
+    }
+}

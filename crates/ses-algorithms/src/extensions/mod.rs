@@ -1,0 +1,14 @@
+//! Extensions §2.1 names as "trivial modifications" of SES, implemented:
+//!
+//! * **profit-oriented SES** — [`profit::ProfitGreedy`] maximizes expected
+//!   profit (attendance × revenue − event cost) instead of raw attendance;
+//! * **user weights** (influence) — handled natively by the model: set
+//!   [`Instance::user_weights`](ses_core::Instance) and every algorithm in
+//!   this crate optimizes the weighted objective;
+//! * **event durations** — handled natively by the model: set
+//!   [`Event::duration`](ses_core::model::Event) and feasibility/scoring
+//!   treat the event as occupying consecutive intervals.
+
+pub mod profit;
+
+pub use profit::ProfitGreedy;

@@ -1,0 +1,185 @@
+//! The **profit-oriented SES** variant — one of the "trivial modifications"
+//! §2.1 sketches: each event carries an organization cost, each attendee is
+//! worth a fixed revenue, and the objective becomes expected profit
+//! `Σ_e (ω_e · revenue − cost_e)` instead of raw attendance.
+//!
+//! The greedy machinery carries over unchanged because the profit of an
+//! assignment is an affine transform of its attendance score; the only
+//! structural difference is that a profit-greedy may *stop early* when every
+//! remaining assignment has negative marginal profit (scheduling it would
+//! lose money), whereas attendance-greedy always fills `k`.
+
+use crate::common::{timed_result, Cand, ScheduleResult, Scheduler};
+use ses_core::model::Instance;
+use ses_core::schedule::Schedule;
+use ses_core::scoring::ScoringEngine;
+use ses_core::{EventId, IntervalId};
+
+/// Greedy maximizer of expected profit (ALG-style selection over
+/// profit-adjusted scores).
+#[derive(Debug, Clone, Copy)]
+pub struct ProfitGreedy {
+    /// Revenue per expected attendee.
+    pub revenue_per_attendee: f64,
+    /// If true, stop as soon as the best marginal profit is negative even if
+    /// fewer than `k` events are scheduled.
+    pub stop_when_unprofitable: bool,
+}
+
+impl Default for ProfitGreedy {
+    fn default() -> Self {
+        Self { revenue_per_attendee: 1.0, stop_when_unprofitable: true }
+    }
+}
+
+impl ProfitGreedy {
+    /// Marginal profit of assigning `e` at `t` given the attendance gain.
+    #[inline]
+    fn profit(&self, inst: &Instance, e: EventId, attendance_gain: f64) -> f64 {
+        attendance_gain * self.revenue_per_attendee - inst.events[e.index()].cost
+    }
+}
+
+impl Scheduler for ProfitGreedy {
+    fn name(&self) -> &'static str {
+        "PROFIT"
+    }
+
+    fn run(&self, inst: &Instance, k: usize) -> ScheduleResult {
+        timed_result(self.name(), inst, k, || {
+            let num_events = inst.num_events();
+            let num_intervals = inst.num_intervals();
+            let mut engine = ScoringEngine::new(inst);
+            let mut schedule = Schedule::new(inst);
+
+            let mut scores: Vec<Option<f64>> = Vec::with_capacity(num_events * num_intervals);
+            for t in 0..num_intervals {
+                for e in 0..num_events {
+                    let (event, interval) = (EventId::new(e), IntervalId::new(t));
+                    scores.push(if schedule.is_valid_assignment(inst, event, interval) {
+                        let gain = engine.assignment_score(event, interval);
+                        Some(self.profit(inst, event, gain))
+                    } else {
+                        None
+                    });
+                }
+            }
+
+            while schedule.len() < k {
+                let mut best: Option<Cand> = None;
+                for t in 0..num_intervals {
+                    let interval = IntervalId::new(t);
+                    for e in 0..num_events {
+                        let idx = t * num_events + e;
+                        let Some(score) = scores[idx] else { continue };
+                        engine.stats_mut().record_examined(1);
+                        let event = EventId::new(e);
+                        if !schedule.is_valid_assignment(inst, event, interval) {
+                            scores[idx] = None;
+                            continue;
+                        }
+                        let cand = Cand::new(score, interval, event);
+                        if best.is_none_or(|b| cand.beats(&b)) {
+                            best = Some(cand);
+                        }
+                    }
+                }
+                let Some(chosen) = best else { break };
+                if self.stop_when_unprofitable && chosen.score < 0.0 {
+                    break;
+                }
+                schedule
+                    .assign(inst, chosen.event, chosen.interval)
+                    .expect("scanned assignment must be valid");
+                engine.apply(chosen.event, chosen.interval);
+                for t in 0..num_intervals {
+                    scores[t * num_events + chosen.event.index()] = None;
+                }
+                let tp = chosen.interval.index();
+                for e in 0..num_events {
+                    let idx = tp * num_events + e;
+                    if scores[idx].is_none() {
+                        continue;
+                    }
+                    let event = EventId::new(e);
+                    if schedule.is_valid_assignment(inst, event, chosen.interval) {
+                        let gain = engine.assignment_score_update(event, chosen.interval);
+                        scores[idx] = Some(self.profit(inst, event, gain));
+                    } else {
+                        scores[idx] = None;
+                    }
+                }
+            }
+
+            let stats = *engine.stats();
+            (schedule, stats)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::Alg;
+    use ses_core::model::running_example;
+    use ses_core::scoring::utility::total_profit;
+
+    #[test]
+    fn zero_costs_reduce_to_alg() {
+        let inst = running_example(); // all costs default to 0
+        let pg = ProfitGreedy { revenue_per_attendee: 1.0, stop_when_unprofitable: true };
+        let p = pg.run(&inst, 3);
+        let a = Alg.run(&inst, 3);
+        assert_eq!(p.schedule.assignments(), a.schedule.assignments());
+    }
+
+    #[test]
+    fn stops_when_everything_loses_money() {
+        let mut inst = running_example();
+        for e in &mut inst.events {
+            e.cost = 100.0; // no event can recoup this
+        }
+        let res = ProfitGreedy::default().run(&inst, 3);
+        assert!(res.schedule.is_empty());
+    }
+
+    #[test]
+    fn skips_only_the_unprofitable_tail() {
+        let mut inst = running_example();
+        // Make e3 (max attendance gain ≈ 0.10) unprofitable, others cheap.
+        inst.events[2].cost = 1.0;
+        let res = ProfitGreedy::default().run(&inst, 4);
+        assert!(!res.schedule.is_scheduled(EventId::new(2)));
+        assert_eq!(res.schedule.len(), 3);
+        let profit = total_profit(&inst, &res.schedule, 1.0);
+        assert!(profit > 0.0);
+    }
+
+    #[test]
+    fn fills_k_when_forced() {
+        let mut inst = running_example();
+        for e in &mut inst.events {
+            e.cost = 100.0;
+        }
+        let pg = ProfitGreedy { revenue_per_attendee: 1.0, stop_when_unprofitable: false };
+        let res = pg.run(&inst, 3);
+        assert_eq!(res.schedule.len(), 3, "forced mode still fills k");
+        assert!(total_profit(&inst, &res.schedule, 1.0) < 0.0);
+    }
+
+    #[test]
+    fn revenue_scaling_changes_cutoff() {
+        let mut inst = running_example();
+        for e in &mut inst.events {
+            e.cost = 0.3;
+        }
+        // At revenue 1.0 only high-gain events clear cost 0.3.
+        let low = ProfitGreedy { revenue_per_attendee: 1.0, stop_when_unprofitable: true }
+            .run(&inst, 4);
+        // At revenue 100 everything clears.
+        let high = ProfitGreedy { revenue_per_attendee: 100.0, stop_when_unprofitable: true }
+            .run(&inst, 4);
+        assert!(low.schedule.len() < high.schedule.len());
+        assert_eq!(high.schedule.len(), 4);
+    }
+}

@@ -1,0 +1,185 @@
+//! # ses-algorithms — schedulers for the SES problem
+//!
+//! The four algorithms of *"Attendance Maximization for Successful Social
+//! Event Planning"* (EDBT 2019) plus its baselines and a test oracle:
+//!
+//! | Algorithm | Module | Paper | Guarantee |
+//! |-----------|--------|-------|-----------|
+//! | `ALG`     | [`alg`]    | §3.1 (from ICDE'18 [4]) | greedy reference |
+//! | `INC`     | [`inc`]    | §3.2, Algorithm 1 | same solution as ALG (Prop. 3) |
+//! | `HOR`     | [`hor`]    | §3.3, Algorithm 2 | ALG-quality in >70% of runs |
+//! | `HOR-I`   | [`hor_i`]  | §3.4, Algorithm 3 | same solution as HOR (Prop. 6) |
+//! | `TOP`     | [`top`]    | §4.1 baseline | minimum computations |
+//! | `RAND`    | [`random`] | §4.1 baseline | seeded |
+//! | `EXACT`   | [`exact`]  | — | optimal (tiny instances; test oracle) |
+//! | `LAZY`    | [`lazy`]   | — | CELF-style ablation; same solution as ALG |
+//! | `REFINED` | [`refine`] | — | local-search post-processing (extension) |
+//!
+//! All schedulers implement the [`Scheduler`] trait, share one deterministic
+//! tie-break order (see [`common::Cand`]), and report a [`ScheduleResult`]
+//! carrying the schedule, its independently evaluated utility Ω(S), the
+//! paper's instrumentation counters, and wall time.
+//!
+//! ```
+//! use ses_algorithms::prelude::*;
+//! use ses_core::model::running_example;
+//!
+//! let inst = running_example();
+//! let result = HorI.run(&inst, 3);
+//! assert_eq!(result.schedule.len(), 3);
+//! assert!((result.utility - 1.4073).abs() < 5e-4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod alg;
+pub mod common;
+pub mod exact;
+pub mod extensions;
+pub mod hor;
+pub mod hor_i;
+pub mod inc;
+pub mod lazy;
+pub mod random;
+pub mod refine;
+pub mod top;
+
+pub use common::{ScheduleResult, Scheduler};
+
+use serde::{Deserialize, Serialize};
+use ses_core::model::Instance;
+
+/// Enumerates the available schedulers — the currency of the experiment
+/// harness and CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Baseline greedy of [4] (§3.1).
+    Alg,
+    /// Incremental Updating (§3.2).
+    Inc,
+    /// Horizontal Assignment (§3.3).
+    Hor,
+    /// Horizontal + Incremental (§3.4).
+    HorI,
+    /// Top-k-by-initial-score baseline.
+    Top,
+    /// Random baseline with a seed.
+    Rand(u64),
+    /// Exact branch & bound (tiny instances only).
+    Exact,
+    /// CELF-style lazy greedy (ablation; same solution as ALG).
+    Lazy,
+    /// HOR followed by local-search refinement (extension).
+    RefinedHor,
+}
+
+impl SchedulerKind {
+    /// The paper's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Alg => "ALG",
+            Self::Inc => "INC",
+            Self::Hor => "HOR",
+            Self::HorI => "HOR-I",
+            Self::Top => "TOP",
+            Self::Rand(_) => "RAND",
+            Self::Exact => "EXACT",
+            Self::Lazy => "LAZY",
+            Self::RefinedHor => "HOR+LS",
+        }
+    }
+
+    /// Parses a (case-insensitive) scheduler name; `RAND` gets seed 0.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_uppercase().as_str() {
+            "ALG" => Some(Self::Alg),
+            "INC" => Some(Self::Inc),
+            "HOR" => Some(Self::Hor),
+            "HOR-I" | "HORI" | "HOR_I" => Some(Self::HorI),
+            "TOP" => Some(Self::Top),
+            "RAND" | "RANDOM" => Some(Self::Rand(0)),
+            "EXACT" => Some(Self::Exact),
+            "LAZY" => Some(Self::Lazy),
+            "HOR+LS" | "HORLS" | "REFINED" => Some(Self::RefinedHor),
+            _ => None,
+        }
+    }
+
+    /// Runs the scheduler on `inst` with the given `k`.
+    pub fn run(self, inst: &Instance, k: usize) -> ScheduleResult {
+        match self {
+            Self::Alg => alg::Alg.run(inst, k),
+            Self::Inc => inc::Inc.run(inst, k),
+            Self::Hor => hor::Hor.run(inst, k),
+            Self::HorI => hor_i::HorI.run(inst, k),
+            Self::Top => top::Top.run(inst, k),
+            Self::Rand(seed) => random::Rand::with_seed(seed).run(inst, k),
+            Self::Exact => exact::Exact.run(inst, k),
+            Self::Lazy => lazy::LazyGreedy.run(inst, k),
+            Self::RefinedHor => {
+                let mut res = refine::Refined::new(hor::Hor).run(inst, k);
+                res.algorithm = self.name().to_string();
+                res
+            }
+        }
+    }
+
+    /// The six methods of the paper's evaluation (§4.1), in plot order.
+    pub fn paper_lineup() -> [SchedulerKind; 6] {
+        [Self::Alg, Self::Inc, Self::Hor, Self::HorI, Self::Top, Self::Rand(0)]
+    }
+}
+
+/// Convenient glob-import: the scheduler types and trait.
+pub mod prelude {
+    pub use crate::alg::Alg;
+    pub use crate::common::{ScheduleResult, Scheduler};
+    pub use crate::exact::Exact;
+    pub use crate::extensions::ProfitGreedy;
+    pub use crate::hor::Hor;
+    pub use crate::hor_i::HorI;
+    pub use crate::inc::Inc;
+    pub use crate::lazy::LazyGreedy;
+    pub use crate::random::Rand;
+    pub use crate::refine::{LocalSearch, Refined};
+    pub use crate::top::Top;
+    pub use crate::SchedulerKind;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_core::model::running_example;
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(SchedulerKind::parse("alg"), Some(SchedulerKind::Alg));
+        assert_eq!(SchedulerKind::parse("lazy"), Some(SchedulerKind::Lazy));
+        assert_eq!(SchedulerKind::parse("hor+ls"), Some(SchedulerKind::RefinedHor));
+        assert_eq!(SchedulerKind::parse("HOR-I"), Some(SchedulerKind::HorI));
+        assert_eq!(SchedulerKind::parse("hori"), Some(SchedulerKind::HorI));
+        assert_eq!(SchedulerKind::parse("random"), Some(SchedulerKind::Rand(0)));
+        assert_eq!(SchedulerKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn every_kind_runs() {
+        let inst = running_example();
+        for kind in [
+            SchedulerKind::Alg,
+            SchedulerKind::Inc,
+            SchedulerKind::Hor,
+            SchedulerKind::HorI,
+            SchedulerKind::Top,
+            SchedulerKind::Rand(1),
+            SchedulerKind::Exact,
+            SchedulerKind::Lazy,
+            SchedulerKind::RefinedHor,
+        ] {
+            let res = kind.run(&inst, 2);
+            assert_eq!(res.algorithm, kind.name());
+            assert!(res.schedule.verify_feasible(&inst).is_ok(), "{}", kind.name());
+        }
+    }
+}

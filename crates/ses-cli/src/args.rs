@@ -1,0 +1,108 @@
+//! Minimal argument parsing: `<subcommand> [positional] [--flag value|--switch]`.
+//!
+//! Hand-rolled on purpose — the only CLI dependency the workspace would
+//! otherwise need is clap, and this binary's surface is small enough that a
+//! 100-line parser with good error messages is the lighter choice.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag token).
+    pub command: String,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    /// `--key value` and `--switch` (value `"true"`) flags.
+    pub flags: BTreeMap<String, String>,
+}
+
+/// Switch-style flags that take no value.
+const SWITCHES: &[&str] = &["full", "help", "quiet"];
+
+impl Args {
+    /// Parses the process arguments (without the binary name).
+    pub fn parse(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut iter = argv.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                if SWITCHES.contains(&name) {
+                    out.flags.insert(name.to_string(), "true".to_string());
+                } else {
+                    let val = iter
+                        .next()
+                        .ok_or_else(|| format!("flag --{name} expects a value"))?;
+                    out.flags.insert(name.to_string(), val);
+                }
+            } else if out.command.is_empty() {
+                out.command = tok;
+            } else {
+                out.positional.push(tok);
+            }
+        }
+        Ok(out)
+    }
+
+    /// String flag with a default.
+    pub fn str_flag(&self, name: &str, default: &str) -> String {
+        self.flags.get(name).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Optional string flag.
+    pub fn opt_flag(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(|s| s.as_str())
+    }
+
+    /// Numeric flag with a default.
+    pub fn num_flag<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("flag --{name}: cannot parse '{v}'")),
+        }
+    }
+
+    /// Whether a switch is set.
+    pub fn switch(&self, name: &str) -> bool {
+        self.flags.get(name).is_some_and(|v| v == "true")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(str::to_string)).unwrap()
+    }
+
+    #[test]
+    fn parses_subcommand_flags_and_positionals() {
+        let a = parse("experiment fig5 --users 500 --full --seed 7");
+        assert_eq!(a.command, "experiment");
+        assert_eq!(a.positional, vec!["fig5"]);
+        assert_eq!(a.num_flag("users", 0usize).unwrap(), 500);
+        assert!(a.switch("full"));
+        assert_eq!(a.num_flag("seed", 0u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("run");
+        assert_eq!(a.num_flag("k", 42usize).unwrap(), 42);
+        assert_eq!(a.str_flag("dataset", "unf"), "unf");
+        assert!(!a.switch("full"));
+    }
+
+    #[test]
+    fn missing_value_errors() {
+        let err = Args::parse(["run".into(), "--k".into()]).unwrap_err();
+        assert!(err.contains("--k"));
+    }
+
+    #[test]
+    fn bad_number_errors() {
+        let a = parse("run --k banana");
+        assert!(a.num_flag("k", 0usize).is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! `ses experiment` — regenerate the paper's tables and figures.
+
+use crate::args::Args;
+use ses_datasets::params::table1;
+use ses_experiments::figures::{self, summary, ALL_FIGURES};
+use ses_experiments::ExperimentConfig;
+
+/// Executes the `experiment` subcommand.
+pub fn exec(args: &Args) -> Result<(), String> {
+    let which = args
+        .positional
+        .first()
+        .cloned()
+        .ok_or("experiment requires a figure id (fig5…fig10b, summary, params, all)")?;
+
+    let mut config = ExperimentConfig::default()
+        .with_users(args.num_flag("users", ExperimentConfig::default().num_users)?);
+    config.seed = args.num_flag("seed", config.seed)?;
+    if args.switch("full") {
+        config = config.full();
+    }
+
+    match which.as_str() {
+        "params" => {
+            print_params();
+            Ok(())
+        }
+        "summary" => {
+            let s = summary::run(config.num_users, 2);
+            print!("{}", s.render());
+            if let Some(path) = args.opt_flag("json") {
+                std::fs::write(path, serde_json::to_string_pretty(&s).map_err(|e| e.to_string())?)
+                    .map_err(|e| e.to_string())?;
+            }
+            Ok(())
+        }
+        "all" => {
+            for id in ALL_FIGURES {
+                run_one(id, &config, args)?;
+            }
+            let s = summary::run(config.num_users, 2);
+            print!("{}", s.render());
+            Ok(())
+        }
+        id => run_one(id, &config, args),
+    }
+}
+
+fn run_one(id: &str, config: &ExperimentConfig, args: &Args) -> Result<(), String> {
+    let report = figures::run_figure(id, config)
+        .ok_or_else(|| format!("unknown figure '{id}' (try fig5…fig10b, summary, params, all)"))?;
+    print!("{}", report.render());
+    if let Some(path) = args.opt_flag("json") {
+        let path = suffixed(path, id, "json");
+        std::fs::write(&path, report.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = args.opt_flag("csv") {
+        let path = suffixed(path, id, "csv");
+        std::fs::write(&path, report.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `results.csv` + `fig5` → `results.fig5.csv` so `experiment all` doesn't
+/// overwrite itself.
+fn suffixed(path: &str, id: &str, ext: &str) -> String {
+    match path.strip_suffix(&format!(".{ext}")) {
+        Some(stem) => format!("{stem}.{id}.{ext}"),
+        None => format!("{path}.{id}.{ext}"),
+    }
+}
+
+fn print_params() {
+    println!("# Table 1 — parameter space (bold defaults marked *)");
+    println!("k:                     50, 70, *100, 200, 500");
+    println!("|E|:                   k, 2k, 3k, *5k, 10k");
+    println!("|T|:                   k/5, k/2, k, *3k/2, 2k, 3k");
+    println!("competing/interval:    U[1,4], U[1,8], *U[1,16], U[1,32], U[1,64]");
+    println!("locations:             5, 10, *25, 50, 70");
+    println!("resources θ:           10, 20, *30, 50, 100");
+    println!("required ξ:            U[1,θ/4], U[1,θ/3], *U[1,θ/2], U[1,3θ/4], U[1,θ]");
+    println!("activity σ:            *Uniform, Normal(0.5,0.25)");
+    println!("|U| (synthetic):       10K, 50K, *100K, 500K, 1M   (harness default: scaled)");
+    println!("interest µ (synth):    *Uniform, Normal(0.5,0.25), Zipf(1,*2,3)");
+    println!();
+    println!("sweep constants exposed in ses_datasets::params::table1:");
+    println!("  K                = {:?}", table1::K);
+    println!("  FIG6_INTERVALS   = {:?}", table1::FIG6_INTERVALS);
+    println!("  FIG7_EVENTS      = {:?}", table1::FIG7_EVENTS);
+    println!("  LOCATIONS        = {:?}", table1::LOCATIONS);
+    println!("  USERS            = {:?}", table1::USERS);
+}

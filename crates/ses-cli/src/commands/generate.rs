@@ -1,0 +1,27 @@
+//! `ses generate` — build an instance and serialize it to JSON for external
+//! tooling or archival.
+
+use crate::args::Args;
+use crate::commands::dataset_from_flags;
+
+/// Executes the `generate` subcommand.
+pub fn exec(args: &Args) -> Result<(), String> {
+    let (dataset, users, events, intervals, seed) = dataset_from_flags(args)?;
+    let out = args
+        .opt_flag("out")
+        .ok_or("generate requires --out <path>")?
+        .to_string();
+
+    let inst = dataset.build(users, events, intervals, seed);
+    let json = serde_json::to_string(&inst).map_err(|e| e.to_string())?;
+    std::fs::write(&out, json).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!(
+        "wrote {} ({} events, {} intervals, {} users, {} competing)",
+        out,
+        inst.num_events(),
+        inst.num_intervals(),
+        inst.num_users(),
+        inst.num_competing()
+    );
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! `ses run` — build one instance, run a lineup of schedulers, print a
+//! comparison table.
+
+use crate::args::Args;
+use crate::commands::dataset_from_flags;
+use ses_algorithms::SchedulerKind;
+
+/// Executes the `run` subcommand.
+pub fn exec(args: &Args) -> Result<(), String> {
+    let (dataset, users, events, intervals, seed) = dataset_from_flags(args)?;
+    let k = args.num_flag("k", 20usize)?;
+
+    let kinds: Vec<SchedulerKind> = match args.opt_flag("algorithms") {
+        None => SchedulerKind::paper_lineup().to_vec(),
+        Some(spec) => spec
+            .split(',')
+            .map(|s| SchedulerKind::parse(s.trim()).ok_or_else(|| format!("unknown algorithm '{s}'")))
+            .collect::<Result<_, _>>()?,
+    };
+
+    eprintln!(
+        "# dataset={} |U|={users} |E|={events} |T|={intervals} k={k} seed={seed}",
+        dataset.name()
+    );
+    let inst = dataset.build(users, events, intervals, seed);
+
+    println!(
+        "{:>8} {:>14} {:>10} {:>16} {:>14} {:>12} {:>10}",
+        "method", "utility", "|S|", "computations", "examined", "updates", "time"
+    );
+    for kind in kinds {
+        let res = kind.run(&inst, k);
+        println!(
+            "{:>8} {:>14.4} {:>10} {:>16} {:>14} {:>12} {:>9.1}ms",
+            res.algorithm,
+            res.utility,
+            res.schedule.len(),
+            res.stats.user_ops,
+            res.stats.assignments_examined,
+            res.stats.score_updates,
+            res.elapsed.as_secs_f64() * 1e3,
+        );
+    }
+    Ok(())
+}

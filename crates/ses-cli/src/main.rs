@@ -1,0 +1,66 @@
+//! `ses` — command-line driver for the SES reproduction.
+//!
+//! ```text
+//! ses run        --dataset <meetup|concerts|unf|zip> --k 20 [--users N] [--events N]
+//!                [--intervals N] [--seed S] [--algorithms ALG,INC,HOR,HOR-I,TOP,RAND]
+//! ses experiment <fig5|fig6|fig7|fig8|fig9|fig10a|fig10b|summary|params|all>
+//!                [--users N] [--full] [--seed S] [--json out.json] [--csv out.csv]
+//! ses generate   --dataset <...> [--users N] [--events N] [--intervals N] [--seed S]
+//!                --out instance.json
+//! ses help
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let result = match args.command.as_str() {
+        "run" => commands::run::exec(&args),
+        "experiment" => commands::experiment::exec(&args),
+        "generate" => commands::generate::exec(&args),
+        "" | "help" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}' (try `ses help`)")),
+    };
+
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const HELP: &str = "\
+ses — Social Event Scheduling (EDBT 2019 reproduction)
+
+USAGE:
+  ses run        --dataset <meetup|concerts|unf|zip> [--k N] [--users N]
+                 [--events N] [--intervals N] [--seed S]
+                 [--algorithms ALG,INC,HOR,HOR-I,TOP,RAND]
+  ses experiment <fig5|fig6|fig7|fig8|fig9|fig10a|fig10b|ablation-schemes|
+                  ablation-refine|summary|params|all>
+                 [--users N] [--full] [--seed S] [--json PATH] [--csv PATH]
+  ses generate   --dataset <...> [--users N] [--events N] [--intervals N]
+                 [--seed S] --out instance.json
+  ses help
+
+EXAMPLES:
+  ses run --dataset zip --k 50 --users 1000
+  ses experiment fig5 --users 400
+  ses experiment all --users 200 --csv results.csv
+";

@@ -1,0 +1,173 @@
+//! Error types for instance construction and schedule manipulation.
+
+use crate::ids::{EventId, IntervalId};
+use std::fmt;
+
+/// Errors raised while building or validating an [`Instance`].
+///
+/// [`Instance`]: crate::model::Instance
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// An interest value was outside `[0, 1]`.
+    InterestOutOfRange {
+        /// Offending value.
+        value: f64,
+        /// Human-readable description of where it was found.
+        context: String,
+    },
+    /// An activity probability was outside `[0, 1]`.
+    ActivityOutOfRange {
+        /// Offending value.
+        value: f64,
+        /// Human-readable description of where it was found.
+        context: String,
+    },
+    /// A competing event referenced an interval that does not exist.
+    DanglingCompetingInterval {
+        /// The out-of-range interval index.
+        interval: usize,
+        /// Number of intervals in the instance.
+        num_intervals: usize,
+    },
+    /// An event's required resources exceed the organizer's total resources,
+    /// so the event can never be scheduled.
+    EventNeverSchedulable {
+        /// The impossible event.
+        event: EventId,
+        /// Resources the event requires.
+        required: f64,
+        /// Resources the organizer has per interval.
+        available: f64,
+    },
+    /// A dimension (users/events/intervals) was zero where it must not be.
+    EmptyDimension(&'static str),
+    /// A matrix had the wrong number of entries for the declared dimensions.
+    DimensionMismatch {
+        /// What was being validated.
+        what: &'static str,
+        /// Expected number of entries.
+        expected: usize,
+        /// Actual number of entries.
+        actual: usize,
+    },
+    /// A resource quantity (θ or ξ) was negative or non-finite.
+    InvalidResource {
+        /// Offending value.
+        value: f64,
+        /// Human-readable description of where it was found.
+        context: String,
+    },
+    /// A user weight was negative or non-finite.
+    InvalidWeight {
+        /// Offending value.
+        value: f64,
+        /// The user it belongs to.
+        user: usize,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InterestOutOfRange { value, context } => {
+                write!(f, "interest value {value} out of [0,1] ({context})")
+            }
+            Self::ActivityOutOfRange { value, context } => {
+                write!(f, "activity probability {value} out of [0,1] ({context})")
+            }
+            Self::DanglingCompetingInterval { interval, num_intervals } => write!(
+                f,
+                "competing event references interval {interval} but instance has {num_intervals}"
+            ),
+            Self::EventNeverSchedulable { event, required, available } => write!(
+                f,
+                "{event} requires {required} resources but only {available} are available"
+            ),
+            Self::EmptyDimension(what) => write!(f, "instance has no {what}"),
+            Self::DimensionMismatch { what, expected, actual } => {
+                write!(f, "{what}: expected {expected} entries, got {actual}")
+            }
+            Self::InvalidResource { value, context } => {
+                write!(f, "invalid resource quantity {value} ({context})")
+            }
+            Self::InvalidWeight { value, user } => {
+                write!(f, "invalid weight {value} for user {user}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Errors raised while mutating a [`Schedule`].
+///
+/// [`Schedule`]: crate::schedule::Schedule
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The event is already scheduled (schedules map each event at most once).
+    EventAlreadyScheduled(EventId),
+    /// Assigning the event would place two events with the same location in
+    /// the same interval (location constraint of §2.1).
+    LocationConflict {
+        /// Event being assigned.
+        event: EventId,
+        /// Interval of the attempted assignment.
+        interval: IntervalId,
+        /// Already-scheduled event occupying the same location.
+        occupant: EventId,
+    },
+    /// Assigning the event would exceed the organizer's resources θ in the
+    /// interval (resources constraint of §2.1).
+    ResourcesExceeded {
+        /// Event being assigned.
+        event: EventId,
+        /// Interval of the attempted assignment.
+        interval: IntervalId,
+    },
+    /// The event is not currently scheduled (for removal operations).
+    EventNotScheduled(EventId),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EventAlreadyScheduled(e) => write!(f, "{e} is already scheduled"),
+            Self::LocationConflict { event, interval, occupant } => {
+                write!(f, "{event} conflicts with {occupant} (same location) at {interval}")
+            }
+            Self::ResourcesExceeded { event, interval } => {
+                write!(f, "assigning {event} at {interval} exceeds available resources")
+            }
+            Self::EventNotScheduled(e) => write!(f, "{e} is not scheduled"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = BuildError::InterestOutOfRange { value: 1.5, context: "user 0, event 1".into() };
+        assert!(e.to_string().contains("1.5"));
+        assert!(e.to_string().contains("user 0"));
+
+        let e = ScheduleError::LocationConflict {
+            event: EventId::new(1),
+            interval: IntervalId::new(0),
+            occupant: EventId::new(2),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("e1") && msg.contains("e2") && msg.contains("t0"));
+    }
+
+    #[test]
+    fn errors_implement_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&BuildError::EmptyDimension("users"));
+        takes_err(&ScheduleError::EventNotScheduled(EventId::new(0)));
+    }
+}

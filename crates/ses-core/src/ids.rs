@@ -1,0 +1,121 @@
+//! Strongly-typed identifiers for the entities of the SES problem.
+//!
+//! All identifiers are dense indices into the owning [`Instance`]'s entity
+//! vectors (`u32` internally, exposed as `usize` at use sites). Using
+//! newtypes instead of bare integers prevents the classic bug family of
+//! passing an event index where an interval index is expected — a real risk
+//! in this problem where almost every loop is a nested `(event, interval,
+//! user)` traversal.
+//!
+//! [`Instance`]: crate::model::Instance
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an id from a dense index.
+            ///
+            /// # Panics
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn new(index: usize) -> Self {
+                Self(u32::try_from(index).expect(concat!($tag, " index overflows u32")))
+            }
+
+            /// Returns the dense index as `usize`, for direct vector indexing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(index: usize) -> Self {
+                Self::new(index)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a candidate event `e ∈ E`.
+    EventId,
+    "e"
+);
+define_id!(
+    /// Identifier of a candidate time interval `t ∈ T`.
+    IntervalId,
+    "t"
+);
+define_id!(
+    /// Identifier of a user `u ∈ U`.
+    UserId,
+    "u"
+);
+define_id!(
+    /// Identifier of a location (stage/room) hosting candidate events.
+    LocationId,
+    "loc"
+);
+define_id!(
+    /// Identifier of a competing event `c ∈ C` (scheduled by third parties).
+    CompetingEventId,
+    "c"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let e = EventId::new(42);
+        assert_eq!(e.index(), 42);
+        assert_eq!(e, EventId(42));
+    }
+
+    #[test]
+    fn display_uses_tag() {
+        assert_eq!(EventId::new(3).to_string(), "e3");
+        assert_eq!(IntervalId::new(1).to_string(), "t1");
+        assert_eq!(UserId::new(0).to_string(), "u0");
+        assert_eq!(LocationId::new(7).to_string(), "loc7");
+        assert_eq!(CompetingEventId::new(9).to_string(), "c9");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(EventId::new(1) < EventId::new(2));
+        let mut v = vec![IntervalId::new(2), IntervalId::new(0), IntervalId::new(1)];
+        v.sort();
+        assert_eq!(v, vec![IntervalId::new(0), IntervalId::new(1), IntervalId::new(2)]);
+    }
+
+    #[test]
+    fn from_usize() {
+        let t: IntervalId = 5usize.into();
+        assert_eq!(t.index(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn overflow_panics() {
+        let _ = EventId::new(usize::MAX);
+    }
+}

@@ -1,0 +1,56 @@
+//! # ses-core — the Social Event Scheduling substrate
+//!
+//! Core model and scoring machinery for the **SES problem** of
+//! *"Attendance Maximization for Successful Social Event Planning"*
+//! (Bikakis, Kalogeraki, Gunopulos — EDBT 2019).
+//!
+//! Given candidate events `E` (with locations and resource needs), candidate
+//! time intervals `T`, third-party competing events `C`, and users `U` with
+//! interest `µ` and social-activity probability `σ`, SES asks for a feasible
+//! schedule of `k` event→interval assignments maximizing expected total
+//! attendance under a Luce-choice model.
+//!
+//! This crate provides:
+//!
+//! * [`model`] — typed entities, interest/activity matrices (dense & sparse),
+//!   and the immutable [`model::Instance`] (plus the paper's Figure-1
+//!   [`model::running_example`]);
+//! * [`schedule`] — feasible-by-construction [`schedule::Schedule`] enforcing
+//!   the location and resource constraints of §2.1;
+//! * [`scoring`] — the incremental [`scoring::ScoringEngine`] computing
+//!   assignment scores (Eq. 4) in O(column) per score, and the independent
+//!   [`scoring::utility`] evaluator for Ω(S) (Eq. 1–3);
+//! * [`stats`] — counters reproducing the paper's evaluation metrics
+//!   (score computations / user operations / assignments examined).
+//!
+//! Algorithms (ALG, INC, HOR, HOR-I, baselines) live in `ses-algorithms`;
+//! dataset generators in `ses-datasets`.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ses_core::model::running_example;
+//! use ses_core::scoring::ScoringEngine;
+//! use ses_core::{EventId, IntervalId};
+//!
+//! let inst = running_example();
+//! let mut engine = ScoringEngine::new(&inst);
+//! let s = engine.assignment_score(EventId::new(3), IntervalId::new(1));
+//! assert!((s - 0.66).abs() < 5e-3); // Figure 2, row ①: α_{e4}^{t2}
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod error;
+pub mod ids;
+pub mod model;
+pub mod schedule;
+pub mod scoring;
+pub mod stats;
+
+pub use error::{BuildError, ScheduleError};
+pub use ids::{CompetingEventId, EventId, IntervalId, LocationId, UserId};
+pub use model::Instance;
+pub use schedule::{Assignment, Schedule};
+pub use stats::Stats;

@@ -1,0 +1,155 @@
+//! The social activity probability `σ : U × T → [0, 1]`.
+
+use crate::error::BuildError;
+use serde::{Deserialize, Serialize};
+
+/// Dense user-major storage of the social activity probability `σ_u^t`:
+/// the probability that user `u` participates in *some* social activity
+/// during interval `t` (estimated from past behaviour such as check-ins,
+/// §2.1). `data[user · num_intervals + interval]`.
+///
+/// Scoring loops look up `σ` for one `(user, interval)` pair at a time while
+/// sweeping users of a fixed interval, so an interval-major layout would also
+/// work; user-major is chosen because generators produce per-user rows and
+/// the matrix is small (`|U| × |T|`) relative to interest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivityMatrix {
+    num_users: usize,
+    num_intervals: usize,
+    data: Vec<f64>,
+}
+
+impl ActivityMatrix {
+    /// A matrix with every probability set to `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn constant(num_users: usize, num_intervals: usize, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "activity probability out of range");
+        Self { num_users, num_intervals, data: vec![p; num_users * num_intervals] }
+    }
+
+    /// Builds from a generator function `f(user, interval) -> σ`.
+    pub fn from_fn(
+        num_users: usize,
+        num_intervals: usize,
+        mut f: impl FnMut(usize, usize) -> f64,
+    ) -> Self {
+        let mut data = Vec::with_capacity(num_users * num_intervals);
+        for user in 0..num_users {
+            for interval in 0..num_intervals {
+                data.push(f(user, interval));
+            }
+        }
+        Self { num_users, num_intervals, data }
+    }
+
+    /// Builds from raw user-major data.
+    ///
+    /// # Errors
+    /// Returns [`BuildError::DimensionMismatch`] on a length mismatch.
+    pub fn from_raw(
+        num_users: usize,
+        num_intervals: usize,
+        data: Vec<f64>,
+    ) -> Result<Self, BuildError> {
+        if data.len() != num_users * num_intervals {
+            return Err(BuildError::DimensionMismatch {
+                what: "activity matrix",
+                expected: num_users * num_intervals,
+                actual: data.len(),
+            });
+        }
+        Ok(Self { num_users, num_intervals, data })
+    }
+
+    /// Number of users.
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// Number of intervals.
+    #[inline]
+    pub fn num_intervals(&self) -> usize {
+        self.num_intervals
+    }
+
+    /// `σ(user, interval)`.
+    #[inline]
+    pub fn value(&self, user: usize, interval: usize) -> f64 {
+        debug_assert!(user < self.num_users && interval < self.num_intervals);
+        self.data[user * self.num_intervals + interval]
+    }
+
+    /// Sets one probability.
+    #[inline]
+    pub fn set(&mut self, user: usize, interval: usize, p: f64) {
+        assert!(user < self.num_users && interval < self.num_intervals);
+        self.data[user * self.num_intervals + interval] = p;
+    }
+
+    /// Validates that every probability lies in `[0, 1]`.
+    pub fn validate(&self) -> Result<(), BuildError> {
+        for (i, &p) in self.data.iter().enumerate() {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(BuildError::ActivityOutOfRange {
+                    value: p,
+                    context: format!(
+                        "user {}, interval {}",
+                        i / self.num_intervals,
+                        i % self.num_intervals
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_fill() {
+        let a = ActivityMatrix::constant(2, 3, 0.5);
+        assert_eq!(a.value(1, 2), 0.5);
+        assert_eq!(a.num_users(), 2);
+        assert_eq!(a.num_intervals(), 3);
+    }
+
+    #[test]
+    fn from_fn_layout() {
+        let a = ActivityMatrix::from_fn(2, 2, |u, t| (u * 10 + t) as f64 / 100.0);
+        assert_eq!(a.value(0, 1), 0.01);
+        assert_eq!(a.value(1, 0), 0.10);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut a = ActivityMatrix::constant(1, 2, 0.0);
+        a.set(0, 1, 0.8);
+        assert_eq!(a.value(0, 1), 0.8);
+        assert_eq!(a.value(0, 0), 0.0);
+    }
+
+    #[test]
+    fn validate_catches_bad_probability() {
+        let a = ActivityMatrix::from_raw(1, 2, vec![0.5, -0.1]).unwrap();
+        let err = a.validate().unwrap_err();
+        assert!(matches!(err, BuildError::ActivityOutOfRange { .. }));
+        assert!(err.to_string().contains("interval 1"));
+    }
+
+    #[test]
+    fn from_raw_checks_len() {
+        assert!(ActivityMatrix::from_raw(2, 2, vec![0.0; 5]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn constant_rejects_bad_probability() {
+        let _ = ActivityMatrix::constant(1, 1, 1.5);
+    }
+}

@@ -1,0 +1,148 @@
+//! Candidate and competing events.
+
+use crate::ids::{IntervalId, LocationId};
+use serde::{Deserialize, Serialize};
+
+/// A candidate event `e ∈ E` waiting to be scheduled.
+///
+/// Every candidate event is tied to a **location** `ℓe` (the stage/room that
+/// would host it) and requires `ξe` **resources** (staff, materials, budget —
+/// the paper's abstraction, §2.1). Two events with the same location can
+/// never share an interval, and the resources of all events assigned to one
+/// interval may not exceed the organizer's total `θ`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// The location that would host this event.
+    pub location: LocationId,
+    /// Resources `ξe ≥ 0` required to organize this event.
+    pub required_resources: f64,
+    /// Optional human-readable label (used by examples and reports).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub label: Option<String>,
+    /// Organization cost of the event — only used by the *profit-oriented*
+    /// objective extension (§2.1 mentions this as a trivial modification).
+    /// Ignored by the attendance-maximizing objective.
+    #[serde(default)]
+    pub cost: f64,
+    /// Number of consecutive intervals the event spans, starting at its
+    /// assigned interval. `1` (the default) reproduces the paper's model;
+    /// larger values enable the *event duration* extension of §2.1.
+    #[serde(default = "default_duration")]
+    pub duration: u32,
+}
+
+fn default_duration() -> u32 {
+    1
+}
+
+impl Event {
+    /// Creates a plain (paper-model) event: unit duration, zero cost.
+    pub fn new(location: LocationId, required_resources: f64) -> Self {
+        Self { location, required_resources, label: None, cost: 0.0, duration: 1 }
+    }
+
+    /// Attaches a human-readable label.
+    #[must_use]
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Sets the organization cost (profit-oriented extension).
+    #[must_use]
+    pub fn with_cost(mut self, cost: f64) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Sets the duration in intervals (duration extension; must be ≥ 1).
+    ///
+    /// # Panics
+    /// Panics if `duration == 0`.
+    #[must_use]
+    pub fn with_duration(mut self, duration: u32) -> Self {
+        assert!(duration >= 1, "event duration must be at least one interval");
+        self.duration = duration;
+        self
+    }
+}
+
+/// A competing event `c ∈ C`: an event already scheduled by a third party
+/// that will draw attendance away from candidate events placed in the same
+/// (overlapping) interval.
+///
+/// Competing events are fixed: they occupy an interval `t_c` and contribute
+/// their per-user interest to the Luce-choice denominator of Eq. 1 for that
+/// interval. They are never (re)scheduled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompetingEvent {
+    /// The candidate interval this competing event overlaps with.
+    pub interval: IntervalId,
+    /// Optional human-readable label.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub label: Option<String>,
+}
+
+impl CompetingEvent {
+    /// Creates a competing event overlapping the given interval.
+    pub fn new(interval: IntervalId) -> Self {
+        Self { interval, label: None }
+    }
+
+    /// Attaches a human-readable label.
+    #[must_use]
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let e = Event::new(LocationId::new(2), 3.5)
+            .with_label("rock concert")
+            .with_cost(100.0)
+            .with_duration(2);
+        assert_eq!(e.location, LocationId::new(2));
+        assert_eq!(e.required_resources, 3.5);
+        assert_eq!(e.label.as_deref(), Some("rock concert"));
+        assert_eq!(e.cost, 100.0);
+        assert_eq!(e.duration, 2);
+    }
+
+    #[test]
+    fn default_is_paper_model() {
+        let e = Event::new(LocationId::new(0), 1.0);
+        assert_eq!(e.duration, 1);
+        assert_eq!(e.cost, 0.0);
+        assert!(e.label.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duration")]
+    fn zero_duration_rejected() {
+        let _ = Event::new(LocationId::new(0), 1.0).with_duration(0);
+    }
+
+    #[test]
+    fn competing_event_roundtrip() {
+        let c = CompetingEvent::new(IntervalId::new(1)).with_label("rival gig");
+        let json = serde_json::to_string(&c).unwrap();
+        let back: CompetingEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn event_serde_defaults() {
+        // An event serialized before the extension fields existed must
+        // deserialize with paper-model defaults.
+        let json = r#"{"location":0,"required_resources":2.0}"#;
+        let e: Event = serde_json::from_str(json).unwrap();
+        assert_eq!(e.duration, 1);
+        assert_eq!(e.cost, 0.0);
+    }
+}

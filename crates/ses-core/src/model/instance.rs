@@ -1,0 +1,491 @@
+//! The SES problem instance: everything except the schedule itself.
+
+use crate::error::BuildError;
+use crate::ids::{CompetingEventId, EventId, IntervalId, LocationId};
+use crate::model::activity::ActivityMatrix;
+use crate::model::event::{CompetingEvent, Event};
+use crate::model::interest::{DenseInterest, InterestMatrix};
+use crate::model::interval::Interval;
+use serde::{Deserialize, Serialize};
+
+/// A complete instance of the Social Event Scheduling problem (§2.1):
+/// candidate events `E`, candidate intervals `T`, competing events `C`,
+/// users `U` with interest `µ` and activity `σ`, and the organizer's
+/// per-interval resource budget `θ`.
+///
+/// Instances are immutable once built (construct via [`InstanceBuilder`] or
+/// the dataset generators in `ses-datasets`); algorithms never mutate them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instance {
+    /// Candidate events `E`.
+    pub events: Vec<Event>,
+    /// Candidate time intervals `T`.
+    pub intervals: Vec<Interval>,
+    /// Competing events `C` (each pinned to one interval).
+    pub competing: Vec<CompetingEvent>,
+    /// Interest `µ(u, e)` over candidate events (`|E|` items × `|U|` users).
+    pub event_interest: InterestMatrix,
+    /// Interest `µ(u, c)` over competing events (`|C|` items × `|U|` users).
+    pub competing_interest: InterestMatrix,
+    /// Social activity probabilities `σ(u, t)`.
+    pub activity: ActivityMatrix,
+    /// Organizer's available resources `θ` per interval.
+    pub resources: f64,
+    /// Optional per-user weights (the §2.1 "weights over the users"
+    /// extension, e.g. influence). `None` means every user weighs 1.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub user_weights: Option<Vec<f64>>,
+}
+
+impl Instance {
+    /// Number of candidate events `|E|`.
+    #[inline]
+    pub fn num_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of candidate intervals `|T|`.
+    #[inline]
+    pub fn num_intervals(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Number of users `|U|`.
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        self.activity.num_users()
+    }
+
+    /// Number of competing events `|C|`.
+    #[inline]
+    pub fn num_competing(&self) -> usize {
+        self.competing.len()
+    }
+
+    /// Weight of one user (1.0 when no weights are configured).
+    #[inline]
+    pub fn user_weight(&self, user: usize) -> f64 {
+        match &self.user_weights {
+            Some(w) => w[user],
+            None => 1.0,
+        }
+    }
+
+    /// The competing events pinned to interval `t` (the paper's `C_t`).
+    pub fn competing_at(&self, t: IntervalId) -> impl Iterator<Item = CompetingEventId> + '_ {
+        self.competing
+            .iter()
+            .enumerate()
+            .filter(move |(_, c)| c.interval == t)
+            .map(|(i, _)| CompetingEventId::new(i))
+    }
+
+    /// All `(event, interval)` pairs — the initial assignment universe of
+    /// size `|E| · |T|` that ALG scores up front.
+    pub fn assignment_universe(&self) -> impl Iterator<Item = (EventId, IntervalId)> + '_ {
+        (0..self.num_events()).flat_map(move |e| {
+            (0..self.num_intervals()).map(move |t| (EventId::new(e), IntervalId::new(t)))
+        })
+    }
+
+    /// Validates internal consistency: matrix shapes, value ranges, resource
+    /// sanity, and competing-event interval references.
+    ///
+    /// # Errors
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), BuildError> {
+        if self.events.is_empty() {
+            return Err(BuildError::EmptyDimension("candidate events"));
+        }
+        if self.intervals.is_empty() {
+            return Err(BuildError::EmptyDimension("time intervals"));
+        }
+        if self.num_users() == 0 {
+            return Err(BuildError::EmptyDimension("users"));
+        }
+
+        if self.event_interest.num_items() != self.num_events() {
+            return Err(BuildError::DimensionMismatch {
+                what: "event interest items",
+                expected: self.num_events(),
+                actual: self.event_interest.num_items(),
+            });
+        }
+        if self.event_interest.num_users() != self.num_users() {
+            return Err(BuildError::DimensionMismatch {
+                what: "event interest users",
+                expected: self.num_users(),
+                actual: self.event_interest.num_users(),
+            });
+        }
+        if self.competing_interest.num_items() != self.num_competing() {
+            return Err(BuildError::DimensionMismatch {
+                what: "competing interest items",
+                expected: self.num_competing(),
+                actual: self.competing_interest.num_items(),
+            });
+        }
+        if self.competing_interest.num_users() != self.num_users() {
+            return Err(BuildError::DimensionMismatch {
+                what: "competing interest users",
+                expected: self.num_users(),
+                actual: self.competing_interest.num_users(),
+            });
+        }
+        if self.activity.num_intervals() != self.num_intervals() {
+            return Err(BuildError::DimensionMismatch {
+                what: "activity intervals",
+                expected: self.num_intervals(),
+                actual: self.activity.num_intervals(),
+            });
+        }
+
+        if !self.resources.is_finite() || self.resources < 0.0 {
+            return Err(BuildError::InvalidResource {
+                value: self.resources,
+                context: "organizer resources θ".into(),
+            });
+        }
+        for (i, e) in self.events.iter().enumerate() {
+            if !e.required_resources.is_finite() || e.required_resources < 0.0 {
+                return Err(BuildError::InvalidResource {
+                    value: e.required_resources,
+                    context: format!("event {i} required resources"),
+                });
+            }
+            if e.required_resources > self.resources {
+                return Err(BuildError::EventNeverSchedulable {
+                    event: EventId::new(i),
+                    required: e.required_resources,
+                    available: self.resources,
+                });
+            }
+        }
+        for c in &self.competing {
+            if c.interval.index() >= self.num_intervals() {
+                return Err(BuildError::DanglingCompetingInterval {
+                    interval: c.interval.index(),
+                    num_intervals: self.num_intervals(),
+                });
+            }
+        }
+        if let Some(w) = &self.user_weights {
+            if w.len() != self.num_users() {
+                return Err(BuildError::DimensionMismatch {
+                    what: "user weights",
+                    expected: self.num_users(),
+                    actual: w.len(),
+                });
+            }
+            for (u, &x) in w.iter().enumerate() {
+                if !x.is_finite() || x < 0.0 {
+                    return Err(BuildError::InvalidWeight { value: x, user: u });
+                }
+            }
+        }
+
+        self.event_interest.validate()?;
+        self.competing_interest.validate()?;
+        self.activity.validate()?;
+        Ok(())
+    }
+}
+
+/// Step-by-step construction of an [`Instance`], with validation at `build`.
+#[derive(Debug)]
+pub struct InstanceBuilder {
+    events: Vec<Event>,
+    intervals: Vec<Interval>,
+    competing: Vec<CompetingEvent>,
+    event_interest: Option<InterestMatrix>,
+    competing_interest: Option<InterestMatrix>,
+    activity: Option<ActivityMatrix>,
+    resources: f64,
+    user_weights: Option<Vec<f64>>,
+}
+
+impl Default for InstanceBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InstanceBuilder {
+    /// An empty builder with unlimited-ish resources (θ = ∞ is modeled as
+    /// `f64::MAX`; set a real θ with [`resources`](Self::resources)).
+    pub fn new() -> Self {
+        Self {
+            events: Vec::new(),
+            intervals: Vec::new(),
+            competing: Vec::new(),
+            event_interest: None,
+            competing_interest: None,
+            activity: None,
+            resources: f64::MAX,
+            user_weights: None,
+        }
+    }
+
+    /// Appends a candidate event, returning its id.
+    pub fn add_event(&mut self, event: Event) -> EventId {
+        self.events.push(event);
+        EventId::new(self.events.len() - 1)
+    }
+
+    /// Appends `n` unlabeled intervals, returning the id of the first.
+    pub fn add_intervals(&mut self, n: usize) -> IntervalId {
+        let first = self.intervals.len();
+        self.intervals.extend((0..n).map(|_| Interval::new()));
+        IntervalId::new(first)
+    }
+
+    /// Appends one interval, returning its id.
+    pub fn add_interval(&mut self, interval: Interval) -> IntervalId {
+        self.intervals.push(interval);
+        IntervalId::new(self.intervals.len() - 1)
+    }
+
+    /// Appends a competing event, returning its id.
+    pub fn add_competing(&mut self, c: CompetingEvent) -> CompetingEventId {
+        self.competing.push(c);
+        CompetingEventId::new(self.competing.len() - 1)
+    }
+
+    /// Sets the candidate-event interest matrix.
+    #[must_use]
+    pub fn event_interest(mut self, m: impl Into<InterestMatrix>) -> Self {
+        self.event_interest = Some(m.into());
+        self
+    }
+
+    /// Sets the competing-event interest matrix.
+    #[must_use]
+    pub fn competing_interest(mut self, m: impl Into<InterestMatrix>) -> Self {
+        self.competing_interest = Some(m.into());
+        self
+    }
+
+    /// Sets the activity matrix.
+    #[must_use]
+    pub fn activity(mut self, a: ActivityMatrix) -> Self {
+        self.activity = Some(a);
+        self
+    }
+
+    /// Sets the organizer's resources θ.
+    #[must_use]
+    pub fn resources(mut self, theta: f64) -> Self {
+        self.resources = theta;
+        self
+    }
+
+    /// Sets per-user weights (influence extension).
+    #[must_use]
+    pub fn user_weights(mut self, w: Vec<f64>) -> Self {
+        self.user_weights = Some(w);
+        self
+    }
+
+    /// Finalizes and validates the instance.
+    ///
+    /// # Errors
+    /// Any [`BuildError`] from [`Instance::validate`]. A missing competing
+    /// interest matrix is only an error when competing events exist; a
+    /// missing activity matrix is always an error.
+    pub fn build(self) -> Result<Instance, BuildError> {
+        let activity = self.activity.ok_or(BuildError::EmptyDimension("activity matrix"))?;
+        let num_users = activity.num_users();
+        let competing_interest = self
+            .competing_interest
+            .unwrap_or_else(|| DenseInterest::zeros(self.competing.len(), num_users).into());
+        let event_interest = self
+            .event_interest
+            .ok_or(BuildError::EmptyDimension("event interest matrix"))?;
+        let inst = Instance {
+            events: self.events,
+            intervals: self.intervals,
+            competing: self.competing,
+            event_interest,
+            competing_interest,
+            activity,
+            resources: self.resources,
+            user_weights: self.user_weights,
+        };
+        inst.validate()?;
+        Ok(inst)
+    }
+}
+
+/// The paper's running example (Figure 1): four candidate events, two
+/// intervals, two competing events, two users.
+///
+/// Locations: `e1, e2 → Stage 1`, `e3 → Room A`, `e4 → Stage 2`.
+/// Competing: `c1 → t1`, `c2 → t2`. Interest and activity values exactly as
+/// in Figure 1d. Resources are not exercised by the example (`θ = 10`,
+/// `ξ = 1` for every event).
+///
+/// Index mapping: the paper's `e1..e4` are [`EventId`] `0..=3`, `t1, t2` are
+/// [`IntervalId`] `0, 1`, `u1, u2` are users `0, 1`.
+///
+/// With `k = 3`, all of ALG/INC/HOR/HOR-I schedule
+/// `{e4@t2, e1@t1, e2@t2}` with total utility ≈ 1.4073 (Examples 2–5).
+pub fn running_example() -> Instance {
+    let mut b = InstanceBuilder::new();
+    let stage1 = LocationId::new(0);
+    let room_a = LocationId::new(1);
+    let stage2 = LocationId::new(2);
+    b.add_event(Event::new(stage1, 1.0).with_label("e1"));
+    b.add_event(Event::new(stage1, 1.0).with_label("e2"));
+    b.add_event(Event::new(room_a, 1.0).with_label("e3"));
+    b.add_event(Event::new(stage2, 1.0).with_label("e4"));
+    b.add_interval(Interval::named("Friday 8-11pm"));
+    b.add_interval(Interval::named("Saturday 6-9pm"));
+    b.add_competing(CompetingEvent::new(IntervalId::new(0)).with_label("c1"));
+    b.add_competing(CompetingEvent::new(IntervalId::new(1)).with_label("c2"));
+
+    // Figure 1d, item-major (per event, the two users' interests).
+    let event_interest = DenseInterest::from_raw(
+        4,
+        2,
+        vec![
+            0.9, 0.2, // e1
+            0.3, 0.6, // e2
+            0.0, 0.1, // e3
+            0.6, 0.6, // e4
+        ],
+    )
+    .expect("running example event interest");
+    let competing_interest = DenseInterest::from_raw(
+        2,
+        2,
+        vec![
+            0.8, 0.4, // c1
+            0.3, 0.7, // c2
+        ],
+    )
+    .expect("running example competing interest");
+    let activity = ActivityMatrix::from_raw(
+        2,
+        2,
+        vec![
+            0.8, 0.5, // u1
+            0.5, 0.7, // u2
+        ],
+    )
+    .expect("running example activity");
+
+    b.event_interest(event_interest)
+        .competing_interest(competing_interest)
+        .activity(activity)
+        .resources(10.0)
+        .build()
+        .expect("running example must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_example_shape() {
+        let inst = running_example();
+        assert_eq!(inst.num_events(), 4);
+        assert_eq!(inst.num_intervals(), 2);
+        assert_eq!(inst.num_users(), 2);
+        assert_eq!(inst.num_competing(), 2);
+        assert!(inst.validate().is_ok());
+    }
+
+    #[test]
+    fn competing_at_filters_by_interval() {
+        let inst = running_example();
+        let at_t1: Vec<_> = inst.competing_at(IntervalId::new(0)).collect();
+        assert_eq!(at_t1, vec![CompetingEventId::new(0)]);
+        let at_t2: Vec<_> = inst.competing_at(IntervalId::new(1)).collect();
+        assert_eq!(at_t2, vec![CompetingEventId::new(1)]);
+    }
+
+    #[test]
+    fn assignment_universe_size() {
+        let inst = running_example();
+        assert_eq!(inst.assignment_universe().count(), 8);
+    }
+
+    #[test]
+    fn user_weight_defaults_to_one() {
+        let inst = running_example();
+        assert_eq!(inst.user_weight(0), 1.0);
+        assert_eq!(inst.user_weight(1), 1.0);
+    }
+
+    #[test]
+    fn builder_rejects_missing_activity() {
+        let mut b = InstanceBuilder::new();
+        b.add_event(Event::new(LocationId::new(0), 1.0));
+        b.add_intervals(1);
+        let err = b.event_interest(DenseInterest::zeros(1, 1)).build().unwrap_err();
+        assert!(matches!(err, BuildError::EmptyDimension("activity matrix")));
+    }
+
+    #[test]
+    fn builder_defaults_competing_interest_to_zeros() {
+        let mut b = InstanceBuilder::new();
+        b.add_event(Event::new(LocationId::new(0), 1.0));
+        b.add_intervals(1);
+        b.add_competing(CompetingEvent::new(IntervalId::new(0)));
+        let inst = b
+            .event_interest(DenseInterest::zeros(1, 2))
+            .activity(ActivityMatrix::constant(2, 1, 0.5))
+            .build()
+            .unwrap();
+        assert_eq!(inst.competing_interest.num_items(), 1);
+        assert_eq!(inst.competing_interest.value(0, 0), 0.0);
+    }
+
+    #[test]
+    fn validate_rejects_dangling_competing_interval() {
+        let mut inst = running_example();
+        inst.competing[0].interval = IntervalId::new(9);
+        assert!(matches!(
+            inst.validate(),
+            Err(BuildError::DanglingCompetingInterval { interval: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_unschedulable_event() {
+        let mut inst = running_example();
+        inst.events[0].required_resources = 100.0; // θ = 10
+        assert!(matches!(inst.validate(), Err(BuildError::EventNeverSchedulable { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_weight_len() {
+        let mut inst = running_example();
+        inst.user_weights = Some(vec![1.0]);
+        assert!(matches!(inst.validate(), Err(BuildError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_negative_weight() {
+        let mut inst = running_example();
+        inst.user_weights = Some(vec![1.0, -2.0]);
+        assert!(matches!(inst.validate(), Err(BuildError::InvalidWeight { user: 1, .. })));
+    }
+
+    #[test]
+    fn validate_rejects_bad_theta() {
+        let mut inst = running_example();
+        inst.resources = f64::NAN;
+        // Events require 1.0 > NaN comparisons are false, so θ check fires first.
+        assert!(matches!(inst.validate(), Err(BuildError::InvalidResource { .. })));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let inst = running_example();
+        let json = serde_json::to_string(&inst).unwrap();
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        assert_eq!(inst, back);
+    }
+}

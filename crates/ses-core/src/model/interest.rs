@@ -1,0 +1,511 @@
+//! Storage for the interest function `µ : U × (E ∪ C) → [0, 1]`.
+//!
+//! Interest drives every score computation (Eq. 1/4), so its layout decides
+//! the performance of the whole system. Two interchangeable representations
+//! are provided:
+//!
+//! * [`DenseInterest`] — an *item-major* dense matrix (`data[item · |U| + u]`).
+//!   Iterating an item's column touches `|U|` contiguous doubles, exactly
+//!   matching the paper's cost accounting of `|U|` operations per assignment
+//!   score. This is the faithful-reproduction representation.
+//! * [`SparseInterest`] — a CSC-like per-item list of `(user, µ)` non-zeros.
+//!   Real EBSN interest is extremely sparse (a Meetup user cares about a
+//!   handful of the ~16K events), and a score only receives contributions
+//!   from users with `µ_{u,e} > 0`, so iterating non-zeros is an exact
+//!   optimization. The `ablation` bench quantifies the difference.
+//!
+//! Both candidate-event interest and competing-event interest use this type;
+//! an "item" is a column (an event) and the matrix is `items × users`.
+
+use crate::error::BuildError;
+use serde::{Deserialize, Serialize};
+
+/// Interest of every user over a set of items (events), in one of two
+/// physical layouts. See the module docs for the trade-off.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InterestMatrix {
+    /// Dense item-major storage; column iteration touches every user.
+    Dense(DenseInterest),
+    /// Sparse per-item non-zero lists; column iteration touches `nnz` users.
+    Sparse(SparseInterest),
+}
+
+impl InterestMatrix {
+    /// Number of items (columns/events).
+    #[inline]
+    pub fn num_items(&self) -> usize {
+        match self {
+            Self::Dense(d) => d.num_items,
+            Self::Sparse(s) => s.indptr.len() - 1,
+        }
+    }
+
+    /// Number of users (rows).
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        match self {
+            Self::Dense(d) => d.num_users,
+            Self::Sparse(s) => s.num_users,
+        }
+    }
+
+    /// Interest value `µ(user, item)`; `0.0` for absent sparse entries.
+    ///
+    /// # Panics
+    /// Panics if `item` or `user` is out of range.
+    #[inline]
+    pub fn value(&self, item: usize, user: usize) -> f64 {
+        match self {
+            Self::Dense(d) => d.value(item, user),
+            Self::Sparse(s) => s.value(item, user),
+        }
+    }
+
+    /// Iterates the column of `item` as `(user, µ)` pairs in increasing user
+    /// order. Dense storage yields **all** users (zeros included, matching the
+    /// paper's `|U|`-per-score accounting); sparse yields non-zeros only.
+    #[inline]
+    pub fn column(&self, item: usize) -> ColumnIter<'_> {
+        match self {
+            Self::Dense(d) => ColumnIter::Dense { values: d.column_slice(item), next: 0 },
+            Self::Sparse(s) => {
+                let (users, values) = s.column_slices(item);
+                ColumnIter::Sparse { users, values, next: 0 }
+            }
+        }
+    }
+
+    /// Number of entries a [`column`](Self::column) iteration will touch for
+    /// `item` — the per-score "user operations" cost of this representation.
+    #[inline]
+    pub fn column_len(&self, item: usize) -> usize {
+        match self {
+            Self::Dense(d) => {
+                assert!(item < d.num_items, "item {item} out of range");
+                d.num_users
+            }
+            Self::Sparse(s) => {
+                let (users, _) = s.column_slices(item);
+                users.len()
+            }
+        }
+    }
+
+    /// Total mass `Σ_u µ(u, item)` of one column.
+    pub fn column_sum(&self, item: usize) -> f64 {
+        self.column(item).map(|(_, v)| v).sum()
+    }
+
+    /// Validates that every stored value lies in `[0, 1]`.
+    pub fn validate(&self) -> Result<(), BuildError> {
+        for item in 0..self.num_items() {
+            for (user, v) in self.column(item) {
+                if !(0.0..=1.0).contains(&v) || v.is_nan() {
+                    return Err(BuildError::InterestOutOfRange {
+                        value: v,
+                        context: format!("user {user}, item {item}"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Converts to the dense representation (no-op if already dense).
+    pub fn to_dense(&self) -> DenseInterest {
+        match self {
+            Self::Dense(d) => d.clone(),
+            Self::Sparse(s) => {
+                let mut dense = DenseInterest::zeros(s.indptr.len() - 1, s.num_users);
+                for item in 0..dense.num_items {
+                    let (users, values) = s.column_slices(item);
+                    for (&u, &v) in users.iter().zip(values) {
+                        dense.set(item, u as usize, v);
+                    }
+                }
+                dense
+            }
+        }
+    }
+
+    /// Converts to the sparse representation (no-op if already sparse),
+    /// dropping exact zeros.
+    pub fn to_sparse(&self) -> SparseInterest {
+        match self {
+            Self::Sparse(s) => s.clone(),
+            Self::Dense(d) => {
+                let mut b = SparseInterestBuilder::new(d.num_items, d.num_users);
+                for item in 0..d.num_items {
+                    for (u, &v) in d.column_slice(item).iter().enumerate() {
+                        if v != 0.0 {
+                            b.push(item, u, v);
+                        }
+                    }
+                }
+                b.build()
+            }
+        }
+    }
+}
+
+impl From<DenseInterest> for InterestMatrix {
+    fn from(d: DenseInterest) -> Self {
+        Self::Dense(d)
+    }
+}
+
+impl From<SparseInterest> for InterestMatrix {
+    fn from(s: SparseInterest) -> Self {
+        Self::Sparse(s)
+    }
+}
+
+/// Iterator over one item's `(user, µ)` column. See
+/// [`InterestMatrix::column`].
+#[derive(Debug)]
+pub enum ColumnIter<'a> {
+    /// Dense column: yields every user index with its (possibly zero) value.
+    Dense {
+        /// The item's contiguous value slice, indexed by user.
+        values: &'a [f64],
+        /// Next user index to yield.
+        next: usize,
+    },
+    /// Sparse column: yields stored non-zeros only.
+    Sparse {
+        /// Sorted user indices of the non-zeros.
+        users: &'a [u32],
+        /// Values parallel to `users`.
+        values: &'a [f64],
+        /// Next position to yield.
+        next: usize,
+    },
+}
+
+impl Iterator for ColumnIter<'_> {
+    type Item = (usize, f64);
+
+    #[inline]
+    fn next(&mut self) -> Option<(usize, f64)> {
+        match self {
+            ColumnIter::Dense { values, next } => {
+                let u = *next;
+                let v = *values.get(u)?;
+                *next += 1;
+                Some((u, v))
+            }
+            ColumnIter::Sparse { users, values, next } => {
+                let i = *next;
+                let u = *users.get(i)?;
+                *next += 1;
+                Some((u as usize, values[i]))
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = match self {
+            ColumnIter::Dense { values, next } => values.len() - next,
+            ColumnIter::Sparse { users, next, .. } => users.len() - next,
+        };
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for ColumnIter<'_> {}
+
+/// Dense item-major interest storage. `data[item · num_users + user]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseInterest {
+    num_items: usize,
+    num_users: usize,
+    data: Vec<f64>,
+}
+
+impl DenseInterest {
+    /// An all-zero matrix of the given shape.
+    pub fn zeros(num_items: usize, num_users: usize) -> Self {
+        Self { num_items, num_users, data: vec![0.0; num_items * num_users] }
+    }
+
+    /// Builds from a generator function `f(item, user) -> µ`.
+    pub fn from_fn(num_items: usize, num_users: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(num_items * num_users);
+        for item in 0..num_items {
+            for user in 0..num_users {
+                data.push(f(item, user));
+            }
+        }
+        Self { num_items, num_users, data }
+    }
+
+    /// Builds from raw item-major data.
+    ///
+    /// # Errors
+    /// Returns [`BuildError::DimensionMismatch`] if
+    /// `data.len() != num_items * num_users`.
+    pub fn from_raw(num_items: usize, num_users: usize, data: Vec<f64>) -> Result<Self, BuildError> {
+        if data.len() != num_items * num_users {
+            return Err(BuildError::DimensionMismatch {
+                what: "dense interest",
+                expected: num_items * num_users,
+                actual: data.len(),
+            });
+        }
+        Ok(Self { num_items, num_users, data })
+    }
+
+    /// Number of items (columns).
+    #[inline]
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Number of users (rows).
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// The contiguous per-user slice of one item.
+    #[inline]
+    pub fn column_slice(&self, item: usize) -> &[f64] {
+        let start = item * self.num_users;
+        &self.data[start..start + self.num_users]
+    }
+
+    /// Value lookup.
+    #[inline]
+    pub fn value(&self, item: usize, user: usize) -> f64 {
+        assert!(user < self.num_users, "user {user} out of range");
+        self.data[item * self.num_users + user]
+    }
+
+    /// Sets one value.
+    #[inline]
+    pub fn set(&mut self, item: usize, user: usize, value: f64) {
+        assert!(user < self.num_users, "user {user} out of range");
+        self.data[item * self.num_users + user] = value;
+    }
+}
+
+/// Sparse (CSC-like) interest storage: per item, sorted `(user, value)`
+/// non-zeros.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseInterest {
+    num_users: usize,
+    /// `indptr[item]..indptr[item+1]` delimits item's entries.
+    indptr: Vec<usize>,
+    users: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl SparseInterest {
+    /// Number of stored non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of users (rows).
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// Number of items (columns).
+    #[inline]
+    pub fn num_items(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    fn column_slices(&self, item: usize) -> (&[u32], &[f64]) {
+        let (a, b) = (self.indptr[item], self.indptr[item + 1]);
+        (&self.users[a..b], &self.values[a..b])
+    }
+
+    /// Value lookup by binary search; absent entries are `0.0`.
+    pub fn value(&self, item: usize, user: usize) -> f64 {
+        assert!(user < self.num_users, "user {user} out of range");
+        let (users, values) = self.column_slices(item);
+        match users.binary_search(&(user as u32)) {
+            Ok(i) => values[i],
+            Err(_) => 0.0,
+        }
+    }
+}
+
+/// Incremental builder for [`SparseInterest`]. Entries may be pushed in any
+/// order; `build` sorts and deduplicates (last write wins).
+#[derive(Debug)]
+pub struct SparseInterestBuilder {
+    num_items: usize,
+    num_users: usize,
+    triplets: Vec<(u32, u32, f64)>,
+}
+
+impl SparseInterestBuilder {
+    /// A builder for a matrix of the given shape.
+    pub fn new(num_items: usize, num_users: usize) -> Self {
+        Self { num_items, num_users, triplets: Vec::new() }
+    }
+
+    /// Adds one `(item, user) -> value` entry. Zero values are dropped.
+    ///
+    /// # Panics
+    /// Panics if `item` or `user` is out of range.
+    pub fn push(&mut self, item: usize, user: usize, value: f64) {
+        assert!(item < self.num_items, "item {item} out of range");
+        assert!(user < self.num_users, "user {user} out of range");
+        if value != 0.0 {
+            self.triplets.push((item as u32, user as u32, value));
+        }
+    }
+
+    /// Finalizes into CSC form.
+    pub fn build(mut self) -> SparseInterest {
+        self.triplets.sort_unstable_by_key(|&(i, u, _)| (i, u));
+        // Last write wins on duplicates.
+        self.triplets.dedup_by(|later, earlier| {
+            if later.0 == earlier.0 && later.1 == earlier.1 {
+                earlier.2 = later.2;
+                true
+            } else {
+                false
+            }
+        });
+
+        let mut indptr = Vec::with_capacity(self.num_items + 1);
+        let mut users = Vec::with_capacity(self.triplets.len());
+        let mut values = Vec::with_capacity(self.triplets.len());
+        let mut pos = 0usize;
+        indptr.push(0);
+        for item in 0..self.num_items as u32 {
+            while pos < self.triplets.len() && self.triplets[pos].0 == item {
+                users.push(self.triplets[pos].1);
+                values.push(self.triplets[pos].2);
+                pos += 1;
+            }
+            indptr.push(users.len());
+        }
+        SparseInterest { num_users: self.num_users, indptr, users, values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dense() -> DenseInterest {
+        // 2 items × 3 users
+        DenseInterest::from_raw(2, 3, vec![0.9, 0.0, 0.2, 0.3, 0.6, 0.0]).unwrap()
+    }
+
+    #[test]
+    fn dense_value_and_column() {
+        let d = sample_dense();
+        assert_eq!(d.value(0, 0), 0.9);
+        assert_eq!(d.value(1, 1), 0.6);
+        let col: Vec<_> = InterestMatrix::from(d).column(0).collect();
+        assert_eq!(col, vec![(0, 0.9), (1, 0.0), (2, 0.2)]);
+    }
+
+    #[test]
+    fn dense_column_len_is_all_users() {
+        let m = InterestMatrix::from(sample_dense());
+        assert_eq!(m.column_len(0), 3);
+        assert_eq!(m.column_len(1), 3);
+    }
+
+    #[test]
+    fn sparse_skips_zeros() {
+        let m = InterestMatrix::from(sample_dense()).to_sparse();
+        assert_eq!(m.nnz(), 4);
+        let m = InterestMatrix::from(m);
+        let col: Vec<_> = m.column(0).collect();
+        assert_eq!(col, vec![(0, 0.9), (2, 0.2)]);
+        assert_eq!(m.column_len(0), 2);
+        assert_eq!(m.value(0, 1), 0.0);
+        assert_eq!(m.value(1, 1), 0.6);
+    }
+
+    #[test]
+    fn dense_sparse_roundtrip_preserves_values() {
+        let d = sample_dense();
+        let roundtrip = InterestMatrix::from(d.clone()).to_sparse();
+        let back = InterestMatrix::from(roundtrip).to_dense();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn column_sum_agrees_across_layouts() {
+        let dense = InterestMatrix::from(sample_dense());
+        let sparse = InterestMatrix::from(dense.to_sparse());
+        for item in 0..2 {
+            assert!((dense.column_sum(item) - sparse.column_sum(item)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn builder_handles_unordered_and_duplicate_pushes() {
+        let mut b = SparseInterestBuilder::new(2, 4);
+        b.push(1, 3, 0.5);
+        b.push(0, 2, 0.1);
+        b.push(0, 0, 0.7);
+        b.push(0, 2, 0.4); // overwrite
+        b.push(1, 1, 0.0); // dropped
+        let s = b.build();
+        assert_eq!(s.nnz(), 3);
+        assert_eq!(s.value(0, 2), 0.4);
+        assert_eq!(s.value(0, 0), 0.7);
+        assert_eq!(s.value(1, 3), 0.5);
+        assert_eq!(s.value(1, 1), 0.0);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let d = DenseInterest::from_raw(1, 2, vec![0.5, 1.5]).unwrap();
+        let err = InterestMatrix::from(d).validate().unwrap_err();
+        assert!(matches!(err, BuildError::InterestOutOfRange { .. }));
+    }
+
+    #[test]
+    fn validate_accepts_bounds() {
+        let d = DenseInterest::from_raw(1, 2, vec![0.0, 1.0]).unwrap();
+        assert!(InterestMatrix::from(d).validate().is_ok());
+    }
+
+    #[test]
+    fn from_raw_rejects_wrong_len() {
+        assert!(matches!(
+            DenseInterest::from_raw(2, 2, vec![0.0; 3]),
+            Err(BuildError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn from_fn_layout() {
+        let d = DenseInterest::from_fn(2, 2, |item, user| (item * 10 + user) as f64 / 100.0);
+        assert_eq!(d.value(1, 0), 0.10);
+        assert_eq!(d.value(0, 1), 0.01);
+    }
+
+    #[test]
+    fn exact_size_iterator() {
+        let m = InterestMatrix::from(sample_dense());
+        let mut it = m.column(0);
+        assert_eq!(it.len(), 3);
+        it.next();
+        assert_eq!(it.len(), 2);
+    }
+
+    #[test]
+    fn empty_sparse_column() {
+        let b = SparseInterestBuilder::new(3, 2);
+        let s = b.build();
+        assert_eq!(s.num_items(), 3);
+        let m = InterestMatrix::from(s);
+        assert_eq!(m.column(1).count(), 0);
+        assert_eq!(m.column_sum(1), 0.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Candidate time intervals.
+
+use serde::{Deserialize, Serialize};
+
+/// A candidate time interval `t ∈ T` — a period available for organizing
+/// events (e.g. ⟨Friday 8–11pm⟩ in the paper's running example).
+///
+/// The SES model treats intervals as atomic, non-overlapping slots; all
+/// temporal-conflict structure (which competing events overlap which slot)
+/// is expressed by attaching competing events to intervals.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Optional human-readable label (used by examples and reports).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub label: Option<String>,
+}
+
+impl Interval {
+    /// Creates an unlabeled interval.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a labeled interval.
+    pub fn named(label: impl Into<String>) -> Self {
+        Self { label: Some(label.into()) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_interval_keeps_label() {
+        let t = Interval::named("Friday 8-11pm");
+        assert_eq!(t.label.as_deref(), Some("Friday 8-11pm"));
+    }
+
+    #[test]
+    fn default_is_unlabeled() {
+        assert!(Interval::new().label.is_none());
+    }
+}

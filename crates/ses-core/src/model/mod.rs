@@ -1,0 +1,17 @@
+//! Data model of the SES problem: events, intervals, users (interest and
+//! activity), competing events, and the immutable [`Instance`] that ties
+//! them together.
+
+mod activity;
+mod event;
+mod instance;
+mod interest;
+mod interval;
+
+pub use activity::ActivityMatrix;
+pub use event::{CompetingEvent, Event};
+pub use instance::{running_example, Instance, InstanceBuilder};
+pub use interest::{
+    ColumnIter, DenseInterest, InterestMatrix, SparseInterest, SparseInterestBuilder,
+};
+pub use interval::Interval;

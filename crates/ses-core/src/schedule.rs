@@ -1,0 +1,322 @@
+//! Schedules: sets of event→interval assignments with feasibility tracking.
+//!
+//! A schedule `S` is feasible (§2.1) iff for every interval `t`:
+//!
+//! 1. no two events in `E_t(S)` share a location (**location constraint**);
+//! 2. `Σ_{e ∈ E_t(S)} ξ_e ≤ θ` (**resources constraint**);
+//!
+//! and no event appears twice. [`Schedule`] maintains per-interval occupancy
+//! so both checks are O(events in the interval).
+//!
+//! The *event duration* extension (§2.1) is supported transparently: an
+//! event with `duration = d` assigned to `t` occupies intervals
+//! `t .. t+d`, and both constraints are enforced on every spanned interval.
+//! With the paper's `d = 1` this reduces exactly to the original model.
+
+use crate::error::ScheduleError;
+use crate::ids::{EventId, IntervalId};
+use crate::model::Instance;
+use serde::{Deserialize, Serialize};
+
+/// One assignment `α_e^t`: candidate event `e` scheduled at interval `t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Assignment {
+    /// The scheduled event.
+    pub event: EventId,
+    /// The interval it is assigned to (its *starting* interval when the
+    /// duration extension is in use).
+    pub interval: IntervalId,
+}
+
+impl Assignment {
+    /// Creates an assignment.
+    #[inline]
+    pub fn new(event: EventId, interval: IntervalId) -> Self {
+        Self { event, interval }
+    }
+}
+
+/// A feasible (by construction) set of assignments, recorded in selection
+/// order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Per event: its assigned starting interval, if any.
+    assigned: Vec<Option<IntervalId>>,
+    /// Per interval: events occupying it (including spanning events).
+    occupancy: Vec<Vec<EventId>>,
+    /// Per interval: total required resources of occupying events.
+    used_resources: Vec<f64>,
+    /// Assignments in the order they were made.
+    order: Vec<Assignment>,
+}
+
+impl Schedule {
+    /// An empty schedule shaped for `inst`.
+    pub fn new(inst: &Instance) -> Self {
+        Self {
+            assigned: vec![None; inst.num_events()],
+            occupancy: vec![Vec::new(); inst.num_intervals()],
+            used_resources: vec![0.0; inst.num_intervals()],
+            order: Vec::new(),
+        }
+    }
+
+    /// Number of assignments `|S|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the schedule is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Whether event `e` is scheduled (`e ∈ E(S)`).
+    #[inline]
+    pub fn is_scheduled(&self, e: EventId) -> bool {
+        self.assigned[e.index()].is_some()
+    }
+
+    /// The starting interval of `e` under this schedule (`t_e(S)`).
+    #[inline]
+    pub fn interval_of(&self, e: EventId) -> Option<IntervalId> {
+        self.assigned[e.index()]
+    }
+
+    /// Events occupying interval `t` (`E_t(S)`), in assignment order.
+    #[inline]
+    pub fn events_at(&self, t: IntervalId) -> &[EventId] {
+        &self.occupancy[t.index()]
+    }
+
+    /// Total resources consumed in interval `t`.
+    #[inline]
+    pub fn used_resources(&self, t: IntervalId) -> f64 {
+        self.used_resources[t.index()]
+    }
+
+    /// Assignments in selection order.
+    #[inline]
+    pub fn assignments(&self) -> &[Assignment] {
+        &self.order
+    }
+
+    /// The intervals an event would span if assigned to `t`.
+    fn span(inst: &Instance, e: EventId, t: IntervalId) -> std::ops::Range<usize> {
+        let d = inst.events[e.index()].duration as usize;
+        t.index()..t.index() + d
+    }
+
+    /// Checks whether assigning `e` at `t` keeps the schedule feasible
+    /// (the paper's *valid assignment*: feasible and `e ∉ E(S)`).
+    ///
+    /// # Errors
+    /// Returns the first violated constraint.
+    pub fn check_assign(
+        &self,
+        inst: &Instance,
+        e: EventId,
+        t: IntervalId,
+    ) -> Result<(), ScheduleError> {
+        if self.is_scheduled(e) {
+            return Err(ScheduleError::EventAlreadyScheduled(e));
+        }
+        let ev = &inst.events[e.index()];
+        let span = Self::span(inst, e, t);
+        if span.end > inst.num_intervals() {
+            // A spanning event that runs off the calendar can never fit here;
+            // surface it as a resource-style infeasibility on the interval.
+            return Err(ScheduleError::ResourcesExceeded { event: e, interval: t });
+        }
+        for ti in span {
+            for &other in &self.occupancy[ti] {
+                if inst.events[other.index()].location == ev.location {
+                    return Err(ScheduleError::LocationConflict {
+                        event: e,
+                        interval: IntervalId::new(ti),
+                        occupant: other,
+                    });
+                }
+            }
+            if self.used_resources[ti] + ev.required_resources > inst.resources {
+                return Err(ScheduleError::ResourcesExceeded { event: e, interval: IntervalId::new(ti) });
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience wrapper: `true` iff [`check_assign`](Self::check_assign)
+    /// succeeds.
+    #[inline]
+    pub fn is_valid_assignment(&self, inst: &Instance, e: EventId, t: IntervalId) -> bool {
+        self.check_assign(inst, e, t).is_ok()
+    }
+
+    /// Assigns `e` at `t`, enforcing feasibility.
+    ///
+    /// # Errors
+    /// Propagates [`check_assign`](Self::check_assign) failures; on error the
+    /// schedule is unchanged.
+    pub fn assign(&mut self, inst: &Instance, e: EventId, t: IntervalId) -> Result<(), ScheduleError> {
+        self.check_assign(inst, e, t)?;
+        let ev = &inst.events[e.index()];
+        for ti in Self::span(inst, e, t) {
+            self.occupancy[ti].push(e);
+            self.used_resources[ti] += ev.required_resources;
+        }
+        self.assigned[e.index()] = Some(t);
+        self.order.push(Assignment::new(e, t));
+        Ok(())
+    }
+
+    /// Removes event `e` from the schedule, returning the interval it was
+    /// assigned to. Used by backtracking solvers.
+    ///
+    /// # Errors
+    /// [`ScheduleError::EventNotScheduled`] if `e` is not scheduled.
+    pub fn unassign(&mut self, inst: &Instance, e: EventId) -> Result<IntervalId, ScheduleError> {
+        let t = self.assigned[e.index()].ok_or(ScheduleError::EventNotScheduled(e))?;
+        let ev = &inst.events[e.index()];
+        for ti in Self::span(inst, e, t) {
+            self.occupancy[ti].retain(|&x| x != e);
+            self.used_resources[ti] -= ev.required_resources;
+        }
+        self.assigned[e.index()] = None;
+        // Keep `order` consistent: drop the matching record.
+        if let Some(pos) = self.order.iter().position(|a| a.event == e) {
+            self.order.remove(pos);
+        }
+        Ok(t)
+    }
+
+    /// Full re-check of both §2.1 constraints from scratch — used by tests
+    /// and debug assertions to cross-validate the incremental bookkeeping.
+    pub fn verify_feasible(&self, inst: &Instance) -> Result<(), ScheduleError> {
+        let mut fresh = Schedule::new(inst);
+        for a in &self.order {
+            fresh.check_assign(inst, a.event, a.interval)?;
+            fresh
+                .assign(inst, a.event, a.interval)
+                .expect("check_assign passed, assign must succeed");
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::running_example;
+
+    #[test]
+    fn assign_and_query() {
+        let inst = running_example();
+        let mut s = Schedule::new(&inst);
+        s.assign(&inst, EventId::new(3), IntervalId::new(1)).unwrap();
+        assert!(s.is_scheduled(EventId::new(3)));
+        assert_eq!(s.interval_of(EventId::new(3)), Some(IntervalId::new(1)));
+        assert_eq!(s.events_at(IntervalId::new(1)), &[EventId::new(3)]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.used_resources(IntervalId::new(1)), 1.0);
+    }
+
+    #[test]
+    fn double_assignment_rejected() {
+        let inst = running_example();
+        let mut s = Schedule::new(&inst);
+        s.assign(&inst, EventId::new(0), IntervalId::new(0)).unwrap();
+        let err = s.assign(&inst, EventId::new(0), IntervalId::new(1)).unwrap_err();
+        assert_eq!(err, ScheduleError::EventAlreadyScheduled(EventId::new(0)));
+    }
+
+    #[test]
+    fn location_conflict_detected() {
+        let inst = running_example();
+        let mut s = Schedule::new(&inst);
+        // e1 and e2 both live on Stage 1.
+        s.assign(&inst, EventId::new(0), IntervalId::new(0)).unwrap();
+        let err = s.assign(&inst, EventId::new(1), IntervalId::new(0)).unwrap_err();
+        assert!(matches!(err, ScheduleError::LocationConflict { .. }));
+        // But a different interval is fine.
+        s.assign(&inst, EventId::new(1), IntervalId::new(1)).unwrap();
+    }
+
+    #[test]
+    fn resource_constraint_enforced() {
+        let mut inst = running_example();
+        inst.resources = 1.5; // each event needs 1.0
+        let mut s = Schedule::new(&inst);
+        s.assign(&inst, EventId::new(0), IntervalId::new(0)).unwrap();
+        // Different location (e3 = Room A) so only resources can reject.
+        let err = s.assign(&inst, EventId::new(2), IntervalId::new(0)).unwrap_err();
+        assert!(matches!(err, ScheduleError::ResourcesExceeded { .. }));
+    }
+
+    #[test]
+    fn unassign_restores_state() {
+        let inst = running_example();
+        let mut s = Schedule::new(&inst);
+        s.assign(&inst, EventId::new(0), IntervalId::new(0)).unwrap();
+        s.assign(&inst, EventId::new(2), IntervalId::new(0)).unwrap();
+        let t = s.unassign(&inst, EventId::new(0)).unwrap();
+        assert_eq!(t, IntervalId::new(0));
+        assert!(!s.is_scheduled(EventId::new(0)));
+        assert_eq!(s.events_at(IntervalId::new(0)), &[EventId::new(2)]);
+        assert_eq!(s.len(), 1);
+        // e2 (same location as e1) now fits again.
+        s.assign(&inst, EventId::new(1), IntervalId::new(0)).unwrap();
+    }
+
+    #[test]
+    fn unassign_missing_event_errors() {
+        let inst = running_example();
+        let mut s = Schedule::new(&inst);
+        assert_eq!(
+            s.unassign(&inst, EventId::new(0)).unwrap_err(),
+            ScheduleError::EventNotScheduled(EventId::new(0))
+        );
+    }
+
+    #[test]
+    fn duration_spans_multiple_intervals() {
+        let mut inst = running_example();
+        inst.events[0].duration = 2; // e1 occupies t0 and t1
+        let mut s = Schedule::new(&inst);
+        s.assign(&inst, EventId::new(0), IntervalId::new(0)).unwrap();
+        assert_eq!(s.events_at(IntervalId::new(0)), &[EventId::new(0)]);
+        assert_eq!(s.events_at(IntervalId::new(1)), &[EventId::new(0)]);
+        // e2 shares e1's location; it now conflicts in *both* intervals.
+        assert!(s.check_assign(&inst, EventId::new(1), IntervalId::new(1)).is_err());
+    }
+
+    #[test]
+    fn duration_running_off_calendar_rejected() {
+        let mut inst = running_example();
+        inst.events[0].duration = 2;
+        let s = Schedule::new(&inst);
+        // Starting at the last interval, a 2-slot event cannot fit.
+        assert!(s.check_assign(&inst, EventId::new(0), IntervalId::new(1)).is_err());
+    }
+
+    #[test]
+    fn verify_feasible_cross_checks() {
+        let inst = running_example();
+        let mut s = Schedule::new(&inst);
+        s.assign(&inst, EventId::new(3), IntervalId::new(1)).unwrap();
+        s.assign(&inst, EventId::new(0), IntervalId::new(0)).unwrap();
+        s.assign(&inst, EventId::new(1), IntervalId::new(1)).unwrap();
+        assert!(s.verify_feasible(&inst).is_ok());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let inst = running_example();
+        let mut s = Schedule::new(&inst);
+        s.assign(&inst, EventId::new(0), IntervalId::new(0)).unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Schedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,150 @@
+//! Instrumentation counters reproducing the paper's evaluation metrics.
+//!
+//! The experimental analysis (§4.1) measures three quantities per run:
+//!
+//! 1. **total utility** Ω(S) — computed by the algorithms / evaluator,
+//! 2. **execution time** — measured by the harness,
+//! 3. **number of computations for assignment scores** — "`|U|` per
+//!    assignment score", i.e. the per-user work of evaluating Eq. 4.
+//!
+//! Additionally Fig. 10b measures the **number of assignments examined**
+//! (search space) by ALG vs INC.
+//!
+//! [`Stats`] tracks all of these. `score_computations` counts Eq.-4
+//! evaluations; `user_ops` counts the users actually iterated inside them
+//! (for dense interest this is `score_computations × |U|`, matching the
+//! paper's accounting; for sparse interest it is the true work performed).
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+
+/// Counters accumulated by the scoring engine and the algorithms.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stats {
+    /// Number of assignment-score evaluations (Eq. 4).
+    pub score_computations: u64,
+    /// Total per-user operations performed inside score evaluations.
+    /// This is the paper's "number of computations" metric (Figs. 5e–5h).
+    pub user_ops: u64,
+    /// Assignments touched while scanning/selecting/updating
+    /// (Fig. 10b's "number of assignments" metric).
+    pub assignments_examined: u64,
+    /// Number of assignments actually selected into the schedule.
+    pub selections: u64,
+    /// Number of score updates (re-computations after the initial pass).
+    /// `score_computations - initial |E|·|T| pass` for ALG-family algorithms.
+    pub score_updates: u64,
+}
+
+impl Stats {
+    /// A zeroed counter set.
+    #[inline]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one assignment-score evaluation that touched `users` users.
+    #[inline]
+    pub fn record_score(&mut self, users: usize) {
+        self.score_computations += 1;
+        self.user_ops += users as u64;
+    }
+
+    /// Records one assignment-score *update* (a re-computation) that touched
+    /// `users` users.
+    #[inline]
+    pub fn record_update(&mut self, users: usize) {
+        self.record_score(users);
+        self.score_updates += 1;
+    }
+
+    /// Records `n` assignments examined during a scan.
+    #[inline]
+    pub fn record_examined(&mut self, n: u64) {
+        self.assignments_examined += n;
+    }
+
+    /// Records one selected assignment.
+    #[inline]
+    pub fn record_selection(&mut self) {
+        self.selections += 1;
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &Stats) {
+        *self += *other;
+    }
+}
+
+impl Add for Stats {
+    type Output = Stats;
+
+    fn add(self, rhs: Stats) -> Stats {
+        Stats {
+            score_computations: self.score_computations + rhs.score_computations,
+            user_ops: self.user_ops + rhs.user_ops,
+            assignments_examined: self.assignments_examined + rhs.assignments_examined,
+            selections: self.selections + rhs.selections,
+            score_updates: self.score_updates + rhs.score_updates,
+        }
+    }
+}
+
+impl AddAssign for Stats {
+    fn add_assign(&mut self, rhs: Stats) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_score_accumulates() {
+        let mut s = Stats::new();
+        s.record_score(100);
+        s.record_score(50);
+        assert_eq!(s.score_computations, 2);
+        assert_eq!(s.user_ops, 150);
+        assert_eq!(s.score_updates, 0);
+    }
+
+    #[test]
+    fn record_update_counts_as_score_too() {
+        let mut s = Stats::new();
+        s.record_update(10);
+        assert_eq!(s.score_computations, 1);
+        assert_eq!(s.score_updates, 1);
+        assert_eq!(s.user_ops, 10);
+    }
+
+    #[test]
+    fn add_and_merge_agree() {
+        let mut a = Stats::new();
+        a.record_score(5);
+        a.record_examined(3);
+        let mut b = Stats::new();
+        b.record_selection();
+        b.record_update(2);
+
+        let sum = a + b;
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(sum, merged);
+        assert_eq!(sum.score_computations, 2);
+        assert_eq!(sum.user_ops, 7);
+        assert_eq!(sum.assignments_examined, 3);
+        assert_eq!(sum.selections, 1);
+        assert_eq!(sum.score_updates, 1);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut s = Stats::new();
+        s.record_score(7);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Stats = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

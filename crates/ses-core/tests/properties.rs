@@ -1,0 +1,212 @@
+//! Property-based tests for the core substrate: the Luce-gain function,
+//! scoring-engine invariants, interest-matrix layout equivalence, and
+//! schedule feasibility bookkeeping.
+
+use proptest::prelude::*;
+use ses_core::ids::{EventId, IntervalId, LocationId};
+use ses_core::model::{
+    ActivityMatrix, CompetingEvent, DenseInterest, Event, Instance, InstanceBuilder,
+};
+use ses_core::schedule::Schedule;
+use ses_core::scoring::utility::total_utility;
+use ses_core::scoring::{gain, ScoringEngine};
+
+/// Quantized probability in [0, 1] (steps of 1/64) — avoids degenerate
+/// float noise while still hitting exact 0 and 1.
+fn prob() -> impl Strategy<Value = f64> {
+    (0u8..=64).prop_map(|x| x as f64 / 64.0)
+}
+
+/// A small random instance: up to 6 events, 3 intervals, 5 users,
+/// 4 competing events, 3 locations.
+fn small_instance() -> impl Strategy<Value = Instance> {
+    let dims = (1usize..=6, 1usize..=3, 1usize..=5, 0usize..=4);
+    dims.prop_flat_map(|(ne, nt, nu, nc)| {
+        (
+            Just(ne),
+            Just(nt),
+            Just(nu),
+            Just(nc),
+            proptest::collection::vec(0usize..3, ne),          // locations
+            proptest::collection::vec(prob(), ne * nu),        // event interest
+            proptest::collection::vec(prob(), nc * nu),        // competing interest
+            proptest::collection::vec(prob(), nu * nt),        // activity
+            proptest::collection::vec(0usize..64, nc.max(1)),  // competing interval picks
+        )
+    })
+    .prop_map(|(ne, nt, nu, nc, locs, ev, cv, act, cints)| {
+        let mut b = InstanceBuilder::new();
+        for &l in &locs {
+            b.add_event(Event::new(LocationId::new(l), 1.0));
+        }
+        b.add_intervals(nt);
+        for c in cints.iter().take(nc) {
+            b.add_competing(CompetingEvent::new(IntervalId::new(c % nt)));
+        }
+        b.event_interest(DenseInterest::from_raw(ne, nu, ev).unwrap())
+            .competing_interest(DenseInterest::from_raw(nc, nu, cv).unwrap())
+            .activity(ActivityMatrix::from_raw(nu, nt, act).unwrap())
+            .resources(100.0)
+            .build()
+            .unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `gain` stays within [0, 1] for probability-scale inputs.
+    #[test]
+    fn gain_bounded(c in prob(), m in 0.0..20.0f64, mu in prob()) {
+        let g = gain(c, m, mu);
+        prop_assert!((0.0..=1.0).contains(&g), "gain({c}, {m}, {mu}) = {g}");
+    }
+
+    /// Monotonicity behind Proposition 1: gain never increases as the
+    /// scheduled mass grows.
+    #[test]
+    fn gain_monotone_in_mass(c in prob(), m in 0.0..10.0f64, dm in prob(), mu in prob()) {
+        let before = gain(c, m, mu);
+        let after = gain(c, m + dm, mu);
+        prop_assert!(after <= before + 1e-12, "gain must not grow: {before} -> {after}");
+    }
+
+    /// Zero interest contributes zero gain regardless of masses.
+    #[test]
+    fn gain_zero_interest(c in prob(), m in 0.0..10.0f64) {
+        prop_assert_eq!(gain(c, m, 0.0), 0.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Telescoping: the sum of assignment scores at selection time equals
+    /// the independently evaluated Ω(S), for any feasible selection order.
+    #[test]
+    fn scores_telescope_to_utility(inst in small_instance(), order_seed in 0u64..1000) {
+        let mut engine = ScoringEngine::new(&inst);
+        let mut schedule = Schedule::new(&inst);
+        let mut total = 0.0;
+        // Deterministic pseudo-random assignment order from the seed.
+        let mut x = order_seed;
+        for _ in 0..inst.num_events() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let e = EventId::new((x >> 33) as usize % inst.num_events());
+            let t = IntervalId::new((x >> 17) as usize % inst.num_intervals());
+            if schedule.is_valid_assignment(&inst, e, t) {
+                total += engine.assignment_score(e, t);
+                engine.apply(e, t);
+                schedule.assign(&inst, e, t).unwrap();
+            }
+        }
+        let omega = total_utility(&inst, &schedule);
+        prop_assert!((omega - total).abs() < 1e-9, "Ω = {omega}, Σ scores = {total}");
+    }
+
+    /// Dense and sparse layouts produce identical scores.
+    #[test]
+    fn dense_sparse_equivalence(inst in small_instance()) {
+        let mut sparse = inst.clone();
+        sparse.event_interest = inst.event_interest.to_sparse().into();
+        sparse.competing_interest = inst.competing_interest.to_sparse().into();
+
+        let mut de = ScoringEngine::new(&inst);
+        let mut se = ScoringEngine::new(&sparse);
+        for (e, t) in inst.assignment_universe() {
+            let a = de.assignment_score(e, t);
+            let b = se.assignment_score(e, t);
+            prop_assert!((a - b).abs() < 1e-9, "{e} {t}: dense {a} vs sparse {b}");
+        }
+    }
+
+    /// Stale scores upper-bound refreshed scores after any apply
+    /// (the engine-level fact INC's bound pruning relies on).
+    #[test]
+    fn stale_scores_upper_bound(inst in small_instance(), pick in 0usize..64) {
+        let mut engine = ScoringEngine::new(&inst);
+        let e_applied = EventId::new(pick % inst.num_events());
+        let t = IntervalId::new((pick / 7) % inst.num_intervals());
+
+        let stale: Vec<f64> = (0..inst.num_events())
+            .map(|e| engine.assignment_score(EventId::new(e), t))
+            .collect();
+        engine.apply(e_applied, t);
+        for (e, bound) in stale.iter().enumerate() {
+            if e == e_applied.index() {
+                continue;
+            }
+            let fresh = engine.assignment_score(EventId::new(e), t);
+            prop_assert!(
+                fresh <= bound + 1e-12,
+                "event {e}: fresh {fresh} exceeds stale bound {bound}"
+            );
+        }
+    }
+
+    /// apply/unapply round-trips leave every score bit-identical.
+    #[test]
+    fn apply_unapply_roundtrip(inst in small_instance()) {
+        let mut engine = ScoringEngine::new(&inst);
+        let e = EventId::new(0);
+        let t = IntervalId::new(0);
+        let before: Vec<f64> = inst
+            .assignment_universe()
+            .map(|(e, t)| engine.assignment_score(e, t))
+            .collect();
+        engine.apply(e, t);
+        engine.unapply(e, t);
+        let after: Vec<f64> = inst
+            .assignment_universe()
+            .map(|(e, t)| engine.assignment_score(e, t))
+            .collect();
+        for (i, (a, b)) in before.iter().zip(&after).enumerate() {
+            prop_assert!((a - b).abs() < 1e-12, "score {i} drifted: {a} -> {b}");
+        }
+    }
+
+    /// The schedule's incremental feasibility bookkeeping always agrees
+    /// with a from-scratch re-check.
+    #[test]
+    fn schedule_bookkeeping_consistent(inst in small_instance(), seed in 0u64..1000) {
+        let mut schedule = Schedule::new(&inst);
+        let mut x = seed;
+        for step in 0..12 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let e = EventId::new((x >> 33) as usize % inst.num_events());
+            let t = IntervalId::new((x >> 17) as usize % inst.num_intervals());
+            if step % 3 == 2 && schedule.is_scheduled(e) {
+                schedule.unassign(&inst, e).unwrap();
+            } else if schedule.is_valid_assignment(&inst, e, t) {
+                schedule.assign(&inst, e, t).unwrap();
+            }
+            prop_assert!(schedule.verify_feasible(&inst).is_ok());
+        }
+        // No event is double-booked; occupancy matches assignments.
+        let mut seen = 0;
+        for t in 0..inst.num_intervals() {
+            seen += schedule.events_at(IntervalId::new(t)).len();
+        }
+        prop_assert_eq!(seen, schedule.len());
+    }
+
+    /// Utility is always non-negative and bounded by the weighted user mass
+    /// (each user contributes at most Σ_t σ(u,t) ≤ |T|).
+    #[test]
+    fn utility_bounds(inst in small_instance()) {
+        let mut schedule = Schedule::new(&inst);
+        for e in 0..inst.num_events() {
+            for t in 0..inst.num_intervals() {
+                let (e, t) = (EventId::new(e), IntervalId::new(t));
+                if schedule.is_valid_assignment(&inst, e, t) {
+                    schedule.assign(&inst, e, t).unwrap();
+                    break;
+                }
+            }
+        }
+        let omega = total_utility(&inst, &schedule);
+        prop_assert!(omega >= 0.0);
+        let cap = inst.num_users() as f64 * inst.num_intervals() as f64;
+        prop_assert!(omega <= cap + 1e-9, "Ω = {omega} exceeds cap {cap}");
+    }
+}

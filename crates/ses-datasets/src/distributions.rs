@@ -1,0 +1,289 @@
+//! Random-value distributions used by the workload generators.
+//!
+//! The paper draws interest `µ`, activity `σ`, competing-event counts, and
+//! resource requirements from Uniform, Normal(0.5, 0.25), and Zipfian
+//! distributions (Table 1). Only the `rand` core crate is available offline,
+//! so Normal (Box–Muller) and Zipf (inverse-CDF over a rank table) are
+//! implemented here and unit-tested against their analytic moments.
+
+use rand::Rng;
+
+/// A distribution over `f64` values.
+pub trait Sampler {
+    /// Draws one value.
+    fn sample(&self, rng: &mut impl Rng) -> f64;
+}
+
+/// Uniform over `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformRange {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Exclusive upper bound.
+    pub hi: f64,
+}
+
+impl UniformRange {
+    /// Uniform over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or either bound is non-finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad uniform range [{lo}, {hi})");
+        Self { lo, hi }
+    }
+
+    /// The standard `U[0, 1)`.
+    pub fn unit() -> Self {
+        Self { lo: 0.0, hi: 1.0 }
+    }
+}
+
+impl Sampler for UniformRange {
+    fn sample(&self, rng: &mut impl Rng) -> f64 {
+        if self.lo == self.hi {
+            return self.lo;
+        }
+        rng.gen_range(self.lo..self.hi)
+    }
+}
+
+/// Normal(mean, sd) via Box–Muller, clamped to `[min, max]` — the paper's
+/// Normal(0.5, 0.25) for probabilities needs clamping to stay in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClampedNormal {
+    /// Mean of the underlying normal.
+    pub mean: f64,
+    /// Standard deviation of the underlying normal.
+    pub sd: f64,
+    /// Clamp floor.
+    pub min: f64,
+    /// Clamp ceiling.
+    pub max: f64,
+}
+
+impl ClampedNormal {
+    /// The paper's Normal(0.5, 0.25) clamped to `[0, 1]`.
+    pub fn probability() -> Self {
+        Self { mean: 0.5, sd: 0.25, min: 0.0, max: 1.0 }
+    }
+
+    /// A clamped normal with explicit parameters.
+    ///
+    /// # Panics
+    /// Panics if `sd < 0` or `min > max`.
+    pub fn new(mean: f64, sd: f64, min: f64, max: f64) -> Self {
+        assert!(sd >= 0.0, "negative standard deviation");
+        assert!(min <= max, "empty clamp interval");
+        Self { mean, sd, min, max }
+    }
+}
+
+impl Sampler for ClampedNormal {
+    fn sample(&self, rng: &mut impl Rng) -> f64 {
+        // Box–Muller; the spare variate is discarded to keep the sampler
+        // stateless (generation throughput is irrelevant here).
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mean + self.sd * z).clamp(self.min, self.max)
+    }
+}
+
+/// Zipf over ranks `1..=n` with exponent `s`: `P(r) ∝ r^{-s}`.
+///
+/// Sampling is inverse-CDF over a precomputed table (O(log n) per draw).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    /// Number of ranks.
+    pub n: usize,
+    /// Exponent `s`.
+    pub s: f64,
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A Zipf distribution over `1..=n` with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0, "negative Zipf exponent");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 1..=n {
+            acc += (r as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { n, s, cdf }
+    }
+
+    /// Draws a rank in `1..=n`.
+    pub fn sample_rank(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite cdf")) {
+            Ok(i) | Err(i) => (i + 1).min(self.n),
+        }
+    }
+
+    /// Probability mass of rank `r` (1-based).
+    pub fn pmf(&self, r: usize) -> f64 {
+        assert!((1..=self.n).contains(&r));
+        let prev = if r == 1 { 0.0 } else { self.cdf[r - 2] };
+        self.cdf[r - 1] - prev
+    }
+}
+
+impl Sampler for Zipf {
+    /// Maps the sampled rank to a unit value where *most draws are small*:
+    /// rank `r` ↦ `r/n`, so the heavy head (rank 1) produces the smallest
+    /// value `1/n` and the rare tail the largest. This matches interest data
+    /// where most user–event pairs have negligible affinity and a few are
+    /// strong.
+    fn sample(&self, rng: &mut impl Rng) -> f64 {
+        self.sample_rank(rng) as f64 / self.n as f64
+    }
+}
+
+/// Uniform integer range `lo..=hi` (e.g. competing events per interval).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformInt {
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Inclusive upper bound.
+    pub hi: u64,
+}
+
+impl UniformInt {
+    /// Uniform over `lo..=hi`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn new(lo: u64, hi: u64) -> Self {
+        assert!(lo <= hi, "bad integer range [{lo}, {hi}]");
+        Self { lo, hi }
+    }
+
+    /// Draws one integer.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        rng.gen_range(self.lo..=self.hi)
+    }
+
+    /// The mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        (self.lo + self.hi) as f64 / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn uniform_unit_moments() {
+        let mut r = rng();
+        let d = UniformRange::unit();
+        let xs: Vec<f64> = (0..20_000).map(|_| d.sample(&mut r)).collect();
+        let (mean, var) = moments(&xs);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0 / 12.0).abs() < 0.005, "var {var}");
+        assert!(xs.iter().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn uniform_degenerate_range() {
+        let mut r = rng();
+        let d = UniformRange::new(0.7, 0.7);
+        assert_eq!(d.sample(&mut r), 0.7);
+    }
+
+    #[test]
+    fn normal_moments_and_clamp() {
+        let mut r = rng();
+        let d = ClampedNormal::probability();
+        let xs: Vec<f64> = (0..40_000).map(|_| d.sample(&mut r)).collect();
+        let (mean, _) = moments(&xs);
+        // Clamping a N(0.5, 0.25) to [0,1] keeps the mean at 0.5 by symmetry.
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        assert!(xs.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        // ~4.4% of mass clamps to each edge; both edges should be hit.
+        assert!(xs.contains(&0.0));
+        assert!(xs.contains(&1.0));
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(50, 2.0);
+        let total: f64 = (1..=50).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(z.pmf(1) > z.pmf(2));
+    }
+
+    #[test]
+    fn zipf_rank_frequencies_follow_power_law() {
+        let mut r = rng();
+        let z = Zipf::new(100, 2.0);
+        let mut counts = vec![0usize; 101];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[z.sample_rank(&mut r)] += 1;
+        }
+        let f1 = counts[1] as f64 / n as f64;
+        let f2 = counts[2] as f64 / n as f64;
+        assert!((f1 - z.pmf(1)).abs() < 0.01, "f1 {f1} vs {}", z.pmf(1));
+        // rank-1 should be ≈ 4× rank-2 for s = 2.
+        assert!(f1 / f2 > 3.0 && f1 / f2 < 5.0, "ratio {}", f1 / f2);
+    }
+
+    #[test]
+    fn zipf_sampler_maps_to_unit_interval() {
+        let mut r = rng();
+        let z = Zipf::new(100, 2.0);
+        let xs: Vec<f64> = (0..10_000).map(|_| z.sample(&mut r)).collect();
+        assert!(xs.iter().all(|&x| x > 0.0 && x <= 1.0));
+        // Heavy head: the majority of draws are the smallest value 0.01.
+        let small = xs.iter().filter(|&&x| x < 0.05).count();
+        assert!(small > xs.len() / 2, "only {small} small draws");
+    }
+
+    #[test]
+    fn uniform_int_bounds_and_mean() {
+        let mut r = rng();
+        let d = UniformInt::new(1, 16);
+        assert_eq!(d.mean(), 8.5);
+        for _ in 0..1000 {
+            let x = d.sample(&mut r);
+            assert!((1..=16).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad uniform range")]
+    fn uniform_rejects_inverted() {
+        let _ = UniformRange::new(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_rejects_zero_ranks() {
+        let _ = Zipf::new(0, 2.0);
+    }
+}

@@ -1,0 +1,323 @@
+//! The Theorem-1 hardness reduction (§2.2), executable.
+//!
+//! The paper proves SES is NP-hard to approximate within `1 − ε` by reducing
+//! **3-Bounded 3-Dimensional Matching** (3DM-3) to a restricted SES
+//! instance. This module implements that reduction so the construction can
+//! be tested instead of just read:
+//!
+//! * 3DM-3 edges `д_t ∈ X × Y × Z` become time intervals;
+//! * the `3n` elements become candidate events `E₁` with `ξ = 1`, plus
+//!   `m − n` filler events `E₂` with `ξ = 3`; resources `θ = 3`;
+//! * one competing event per interval; activity `σ ≡ 1`; no location
+//!   constraints (every event gets its own location);
+//! * each element-user `u_p` likes only their element-event (`µ = 0.25`),
+//!   and likes interval `t`'s competing event with
+//!   `0.25·(0.75 − δ)/(0.25 + δ)` when `p ∈ д_t` and `0.75` otherwise;
+//! * each filler-user likes only their filler event (`µ = 0.75`) and no
+//!   competing event.
+//!
+//! With `k = 2n + m` (all events) the correspondence is: scheduling a
+//! triple's three elements **into their own edge's interval** yields
+//! `3(0.25 + δ)`; into any other interval, `3 · 0.25`; each filler alone in
+//! an interval yields `1`. Hence a perfect matching of size `n` exists iff
+//! the optimal utility is `3n(0.25 + δ) + (m − n)` — verified against the
+//! exact solver in the tests.
+
+use ses_core::error::BuildError;
+use ses_core::ids::{IntervalId, LocationId};
+use ses_core::model::{
+    ActivityMatrix, CompetingEvent, Event, Instance, InstanceBuilder, SparseInterestBuilder,
+};
+use serde::{Deserialize, Serialize};
+
+/// A 3-bounded 3-dimensional matching instance: `|X| = |Y| = |Z| = n`,
+/// `m = |triples|`, every element occurring in at most three triples.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreeDm {
+    /// Elements per dimension.
+    pub n: usize,
+    /// Edges `(x, y, z)` with each coordinate in `0..n`.
+    pub triples: Vec<(usize, usize, usize)>,
+}
+
+impl ThreeDm {
+    /// Validates dimension bounds and the 3-bounded occurrence property.
+    ///
+    /// # Errors
+    /// Returns a message naming the violated property.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n == 0 {
+            return Err("n must be positive".into());
+        }
+        if self.triples.len() < self.n {
+            return Err(format!(
+                "need m ≥ n for the reduction (m = {}, n = {})",
+                self.triples.len(),
+                self.n
+            ));
+        }
+        let mut occur = vec![0usize; 3 * self.n];
+        for &(x, y, z) in &self.triples {
+            if x >= self.n || y >= self.n || z >= self.n {
+                return Err(format!("triple ({x}, {y}, {z}) out of range for n = {}", self.n));
+            }
+            occur[x] += 1;
+            occur[self.n + y] += 1;
+            occur[2 * self.n + z] += 1;
+        }
+        if let Some((el, &c)) = occur.iter().enumerate().find(|&(_, &c)| c > 3) {
+            return Err(format!("element {el} occurs {c} times (3-bounded violated)"));
+        }
+        Ok(())
+    }
+
+    /// The global element id of a triple coordinate
+    /// (X: `0..n`, Y: `n..2n`, Z: `2n..3n`).
+    fn elements(&self, t: usize) -> [usize; 3] {
+        let (x, y, z) = self.triples[t];
+        [x, self.n + y, 2 * self.n + z]
+    }
+
+    /// Whether `matching` (triple indices) is a valid matching: no two
+    /// selected triples agree in any coordinate.
+    pub fn is_matching(&self, matching: &[usize]) -> bool {
+        let mut used = vec![false; 3 * self.n];
+        for &t in matching {
+            if t >= self.triples.len() {
+                return false;
+            }
+            for el in self.elements(t) {
+                if used[el] {
+                    return false;
+                }
+                used[el] = true;
+            }
+        }
+        true
+    }
+
+    /// Maximum matching size by exhaustive search — usable only for tiny
+    /// instances (the point of 3DM-3's hardness!). Test oracle.
+    pub fn max_matching_size(&self) -> usize {
+        fn rec(dm: &ThreeDm, from: usize, used: &mut [bool]) -> usize {
+            let mut best = 0;
+            for t in from..dm.triples.len() {
+                let els = dm.elements(t);
+                if els.iter().any(|&e| used[e]) {
+                    continue;
+                }
+                for &e in &els {
+                    used[e] = true;
+                }
+                best = best.max(1 + rec(dm, t + 1, used));
+                for &e in &els {
+                    used[e] = false;
+                }
+            }
+            best
+        }
+        rec(self, 0, &mut vec![false; 3 * self.n])
+    }
+}
+
+/// Output of [`reduce`]: the SES instance plus the quantities the proof
+/// reasons about.
+#[derive(Debug, Clone)]
+pub struct Reduction {
+    /// The restricted SES instance.
+    pub instance: Instance,
+    /// The `k` to schedule (`2n + m`: every event).
+    pub k: usize,
+    /// The δ used (must satisfy `0 < δ < 1/12`).
+    pub delta: f64,
+    /// The utility a perfect matching certifies: `3n(0.25 + δ) + (m − n)`.
+    pub perfect_matching_utility: f64,
+}
+
+/// Builds the §2.2 reduction from a 3DM-3 instance.
+///
+/// # Errors
+/// Propagates [`ThreeDm::validate`] failures (as a `BuildError`-compatible
+/// message) and instance-construction errors.
+///
+/// # Panics
+/// Panics if `delta` is outside `(0, 1/12)`.
+pub fn reduce(dm: &ThreeDm, delta: f64) -> Result<Reduction, BuildError> {
+    assert!(delta > 0.0 && delta < 1.0 / 12.0, "the proof fixes 0 < δ < 1/12");
+    dm.validate().map_err(|m| BuildError::InterestOutOfRange { value: f64::NAN, context: m })?;
+
+    let n = dm.n;
+    let m = dm.triples.len();
+    let e1 = 3 * n; // element events
+    let e2 = m - n; // filler events
+    let num_events = e1 + e2;
+    let num_users = e1 + e2; // one user per event
+    let reduced_interest = 0.25 * (0.75 - delta) / (0.25 + delta);
+
+    let mut b = InstanceBuilder::new();
+    // Every event has a private location — "no location constraints" (§2.2).
+    for i in 0..e1 {
+        b.add_event(Event::new(LocationId::new(i), 1.0).with_label(format!("element-{i}")));
+    }
+    for j in 0..e2 {
+        b.add_event(Event::new(LocationId::new(e1 + j), 3.0).with_label(format!("filler-{j}")));
+    }
+    b.add_intervals(m);
+    for t in 0..m {
+        b.add_competing(CompetingEvent::new(IntervalId::new(t)));
+    }
+
+    // Candidate-event interest: user i likes exactly event i.
+    let mut ev = SparseInterestBuilder::new(num_events, num_users);
+    for i in 0..e1 {
+        ev.push(i, i, 0.25); // (7a)
+    }
+    for j in 0..e2 {
+        ev.push(e1 + j, e1 + j, 0.75); // (7c)
+    }
+
+    // Competing interest (7b)/(7d): element-user p over interval t's
+    // competing event. Filler-users have zero competing interest.
+    let mut cv = SparseInterestBuilder::new(m, num_users);
+    for t in 0..m {
+        let members = dm.elements(t);
+        for p in 0..e1 {
+            let mu = if members.contains(&p) { reduced_interest } else { 0.75 };
+            cv.push(t, p, mu);
+        }
+    }
+
+    let instance = b
+        .event_interest(ev.build())
+        .competing_interest(cv.build())
+        .activity(ActivityMatrix::constant(num_users, m, 1.0)) // (4): σ ≡ 1
+        .resources(3.0) // (1): θ = 3
+        .build()?;
+
+    Ok(Reduction {
+        instance,
+        k: 2 * n + m,
+        delta,
+        perfect_matching_utility: 3.0 * n as f64 * (0.25 + delta) + e2 as f64,
+    })
+}
+
+/// Converts a matching into the corresponding SES schedule: each matched
+/// triple's three element-events go to the triple's interval; fillers (and
+/// unmatched elements, packed 3 per slot) fill the remaining intervals.
+/// Returns `None` if `matching` is not a valid matching.
+pub fn matching_to_schedule(
+    dm: &ThreeDm,
+    red: &Reduction,
+    matching: &[usize],
+) -> Option<ses_core::Schedule> {
+    use ses_core::EventId;
+    if !dm.is_matching(matching) {
+        return None;
+    }
+    let inst = &red.instance;
+    let mut s = ses_core::Schedule::new(inst);
+    let mut interval_used = vec![false; inst.num_intervals()];
+    let mut element_placed = vec![false; 3 * dm.n];
+
+    for &t in matching {
+        for el in dm.elements(t) {
+            s.assign(inst, EventId::new(el), IntervalId::new(t)).ok()?;
+            element_placed[el] = true;
+        }
+        interval_used[t] = true;
+    }
+    // Remaining intervals host fillers (one each), then leftover elements.
+    let free_intervals: Vec<usize> =
+        (0..inst.num_intervals()).filter(|&t| !interval_used[t]).collect();
+    let mut free_iter = free_intervals.iter();
+    for j in 0..(dm.triples.len() - dm.n) {
+        let &t = free_iter.next()?;
+        s.assign(inst, EventId::new(3 * dm.n + j), IntervalId::new(t)).ok()?;
+    }
+    // Leftover elements: pack 3 per remaining interval.
+    let leftovers: Vec<usize> = (0..3 * dm.n).filter(|&e| !element_placed[e]).collect();
+    for chunk in leftovers.chunks(3) {
+        let &t = free_iter.next()?;
+        for &el in chunk {
+            s.assign(inst, EventId::new(el), IntervalId::new(t)).ok()?;
+        }
+    }
+    Some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_core::scoring::utility::total_utility;
+
+    const DELTA: f64 = 0.05;
+
+    /// n = 2, m = 3 with a perfect matching {0, 1}.
+    fn with_perfect_matching() -> ThreeDm {
+        ThreeDm { n: 2, triples: vec![(0, 0, 0), (1, 1, 1), (0, 1, 1)] }
+    }
+
+    /// n = 2, m = 3 where every pair of triples collides in x:
+    /// max matching 1.
+    fn without_perfect_matching() -> ThreeDm {
+        ThreeDm { n: 2, triples: vec![(0, 0, 0), (0, 1, 1), (0, 1, 0)] }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(with_perfect_matching().validate().is_ok());
+        assert!(ThreeDm { n: 0, triples: vec![] }.validate().is_err());
+        assert!(ThreeDm { n: 2, triples: vec![(0, 0, 2)] }.validate().is_err());
+        // Element x = 0 four times: 3-boundedness violated.
+        let dm = ThreeDm {
+            n: 4,
+            triples: vec![(0, 0, 0), (0, 1, 1), (0, 2, 2), (0, 3, 3)],
+        };
+        assert!(dm.validate().is_err());
+    }
+
+    #[test]
+    fn matching_oracle() {
+        let dm = with_perfect_matching();
+        assert!(dm.is_matching(&[0, 1]));
+        assert!(!dm.is_matching(&[0, 2])); // share y=... (0,0,0) vs (0,1,1) share x=0
+        assert_eq!(dm.max_matching_size(), 2);
+        assert_eq!(without_perfect_matching().max_matching_size(), 1);
+    }
+
+    #[test]
+    fn reduction_shape() {
+        let dm = with_perfect_matching();
+        let red = reduce(&dm, DELTA).unwrap();
+        let inst = &red.instance;
+        assert_eq!(inst.num_events(), 3 * 2 + 1); // 3n element + (m−n) filler
+        assert_eq!(inst.num_intervals(), 3);
+        assert_eq!(inst.num_users(), 7);
+        assert_eq!(inst.num_competing(), 3);
+        assert_eq!(inst.resources, 3.0);
+        assert_eq!(red.k, 2 * 2 + 3);
+        assert!(inst.validate().is_ok());
+    }
+
+    /// The forward direction of the proof: a perfect matching's schedule
+    /// achieves exactly `3n(0.25 + δ) + (m − n)`.
+    #[test]
+    fn perfect_matching_certifies_utility() {
+        let dm = with_perfect_matching();
+        let red = reduce(&dm, DELTA).unwrap();
+        let s = matching_to_schedule(&dm, &red, &[0, 1]).expect("valid matching");
+        let omega = total_utility(&red.instance, &s);
+        assert!(
+            (omega - red.perfect_matching_utility).abs() < 1e-9,
+            "Ω = {omega}, proof says {}",
+            red.perfect_matching_utility
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "δ < 1/12")]
+    fn delta_bounds_enforced() {
+        let _ = reduce(&with_perfect_matching(), 0.2);
+    }
+}

@@ -1,0 +1,139 @@
+//! # ses-datasets — workload generators for SES experiments
+//!
+//! Regenerates the four datasets of the paper's evaluation (§4.1) at
+//! configurable scale:
+//!
+//! * [`synthetic`] — the `Unf` / `Nrm` / `Zip` datasets over the full
+//!   Table-1 parameter space ([`params::SyntheticParams`]);
+//! * [`meetup`] — a *simulated* Meetup (EBSN) dataset: sparse, topic-skewed
+//!   interest with the paper's measured conflict density;
+//! * [`concerts`] — a *simulated* Yahoo!-Music Concerts dataset: dense,
+//!   high-valued interest derived by the paper's own genre-rating formula.
+//!
+//! The real Meetup/Yahoo dumps are not redistributable; DESIGN.md §2
+//! documents why these simulations preserve the behaviour the algorithms
+//! are sensitive to. All generators are deterministic per seed.
+//!
+//! [`distributions`] provides the hand-rolled Uniform/Normal/Zipf samplers
+//! everything is built on, and [`hardness`] implements the paper's
+//! Theorem-1 reduction (3DM-3 → restricted SES) as testable code.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod concerts;
+pub mod distributions;
+pub mod hardness;
+pub mod meetup;
+pub mod params;
+pub mod scaffold;
+pub mod synthetic;
+
+pub use concerts::ConcertsParams;
+pub use meetup::MeetupParams;
+pub use params::{ActivityModel, InterestModel, SyntheticParams};
+
+use ses_core::model::Instance;
+
+/// The four datasets of the paper's evaluation, by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Dataset {
+    /// Simulated Meetup (sparse EBSN interest).
+    Meetup,
+    /// Simulated Yahoo! Music concerts (dense, high interest).
+    Concerts,
+    /// Synthetic uniform interest.
+    Unf,
+    /// Synthetic Zipfian interest (s = 2).
+    Zip,
+}
+
+impl Dataset {
+    /// All four, in the paper's plot order.
+    pub const ALL: [Dataset; 4] = [Dataset::Meetup, Dataset::Concerts, Dataset::Unf, Dataset::Zip];
+
+    /// Display name as used in the figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Meetup => "Meetup",
+            Dataset::Concerts => "Concerts",
+            Dataset::Unf => "Unf",
+            Dataset::Zip => "Zip",
+        }
+    }
+
+    /// Parses a (case-insensitive) dataset name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "meetup" => Some(Dataset::Meetup),
+            "concerts" => Some(Dataset::Concerts),
+            "unf" | "uniform" => Some(Dataset::Unf),
+            "zip" | "zipf" => Some(Dataset::Zip),
+            _ => None,
+        }
+    }
+
+    /// Builds this dataset with the given structural shape. `num_users`,
+    /// `num_events`, `num_intervals` override each generator's defaults;
+    /// everything else (locations, resources, conflict density) stays at the
+    /// Table-1 defaults.
+    pub fn build(self, num_users: usize, num_events: usize, num_intervals: usize, seed: u64) -> Instance {
+        match self {
+            Dataset::Meetup => meetup::generate(
+                &MeetupParams::default()
+                    .with_users(num_users)
+                    .with_events(num_events)
+                    .with_intervals(num_intervals)
+                    .with_seed(seed),
+            ),
+            Dataset::Concerts => concerts::generate(
+                &ConcertsParams::default()
+                    .with_users(num_users)
+                    .with_events(num_events)
+                    .with_intervals(num_intervals)
+                    .with_seed(seed),
+            ),
+            Dataset::Unf => synthetic::generate(&SyntheticParams {
+                num_users,
+                num_events,
+                num_intervals,
+                seed,
+                interest: InterestModel::Uniform,
+                ..SyntheticParams::default()
+            }),
+            Dataset::Zip => synthetic::generate(&SyntheticParams {
+                num_users,
+                num_events,
+                num_intervals,
+                seed,
+                interest: InterestModel::Zipf { s: 2.0 },
+                ..SyntheticParams::default()
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_name_roundtrip() {
+        for d in Dataset::ALL {
+            assert_eq!(Dataset::parse(d.name()), Some(d));
+        }
+        assert_eq!(Dataset::parse("zipf"), Some(Dataset::Zip));
+        assert_eq!(Dataset::parse("nope"), None);
+    }
+
+    #[test]
+    fn build_all_datasets_small() {
+        for d in Dataset::ALL {
+            let inst = d.build(60, 30, 8, 1);
+            assert!(inst.validate().is_ok(), "{}", d.name());
+            assert_eq!(inst.num_users(), 60);
+            assert_eq!(inst.num_events(), 30);
+            assert_eq!(inst.num_intervals(), 8);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! The paper's Table-1 parameter space: sweep values and (bold) defaults.
+
+use serde::{Deserialize, Serialize};
+
+/// Interest distribution `µ(u, e)` for synthetic datasets (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum InterestModel {
+    /// i.i.d. `U[0, 1)` — every event looks alike in aggregate, which is why
+    /// the paper's bound-based methods (INC, HOR-I) struggle on `Unf`.
+    Uniform,
+    /// i.i.d. Normal(0.5, 0.25) clamped to `[0, 1]` — the paper reports it
+    /// indistinguishable from Uniform.
+    Normal,
+    /// Zipfian event popularity with exponent `s`: event `e`'s popularity is
+    /// `rank_e^{-s}` (ranks are a random permutation, normalized to max 1)
+    /// and `µ(u, e) = pop_e · U[0, 1)`. Event-level skew is what gives the
+    /// paper's `Zip` datasets their spread-out scores and makes bounds bite.
+    Zipf {
+        /// The Zipf exponent (paper sweeps 1, 2, 3; presents 2).
+        s: f64,
+    },
+}
+
+/// Activity distribution `σ(u, t)` (Table 1: Uniform or Normal(0.5, 0.25);
+/// the paper reports identical results for both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActivityModel {
+    /// i.i.d. `U[0, 1)`.
+    Uniform,
+    /// i.i.d. Normal(0.5, 0.25) clamped to `[0, 1]`.
+    Normal,
+}
+
+/// Full parameter set for the synthetic generator. `Default` reproduces
+/// Table 1's bold defaults at the paper's scale (`|U| = 100K`); experiment
+/// configs override `num_users` for laptop-scale runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticParams {
+    /// Number of events to schedule, `k`.
+    pub k: usize,
+    /// Number of candidate events `|E|`.
+    pub num_events: usize,
+    /// Number of time intervals `|T|`.
+    pub num_intervals: usize,
+    /// Number of users `|U|`.
+    pub num_users: usize,
+    /// Competing events per interval, drawn uniformly from this inclusive
+    /// range (default `[1, 16]`, mean 8.5 ≈ the 8.1 measured on Meetup).
+    pub competing_per_interval: (u64, u64),
+    /// Number of available locations.
+    pub num_locations: usize,
+    /// Organizer resources θ.
+    pub resources: f64,
+    /// Required resources `ξ_e ~ U[1, ξ_max]` (default `θ/2`).
+    pub max_required_resources: f64,
+    /// Interest distribution.
+    pub interest: InterestModel,
+    /// Activity distribution.
+    pub activity: ActivityModel,
+    /// RNG seed — equal parameters and seed reproduce the identical instance.
+    pub seed: u64,
+}
+
+impl Default for SyntheticParams {
+    fn default() -> Self {
+        Self {
+            k: 100,
+            num_events: 500,     // 5k
+            num_intervals: 150,  // 3k/2
+            num_users: 100_000,
+            competing_per_interval: (1, 16),
+            num_locations: 25,
+            resources: 30.0,
+            max_required_resources: 15.0, // θ/2
+            interest: InterestModel::Uniform,
+            activity: ActivityModel::Uniform,
+            seed: 0xEDB7_2019,
+        }
+    }
+}
+
+impl SyntheticParams {
+    /// The default configuration with a different interest model.
+    #[must_use]
+    pub fn with_interest(mut self, interest: InterestModel) -> Self {
+        self.interest = interest;
+        self
+    }
+
+    /// Overrides the user count (the usual laptop-scale adjustment).
+    #[must_use]
+    pub fn with_users(mut self, num_users: usize) -> Self {
+        self.num_users = num_users;
+        self
+    }
+
+    /// Overrides the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Table 1 sweep values (non-bold columns), exposed for the experiment
+/// harness and the `params` CLI command.
+pub mod table1 {
+    /// Number of scheduled events `k`.
+    pub const K: [usize; 5] = [50, 70, 100, 200, 500];
+    /// `|E|` as multiples of `k`.
+    pub const EVENTS_FACTOR: [usize; 5] = [1, 2, 3, 5, 10];
+    /// `|T|` as (numerator, denominator) fractions of `k`:
+    /// k/5, k/2, k, 3k/2, 2k, 3k.
+    pub const INTERVALS_FRAC: [(usize, usize); 6] = [(1, 5), (1, 2), (1, 1), (3, 2), (2, 1), (3, 1)];
+    /// Competing events per interval (upper bounds of U[1, x]).
+    pub const COMPETING_HI: [u64; 5] = [4, 8, 16, 32, 64];
+    /// Available locations.
+    pub const LOCATIONS: [usize; 5] = [5, 10, 25, 50, 70];
+    /// Available resources θ.
+    pub const RESOURCES: [f64; 5] = [10.0, 20.0, 30.0, 50.0, 100.0];
+    /// `ξ_max` as fractions of θ.
+    pub const XI_FRAC: [f64; 5] = [0.25, 1.0 / 3.0, 0.5, 0.75, 1.0];
+    /// Synthetic user counts.
+    pub const USERS: [usize; 5] = [10_000, 50_000, 100_000, 500_000, 1_000_000];
+    /// Fig. 6's interval sweep (absolute values, k = 100).
+    pub const FIG6_INTERVALS: [usize; 6] = [20, 50, 100, 150, 200, 300];
+    /// Fig. 7's candidate-event sweep (absolute values, k = 100).
+    pub const FIG7_EVENTS: [usize; 4] = [100, 300, 500, 1000];
+    /// Fig. 5's k sweep as plotted.
+    pub const FIG5_K: [usize; 4] = [50, 100, 200, 500];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table1_bold() {
+        let p = SyntheticParams::default();
+        assert_eq!(p.k, 100);
+        assert_eq!(p.num_events, 5 * p.k);
+        assert_eq!(p.num_intervals, 3 * p.k / 2);
+        assert_eq!(p.num_users, 100_000);
+        assert_eq!(p.competing_per_interval, (1, 16));
+        assert_eq!(p.num_locations, 25);
+        assert_eq!(p.resources, 30.0);
+        assert_eq!(p.max_required_resources, p.resources / 2.0);
+        assert_eq!(p.interest, InterestModel::Uniform);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let p = SyntheticParams::default()
+            .with_interest(InterestModel::Zipf { s: 2.0 })
+            .with_users(2_000)
+            .with_seed(7);
+        assert_eq!(p.interest, InterestModel::Zipf { s: 2.0 });
+        assert_eq!(p.num_users, 2_000);
+        assert_eq!(p.seed, 7);
+    }
+
+    #[test]
+    fn table1_sweeps_include_defaults() {
+        assert!(table1::K.contains(&100));
+        assert!(table1::LOCATIONS.contains(&25));
+        assert!(table1::RESOURCES.contains(&30.0));
+        assert!(table1::COMPETING_HI.contains(&16));
+        assert!(table1::USERS.contains(&100_000));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = SyntheticParams::default().with_interest(InterestModel::Zipf { s: 1.0 });
+        let json = serde_json::to_string(&p).unwrap();
+        let back: SyntheticParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

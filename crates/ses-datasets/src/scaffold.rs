@@ -1,0 +1,91 @@
+//! Structural scaffolding shared by every generator: event
+//! locations/resources and competing-event placement.
+
+use crate::distributions::{UniformInt, UniformRange};
+use rand::Rng;
+use ses_core::model::{CompetingEvent, Event};
+use ses_core::{IntervalId, LocationId};
+
+/// Generates `n` candidate events with uniformly random locations in
+/// `0..num_locations` and required resources `ξ ~ U[1, max_xi]`.
+pub fn random_events(
+    rng: &mut impl Rng,
+    n: usize,
+    num_locations: usize,
+    max_xi: f64,
+) -> Vec<Event> {
+    assert!(num_locations > 0, "need at least one location");
+    let xi = UniformRange::new(1.0, max_xi.max(1.0));
+    (0..n)
+        .map(|_| {
+            let loc = LocationId::new(rng.gen_range(0..num_locations));
+            let req = crate::distributions::Sampler::sample(&xi, rng);
+            Event::new(loc, req)
+        })
+        .collect()
+}
+
+/// Places competing events: each interval receives a count drawn from
+/// `U[lo, hi]`. Returns one [`CompetingEvent`] per placement, grouped by
+/// interval in ascending order.
+pub fn random_competing(
+    rng: &mut impl Rng,
+    num_intervals: usize,
+    per_interval: (u64, u64),
+) -> Vec<CompetingEvent> {
+    let dist = UniformInt::new(per_interval.0, per_interval.1);
+    let mut competing = Vec::new();
+    for t in 0..num_intervals {
+        let count = dist.sample(rng);
+        for _ in 0..count {
+            competing.push(CompetingEvent::new(IntervalId::new(t)));
+        }
+    }
+    competing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn events_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let events = random_events(&mut rng, 200, 10, 15.0);
+        assert_eq!(events.len(), 200);
+        for e in &events {
+            assert!(e.location.index() < 10);
+            assert!(e.required_resources >= 1.0 && e.required_resources <= 15.0);
+        }
+        // All 10 locations should be used with 200 draws.
+        let used: std::collections::HashSet<_> = events.iter().map(|e| e.location).collect();
+        assert_eq!(used.len(), 10);
+    }
+
+    #[test]
+    fn competing_counts_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let comp = random_competing(&mut rng, 50, (1, 16));
+        let mut per_interval = vec![0usize; 50];
+        for c in &comp {
+            per_interval[c.interval.index()] += 1;
+        }
+        for &n in &per_interval {
+            assert!((1..=16).contains(&n));
+        }
+        // Mean should be near 8.5.
+        let mean = comp.len() as f64 / 50.0;
+        assert!((mean - 8.5).abs() < 2.5, "mean {mean}");
+    }
+
+    #[test]
+    fn degenerate_xi_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let events = random_events(&mut rng, 5, 2, 1.0); // ξ ∈ [1, 1]
+        for e in &events {
+            assert_eq!(e.required_resources, 1.0);
+        }
+    }
+}

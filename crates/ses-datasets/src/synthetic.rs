@@ -1,0 +1,180 @@
+//! The synthetic instance generator over the Table-1 parameter space
+//! (the paper's `Unf`, `Nrm`, and `Zip` datasets).
+
+use crate::distributions::{ClampedNormal, Sampler, UniformRange};
+use crate::params::{ActivityModel, InterestModel, SyntheticParams};
+use crate::scaffold::{random_competing, random_events};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use ses_core::model::{ActivityMatrix, DenseInterest, Instance, InstanceBuilder};
+
+/// Generates a synthetic [`Instance`] from the given parameters.
+/// Deterministic: equal parameters (including seed) yield equal instances.
+///
+/// # Panics
+/// Panics on degenerate parameters (zero events/intervals/users), matching
+/// the instance validator's requirements.
+pub fn generate(params: &SyntheticParams) -> Instance {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    let mut builder = InstanceBuilder::new();
+    for e in random_events(&mut rng, params.num_events, params.num_locations, params.max_required_resources)
+    {
+        builder.add_event(e);
+    }
+    builder.add_intervals(params.num_intervals);
+    let competing = random_competing(&mut rng, params.num_intervals, params.competing_per_interval);
+    let num_competing = competing.len();
+    for c in competing {
+        builder.add_competing(c);
+    }
+
+    let event_interest =
+        interest_matrix(&mut rng, params.interest, params.num_events, params.num_users);
+    let competing_interest =
+        interest_matrix(&mut rng, params.interest, num_competing, params.num_users);
+    let activity = activity_matrix(&mut rng, params.activity, params.num_users, params.num_intervals);
+
+    builder
+        .event_interest(event_interest)
+        .competing_interest(competing_interest)
+        .activity(activity)
+        .resources(params.resources)
+        .build()
+        .expect("synthetic parameters must produce a valid instance")
+}
+
+/// Draws an `items × users` interest matrix under the chosen model.
+fn interest_matrix(
+    rng: &mut StdRng,
+    model: InterestModel,
+    num_items: usize,
+    num_users: usize,
+) -> DenseInterest {
+    match model {
+        InterestModel::Uniform => {
+            let d = UniformRange::unit();
+            DenseInterest::from_fn(num_items, num_users, |_, _| d.sample(rng))
+        }
+        InterestModel::Normal => {
+            let d = ClampedNormal::probability();
+            DenseInterest::from_fn(num_items, num_users, |_, _| d.sample(rng))
+        }
+        InterestModel::Zipf { s } => {
+            // Event-level Zipf popularity: a random permutation of ranks,
+            // normalized so the most popular event has weight 1.
+            let mut ranks: Vec<usize> = (1..=num_items.max(1)).collect();
+            ranks.shuffle(rng);
+            let pops: Vec<f64> = ranks.iter().map(|&r| (r as f64).powf(-s)).collect();
+            let d = UniformRange::unit();
+            DenseInterest::from_fn(num_items, num_users, |item, _| pops[item] * d.sample(rng))
+        }
+    }
+}
+
+fn activity_matrix(
+    rng: &mut StdRng,
+    model: ActivityModel,
+    num_users: usize,
+    num_intervals: usize,
+) -> ActivityMatrix {
+    match model {
+        ActivityModel::Uniform => {
+            ActivityMatrix::from_fn(num_users, num_intervals, |_, _| rng.gen_range(0.0..1.0))
+        }
+        ActivityModel::Normal => {
+            let d = ClampedNormal::probability();
+            ActivityMatrix::from_fn(num_users, num_intervals, |_, _| d.sample(rng))
+        }
+    }
+}
+
+/// Convenience: the three headline synthetic datasets of the evaluation at a
+/// chosen user scale — `Unf`, `Nrm`, and `Zip` (s = 2).
+pub fn paper_trio(num_users: usize, seed: u64) -> [(String, Instance); 3] {
+    let base = SyntheticParams::default().with_users(num_users).with_seed(seed);
+    [
+        ("Unf".to_string(), generate(&base.with_interest(InterestModel::Uniform))),
+        ("Nrm".to_string(), generate(&base.with_interest(InterestModel::Normal))),
+        ("Zip".to_string(), generate(&base.with_interest(InterestModel::Zipf { s: 2.0 }))),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(interest: InterestModel) -> SyntheticParams {
+        SyntheticParams {
+            k: 5,
+            num_events: 20,
+            num_intervals: 8,
+            num_users: 50,
+            competing_per_interval: (1, 4),
+            num_locations: 5,
+            resources: 10.0,
+            max_required_resources: 5.0,
+            interest,
+            activity: ActivityModel::Uniform,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn generates_valid_instances_for_all_models() {
+        for model in [
+            InterestModel::Uniform,
+            InterestModel::Normal,
+            InterestModel::Zipf { s: 2.0 },
+        ] {
+            let inst = generate(&tiny(model));
+            assert!(inst.validate().is_ok(), "{model:?}");
+            assert_eq!(inst.num_events(), 20);
+            assert_eq!(inst.num_intervals(), 8);
+            assert_eq!(inst.num_users(), 50);
+            assert!(inst.num_competing() >= 8); // ≥ 1 per interval
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&tiny(InterestModel::Uniform));
+        let b = generate(&tiny(InterestModel::Uniform));
+        assert_eq!(a, b);
+        let c = generate(&tiny(InterestModel::Uniform).with_seed(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zipf_interest_has_event_level_skew() {
+        let inst = generate(&tiny(InterestModel::Zipf { s: 2.0 }));
+        let sums: Vec<f64> =
+            (0..inst.num_events()).map(|e| inst.event_interest.column_sum(e)).collect();
+        let max = sums.iter().cloned().fold(f64::MIN, f64::max);
+        let min = sums.iter().cloned().fold(f64::MAX, f64::min);
+        // The most popular event should dwarf the least popular one.
+        assert!(max > 20.0 * min.max(1e-9), "max {max}, min {min}");
+    }
+
+    #[test]
+    fn uniform_interest_is_homogeneous() {
+        let inst = generate(&tiny(InterestModel::Uniform));
+        let sums: Vec<f64> =
+            (0..inst.num_events()).map(|e| inst.event_interest.column_sum(e)).collect();
+        let mean = sums.iter().sum::<f64>() / sums.len() as f64;
+        for s in sums {
+            assert!((s - mean).abs() / mean < 0.5, "uniform events should look alike");
+        }
+    }
+
+    #[test]
+    fn paper_trio_labels() {
+        let trio = paper_trio(20, 1);
+        let names: Vec<&str> = trio.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["Unf", "Nrm", "Zip"]);
+        for (_, inst) in &trio {
+            assert!(inst.validate().is_ok());
+        }
+    }
+}

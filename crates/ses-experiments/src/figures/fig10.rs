@@ -1,0 +1,126 @@
+//! **Figure 10** — (a) the HOR/HOR-I worst case w.r.t. `k` and `|T|`;
+//! (b) the ALG-vs-INC search space (assignments examined).
+
+use crate::report::{FigureReport, Metric};
+use crate::runner::{run_lineup, ExperimentConfig};
+use ses_algorithms::SchedulerKind;
+use ses_datasets::Dataset;
+
+/// The fixed `k` of both sub-figures.
+pub const K: usize = 100;
+
+/// Runs Figure 10a: execution time on all four datasets at the horizontal
+/// algorithms' worst case `|T| = 99` (`k mod |T| = 1`, Propositions 5 & 7).
+pub fn run_worst_case(config: &ExperimentConfig) -> FigureReport {
+    let kinds = vec![
+        SchedulerKind::Alg,
+        SchedulerKind::Inc,
+        SchedulerKind::Hor,
+        SchedulerKind::HorI,
+        SchedulerKind::Top,
+    ];
+    let mut records = Vec::new();
+    // Preserve the worst-case relation k mod |T| = 1 under scaling.
+    let k = config.dim(K);
+    let intervals = (k - 1).max(1);
+    for dataset in Dataset::ALL {
+        let inst = dataset.build(config.num_users, 5 * k, intervals, config.seed ^ 0x10A);
+        records.extend(run_lineup(
+            "fig10a",
+            dataset.name(),
+            "worst-case",
+            0.0,
+            &inst,
+            k,
+            &kinds,
+        ));
+    }
+    FigureReport {
+        id: "fig10a".into(),
+        title: "HOR & HOR-I worst case w.r.t. k and |T| (k = 100, |T| = 99)".into(),
+        metrics: vec![Metric::Time, Metric::Computations],
+        records,
+    }
+}
+
+/// The nine configurations of Fig 10b: `k ∈ {50, 100, 200}` (defaults for
+/// the rest), `|T| ∈ {100, 200, 300}` (k = 100, |E| = 500), and
+/// `|E| ∈ {100, 500, 1000}` (k = 100, |T| = 150).
+pub fn search_space_configs(config: &ExperimentConfig) -> Vec<(String, usize, usize, usize)> {
+    // (label, k, |E|, |T|)
+    let mut out = vec![
+        ("k=50".to_string(), 50, 250, 75),
+        ("k=100".to_string(), 100, 500, 150),
+        ("k=200".to_string(), 200, 1000, 300),
+        ("|T|=100".to_string(), 100, 500, 100),
+        ("|T|=200".to_string(), 100, 500, 200),
+        ("|T|=300".to_string(), 100, 500, 300),
+        ("|E|=100".to_string(), 100, 100, 150),
+        ("|E|=500".to_string(), 100, 500, 150),
+        ("|E|=1000".to_string(), 100, 1000, 150),
+    ];
+    if config.quick {
+        out.retain(|(_, k, e, t)| k * e * t <= 100 * 500 * 200);
+    }
+    out
+}
+
+/// Runs Figure 10b: assignments examined by ALG vs INC on the simulated
+/// Meetup dataset across the nine parameter configurations.
+pub fn run_search_space(config: &ExperimentConfig) -> FigureReport {
+    let kinds = vec![SchedulerKind::Alg, SchedulerKind::Inc];
+    let mut records = Vec::new();
+    for (i, (label, k, events, intervals)) in search_space_configs(config).into_iter().enumerate() {
+        let (k, events, intervals) = (config.dim(k), config.dim(events), config.dim(intervals));
+        let inst =
+            Dataset::Meetup.build(config.num_users, events, intervals, config.seed ^ (i as u64));
+        records.extend(run_lineup("fig10b", &label, "config", i as f64, &inst, k, &kinds));
+    }
+    FigureReport {
+        id: "fig10b".into(),
+        title: "Search space: assignments examined, ALG vs INC (Meetup)".into(),
+        metrics: vec![Metric::Examined],
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig 10b's claim: INC examines noticeably fewer assignments than ALG.
+    #[test]
+    fn inc_examines_fewer_assignments() {
+        let inst = Dataset::Meetup.build(100, 60, 12, 2);
+        let recs =
+            run_lineup("fig10b", "Meetup", "config", 0.0, &inst, 24, &[
+                SchedulerKind::Alg,
+                SchedulerKind::Inc,
+            ]);
+        let alg = recs.iter().find(|r| r.algorithm == "ALG").unwrap();
+        let inc = recs.iter().find(|r| r.algorithm == "INC").unwrap();
+        assert!(
+            inc.examined < alg.examined,
+            "INC {} must examine fewer than ALG {}",
+            inc.examined,
+            alg.examined
+        );
+        // And, per Prop. 3, with identical utility.
+        assert!((inc.utility - alg.utility).abs() < 1e-9);
+    }
+
+    /// Propositions 5/7: at k mod |T| = 1 the horizontal algorithms pay for
+    /// a full extra round — but still beat ALG on computations.
+    #[test]
+    fn worst_case_still_beats_alg() {
+        let inst = Dataset::Zip.build(80, 100, 11, 4);
+        let recs = run_lineup("fig10a", "Zip", "wc", 0.0, &inst, 23, &[
+            SchedulerKind::Alg,
+            SchedulerKind::Hor,
+            SchedulerKind::HorI,
+        ]);
+        let alg = recs.iter().find(|r| r.algorithm == "ALG").unwrap();
+        let hor_i = recs.iter().find(|r| r.algorithm == "HOR-I").unwrap();
+        assert!(hor_i.computations <= alg.computations);
+    }
+}

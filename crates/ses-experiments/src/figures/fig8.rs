@@ -1,0 +1,91 @@
+//! **Figure 8** — varying the number of users `|U|` on the Unf dataset.
+//!
+//! Two settings: (8a) the default `|T| = 150`, where `k < |T|` makes HOR-I
+//! undefined (identical to HOR) so the paper omits it; and (8b) `|T| = 65`,
+//! the "average case" for the horizontal algorithms w.r.t. `k`/`|T|`, where
+//! HOR-I participates.
+
+use crate::report::{FigureReport, Metric};
+use crate::runner::{run_lineup, ExperimentConfig};
+use ses_algorithms::SchedulerKind;
+use ses_datasets::Dataset;
+
+/// Swept user counts. The paper sweeps 100K–1M; the harness scales the axis
+/// by the configured base user count (×1, ×2.5, ×5 in quick mode, plus ×10
+/// in full mode — mirroring 100K/500K/1M ratios).
+pub fn sweep(config: &ExperimentConfig) -> Vec<usize> {
+    let base = config.num_users.max(50);
+    if config.quick {
+        vec![base, base * 5 / 2, base * 5]
+    } else {
+        vec![base, base * 5 / 2, base * 5, base * 10]
+    }
+}
+
+/// The fixed `k` of this figure.
+pub const K: usize = 100;
+/// `|E|` at the Table-1 default.
+pub const EVENTS: usize = 500;
+
+/// Runs Figure 8 (both sub-figures; dataset column distinguishes them).
+pub fn run(config: &ExperimentConfig) -> FigureReport {
+    let mut records = Vec::new();
+    for (label, raw_intervals, with_hor_i) in
+        [("Unf |T|=150", 150usize, false), ("Unf |T|=65", 65usize, true)]
+    {
+        let mut kinds = vec![SchedulerKind::Alg, SchedulerKind::Inc, SchedulerKind::Hor];
+        if with_hor_i {
+            kinds.push(SchedulerKind::HorI);
+        }
+        kinds.push(SchedulerKind::Top);
+        kinds.push(SchedulerKind::Rand(0));
+
+        let k = config.dim(K);
+        let events = config.dim(EVENTS);
+        let intervals = config.dim(raw_intervals);
+        for &users in &sweep(config) {
+            let inst =
+                Dataset::Unf.build(users, events, intervals, config.seed ^ (users as u64));
+            records.extend(run_lineup(
+                "fig8",
+                label,
+                "|U|",
+                users as f64,
+                &inst,
+                k,
+                &kinds,
+            ));
+        }
+    }
+    FigureReport {
+        id: "fig8".into(),
+        title: "Varying the number of users |U| (Unf, k = 100, |E| = 500)".into(),
+        metrics: vec![Metric::Time, Metric::Computations, Metric::Utility],
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// §4.2.4: utility and computation cost both grow with |U|.
+    #[test]
+    fn cost_and_utility_scale_with_users() {
+        let kinds = [SchedulerKind::Alg];
+        let mut utils = Vec::new();
+        let mut comps = Vec::new();
+        for users in [40usize, 160] {
+            let inst = Dataset::Unf.build(users, 40, 10, 9);
+            let recs = run_lineup("fig8", "Unf", "|U|", users as f64, &inst, 8, &kinds);
+            utils.push(recs[0].utility);
+            comps.push(recs[0].computations);
+        }
+        assert!(utils[1] > utils[0]);
+        assert!(comps[1] > comps[0]);
+        // Computations are linear in |U| for a fixed dense instance shape:
+        // 4× the users ⇒ ≈4× the user-ops.
+        let ratio = comps[1] as f64 / comps[0] as f64;
+        assert!((2.0..8.0).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,43 @@
+//! One module per table/figure of the paper's evaluation (§4.2).
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod summary;
+
+use crate::report::FigureReport;
+use crate::runner::ExperimentConfig;
+
+/// Runs a figure by id (`"fig5"` … `"fig10b"`). Returns `None` for unknown
+/// ids. (`"summary"` has its own report type; see [`summary::run`].)
+pub fn run_figure(id: &str, config: &ExperimentConfig) -> Option<FigureReport> {
+    match id {
+        "fig5" => Some(fig5::run(config)),
+        "fig6" => Some(fig6::run(config)),
+        "fig7" => Some(fig7::run(config)),
+        "fig8" => Some(fig8::run(config)),
+        "fig9" => Some(fig9::run(config)),
+        "fig10a" => Some(fig10::run_worst_case(config)),
+        "fig10b" => Some(fig10::run_search_space(config)),
+        "ablation-schemes" => Some(ablation::run_schemes(config)),
+        "ablation-refine" => Some(ablation::run_refinement(config)),
+        _ => None,
+    }
+}
+
+/// All figure ids, in paper order, followed by the two ablations.
+pub const ALL_FIGURES: [&str; 9] = [
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10a",
+    "fig10b",
+    "ablation-schemes",
+    "ablation-refine",
+];

@@ -1,0 +1,322 @@
+//! Result records and report rendering for the experiment harness.
+//!
+//! Every figure runner produces a [`FigureReport`]: a flat list of
+//! [`RunRecord`]s (one per dataset × sweep-point × algorithm) that can be
+//! rendered as the text tables EXPERIMENTS.md quotes, or dumped as JSON/CSV
+//! for plotting.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// One measured run: a single `(figure, dataset, sweep point, algorithm)`
+/// cell of a paper plot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Figure id, e.g. `"fig5"`.
+    pub figure: String,
+    /// Dataset name (`Meetup`, `Concerts`, `Unf`, `Zip`).
+    pub dataset: String,
+    /// Algorithm name (`ALG`, `INC`, …).
+    pub algorithm: String,
+    /// Name of the swept parameter (`k`, `|T|`, `|E|`, `|U|`, `locations`).
+    pub x_label: String,
+    /// Swept parameter value.
+    pub x: f64,
+    /// Requested schedule size.
+    pub k: usize,
+    /// Instance shape: `|E|`.
+    pub num_events: usize,
+    /// Instance shape: `|T|`.
+    pub num_intervals: usize,
+    /// Instance shape: `|U|`.
+    pub num_users: usize,
+    /// Total utility Ω(S).
+    pub utility: f64,
+    /// The paper's "number of computations" (user operations inside score
+    /// evaluations).
+    pub computations: u64,
+    /// Assignments examined (Fig 10b's metric).
+    pub examined: u64,
+    /// Wall-clock milliseconds.
+    pub time_ms: f64,
+}
+
+/// The metric a rendered table reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Metric {
+    /// Total utility Ω(S) (Figs 5a–d, 6a–d, 7a–b, 9a).
+    Utility,
+    /// Score-computation user-ops (Figs 5e–h).
+    Computations,
+    /// Wall time (Figs 5i–l, 6e–h, 7c–d, 8, 9b, 10a).
+    Time,
+    /// Assignments examined (Fig 10b).
+    Examined,
+}
+
+impl Metric {
+    /// Column header / display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::Utility => "Utility",
+            Metric::Computations => "Computations",
+            Metric::Time => "Time (ms)",
+            Metric::Examined => "Assignments examined",
+        }
+    }
+
+    /// Extracts the metric from a record.
+    pub fn of(self, r: &RunRecord) -> f64 {
+        match self {
+            Metric::Utility => r.utility,
+            Metric::Computations => r.computations as f64,
+            Metric::Time => r.time_ms,
+            Metric::Examined => r.examined as f64,
+        }
+    }
+}
+
+/// All measurements of one figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigureReport {
+    /// Figure id, e.g. `"fig5"`.
+    pub id: String,
+    /// Human title, e.g. `"Varying the number of scheduled events k"`.
+    pub title: String,
+    /// The metrics this figure plots in the paper.
+    pub metrics: Vec<Metric>,
+    /// All cells.
+    pub records: Vec<RunRecord>,
+}
+
+impl FigureReport {
+    /// Distinct dataset names, in insertion order.
+    pub fn datasets(&self) -> Vec<String> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for r in &self.records {
+            if seen.insert(r.dataset.clone()) {
+                out.push(r.dataset.clone());
+            }
+        }
+        out
+    }
+
+    /// Distinct algorithm names, in insertion order.
+    pub fn algorithms(&self) -> Vec<String> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for r in &self.records {
+            if seen.insert(r.algorithm.clone()) {
+                out.push(r.algorithm.clone());
+            }
+        }
+        out
+    }
+
+    /// Distinct sweep values, ascending.
+    pub fn xs(&self, dataset: &str) -> Vec<f64> {
+        let mut xs: Vec<f64> =
+            self.records.iter().filter(|r| r.dataset == dataset).map(|r| r.x).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+        xs.dedup();
+        xs
+    }
+
+    /// Looks up one cell.
+    pub fn cell(&self, dataset: &str, algorithm: &str, x: f64) -> Option<&RunRecord> {
+        self.records
+            .iter()
+            .find(|r| r.dataset == dataset && r.algorithm == algorithm && r.x == x)
+    }
+
+    /// The series `(x, metric)` for one dataset & algorithm, ascending x.
+    pub fn series(&self, dataset: &str, algorithm: &str, metric: Metric) -> Vec<(f64, f64)> {
+        let mut pts: Vec<(f64, f64)> = self
+            .records
+            .iter()
+            .filter(|r| r.dataset == dataset && r.algorithm == algorithm)
+            .map(|r| (r.x, metric.of(r)))
+            .collect();
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite x"));
+        pts
+    }
+
+    /// Renders one `dataset × metric` table (rows = sweep values,
+    /// columns = algorithms) in the style the paper's plots tabulate.
+    pub fn table(&self, dataset: &str, metric: Metric) -> String {
+        let algos = self.algorithms();
+        let x_label = self
+            .records
+            .iter()
+            .find(|r| r.dataset == dataset)
+            .map(|r| r.x_label.clone())
+            .unwrap_or_else(|| "x".into());
+
+        let mut out = String::new();
+        let _ = writeln!(out, "## {} — {} ({})", self.id, metric.name(), dataset);
+        let _ = write!(out, "{:>10}", x_label);
+        for a in &algos {
+            let _ = write!(out, " {a:>14}");
+        }
+        out.push('\n');
+        for x in self.xs(dataset) {
+            let _ = write!(out, "{x:>10}");
+            for a in &algos {
+                match self.cell(dataset, a, x) {
+                    Some(r) => {
+                        let v = metric.of(r);
+                        if metric == Metric::Utility {
+                            let _ = write!(out, " {v:>14.4}");
+                        } else {
+                            let _ = write!(out, " {v:>14.1}");
+                        }
+                    }
+                    None => {
+                        let _ = write!(out, " {:>14}", "-");
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders every `dataset × metric` table of the figure.
+    pub fn render(&self) -> String {
+        let mut out = format!("# {} — {}\n\n", self.id, self.title);
+        for metric in &self.metrics {
+            for dataset in self.datasets() {
+                out.push_str(&self.table(&dataset, *metric));
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Serializes the full report as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Renders the records as CSV (one row per cell, all metrics).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "figure,dataset,algorithm,x_label,x,k,num_events,num_intervals,num_users,\
+             utility,computations,examined,time_ms\n",
+        );
+        for r in &self.records {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                r.figure,
+                r.dataset,
+                r.algorithm,
+                r.x_label,
+                r.x,
+                r.k,
+                r.num_events,
+                r.num_intervals,
+                r.num_users,
+                r.utility,
+                r.computations,
+                r.examined,
+                r.time_ms
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(dataset: &str, alg: &str, x: f64, utility: f64) -> RunRecord {
+        RunRecord {
+            figure: "figX".into(),
+            dataset: dataset.into(),
+            algorithm: alg.into(),
+            x_label: "k".into(),
+            x,
+            k: x as usize,
+            num_events: 10,
+            num_intervals: 5,
+            num_users: 100,
+            utility,
+            computations: 1000,
+            examined: 50,
+            time_ms: 1.5,
+        }
+    }
+
+    fn sample() -> FigureReport {
+        FigureReport {
+            id: "figX".into(),
+            title: "test".into(),
+            metrics: vec![Metric::Utility, Metric::Time],
+            records: vec![
+                record("Unf", "ALG", 50.0, 1.0),
+                record("Unf", "HOR", 50.0, 0.9),
+                record("Unf", "ALG", 100.0, 2.0),
+                record("Unf", "HOR", 100.0, 1.9),
+                record("Zip", "ALG", 50.0, 3.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn datasets_and_algorithms_deduplicate() {
+        let rep = sample();
+        assert_eq!(rep.datasets(), vec!["Unf", "Zip"]);
+        assert_eq!(rep.algorithms(), vec!["ALG", "HOR"]);
+    }
+
+    #[test]
+    fn series_sorted_by_x() {
+        let rep = sample();
+        let s = rep.series("Unf", "ALG", Metric::Utility);
+        assert_eq!(s, vec![(50.0, 1.0), (100.0, 2.0)]);
+    }
+
+    #[test]
+    fn table_handles_missing_cells() {
+        let rep = sample();
+        let t = rep.table("Zip", Metric::Utility);
+        assert!(t.contains("ALG"));
+        assert!(t.contains('-'), "HOR has no Zip cell: {t}");
+    }
+
+    #[test]
+    fn render_covers_all_metric_dataset_pairs() {
+        let rep = sample();
+        let r = rep.render();
+        assert!(r.contains("Utility (Unf)"));
+        assert!(r.contains("Time (ms) (Zip)"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let rep = sample();
+        let csv = rep.to_csv();
+        assert_eq!(csv.lines().count(), 1 + rep.records.len());
+        assert!(csv.starts_with("figure,dataset"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let rep = sample();
+        let back: FigureReport = serde_json::from_str(&rep.to_json()).unwrap();
+        assert_eq!(back.records.len(), rep.records.len());
+    }
+
+    #[test]
+    fn metric_extraction() {
+        let r = record("Unf", "ALG", 1.0, 9.0);
+        assert_eq!(Metric::Utility.of(&r), 9.0);
+        assert_eq!(Metric::Computations.of(&r), 1000.0);
+        assert_eq!(Metric::Examined.of(&r), 50.0);
+        assert_eq!(Metric::Time.of(&r), 1.5);
+    }
+}

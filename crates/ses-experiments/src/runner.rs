@@ -1,0 +1,138 @@
+//! Shared machinery for figure runners: scaling knobs and the
+//! instance → lineup → records pipeline.
+
+use crate::report::RunRecord;
+use serde::{Deserialize, Serialize};
+use ses_algorithms::SchedulerKind;
+use ses_core::model::Instance;
+
+/// Laptop-scaling knobs for the experiment suite.
+///
+/// The paper runs up to `|U| = 1M` on a Xeon server with multi-hour budgets;
+/// the harness reproduces every figure's *shape* at a configurable user
+/// scale. `quick` additionally truncates the heaviest sweep points (e.g.
+/// `k = 500`) so the full suite finishes in minutes; `--full` style runs
+/// disable it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Users per instance (the paper's default is 100K; harness default is
+    /// laptop-sized).
+    pub num_users: usize,
+    /// Truncate the heaviest sweep points.
+    pub quick: bool,
+    /// Base RNG seed; sweep points derive their own seeds from it.
+    pub seed: u64,
+    /// Multiplier on the structural dimensions (`k`, `|E|`, `|T|` sweep
+    /// values). `1.0` reproduces the paper's axes; smoke tests use smaller
+    /// factors to run every figure end-to-end in milliseconds.
+    pub dim_scale: f64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self { num_users: 400, quick: true, seed: 0x5E5, dim_scale: 1.0 }
+    }
+}
+
+impl ExperimentConfig {
+    /// A configuration for CI-speed smoke runs: few users, truncated sweeps,
+    /// structural dimensions at one-tenth of the paper's.
+    pub fn smoke() -> Self {
+        Self { num_users: 60, quick: true, seed: 0x5E5, dim_scale: 0.1 }
+    }
+
+    /// Overrides the user count.
+    #[must_use]
+    pub fn with_users(mut self, n: usize) -> Self {
+        self.num_users = n;
+        self
+    }
+
+    /// Disables quick-mode truncation.
+    #[must_use]
+    pub fn full(mut self) -> Self {
+        self.quick = false;
+        self
+    }
+
+    /// Applies `dim_scale` to a structural dimension (floor 2 so degenerate
+    /// instances never arise).
+    pub fn dim(&self, n: usize) -> usize {
+        ((n as f64 * self.dim_scale).round() as usize).max(2)
+    }
+}
+
+/// Runs every scheduler in `kinds` on `inst` and converts the results into
+/// [`RunRecord`]s for the given figure/dataset/sweep-point.
+#[allow(clippy::too_many_arguments)]
+pub fn run_lineup(
+    figure: &str,
+    dataset: &str,
+    x_label: &str,
+    x: f64,
+    inst: &Instance,
+    k: usize,
+    kinds: &[SchedulerKind],
+) -> Vec<RunRecord> {
+    kinds
+        .iter()
+        .map(|kind| {
+            let res = kind.run(inst, k);
+            RunRecord {
+                figure: figure.to_string(),
+                dataset: dataset.to_string(),
+                algorithm: res.algorithm.clone(),
+                x_label: x_label.to_string(),
+                x,
+                k,
+                num_events: inst.num_events(),
+                num_intervals: inst.num_intervals(),
+                num_users: inst.num_users(),
+                utility: res.utility,
+                computations: res.stats.user_ops,
+                examined: res.stats.assignments_examined,
+                time_ms: res.elapsed.as_secs_f64() * 1e3,
+            }
+        })
+        .collect()
+}
+
+/// The paper's standard method lineup for time/computation plots.
+pub fn standard_kinds() -> Vec<SchedulerKind> {
+    vec![
+        SchedulerKind::Alg,
+        SchedulerKind::Inc,
+        SchedulerKind::Hor,
+        SchedulerKind::HorI,
+        SchedulerKind::Top,
+        SchedulerKind::Rand(0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_core::model::running_example;
+
+    #[test]
+    fn lineup_produces_one_record_per_kind() {
+        let inst = running_example();
+        let kinds = standard_kinds();
+        let recs = run_lineup("figX", "RE", "k", 3.0, &inst, 3, &kinds);
+        assert_eq!(recs.len(), kinds.len());
+        let algs: Vec<&str> = recs.iter().map(|r| r.algorithm.as_str()).collect();
+        assert_eq!(algs, vec!["ALG", "INC", "HOR", "HOR-I", "TOP", "RAND"]);
+        for r in &recs {
+            assert_eq!(r.k, 3);
+            assert_eq!(r.num_events, 4);
+            assert!(r.utility >= 0.0);
+        }
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = ExperimentConfig::default().with_users(99).full();
+        assert_eq!(c.num_users, 99);
+        assert!(!c.quick);
+    }
+}

@@ -1,0 +1,54 @@
+//! Worst-case analysis for the horizontal algorithms (Propositions 5 & 7).
+//!
+//! HOR performs ⌈k/|T|⌉ rounds and always pays for a full round of score
+//! computations; with `k mod |T| = 1` the final round's work buys a single
+//! selection. This example measures HOR/HOR-I at `|T| = k - 1` (the worst
+//! case), `|T| = k` (best: one round), and `|T| = k/2` (exact rounds), and
+//! shows that even in the worst case the horizontal algorithms beat ALG.
+//!
+//! Run with: `cargo run --release --example worst_case_analysis`
+
+use social_event_scheduling::algorithms::prelude::*;
+use social_event_scheduling::datasets::Dataset;
+
+fn main() {
+    let (users, k, events) = (300usize, 60usize, 300usize);
+    println!("Zip dataset, |U| = {users}, |E| = {events}, k = {k}\n");
+    println!(
+        "{:>10} {:>8} {:>14} {:>14} {:>14} {:>14}",
+        "|T|", "rounds", "ALG comp", "HOR comp", "HOR-I comp", "INC comp"
+    );
+
+    for (label, intervals) in [
+        ("k-1 (worst)", k - 1),
+        ("k (1 round)", k),
+        ("k/2 (exact)", k / 2),
+        ("3k/2", 3 * k / 2),
+    ] {
+        let inst = Dataset::Zip.build(users, events, intervals, 7);
+        let alg = Alg.run(&inst, k);
+        let hor = Hor.run(&inst, k);
+        let hor_i = HorI.run(&inst, k);
+        let inc = Inc.run(&inst, k);
+        println!(
+            "{:>10} {:>8} {:>14} {:>14} {:>14} {:>14}   [{label}]",
+            intervals,
+            k.div_ceil(intervals),
+            alg.stats.user_ops,
+            hor.stats.user_ops,
+            hor_i.stats.user_ops,
+            inc.stats.user_ops,
+        );
+        assert!(
+            hor_i.stats.user_ops <= hor.stats.user_ops,
+            "HOR-I must never out-compute HOR"
+        );
+        // Utility parity within each pair (Props. 3 & 6).
+        assert!((alg.utility - inc.utility).abs() < 1e-9);
+        assert!((hor.utility - hor_i.utility).abs() < 1e-9);
+    }
+
+    println!("\nAt |T| = k-1 the last round computes a full |T|-selection worth of scores");
+    println!("for one pick (Prop. 5) — visible as the jump between rows 2 and 1. Even so,");
+    println!("both horizontal variants stay below ALG's computation count (Fig. 10a).");
+}

@@ -1,0 +1,23 @@
+//! # social-event-scheduling — facade crate
+//!
+//! One-stop re-export of the SES reproduction workspace:
+//!
+//! * [`core`](ses_core) — problem model, schedules, scoring (Eq. 1–4);
+//! * [`algorithms`](ses_algorithms) — ALG, INC, HOR, HOR-I, TOP, RAND, exact;
+//! * [`datasets`](ses_datasets) — synthetic + simulated Meetup/Concerts
+//!   generators over the paper's Table-1 parameter space;
+//! * [`experiments`](ses_experiments) — harness regenerating every figure.
+//!
+//! See `examples/quickstart.rs` for a guided tour, and DESIGN.md /
+//! EXPERIMENTS.md at the repository root for the system inventory and the
+//! paper-vs-measured record.
+
+#![warn(missing_docs)]
+
+pub use ses_algorithms as algorithms;
+pub use ses_core as core;
+pub use ses_datasets as datasets;
+pub use ses_experiments as experiments;
+
+pub use ses_algorithms::prelude::*;
+pub use ses_core::{Assignment, EventId, Instance, IntervalId, LocationId, Schedule, Stats};

@@ -1,0 +1,152 @@
+//! End-to-end smoke runs of every figure runner at `ExperimentConfig::smoke`
+//! scale, checking the report structure and the paper's headline shape
+//! claims on each.
+
+use social_event_scheduling::experiments::figures::{self, summary, ALL_FIGURES};
+use social_event_scheduling::experiments::{ExperimentConfig, Metric};
+
+fn config() -> ExperimentConfig {
+    ExperimentConfig::smoke()
+}
+
+#[test]
+fn every_figure_runs_and_renders() {
+    for id in ALL_FIGURES {
+        let report = figures::run_figure(id, &config()).unwrap_or_else(|| panic!("{id} missing"));
+        assert_eq!(report.id, id);
+        assert!(!report.records.is_empty(), "{id} produced no records");
+        let rendered = report.render();
+        assert!(rendered.contains(id), "{id} render lacks id");
+        // JSON and CSV exports are well-formed.
+        let json = report.to_json();
+        assert!(serde_json::from_str::<serde_json::Value>(&json).is_ok());
+        assert!(report.to_csv().lines().count() > 1);
+    }
+    assert!(figures::run_figure("nope", &config()).is_none());
+}
+
+/// Fig 5 shape: computations ordering ALG ≥ INC and ALG ≥ HOR ≥/= HOR-I at
+/// every sweep point on every dataset; INC utility ≡ ALG utility.
+#[test]
+fn fig5_shapes() {
+    let report = figures::fig5::run(&config());
+    for dataset in report.datasets() {
+        for x in report.xs(&dataset) {
+            let get = |alg: &str| report.cell(&dataset, alg, x).unwrap();
+            assert!(
+                get("ALG").computations >= get("INC").computations,
+                "{dataset} k={x}: INC must not out-compute ALG"
+            );
+            assert!(
+                get("HOR").computations >= get("HOR-I").computations,
+                "{dataset} k={x}: HOR-I must not out-compute HOR"
+            );
+            assert!((get("ALG").utility - get("INC").utility).abs() < 1e-9);
+            assert!((get("HOR").utility - get("HOR-I").utility).abs() < 1e-9);
+            // TOP computes the bare minimum among scoring methods.
+            assert!(get("TOP").computations <= get("ALG").computations);
+        }
+    }
+}
+
+/// Fig 6 shape: utility of the greedy methods rises with |T| on every
+/// dataset (more slots, fewer parallel events).
+#[test]
+fn fig6_utility_rises_with_intervals() {
+    let report = figures::fig6::run(&config());
+    for dataset in report.datasets() {
+        let series = report.series(&dataset, "ALG", Metric::Utility);
+        assert!(series.len() >= 2);
+        let first = series.first().unwrap().1;
+        let last = series.last().unwrap().1;
+        assert!(
+            last > first,
+            "{dataset}: utility should rise with |T| ({first} -> {last})"
+        );
+    }
+}
+
+/// Fig 7 shape: RAND never beats the greedy methods, and ALG's utility does
+/// not degrade as |E| grows.
+#[test]
+fn fig7_shapes() {
+    let report = figures::fig7::run(&config());
+    for dataset in report.datasets() {
+        for x in report.xs(&dataset) {
+            let alg = report.cell(&dataset, "ALG", x).unwrap();
+            let rnd = report.cell(&dataset, "RAND", x).unwrap();
+            assert!(alg.utility >= rnd.utility - 1e-9, "{dataset} |E|={x}");
+        }
+        let series = report.series(&dataset, "ALG", Metric::Utility);
+        let first = series.first().unwrap().1;
+        let last = series.last().unwrap().1;
+        assert!(last >= first * 0.95, "{dataset}: ALG utility collapsed with |E|");
+    }
+}
+
+/// Fig 8 shape: computations grow linearly-ish with |U| for every method.
+#[test]
+fn fig8_computations_scale_with_users() {
+    let report = figures::fig8::run(&config());
+    for dataset in report.datasets() {
+        let series = report.series(&dataset, "ALG", Metric::Computations);
+        for w in series.windows(2) {
+            assert!(w[1].1 > w[0].1, "{dataset}: computations must rise with |U|");
+        }
+    }
+}
+
+/// Fig 9 shape: every method stays feasible across location counts and the
+/// greedy utilities stay within a band (the paper: "almost unaffected").
+#[test]
+fn fig9_greedy_utility_stable() {
+    let report = figures::fig9::run(&config());
+    let series = report.series("Unf", "ALG", Metric::Utility);
+    let min = series.iter().map(|p| p.1).fold(f64::MAX, f64::min);
+    let max = series.iter().map(|p| p.1).fold(f64::MIN, f64::max);
+    assert!(min > 0.0);
+    assert!(max / min < 2.0, "ALG utility swings too much with locations: {min}..{max}");
+}
+
+/// Fig 10a shape: even in the horizontal worst case, HOR-I performs no more
+/// computations than ALG on any dataset.
+#[test]
+fn fig10a_worst_case_ordering() {
+    let report = figures::fig10::run_worst_case(&config());
+    for dataset in report.datasets() {
+        let alg = report.cell(&dataset, "ALG", 0.0).unwrap();
+        let hor_i = report.cell(&dataset, "HOR-I", 0.0).unwrap();
+        assert!(
+            hor_i.computations <= alg.computations,
+            "{dataset}: HOR-I {} > ALG {}",
+            hor_i.computations,
+            alg.computations
+        );
+    }
+}
+
+/// Fig 10b shape: INC examines fewer assignments than ALG in every config.
+#[test]
+fn fig10b_search_space_reduction() {
+    let report = figures::fig10::run_search_space(&config());
+    for dataset in report.datasets() {
+        for x in report.xs(&dataset) {
+            let alg = report.cell(&dataset, "ALG", x).unwrap();
+            let inc = report.cell(&dataset, "INC", x).unwrap();
+            assert!(
+                inc.examined < alg.examined,
+                "{dataset}: INC {} !< ALG {}",
+                inc.examined,
+                alg.examined
+            );
+        }
+    }
+}
+
+/// §4.2.8: the quality batch renders and Prop. 3 holds.
+#[test]
+fn summary_runs() {
+    let s = summary::run(50, 1);
+    assert!(s.inc_always_equal);
+    assert!(s.render().contains("§4.2.8"));
+}

@@ -1,0 +1,119 @@
+//! End-to-end reproduction of the paper's worked examples (§2–§3,
+//! Figures 1–4, Examples 1–5) through the facade crate.
+
+use social_event_scheduling::algorithms::prelude::*;
+use social_event_scheduling::core::model::running_example;
+use social_event_scheduling::core::scoring::utility::{
+    attendance_probability, expected_attendance, total_utility,
+};
+use social_event_scheduling::core::scoring::ScoringEngine;
+use social_event_scheduling::{Assignment, EventId, IntervalId};
+
+fn paper_schedule() -> Vec<Assignment> {
+    vec![
+        Assignment::new(EventId::new(3), IntervalId::new(1)), // e4@t2
+        Assignment::new(EventId::new(0), IntervalId::new(0)), // e1@t1
+        Assignment::new(EventId::new(1), IntervalId::new(1)), // e2@t2
+    ]
+}
+
+/// Figure 2 row ①: the eight initial assignment scores.
+#[test]
+fn figure2_initial_scores() {
+    let inst = running_example();
+    let mut engine = ScoringEngine::new(&inst);
+    let expected = [
+        ((0, 0), 0.59),
+        ((1, 0), 0.52),
+        ((2, 0), 0.10),
+        ((3, 0), 0.64),
+        ((0, 1), 0.53),
+        ((1, 1), 0.57),
+        ((2, 1), 0.09),
+        ((3, 1), 0.66),
+    ];
+    for ((e, t), want) in expected {
+        let got = engine.assignment_score(EventId::new(e), IntervalId::new(t));
+        assert!((got - want).abs() < 5e-3, "α(e{}, t{}) = {got}, paper: {want}", e + 1, t + 1);
+    }
+}
+
+/// Examples 2–5: every algorithm finds the paper's schedule, with exactly
+/// the update counts the paper walks through (ALG 4, INC 1, HOR 3, HOR-I 2).
+#[test]
+fn examples_2_to_5_full_trace() {
+    let inst = running_example();
+    let cases: [(&str, Box<dyn Scheduler>, u64); 4] = [
+        ("Example 2", Box::new(Alg), 4),
+        ("Example 3", Box::new(Inc), 1),
+        ("Example 4", Box::new(Hor), 3),
+        ("Example 5", Box::new(HorI), 2),
+    ];
+    for (name, scheduler, updates) in cases {
+        let res = scheduler.run(&inst, 3);
+        assert_eq!(res.schedule.assignments(), paper_schedule().as_slice(), "{name}");
+        assert_eq!(res.stats.score_updates, updates, "{name} update count");
+        assert!((res.utility - 1.4073).abs() < 5e-4, "{name} utility {}", res.utility);
+    }
+}
+
+/// Example 1's narrative: Alice (u1) is interested in all three Friday
+/// options but can attend only one — the Luce probabilities for the
+/// scheduled events sum to at most her activity probability.
+#[test]
+fn example1_luce_budget() {
+    let inst = running_example();
+    let mut s = social_event_scheduling::Schedule::new(&inst);
+    for a in paper_schedule() {
+        s.assign(&inst, a.event, a.interval).unwrap();
+    }
+    for t in 0..2 {
+        let interval = IntervalId::new(t);
+        for u in 0..2 {
+            let total: f64 = s
+                .events_at(interval)
+                .iter()
+                .map(|&e| attendance_probability(&inst, &s, u, e, interval))
+                .sum();
+            let sigma = inst.activity.value(u, t);
+            assert!(total <= sigma + 1e-12, "user {u} t{t}: Σρ = {total} > σ = {sigma}");
+        }
+    }
+}
+
+/// Eq. 2/3 consistency on the final schedule: per-event attendances sum to
+/// the total utility.
+#[test]
+fn expected_attendances_sum_to_utility() {
+    let inst = running_example();
+    let mut s = social_event_scheduling::Schedule::new(&inst);
+    for a in paper_schedule() {
+        s.assign(&inst, a.event, a.interval).unwrap();
+    }
+    let per_event: f64 = paper_schedule()
+        .iter()
+        .map(|a| expected_attendance(&inst, &s, a.event))
+        .sum();
+    let omega = total_utility(&inst, &s);
+    assert!((per_event - omega).abs() < 1e-12);
+    // Hand-computed per-event values: ω(e1) ≈ 0.5902, ω(e4) ≈ 0.4711,
+    // ω(e2) ≈ 0.3461 under the final schedule.
+    assert!((expected_attendance(&inst, &s, EventId::new(0)) - 0.5902).abs() < 5e-4);
+    assert!((expected_attendance(&inst, &s, EventId::new(3)) - 0.4711).abs() < 5e-4);
+    assert!((expected_attendance(&inst, &s, EventId::new(1)) - 0.3461).abs() < 5e-4);
+}
+
+/// The location constraint from Example 1: e1 and e2 share Stage 1 and can
+/// never share an interval — in any k = 4 run they land in different slots.
+#[test]
+fn stage1_events_never_collide() {
+    let inst = running_example();
+    for kind in SchedulerKind::paper_lineup() {
+        let res = kind.run(&inst, 4);
+        let t0 = res.schedule.interval_of(EventId::new(0));
+        let t1 = res.schedule.interval_of(EventId::new(1));
+        if let (Some(a), Some(b)) = (t0, t1) {
+            assert_ne!(a, b, "{}: e1 and e2 share Stage 1", kind.name());
+        }
+    }
+}
