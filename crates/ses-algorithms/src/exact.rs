@@ -76,15 +76,11 @@ impl Search<'_, '_> {
                 continue;
             }
             let gain = self.engine.assignment_score(event, interval);
-            self.schedule
-                .assign(self.inst, event, interval)
-                .expect("checked valid");
+            self.schedule.assign(self.inst, event, interval).expect("checked valid");
             self.engine.apply(event, interval);
             self.dfs(next_event + 1, current_utility + gain);
             self.engine.unapply(event, interval);
-            self.schedule
-                .unassign(self.inst, event)
-                .expect("just assigned");
+            self.schedule.unassign(self.inst, event).expect("just assigned");
         }
         // Branch 2: skip `event`.
         self.dfs(next_event + 1, current_utility);

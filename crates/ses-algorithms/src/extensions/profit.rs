@@ -174,8 +174,8 @@ mod tests {
             e.cost = 0.3;
         }
         // At revenue 1.0 only high-gain events clear cost 0.3.
-        let low = ProfitGreedy { revenue_per_attendee: 1.0, stop_when_unprofitable: true }
-            .run(&inst, 4);
+        let low =
+            ProfitGreedy { revenue_per_attendee: 1.0, stop_when_unprofitable: true }.run(&inst, 4);
         // At revenue 100 everything clears.
         let high = ProfitGreedy { revenue_per_attendee: 100.0, stop_when_unprofitable: true }
             .run(&inst, 4);

@@ -17,7 +17,9 @@
 //!   deserve more events than others), but in >70% of the paper's runs the
 //!   utility is identical and the observed gap averages 0.008%.
 
-use crate::common::{better, max_duration, stale_window, timed_result, Cand, ScheduleResult, Scheduler};
+use crate::common::{
+    better, max_duration, stale_window, timed_result, Cand, ScheduleResult, Scheduler,
+};
 use ses_core::model::Instance;
 use ses_core::schedule::Schedule;
 use ses_core::scoring::ScoringEngine;
@@ -98,9 +100,7 @@ fn run_hor(inst: &Instance, k: usize) -> (Schedule, Stats) {
             // collide with occupants placed later in the round, so the full
             // check is repeated here.
             if schedule.is_valid_assignment(inst, top.event, top.interval) {
-                schedule
-                    .assign(inst, top.event, top.interval)
-                    .expect("just validated");
+                schedule.assign(inst, top.event, top.interval).expect("just validated");
                 engine.apply(top.event, top.interval);
                 // The whole stale window is done for this round: its
                 // precomputed scores are void (a no-op beyond m[tp] in the
@@ -111,8 +111,14 @@ fn run_hor(inst: &Instance, k: usize) -> (Schedule, Stats) {
             } else {
                 // The event was claimed by another interval this round:
                 // fall back to the interval's next free entry (line 14).
-                m[tp] =
-                    next_free(inst, &lists[tp], &mut cursor[tp], &schedule, top.interval, &mut engine);
+                m[tp] = next_free(
+                    inst,
+                    &lists[tp],
+                    &mut cursor[tp],
+                    &schedule,
+                    top.interval,
+                    &mut engine,
+                );
             }
         }
 

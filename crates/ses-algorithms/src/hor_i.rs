@@ -18,7 +18,9 @@
 //!
 //! HOR-I is identical to HOR whenever one round suffices (`k ≤ |T|`).
 
-use crate::common::{better, max_duration, stale_window, timed_result, Cand, ScheduleResult, Scheduler};
+use crate::common::{
+    better, max_duration, stale_window, timed_result, Cand, ScheduleResult, Scheduler,
+};
 use ses_core::model::Instance;
 use ses_core::schedule::Schedule;
 use ses_core::scoring::ScoringEngine;
@@ -210,9 +212,7 @@ fn run_hor_i(inst: &Instance, k: usize) -> (Schedule, Stats) {
             // collision can arise mid-round (for duration-1 only event reuse
             // can invalidate a walked entry).
             if schedule.is_valid_assignment(inst, top.event, top.interval) {
-                schedule
-                    .assign(inst, top.event, top.interval)
-                    .expect("just validated");
+                schedule.assign(inst, top.event, top.interval).expect("just validated");
                 engine.apply(top.event, top.interval);
                 // Every starting interval in the stale window may hold
                 // span-affected entries: mark survivors stale and retire the

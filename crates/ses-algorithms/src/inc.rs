@@ -25,7 +25,9 @@
 //! whose assignments are not going to be updated" — using the front stored
 //! score as the interval's upper bound, which is both correct and effective.
 
-use crate::common::{better, max_duration, stale_window, timed_result, Cand, ScheduleResult, Scheduler};
+use crate::common::{
+    better, max_duration, stale_window, timed_result, Cand, ScheduleResult, Scheduler,
+};
 use ses_core::model::Instance;
 use ses_core::schedule::Schedule;
 use ses_core::scoring::ScoringEngine;

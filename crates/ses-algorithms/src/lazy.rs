@@ -102,10 +102,7 @@ fn run_lazy(inst: &Instance, k: usize) -> (Schedule, Stats) {
         if top.epoch != span_epoch(&epoch, e, t) {
             // Stale: refresh and reinsert — it may no longer be the top.
             let fresh = engine.assignment_score_update(e, t);
-            heap.push(HeapEntry {
-                cand: Cand::new(fresh, t, e),
-                epoch: span_epoch(&epoch, e, t),
-            });
+            heap.push(HeapEntry { cand: Cand::new(fresh, t, e), epoch: span_epoch(&epoch, e, t) });
             continue;
         }
         schedule.assign(inst, e, t).expect("checked valid");

@@ -54,9 +54,7 @@ fn run_top(inst: &Instance, k: usize) -> (Schedule, Stats) {
         }
         engine.stats_mut().record_examined(1);
         if schedule.is_valid_assignment(inst, cand.event, cand.interval) {
-            schedule
-                .assign(inst, cand.event, cand.interval)
-                .expect("checked valid");
+            schedule.assign(inst, cand.event, cand.interval).expect("checked valid");
             engine.apply(cand.event, cand.interval);
         }
     }

@@ -161,9 +161,7 @@ proptest! {
 #[test]
 fn tie_heavy_instance_equivalences_hold() {
     use ses_core::ids::{IntervalId, LocationId};
-    use ses_core::model::{
-        ActivityMatrix, CompetingEvent, DenseInterest, Event, InstanceBuilder,
-    };
+    use ses_core::model::{ActivityMatrix, CompetingEvent, DenseInterest, Event, InstanceBuilder};
 
     let (ne, nt, nu) = (6usize, 3usize, 4usize);
     let mut b = InstanceBuilder::new();

@@ -30,9 +30,8 @@ impl Args {
                 if SWITCHES.contains(&name) {
                     out.flags.insert(name.to_string(), "true".to_string());
                 } else {
-                    let val = iter
-                        .next()
-                        .ok_or_else(|| format!("flag --{name} expects a value"))?;
+                    let val =
+                        iter.next().ok_or_else(|| format!("flag --{name} expects a value"))?;
                     out.flags.insert(name.to_string(), val);
                 }
             } else if out.command.is_empty() {

@@ -7,10 +7,7 @@ use crate::commands::dataset_from_flags;
 /// Executes the `generate` subcommand.
 pub fn exec(args: &Args) -> Result<(), String> {
     let (dataset, users, events, intervals, seed) = dataset_from_flags(args)?;
-    let out = args
-        .opt_flag("out")
-        .ok_or("generate requires --out <path>")?
-        .to_string();
+    let out = args.opt_flag("out").ok_or("generate requires --out <path>")?.to_string();
 
     let inst = dataset.build(users, events, intervals, seed);
     let json = serde_json::to_string(&inst).map_err(|e| e.to_string())?;

@@ -14,7 +14,9 @@ pub fn exec(args: &Args) -> Result<(), String> {
         None => SchedulerKind::paper_lineup().to_vec(),
         Some(spec) => spec
             .split(',')
-            .map(|s| SchedulerKind::parse(s.trim()).ok_or_else(|| format!("unknown algorithm '{s}'")))
+            .map(|s| {
+                SchedulerKind::parse(s.trim()).ok_or_else(|| format!("unknown algorithm '{s}'"))
+            })
             .collect::<Result<_, _>>()?,
     };
 

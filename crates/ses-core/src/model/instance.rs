@@ -298,9 +298,8 @@ impl InstanceBuilder {
         let competing_interest = self
             .competing_interest
             .unwrap_or_else(|| DenseInterest::zeros(self.competing.len(), num_users).into());
-        let event_interest = self
-            .event_interest
-            .ok_or(BuildError::EmptyDimension("event interest matrix"))?;
+        let event_interest =
+            self.event_interest.ok_or(BuildError::EmptyDimension("event interest matrix"))?;
         let inst = Instance {
             events: self.events,
             intervals: self.intervals,

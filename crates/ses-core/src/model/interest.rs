@@ -229,7 +229,11 @@ impl DenseInterest {
     }
 
     /// Builds from a generator function `f(item, user) -> µ`.
-    pub fn from_fn(num_items: usize, num_users: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+    pub fn from_fn(
+        num_items: usize,
+        num_users: usize,
+        mut f: impl FnMut(usize, usize) -> f64,
+    ) -> Self {
         let mut data = Vec::with_capacity(num_items * num_users);
         for item in 0..num_items {
             for user in 0..num_users {
@@ -244,7 +248,11 @@ impl DenseInterest {
     /// # Errors
     /// Returns [`BuildError::DimensionMismatch`] if
     /// `data.len() != num_items * num_users`.
-    pub fn from_raw(num_items: usize, num_users: usize, data: Vec<f64>) -> Result<Self, BuildError> {
+    pub fn from_raw(
+        num_items: usize,
+        num_users: usize,
+        data: Vec<f64>,
+    ) -> Result<Self, BuildError> {
         if data.len() != num_items * num_users {
             return Err(BuildError::DimensionMismatch {
                 what: "dense interest",

@@ -141,7 +141,10 @@ impl Schedule {
                 }
             }
             if self.used_resources[ti] + ev.required_resources > inst.resources {
-                return Err(ScheduleError::ResourcesExceeded { event: e, interval: IntervalId::new(ti) });
+                return Err(ScheduleError::ResourcesExceeded {
+                    event: e,
+                    interval: IntervalId::new(ti),
+                });
             }
         }
         Ok(())
@@ -159,7 +162,12 @@ impl Schedule {
     /// # Errors
     /// Propagates [`check_assign`](Self::check_assign) failures; on error the
     /// schedule is unchanged.
-    pub fn assign(&mut self, inst: &Instance, e: EventId, t: IntervalId) -> Result<(), ScheduleError> {
+    pub fn assign(
+        &mut self,
+        inst: &Instance,
+        e: EventId,
+        t: IntervalId,
+    ) -> Result<(), ScheduleError> {
         self.check_assign(inst, e, t)?;
         let ev = &inst.events[e.index()];
         for ti in Self::span(inst, e, t) {

@@ -39,10 +39,7 @@ pub fn attendance_probability(
     e: EventId,
     t: IntervalId,
 ) -> f64 {
-    debug_assert!(
-        s.events_at(t).contains(&e),
-        "ρ is defined for events scheduled at the interval"
-    );
+    debug_assert!(s.events_at(t).contains(&e), "ρ is defined for events scheduled at the interval");
     let denom = luce_denominator(inst, s, user, t);
     if denom <= 0.0 {
         return 0.0;

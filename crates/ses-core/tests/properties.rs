@@ -27,11 +27,11 @@ fn small_instance() -> impl Strategy<Value = Instance> {
             Just(nt),
             Just(nu),
             Just(nc),
-            proptest::collection::vec(0usize..3, ne),          // locations
-            proptest::collection::vec(prob(), ne * nu),        // event interest
-            proptest::collection::vec(prob(), nc * nu),        // competing interest
-            proptest::collection::vec(prob(), nu * nt),        // activity
-            proptest::collection::vec(0usize..64, nc.max(1)),  // competing interval picks
+            proptest::collection::vec(0usize..3, ne), // locations
+            proptest::collection::vec(prob(), ne * nu), // event interest
+            proptest::collection::vec(prob(), nc * nu), // competing interest
+            proptest::collection::vec(prob(), nu * nt), // activity
+            proptest::collection::vec(0usize..64, nc.max(1)), // competing interval picks
         )
     })
     .prop_map(|(ne, nt, nu, nc, locs, ev, cv, act, cints)| {

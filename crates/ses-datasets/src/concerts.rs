@@ -164,9 +164,12 @@ pub fn generate(params: &ConcertsParams) -> Instance {
     let zipf = Zipf::new(params.num_genres, params.genre_skew);
 
     let mut builder = InstanceBuilder::new();
-    for e in
-        random_events(&mut rng, params.num_events, params.num_locations, params.max_required_resources)
-    {
+    for e in random_events(
+        &mut rng,
+        params.num_events,
+        params.num_locations,
+        params.max_required_resources,
+    ) {
         builder.add_event(e);
     }
     builder.add_intervals(params.num_intervals);

@@ -23,12 +23,12 @@
 //! the optimal utility is `3n(0.25 + δ) + (m − n)` — verified against the
 //! exact solver in the tests.
 
+use serde::{Deserialize, Serialize};
 use ses_core::error::BuildError;
 use ses_core::ids::{IntervalId, LocationId};
 use ses_core::model::{
     ActivityMatrix, CompetingEvent, Event, Instance, InstanceBuilder, SparseInterestBuilder,
 };
-use serde::{Deserialize, Serialize};
 
 /// A 3-bounded 3-dimensional matching instance: `|X| = |Y| = |Z| = n`,
 /// `m = |triples|`, every element occurring in at most three triples.
@@ -270,10 +270,7 @@ mod tests {
         assert!(ThreeDm { n: 0, triples: vec![] }.validate().is_err());
         assert!(ThreeDm { n: 2, triples: vec![(0, 0, 2)] }.validate().is_err());
         // Element x = 0 four times: 3-boundedness violated.
-        let dm = ThreeDm {
-            n: 4,
-            triples: vec![(0, 0, 0), (0, 1, 1), (0, 2, 2), (0, 3, 3)],
-        };
+        let dm = ThreeDm { n: 4, triples: vec![(0, 0, 0), (0, 1, 1), (0, 2, 2), (0, 3, 3)] };
         assert!(dm.validate().is_err());
     }
 

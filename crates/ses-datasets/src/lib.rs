@@ -77,7 +77,13 @@ impl Dataset {
     /// `num_events`, `num_intervals` override each generator's defaults;
     /// everything else (locations, resources, conflict density) stays at the
     /// Table-1 defaults.
-    pub fn build(self, num_users: usize, num_events: usize, num_intervals: usize, seed: u64) -> Instance {
+    pub fn build(
+        self,
+        num_users: usize,
+        num_events: usize,
+        num_intervals: usize,
+        seed: u64,
+    ) -> Instance {
         match self {
             Dataset::Meetup => meetup::generate(
                 &MeetupParams::default()

@@ -140,9 +140,12 @@ pub fn generate(params: &MeetupParams) -> Instance {
     let zipf = Zipf::new(params.num_topics, params.topic_skew);
 
     let mut builder = InstanceBuilder::new();
-    for e in
-        random_events(&mut rng, params.num_events, params.num_locations, params.max_required_resources)
-    {
+    for e in random_events(
+        &mut rng,
+        params.num_events,
+        params.num_locations,
+        params.max_required_resources,
+    ) {
         builder.add_event(e);
     }
     builder.add_intervals(params.num_intervals);
@@ -153,8 +156,9 @@ pub fn generate(params: &MeetupParams) -> Instance {
     }
 
     // Topic sets.
-    let event_topics: Vec<Vec<usize>> =
-        (0..params.num_events).map(|_| topic_set(&mut rng, &zipf, params.topics_per_event)).collect();
+    let event_topics: Vec<Vec<usize>> = (0..params.num_events)
+        .map(|_| topic_set(&mut rng, &zipf, params.topics_per_event))
+        .collect();
     let competing_topics: Vec<Vec<usize>> =
         (0..num_competing).map(|_| topic_set(&mut rng, &zipf, params.topics_per_event)).collect();
     let user_topics: Vec<Vec<usize>> =

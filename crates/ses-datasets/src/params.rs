@@ -65,8 +65,8 @@ impl Default for SyntheticParams {
     fn default() -> Self {
         Self {
             k: 100,
-            num_events: 500,     // 5k
-            num_intervals: 150,  // 3k/2
+            num_events: 500,    // 5k
+            num_intervals: 150, // 3k/2
             num_users: 100_000,
             competing_per_interval: (1, 16),
             num_locations: 25,
@@ -111,7 +111,8 @@ pub mod table1 {
     pub const EVENTS_FACTOR: [usize; 5] = [1, 2, 3, 5, 10];
     /// `|T|` as (numerator, denominator) fractions of `k`:
     /// k/5, k/2, k, 3k/2, 2k, 3k.
-    pub const INTERVALS_FRAC: [(usize, usize); 6] = [(1, 5), (1, 2), (1, 1), (3, 2), (2, 1), (3, 1)];
+    pub const INTERVALS_FRAC: [(usize, usize); 6] =
+        [(1, 5), (1, 2), (1, 1), (3, 2), (2, 1), (3, 1)];
     /// Competing events per interval (upper bounds of U[1, x]).
     pub const COMPETING_HI: [u64; 5] = [4, 8, 16, 32, 64];
     /// Available locations.

@@ -19,8 +19,12 @@ pub fn generate(params: &SyntheticParams) -> Instance {
     let mut rng = StdRng::seed_from_u64(params.seed);
 
     let mut builder = InstanceBuilder::new();
-    for e in random_events(&mut rng, params.num_events, params.num_locations, params.max_required_resources)
-    {
+    for e in random_events(
+        &mut rng,
+        params.num_events,
+        params.num_locations,
+        params.max_required_resources,
+    ) {
         builder.add_event(e);
     }
     builder.add_intervals(params.num_intervals);
@@ -34,7 +38,8 @@ pub fn generate(params: &SyntheticParams) -> Instance {
         interest_matrix(&mut rng, params.interest, params.num_events, params.num_users);
     let competing_interest =
         interest_matrix(&mut rng, params.interest, num_competing, params.num_users);
-    let activity = activity_matrix(&mut rng, params.activity, params.num_users, params.num_intervals);
+    let activity =
+        activity_matrix(&mut rng, params.activity, params.num_users, params.num_intervals);
 
     builder
         .event_interest(event_interest)
@@ -123,11 +128,8 @@ mod tests {
 
     #[test]
     fn generates_valid_instances_for_all_models() {
-        for model in [
-            InterestModel::Uniform,
-            InterestModel::Normal,
-            InterestModel::Zipf { s: 2.0 },
-        ] {
+        for model in [InterestModel::Uniform, InterestModel::Normal, InterestModel::Zipf { s: 2.0 }]
+        {
             let inst = generate(&tiny(model));
             assert!(inst.validate().is_ok(), "{model:?}");
             assert_eq!(inst.num_events(), 20);

@@ -25,15 +25,7 @@ pub fn run_worst_case(config: &ExperimentConfig) -> FigureReport {
     let intervals = (k - 1).max(1);
     for dataset in Dataset::ALL {
         let inst = dataset.build(config.num_users, 5 * k, intervals, config.seed ^ 0x10A);
-        records.extend(run_lineup(
-            "fig10a",
-            dataset.name(),
-            "worst-case",
-            0.0,
-            &inst,
-            k,
-            &kinds,
-        ));
+        records.extend(run_lineup("fig10a", dataset.name(), "worst-case", 0.0, &inst, k, &kinds));
     }
     FigureReport {
         id: "fig10a".into(),
@@ -92,11 +84,15 @@ mod tests {
     #[test]
     fn inc_examines_fewer_assignments() {
         let inst = Dataset::Meetup.build(100, 60, 12, 2);
-        let recs =
-            run_lineup("fig10b", "Meetup", "config", 0.0, &inst, 24, &[
-                SchedulerKind::Alg,
-                SchedulerKind::Inc,
-            ]);
+        let recs = run_lineup(
+            "fig10b",
+            "Meetup",
+            "config",
+            0.0,
+            &inst,
+            24,
+            &[SchedulerKind::Alg, SchedulerKind::Inc],
+        );
         let alg = recs.iter().find(|r| r.algorithm == "ALG").unwrap();
         let inc = recs.iter().find(|r| r.algorithm == "INC").unwrap();
         assert!(
@@ -114,11 +110,15 @@ mod tests {
     #[test]
     fn worst_case_still_beats_alg() {
         let inst = Dataset::Zip.build(80, 100, 11, 4);
-        let recs = run_lineup("fig10a", "Zip", "wc", 0.0, &inst, 23, &[
-            SchedulerKind::Alg,
-            SchedulerKind::Hor,
-            SchedulerKind::HorI,
-        ]);
+        let recs = run_lineup(
+            "fig10a",
+            "Zip",
+            "wc",
+            0.0,
+            &inst,
+            23,
+            &[SchedulerKind::Alg, SchedulerKind::Hor, SchedulerKind::HorI],
+        );
         let alg = recs.iter().find(|r| r.algorithm == "ALG").unwrap();
         let hor_i = recs.iter().find(|r| r.algorithm == "HOR-I").unwrap();
         assert!(hor_i.computations <= alg.computations);

@@ -29,15 +29,7 @@ pub fn run(config: &ExperimentConfig) -> FigureReport {
                 (3 * kk / 2).max(1),
                 config.seed ^ (k as u64),
             );
-            records.extend(run_lineup(
-                "fig5",
-                dataset.name(),
-                "k",
-                k as f64,
-                &inst,
-                kk,
-                &kinds,
-            ));
+            records.extend(run_lineup("fig5", dataset.name(), "k", k as f64, &inst, kk, &kinds));
         }
     }
     FigureReport {

@@ -26,15 +26,7 @@ pub fn run(config: &ExperimentConfig) -> FigureReport {
         for &t in &sweep(config) {
             let tt = config.dim(t);
             let inst = dataset.build(config.num_users, 5 * k, tt, config.seed ^ (t as u64));
-            records.extend(run_lineup(
-                "fig6",
-                dataset.name(),
-                "|T|",
-                t as f64,
-                &inst,
-                k,
-                &kinds,
-            ));
+            records.extend(run_lineup("fig6", dataset.name(), "|T|", t as f64, &inst, k, &kinds));
         }
     }
     FigureReport {
@@ -60,9 +52,6 @@ mod tests {
             let recs = run_lineup("fig6", "Unf", "|T|", t as f64, &inst, 12, &kinds);
             utilities.push(recs[0].utility);
         }
-        assert!(
-            utilities[1] > utilities[0],
-            "more intervals must help: {utilities:?}"
-        );
+        assert!(utilities[1] > utilities[0], "more intervals must help: {utilities:?}");
     }
 }

@@ -41,15 +41,7 @@ pub fn run(config: &ExperimentConfig) -> FigureReport {
         for &e in &sweep(config) {
             let ee = config.dim(e);
             let inst = dataset.build(config.num_users, ee, intervals, config.seed ^ (e as u64));
-            records.extend(run_lineup(
-                "fig7",
-                dataset.name(),
-                "|E|",
-                e as f64,
-                &inst,
-                k,
-                &kinds,
-            ));
+            records.extend(run_lineup("fig7", dataset.name(), "|E|", e as f64, &inst, k, &kinds));
         }
     }
     FigureReport {

@@ -44,17 +44,8 @@ pub fn run(config: &ExperimentConfig) -> FigureReport {
         let events = config.dim(EVENTS);
         let intervals = config.dim(raw_intervals);
         for &users in &sweep(config) {
-            let inst =
-                Dataset::Unf.build(users, events, intervals, config.seed ^ (users as u64));
-            records.extend(run_lineup(
-                "fig8",
-                label,
-                "|U|",
-                users as f64,
-                &inst,
-                k,
-                &kinds,
-            ));
+            let inst = Dataset::Unf.build(users, events, intervals, config.seed ^ (users as u64));
+            records.extend(run_lineup("fig8", label, "|U|", users as f64, &inst, k, &kinds));
         }
     }
     FigureReport {

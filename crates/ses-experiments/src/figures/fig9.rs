@@ -40,15 +40,7 @@ pub fn run(config: &ExperimentConfig) -> FigureReport {
             ..SyntheticParams::default()
         };
         let inst = synthetic::generate(&params);
-        records.extend(run_lineup(
-            "fig9",
-            "Unf",
-            "locations",
-            locations as f64,
-            &inst,
-            k,
-            &kinds,
-        ));
+        records.extend(run_lineup("fig9", "Unf", "locations", locations as f64, &inst, k, &kinds));
     }
     FigureReport {
         id: "fig9".into(),
@@ -85,8 +77,7 @@ mod tests {
         }
 
         let run = |inst: &_| {
-            run_lineup("fig9", "Unf", "locations", 0.0, inst, 10, &[SchedulerKind::Alg])
-                .remove(0)
+            run_lineup("fig9", "Unf", "locations", 0.0, inst, 10, &[SchedulerKind::Alg]).remove(0)
         };
         let wide_rec = run(&wide);
         let narrow_rec = run(&narrow);

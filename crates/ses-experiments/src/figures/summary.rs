@@ -55,11 +55,8 @@ impl QualitySummary {
             "HOR == ALG:           {:.1}% of runs (paper: >70%)",
             100.0 * self.hor_equal_fraction
         );
-        let _ = writeln!(
-            out,
-            "HOR mean gap:         {:.4}% (paper: 0.008%)",
-            self.hor_mean_gap_pct
-        );
+        let _ =
+            writeln!(out, "HOR mean gap:         {:.4}% (paper: 0.008%)", self.hor_mean_gap_pct);
         let _ = writeln!(out, "HOR max gap:          {:.3}% (paper: 1.3%)", self.hor_max_gap_pct);
         out
     }

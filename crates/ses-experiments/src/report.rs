@@ -126,9 +126,7 @@ impl FigureReport {
 
     /// Looks up one cell.
     pub fn cell(&self, dataset: &str, algorithm: &str, x: f64) -> Option<&RunRecord> {
-        self.records
-            .iter()
-            .find(|r| r.dataset == dataset && r.algorithm == algorithm && r.x == x)
+        self.records.iter().find(|r| r.dataset == dataset && r.algorithm == algorithm && r.x == x)
     }
 
     /// The series `(x, metric)` for one dataset & algorithm, ascending x.

@@ -55,8 +55,8 @@ fn main() {
     for e in &mut inst.events {
         e.cost = 3.0;
     }
-    let profit_plan = ProfitGreedy { revenue_per_attendee: 1.0, stop_when_unprofitable: true }
-        .run(&inst, k);
+    let profit_plan =
+        ProfitGreedy { revenue_per_attendee: 1.0, stop_when_unprofitable: true }.run(&inst, k);
     let profit = total_profit(&inst, &profit_plan.schedule, 1.0);
     println!(
         "\nProfit mode (cost 3.0/concert): schedules {} of {} allowed, expected profit {:.1}",

@@ -30,10 +30,7 @@ fn main() {
 
     let k = 30;
     println!("Scheduling k = {k} events:");
-    println!(
-        "{:>8} {:>12} {:>14} {:>10}",
-        "method", "attendance", "computations", "time(ms)"
-    );
+    println!("{:>8} {:>12} {:>14} {:>10}", "method", "attendance", "computations", "time(ms)");
     for kind in SchedulerKind::paper_lineup() {
         let res = kind.run(&inst, k);
         println!(
@@ -49,8 +46,7 @@ fn main() {
     // attendance draws others. Triple-weight the 10% most active members.
     let mut activity_mass: Vec<(f64, usize)> = (0..inst.num_users())
         .map(|u| {
-            let total: f64 =
-                (0..inst.num_intervals()).map(|t| inst.activity.value(u, t)).sum();
+            let total: f64 = (0..inst.num_intervals()).map(|t| inst.activity.value(u, t)).sum();
             (total, u)
         })
         .collect();
@@ -66,12 +62,7 @@ fn main() {
     let infl = HorI.run(&weighted, k);
     let base_set: std::collections::HashSet<_> =
         base.schedule.assignments().iter().map(|a| a.event).collect();
-    let moved = infl
-        .schedule
-        .assignments()
-        .iter()
-        .filter(|a| !base_set.contains(&a.event))
-        .count();
+    let moved = infl.schedule.assignments().iter().filter(|a| !base_set.contains(&a.event)).count();
     println!(
         "\nInfluence weighting (3× the most active decile) changes {moved} of {k} picks \
          (weighted objective {:.1})",

@@ -14,8 +14,13 @@ use social_event_scheduling::{EventId, IntervalId};
 
 fn main() {
     let inst = running_example();
-    println!("Running example: {} events, {} intervals, {} competing, {} users\n",
-        inst.num_events(), inst.num_intervals(), inst.num_competing(), inst.num_users());
+    println!(
+        "Running example: {} events, {} intervals, {} competing, {} users\n",
+        inst.num_events(),
+        inst.num_intervals(),
+        inst.num_competing(),
+        inst.num_users()
+    );
 
     // Step 1: the initial assignment scores of Figure 2, row ①.
     println!("Initial assignment scores (Eq. 4):");
@@ -67,7 +72,10 @@ fn main() {
     // Step 3: the exact optimum — greedy is a heuristic (Theorem 1 rules
     // out a PTAS), and on this very instance it is ~1.5% below optimal.
     let exact = Exact.run(&inst, 3);
-    println!("\nExact optimum: Ω* = {:.4} (greedy gap demonstrates the APX-hardness)", exact.utility);
+    println!(
+        "\nExact optimum: Ω* = {:.4} (greedy gap demonstrates the APX-hardness)",
+        exact.utility
+    );
 
     // Step 4: utilities are independently verifiable via Eq. 1–3.
     let omega = total_utility(&inst, &exact.schedule);

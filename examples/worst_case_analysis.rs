@@ -19,12 +19,9 @@ fn main() {
         "|T|", "rounds", "ALG comp", "HOR comp", "HOR-I comp", "INC comp"
     );
 
-    for (label, intervals) in [
-        ("k-1 (worst)", k - 1),
-        ("k (1 round)", k),
-        ("k/2 (exact)", k / 2),
-        ("3k/2", 3 * k / 2),
-    ] {
+    for (label, intervals) in
+        [("k-1 (worst)", k - 1), ("k (1 round)", k), ("k/2 (exact)", k / 2), ("3k/2", 3 * k / 2)]
+    {
         let inst = Dataset::Zip.build(users, events, intervals, 7);
         let alg = Alg.run(&inst, k);
         let hor = Hor.run(&inst, k);
@@ -39,10 +36,7 @@ fn main() {
             hor_i.stats.user_ops,
             inc.stats.user_ops,
         );
-        assert!(
-            hor_i.stats.user_ops <= hor.stats.user_ops,
-            "HOR-I must never out-compute HOR"
-        );
+        assert!(hor_i.stats.user_ops <= hor.stats.user_ops, "HOR-I must never out-compute HOR");
         // Utility parity within each pair (Props. 3 & 6).
         assert!((alg.utility - inc.utility).abs() < 1e-9);
         assert!((hor.utility - hor_i.utility).abs() < 1e-9);

@@ -90,8 +90,8 @@ fn profit_composes_with_other_extensions() {
     for e in &mut inst.events {
         e.cost = 0.5;
     }
-    let res = ProfitGreedy { revenue_per_attendee: 1.0, stop_when_unprofitable: true }
-        .run(&inst, 8);
+    let res =
+        ProfitGreedy { revenue_per_attendee: 1.0, stop_when_unprofitable: true }.run(&inst, 8);
     assert!(res.schedule.verify_feasible(&inst).is_ok());
     let profit = total_profit(&inst, &res.schedule, 1.0);
     // Every selected event cleared its marginal cost at selection time, so

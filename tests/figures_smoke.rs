@@ -59,10 +59,7 @@ fn fig6_utility_rises_with_intervals() {
         assert!(series.len() >= 2);
         let first = series.first().unwrap().1;
         let last = series.last().unwrap().1;
-        assert!(
-            last > first,
-            "{dataset}: utility should rise with |T| ({first} -> {last})"
-        );
+        assert!(last > first, "{dataset}: utility should rise with |T| ({first} -> {last})");
     }
 }
 

@@ -3,8 +3,8 @@
 //! tiny instances.
 
 use social_event_scheduling::algorithms::prelude::*;
-use social_event_scheduling::datasets::hardness::{matching_to_schedule, reduce, ThreeDm};
 use social_event_scheduling::core::scoring::utility::total_utility;
+use social_event_scheduling::datasets::hardness::{matching_to_schedule, reduce, ThreeDm};
 
 const DELTA: f64 = 0.05;
 

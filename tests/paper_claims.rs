@@ -78,11 +78,7 @@ fn top_quality_is_poor() {
             top.schedule.assignments().iter().map(|a| a.interval).collect();
         let alg_used: std::collections::HashSet<_> =
             alg.schedule.assignments().iter().map(|a| a.interval).collect();
-        assert!(
-            top_used.len() <= alg_used.len(),
-            "{}: TOP spread wider than ALG",
-            dataset.name()
-        );
+        assert!(top_used.len() <= alg_used.len(), "{}: TOP spread wider than ALG", dataset.name());
     }
 }
 

@@ -90,10 +90,8 @@ fn expected_attendances_sum_to_utility() {
     for a in paper_schedule() {
         s.assign(&inst, a.event, a.interval).unwrap();
     }
-    let per_event: f64 = paper_schedule()
-        .iter()
-        .map(|a| expected_attendance(&inst, &s, a.event))
-        .sum();
+    let per_event: f64 =
+        paper_schedule().iter().map(|a| expected_attendance(&inst, &s, a.event)).sum();
     let omega = total_utility(&inst, &s);
     assert!((per_event - omega).abs() < 1e-12);
     // Hand-computed per-event values: ω(e1) ≈ 0.5902, ω(e4) ≈ 0.4711,

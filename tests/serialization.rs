@@ -45,15 +45,8 @@ fn schedule_result_roundtrip() {
 #[test]
 fn report_exports_agree() {
     let inst = Dataset::Zip.build(40, 15, 4, 2);
-    let records = run_lineup(
-        "figX",
-        "Zip",
-        "k",
-        5.0,
-        &inst,
-        5,
-        &[SchedulerKind::Alg, SchedulerKind::Hor],
-    );
+    let records =
+        run_lineup("figX", "Zip", "k", 5.0, &inst, 5, &[SchedulerKind::Alg, SchedulerKind::Hor]);
     let report = FigureReport {
         id: "figX".into(),
         title: "roundtrip".into(),

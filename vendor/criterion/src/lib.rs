@@ -1,0 +1,186 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Compiles the workspace's nine `harness = false` bench targets unchanged
+//! and gives them a useful (if statistically modest) runtime: each
+//! `Bencher::iter` call is warmed up once, then timed over `sample_size`
+//! batches with `std::time::Instant`, and the per-iteration mean and min
+//! are printed as plain text. No plots, no HTML report, no outlier
+//! analysis — swapping real criterion back in later is a manifest-only
+//! change because the bench sources only use the stable subset
+//! (`criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
+//! `sample_size`, `bench_function`, `bench_with_input`, `BenchmarkId`).
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== {name}");
+        BenchmarkGroup { _criterion: self, name, sample_size: 10 }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), 10, f);
+        self
+    }
+}
+
+/// A named benchmark group (mirrors criterion's `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value (criterion's parameterized form).
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let mut wrapped = |b: &mut Bencher| f(b, input);
+        run_one(&label, self.sample_size, &mut wrapped);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; prints nothing extra).
+    pub fn finish(self) {}
+}
+
+/// A `function/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+
+    /// An id from just a parameter (matches criterion's API).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { function: String::new(), parameter: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Timing context passed to the benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, recording `sample_size` samples after one warm-up.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher { samples: Vec::new(), sample_size };
+    f(&mut b);
+    if b.samples.is_empty() {
+        eprintln!("{label:<56} (no samples)");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    eprintln!(
+        "{label:<56} mean {:>12} min {:>12} ({} samples)",
+        fmt_duration(mean),
+        fmt_duration(min),
+        b.samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Re-export for bench sources that import `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Bundles bench functions into a callable group (mirrors criterion).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups (mirrors criterion).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

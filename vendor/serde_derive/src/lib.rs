@@ -1,0 +1,516 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes this workspace uses, by hand-parsing the input token stream
+//! (neither `syn` nor `quote` is available offline):
+//!
+//! * structs with named fields, honouring `#[serde(default)]`,
+//!   `#[serde(default = "path")]` and `#[serde(skip_serializing_if = "path")]`;
+//! * tuple structs, including `#[serde(transparent)]` newtypes;
+//! * enums with unit, newtype-tuple and struct variants, using serde's
+//!   externally-tagged representation (`"Variant"`,
+//!   `{"Variant": value}`, `{"Variant": {fields...}}`).
+//!
+//! Generics are intentionally unsupported — no serialized type in the
+//! workspace is generic, and rejecting them loudly beats silently emitting
+//! broken impls.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree flavour; see the vendored crate).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour; see the vendored crate).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, ser: bool) -> TokenStream {
+    match Input::parse(input) {
+        Ok(parsed) => {
+            let code = if ser { parsed.gen_serialize() } else { parsed.gen_deserialize() };
+            code.parse().expect("serde_derive generated invalid Rust")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsed representation
+// ---------------------------------------------------------------------------
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    /// `None`: field required. `Some(None)`: `Default::default()`.
+    /// `Some(Some(path))`: call `path()`.
+    default: Option<Option<String>>,
+    skip_serializing_if: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    transparent: bool,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+/// Scans one `#[...]` attribute group; records serde attrs into `attrs` and
+/// `transparent`, and reports unsupported serde keys into `errors` (silently
+/// dropping e.g. `rename` would emit wrong serialization with no diagnostic).
+fn absorb_attr(
+    group: &proc_macro::Group,
+    attrs: &mut FieldAttrs,
+    transparent: &mut bool,
+    errors: &mut Vec<String>,
+) {
+    let mut it = group.stream().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(args)) = it.next() else { return };
+    // Parse `key`, `key = "value"` pairs separated by commas.
+    let toks: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        let TokenTree::Ident(key) = &toks[i] else {
+            i += 1;
+            continue;
+        };
+        let key = key.to_string();
+        let mut value = None;
+        if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+            (toks.get(i + 1), toks.get(i + 2))
+        {
+            if eq.as_char() == '=' {
+                let raw = lit.to_string();
+                value = Some(raw.trim_matches('"').to_string());
+                i += 2;
+            }
+        }
+        match key.as_str() {
+            "default" => attrs.default = Some(value),
+            "skip_serializing_if" => attrs.skip_serializing_if = value,
+            "transparent" => *transparent = true,
+            other => errors.push(format!(
+                "serde_derive (vendored): unsupported serde attribute `{other}` — supported: default, skip_serializing_if, transparent"
+            )),
+        }
+        i += 1;
+        // Skip the comma, if any.
+        if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+}
+
+/// Splits the tokens of a brace/paren group into comma-separated pieces,
+/// treating commas inside `<...>` as part of the piece (token groups do not
+/// nest angle brackets, so the depth must be tracked manually).
+fn split_top_level(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut pieces = Vec::new();
+    let mut current = Vec::new();
+    let mut angle: i32 = 0;
+    for t in tokens {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    pieces.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t);
+    }
+    if !current.is_empty() {
+        pieces.push(current);
+    }
+    pieces
+}
+
+/// Parses one named field: `[#[attr]]* [pub[(..)]] name : Type`.
+fn parse_field(
+    tokens: Vec<TokenTree>,
+    transparent: &mut bool,
+    errors: &mut Vec<String>,
+) -> Option<Field> {
+    let mut attrs = FieldAttrs::default();
+    let mut it = tokens.into_iter().peekable();
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.next() {
+                    absorb_attr(&g, &mut attrs, transparent, errors);
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                // Skip a possible `(crate)`-style restriction.
+                if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    it.next();
+                }
+            }
+            Some(TokenTree::Ident(_)) => {
+                let TokenTree::Ident(name) = it.next().unwrap() else { unreachable!() };
+                return Some(Field { name: name.to_string(), attrs });
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Errors on serde keys this derive only honours on fields when they appear
+/// at container or variant level (real serde's container-level `default`
+/// means "all fields default" — silently dropping it would compile a wrong
+/// impl).
+fn reject_field_only_keys(attrs: &FieldAttrs, position: &str, errors: &mut Vec<String>) {
+    if attrs.default.is_some() {
+        errors.push(format!(
+            "serde_derive (vendored): `default` is only supported on fields, not at {position} level"
+        ));
+    }
+    if attrs.skip_serializing_if.is_some() {
+        errors.push(format!(
+            "serde_derive (vendored): `skip_serializing_if` is only supported on fields, not at {position} level"
+        ));
+    }
+}
+
+fn parse_named_fields(
+    group: &proc_macro::Group,
+    transparent: &mut bool,
+    errors: &mut Vec<String>,
+) -> Vec<Field> {
+    split_top_level(group.stream().into_iter().collect())
+        .into_iter()
+        .filter_map(|piece| parse_field(piece, transparent, errors))
+        .collect()
+}
+
+impl Input {
+    fn parse(input: TokenStream) -> Result<Input, String> {
+        let mut transparent = false;
+        let mut errors: Vec<String> = Vec::new();
+        let mut it = input.into_iter().peekable();
+
+        // Container prelude: attributes and visibility, then `struct`/`enum`.
+        let kind = loop {
+            match it.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = it.next() {
+                        let mut misplaced = FieldAttrs::default();
+                        absorb_attr(&g, &mut misplaced, &mut transparent, &mut errors);
+                        reject_field_only_keys(&misplaced, "container", &mut errors);
+                    }
+                }
+                Some(TokenTree::Ident(id)) => {
+                    let s = id.to_string();
+                    if s == "struct" || s == "enum" {
+                        break s;
+                    }
+                    // `pub`, `pub(crate)` etc. — skip.
+                }
+                Some(_) => {}
+                None => return Err("serde_derive: no struct/enum found".into()),
+            }
+        };
+
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return Err("serde_derive: missing type name".into()),
+        };
+
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            return Err(format!("serde_derive (vendored): generic type `{name}` is unsupported"));
+        }
+
+        let body = match it.next() {
+            Some(TokenTree::Group(g)) => g,
+            other => {
+                return Err(format!("serde_derive: unexpected token after `{name}`: {other:?}"))
+            }
+        };
+
+        let shape = if kind == "struct" {
+            match body.delimiter() {
+                Delimiter::Brace => {
+                    Shape::NamedStruct(parse_named_fields(&body, &mut transparent, &mut errors))
+                }
+                Delimiter::Parenthesis => {
+                    Shape::TupleStruct(split_top_level(body.stream().into_iter().collect()).len())
+                }
+                _ => return Err("serde_derive: unsupported struct body".into()),
+            }
+        } else {
+            let mut variants = Vec::new();
+            for piece in split_top_level(body.stream().into_iter().collect()) {
+                let mut vit = piece.into_iter().peekable();
+                // Inspect attributes on the variant (unsupported serde keys
+                // must error rather than be skipped).
+                let vname = loop {
+                    match vit.next() {
+                        Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                            if let Some(TokenTree::Group(g)) = vit.next() {
+                                let mut misplaced = FieldAttrs::default();
+                                absorb_attr(&g, &mut misplaced, &mut transparent, &mut errors);
+                                reject_field_only_keys(&misplaced, "variant", &mut errors);
+                            }
+                        }
+                        Some(TokenTree::Ident(id)) => break id.to_string(),
+                        Some(_) => {}
+                        None => break String::new(),
+                    }
+                };
+                if vname.is_empty() {
+                    continue;
+                }
+                let shape = match vit.next() {
+                    None => VariantShape::Unit,
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        VariantShape::Tuple(split_top_level(g.stream().into_iter().collect()).len())
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        VariantShape::Struct(parse_named_fields(&g, &mut transparent, &mut errors))
+                    }
+                    Some(other) => {
+                        return Err(format!(
+                            "serde_derive: unsupported tokens in variant `{vname}`: {other:?}"
+                        ))
+                    }
+                };
+                variants.push(Variant { name: vname, shape });
+            }
+            Shape::Enum(variants)
+        };
+
+        if let Some(e) = errors.into_iter().next() {
+            return Err(e);
+        }
+        Ok(Input { name, transparent, shape })
+    }
+
+    // -----------------------------------------------------------------------
+    // Code generation
+    // -----------------------------------------------------------------------
+
+    fn gen_serialize(&self) -> String {
+        let name = &self.name;
+        let body = match &self.shape {
+            Shape::NamedStruct(fields) => {
+                let mut s = String::from(
+                    "let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n",
+                );
+                for f in fields {
+                    let push = format!(
+                        "__obj.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));",
+                        f = f.name
+                    );
+                    if let Some(pred) = &f.attrs.skip_serializing_if {
+                        s.push_str(&format!("if !({pred}(&self.{})) {{ {push} }}\n", f.name));
+                    } else {
+                        s.push_str(&push);
+                        s.push('\n');
+                    }
+                }
+                s.push_str("::serde::Value::Object(__obj)");
+                s
+            }
+            Shape::TupleStruct(1) if self.transparent => {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            }
+            Shape::TupleStruct(n) => {
+                let items: Vec<String> =
+                    (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            }
+            Shape::Enum(variants) => {
+                let mut arms = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                            };
+                            arms.push_str(&format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {payload})]),\n",
+                                binds = binds.join(", ")
+                            ));
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                            let pushes: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))",
+                                        f = f.name
+                                    )
+                                })
+                                .collect();
+                            arms.push_str(&format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{pushes}]))]),\n",
+                                binds = binds.join(", "),
+                                pushes = pushes.join(", ")
+                            ));
+                        }
+                    }
+                }
+                format!("match self {{\n{arms}}}")
+            }
+        };
+        format!(
+            "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+        )
+    }
+
+    fn gen_deserialize(&self) -> String {
+        let name = &self.name;
+        let body = match &self.shape {
+            Shape::NamedStruct(fields) => {
+                let inits = named_field_inits(name, fields, "__obj");
+                format!(
+                    "let __obj = __v.as_object().ok_or_else(|| \
+                     ::serde::Error::expected(\"object\", \"{name}\"))?;\n\
+                     ::std::result::Result::Ok({name} {{ {inits} }})"
+                )
+            }
+            Shape::TupleStruct(1) if self.transparent => {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            }
+            Shape::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__xs[{i}])?"))
+                    .collect();
+                format!(
+                    "match __v {{\n\
+                     ::serde::Value::Array(__xs) if __xs.len() == {n} => \
+                     ::std::result::Result::Ok({name}({items})),\n\
+                     _ => ::std::result::Result::Err(::serde::Error::expected(\"array of {n}\", \"{name}\")),\n}}",
+                    items = items.join(", ")
+                )
+            }
+            Shape::Enum(variants) => {
+                let mut unit_arms = String::new();
+                let mut tagged_arms = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        )),
+                        VariantShape::Tuple(1) => tagged_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__val)?)),\n"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__xs[{i}])?"))
+                                .collect();
+                            tagged_arms.push_str(&format!(
+                                "\"{vn}\" => match __val {{\n\
+                                 ::serde::Value::Array(__xs) if __xs.len() == {n} => \
+                                 ::std::result::Result::Ok({name}::{vn}({items})),\n\
+                                 _ => ::std::result::Result::Err(::serde::Error::expected(\"array of {n}\", \"{name}::{vn}\")),\n}},\n",
+                                items = items.join(", ")
+                            ));
+                        }
+                        VariantShape::Struct(fields) => {
+                            let inits =
+                                named_field_inits(&format!("{name}::{vn}"), fields, "__fobj");
+                            tagged_arms.push_str(&format!(
+                                "\"{vn}\" => {{\n\
+                                 let __fobj = __val.as_object().ok_or_else(|| \
+                                 ::serde::Error::expected(\"object\", \"{name}::{vn}\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vn} {{ {inits} }})\n}},\n"
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "match __v {{\n\
+                     ::serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                     __other => ::std::result::Result::Err(::serde::Error::unknown_variant(__other, \"{name}\")),\n}},\n\
+                     ::serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+                     let (__k, __val) = &__o[0];\n\
+                     match __k.as_str() {{\n{tagged_arms}\
+                     __other => ::std::result::Result::Err(::serde::Error::unknown_variant(__other, \"{name}\")),\n}}\n}},\n\
+                     _ => ::std::result::Result::Err(::serde::Error::expected(\"string or single-key object\", \"{name}\")),\n}}"
+                )
+            }
+        };
+        format!(
+            "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+        )
+    }
+}
+
+/// `field: <lookup-or-default>` initializers for a named-field composite.
+fn named_field_inits(ty_label: &str, fields: &[Field], obj: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let fname = &f.name;
+            let fallback = match &f.attrs.default {
+                None => format!(
+                    "return ::std::result::Result::Err(::serde::Error::missing_field(\"{fname}\", \"{ty_label}\"))"
+                ),
+                Some(None) => "::std::default::Default::default()".to_string(),
+                Some(Some(path)) => format!("{path}()"),
+            };
+            format!(
+                "{fname}: match ::serde::__get({obj}, \"{fname}\") {{\n\
+                 ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+                 ::std::option::Option::None => {fallback},\n}}"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
