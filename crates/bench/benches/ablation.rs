@@ -13,7 +13,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ses_algorithms::SchedulerKind;
-use ses_bench::{instance, BENCH_USERS};
+use ses_bench::{instance, threaded_label, Threads, BENCH_THREADS, BENCH_USERS};
 use ses_datasets::{meetup, Dataset, MeetupParams};
 use std::hint::black_box;
 
@@ -32,12 +32,17 @@ fn storage_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_storage/Meetup");
     group.sample_size(10);
     for (label, inst) in [("sparse", &sparse_inst), ("dense", &dense_inst)] {
-        group.bench_with_input(BenchmarkId::new("HOR-I", label), label, |b, _| {
-            b.iter(|| black_box(SchedulerKind::HorI.run(inst, 30)))
-        });
-        group.bench_with_input(BenchmarkId::new("ALG", label), label, |b, _| {
-            b.iter(|| black_box(SchedulerKind::Alg.run(inst, 30)))
-        });
+        for threads in BENCH_THREADS {
+            let t = Threads::new(threads);
+            let hor_i = BenchmarkId::new(threaded_label("HOR-I", threads), label);
+            group.bench_with_input(hor_i, label, |b, _| {
+                b.iter(|| black_box(SchedulerKind::HorI.run_threaded(inst, 30, t)))
+            });
+            let alg = BenchmarkId::new(threaded_label("ALG", threads), label);
+            group.bench_with_input(alg, label, |b, _| {
+                b.iter(|| black_box(SchedulerKind::Alg.run_threaded(inst, 30, t)))
+            });
+        }
     }
     group.finish();
 }
@@ -56,11 +61,12 @@ fn bound_ablation(c: &mut Criterion) {
             SchedulerKind::Hor,  // horizontal policy, no bounds
             SchedulerKind::HorI, // horizontal policy + per-interval bounds
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), dataset.name()),
-                &dataset,
-                |b, _| b.iter(|| black_box(kind.run(&inst, k))),
-            );
+            for threads in BENCH_THREADS {
+                let id = BenchmarkId::new(threaded_label(kind.name(), threads), dataset.name());
+                group.bench_with_input(id, &dataset, |b, _| {
+                    b.iter(|| black_box(kind.run_threaded(&inst, k, Threads::new(threads))))
+                });
+            }
         }
     }
     group.finish();
@@ -71,7 +77,11 @@ fn refinement_ablation(c: &mut Criterion) {
     group.sample_size(10);
     let inst = instance(Dataset::Unf, 200, 60, 0xAB2);
     for kind in [SchedulerKind::Hor, SchedulerKind::RefinedHor, SchedulerKind::Alg] {
-        group.bench_function(kind.name(), |b| b.iter(|| black_box(kind.run(&inst, 40))));
+        for threads in BENCH_THREADS {
+            group.bench_function(threaded_label(kind.name(), threads), |b| {
+                b.iter(|| black_box(kind.run_threaded(&inst, 40, Threads::new(threads))))
+            });
+        }
     }
     group.finish();
 }

@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ses_algorithms::SchedulerKind;
-use ses_bench::BENCH_USERS;
+use ses_bench::{threaded_label, Threads, BENCH_THREADS, BENCH_USERS};
 use ses_datasets::Dataset;
 use std::hint::black_box;
 
@@ -33,9 +33,12 @@ fn bench(c: &mut Criterion) {
             // Print the figure's actual metric once, outside sampling.
             let examined = kind.run(&inst, k).stats.assignments_examined;
             eprintln!("fig10b {label} {}: {examined} assignments examined", kind.name());
-            group.bench_with_input(BenchmarkId::new(kind.name(), label), &k, |b, &k| {
-                b.iter(|| black_box(kind.run(&inst, k)))
-            });
+            for threads in BENCH_THREADS {
+                let id = BenchmarkId::new(threaded_label(kind.name(), threads), label);
+                group.bench_with_input(id, &k, |b, &k| {
+                    b.iter(|| black_box(kind.run_threaded(&inst, k, Threads::new(threads))))
+                });
+            }
         }
     }
     group.finish();

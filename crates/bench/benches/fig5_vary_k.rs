@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ses_algorithms::SchedulerKind;
-use ses_bench::instance_for_k;
+use ses_bench::{instance_for_k, threaded_label, Threads, BENCH_THREADS};
 use ses_datasets::Dataset;
 use std::hint::black_box;
 
@@ -22,9 +22,12 @@ fn bench(c: &mut Criterion) {
                 SchedulerKind::HorI,
                 SchedulerKind::Top,
             ] {
-                group.bench_with_input(BenchmarkId::new(kind.name(), k), &k, |b, &k| {
-                    b.iter(|| black_box(kind.run(&inst, k)))
-                });
+                for threads in BENCH_THREADS {
+                    let id = BenchmarkId::new(threaded_label(kind.name(), threads), k);
+                    group.bench_with_input(id, &k, |b, &k| {
+                        b.iter(|| black_box(kind.run_threaded(&inst, k, Threads::new(threads))))
+                    });
+                }
             }
         }
         group.finish();

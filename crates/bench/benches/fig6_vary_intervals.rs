@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ses_algorithms::SchedulerKind;
-use ses_bench::instance;
+use ses_bench::{instance, threaded_label, Threads, BENCH_THREADS};
 use ses_datasets::Dataset;
 use std::hint::black_box;
 
@@ -22,9 +22,12 @@ fn bench(c: &mut Criterion) {
             SchedulerKind::HorI,
             SchedulerKind::Top,
         ] {
-            group.bench_with_input(BenchmarkId::new(kind.name(), intervals), &intervals, |b, _| {
-                b.iter(|| black_box(kind.run(&inst, K)))
-            });
+            for threads in BENCH_THREADS {
+                let id = BenchmarkId::new(threaded_label(kind.name(), threads), intervals);
+                group.bench_with_input(id, &intervals, |b, _| {
+                    b.iter(|| black_box(kind.run_threaded(&inst, K, Threads::new(threads))))
+                });
+            }
         }
     }
     group.finish();

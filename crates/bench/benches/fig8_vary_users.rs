@@ -5,6 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ses_algorithms::SchedulerKind;
+use ses_bench::{threaded_label, Threads, BENCH_THREADS};
 use ses_datasets::Dataset;
 use std::hint::black_box;
 
@@ -23,9 +24,12 @@ fn bench(c: &mut Criterion) {
             }
             kinds.push(SchedulerKind::Top);
             for kind in kinds {
-                group.bench_with_input(BenchmarkId::new(kind.name(), users), &users, |b, _| {
-                    b.iter(|| black_box(kind.run(&inst, K)))
-                });
+                for threads in BENCH_THREADS {
+                    let id = BenchmarkId::new(threaded_label(kind.name(), threads), users);
+                    group.bench_with_input(id, &users, |b, _| {
+                        b.iter(|| black_box(kind.run_threaded(&inst, K, Threads::new(threads))))
+                    });
+                }
             }
         }
         group.finish();

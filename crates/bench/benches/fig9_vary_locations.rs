@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ses_algorithms::SchedulerKind;
-use ses_bench::BENCH_USERS;
+use ses_bench::{threaded_label, Threads, BENCH_THREADS, BENCH_USERS};
 use ses_datasets::params::{InterestModel, SyntheticParams};
 use ses_datasets::synthetic;
 use std::hint::black_box;
@@ -31,9 +31,12 @@ fn bench(c: &mut Criterion) {
             SchedulerKind::HorI,
             SchedulerKind::Top,
         ] {
-            group.bench_with_input(BenchmarkId::new(kind.name(), locations), &locations, |b, _| {
-                b.iter(|| black_box(kind.run(&inst, K)))
-            });
+            for threads in BENCH_THREADS {
+                let id = BenchmarkId::new(threaded_label(kind.name(), threads), locations);
+                group.bench_with_input(id, &locations, |b, _| {
+                    b.iter(|| black_box(kind.run_threaded(&inst, K, Threads::new(threads))))
+                });
+            }
         }
     }
     group.finish();

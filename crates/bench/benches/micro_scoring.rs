@@ -2,8 +2,16 @@
 //! spends its time in: one Eq.-4 evaluation over a dense vs sparse column,
 //! one mass `apply`, and the engine construction (competing-mass
 //! aggregation, the `O(|U|·|C|)` setup term).
+//!
+//! Every engine bench carries a threads dimension (`t1` vs `t4`): scores
+//! are bit-identical across it (fixed-block reduction), so the ratio
+//! isolates the pure dispatch cost / fan-out payoff. The `dense` instance
+//! (2 000 users = 4 summation blocks) sits near the break-even point; the
+//! `dense20k` instance (40 blocks) is where per-score fan-out pays on
+//! multi-core hardware.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ses_bench::{threaded_label, Threads, BENCH_THREADS};
 use ses_core::scoring::ScoringEngine;
 use ses_core::{EventId, IntervalId};
 use ses_datasets::{meetup, Dataset, MeetupParams};
@@ -12,6 +20,9 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     // Dense instance: 2 000 users, every column full.
     let dense = Dataset::Concerts.build(2_000, 50, 10, 0x3C0);
+    // Large dense instance: 20 000 users — enough reduction blocks for the
+    // per-score fan-out to amortize pool dispatch.
+    let dense_large = Dataset::Concerts.build(20_000, 20, 10, 0x3C1);
     // Sparse instance: Meetup-like, ~30% fill.
     let sparse = meetup::generate(&MeetupParams {
         num_users: 2_000,
@@ -21,21 +32,24 @@ fn bench(c: &mut Criterion) {
     });
 
     let mut group = c.benchmark_group("micro_scoring");
-    for (label, inst) in [("dense", &dense), ("sparse", &sparse)] {
-        let mut engine = ScoringEngine::new(inst);
-        engine.apply(EventId::new(1), IntervalId::new(0));
-        group.bench_with_input(BenchmarkId::new("assignment_score", label), label, |b, _| {
-            b.iter(|| black_box(engine.assignment_score(EventId::new(0), IntervalId::new(0))))
-        });
-        group.bench_with_input(BenchmarkId::new("apply_unapply", label), label, |b, _| {
-            b.iter(|| {
-                engine.apply(EventId::new(2), IntervalId::new(3));
-                engine.unapply(EventId::new(2), IntervalId::new(3));
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("engine_new", label), label, |b, _| {
-            b.iter(|| black_box(ScoringEngine::new(inst)))
-        });
+    for (label, inst) in [("dense", &dense), ("dense20k", &dense_large), ("sparse", &sparse)] {
+        for threads in BENCH_THREADS {
+            let t = threaded_label(label, threads);
+            let mut engine = ScoringEngine::with_threads(inst, Threads::new(threads));
+            engine.apply(EventId::new(1), IntervalId::new(0));
+            group.bench_with_input(BenchmarkId::new("assignment_score", &t), &t, |b, _| {
+                b.iter(|| black_box(engine.assignment_score(EventId::new(0), IntervalId::new(0))))
+            });
+            group.bench_with_input(BenchmarkId::new("apply_unapply", &t), &t, |b, _| {
+                b.iter(|| {
+                    engine.apply(EventId::new(2), IntervalId::new(3));
+                    engine.unapply(EventId::new(2), IntervalId::new(3));
+                })
+            });
+            group.bench_with_input(BenchmarkId::new("engine_new", &t), &t, |b, _| {
+                b.iter(|| black_box(ScoringEngine::with_threads(inst, Threads::new(threads))))
+            });
+        }
     }
     group.finish();
 }

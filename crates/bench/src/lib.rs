@@ -9,8 +9,20 @@
 use ses_core::model::Instance;
 use ses_datasets::Dataset;
 
+pub use ses_core::parallel::Threads;
+
 /// Users per bench instance.
 pub const BENCH_USERS: usize = 150;
+
+/// The thread counts every bench target sweeps (sequential reference vs a
+/// small pool). Results are bit-identical across the dimension — only the
+/// timing differs — so the same bench id doubles as a differential check.
+pub const BENCH_THREADS: [usize; 2] = [1, 4];
+
+/// Bench id component for a scheduler at a thread count, e.g. `ALG/t4`.
+pub fn threaded_label(name: &str, threads: usize) -> String {
+    format!("{name}/t{threads}")
+}
 
 /// Builds a bench-scale instance with the Table-1 shape ratios for a given
 /// `k`: `|E| = 5k`, `|T| = 3k/2`.

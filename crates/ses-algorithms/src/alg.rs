@@ -9,6 +9,7 @@
 
 use crate::common::{max_duration, stale_window, timed_result, Cand, ScheduleResult, Scheduler};
 use ses_core::model::Instance;
+use ses_core::parallel::{par_chunks_mut, Threads};
 use ses_core::schedule::Schedule;
 use ses_core::scoring::ScoringEngine;
 use ses_core::stats::Stats;
@@ -23,8 +24,8 @@ impl Scheduler for Alg {
         "ALG"
     }
 
-    fn run(&self, inst: &Instance, k: usize) -> ScheduleResult {
-        timed_result(self.name(), inst, k, || run_alg(inst, k))
+    fn run_threaded(&self, inst: &Instance, k: usize, threads: Threads) -> ScheduleResult {
+        timed_result(self.name(), inst, k, || run_alg(inst, k, threads))
     }
 }
 
@@ -32,25 +33,54 @@ impl Scheduler for Alg {
 /// assignment infeasible).
 type Slot = Option<f64>;
 
-fn run_alg(inst: &Instance, k: usize) -> (Schedule, Stats) {
+fn run_alg(inst: &Instance, k: usize, threads: Threads) -> (Schedule, Stats) {
     let num_events = inst.num_events();
     let num_intervals = inst.num_intervals();
-    let mut engine = ScoringEngine::new(inst);
+    let mut engine = ScoringEngine::with_threads(inst, threads);
     let mut schedule = Schedule::new(inst);
     let max_dur = max_duration(inst);
 
     // scores[t * |E| + e]; assignments that are infeasible even on the empty
     // schedule (only possible under the duration extension, where a spanning
     // event can run off the calendar) are born dead.
-    let mut scores: Vec<Slot> = Vec::with_capacity(num_events * num_intervals);
-    for t in 0..num_intervals {
-        for e in 0..num_events {
-            let (event, interval) = (EventId::new(e), IntervalId::new(t));
-            scores.push(if schedule.is_valid_assignment(inst, event, interval) {
-                Some(engine.assignment_score(event, interval))
-            } else {
-                None
-            });
+    let mut scores: Vec<Slot> = vec![None; num_events * num_intervals];
+    if threads.is_sequential() || num_intervals < 2 {
+        for t in 0..num_intervals {
+            for e in 0..num_events {
+                let (event, interval) = (EventId::new(e), IntervalId::new(t));
+                scores[t * num_events + e] = if schedule.is_valid_assignment(inst, event, interval)
+                {
+                    Some(engine.assignment_score(event, interval))
+                } else {
+                    None
+                };
+            }
+        }
+    } else {
+        // Parallel candidate generation: one score-table row (interval) per
+        // chunk, each scored via the stat-free `peek_score` (bit-identical
+        // to `assignment_score`; the pool does not nest), then the Stats
+        // bookkeeping replayed in the sequential pass's (t, e) order.
+        let eng = &engine;
+        let sched = &schedule;
+        par_chunks_mut(threads, &mut scores, num_events, |t, row| {
+            let interval = IntervalId::new(t);
+            for (e, slot) in row.iter_mut().enumerate() {
+                let event = EventId::new(e);
+                *slot = if sched.is_valid_assignment(inst, event, interval) {
+                    Some(eng.peek_score(event, interval))
+                } else {
+                    None
+                };
+            }
+        });
+        for t in 0..num_intervals {
+            for e in 0..num_events {
+                if scores[t * num_events + e].is_some() {
+                    let cost = engine.score_cost(EventId::new(e));
+                    engine.stats_mut().record_score(cost);
+                }
+            }
         }
     }
 

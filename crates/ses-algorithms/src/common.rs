@@ -4,6 +4,7 @@
 
 use serde::{Deserialize, Serialize};
 use ses_core::model::Instance;
+use ses_core::parallel::Threads;
 use ses_core::schedule::Schedule;
 use ses_core::scoring::utility::total_utility;
 use ses_core::stats::Stats;
@@ -35,8 +36,18 @@ pub trait Scheduler {
     /// Short display name ("ALG", "INC", …) matching the paper.
     fn name(&self) -> &'static str;
 
-    /// Computes a feasible schedule of (up to) `k` assignments.
-    fn run(&self, inst: &Instance, k: usize) -> ScheduleResult;
+    /// Computes a feasible schedule of (up to) `k` assignments with the
+    /// ambient thread resolution ([`Threads::from_env`]: sequential unless
+    /// `SES_THREADS` is set).
+    fn run(&self, inst: &Instance, k: usize) -> ScheduleResult {
+        self.run_threaded(inst, k, Threads::default())
+    }
+
+    /// Same computation with an explicit worker-thread count. Every
+    /// implementation is **bit-identical** across thread counts — same
+    /// schedule, same utility bits, same [`Stats`] — which
+    /// `tests/parallel_equivalence.rs` enforces differentially.
+    fn run_threaded(&self, inst: &Instance, k: usize, threads: Threads) -> ScheduleResult;
 }
 
 /// Helper used by every implementation: times `f`, evaluates the utility of

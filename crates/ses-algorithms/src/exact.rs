@@ -15,6 +15,7 @@
 
 use crate::common::{timed_result, ScheduleResult, Scheduler};
 use ses_core::model::Instance;
+use ses_core::parallel::Threads;
 use ses_core::schedule::Schedule;
 use ses_core::scoring::ScoringEngine;
 use ses_core::stats::Stats;
@@ -30,8 +31,8 @@ impl Scheduler for Exact {
         "EXACT"
     }
 
-    fn run(&self, inst: &Instance, k: usize) -> ScheduleResult {
-        timed_result(self.name(), inst, k, || run_exact(inst, k))
+    fn run_threaded(&self, inst: &Instance, k: usize, threads: Threads) -> ScheduleResult {
+        timed_result(self.name(), inst, k, || run_exact(inst, k, threads))
     }
 }
 
@@ -87,8 +88,8 @@ impl Search<'_, '_> {
     }
 }
 
-fn run_exact(inst: &Instance, k: usize) -> (Schedule, Stats) {
-    let mut engine = ScoringEngine::new(inst);
+fn run_exact(inst: &Instance, k: usize, threads: Threads) -> (Schedule, Stats) {
+    let mut engine = ScoringEngine::with_threads(inst, threads);
     let empty = Schedule::new(inst);
     let mut event_bound = vec![0.0f64; inst.num_events()];
     for (event, interval) in inst.assignment_universe() {

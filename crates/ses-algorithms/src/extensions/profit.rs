@@ -11,6 +11,7 @@
 
 use crate::common::{timed_result, Cand, ScheduleResult, Scheduler};
 use ses_core::model::Instance;
+use ses_core::parallel::Threads;
 use ses_core::schedule::Schedule;
 use ses_core::scoring::ScoringEngine;
 use ses_core::{EventId, IntervalId};
@@ -45,11 +46,11 @@ impl Scheduler for ProfitGreedy {
         "PROFIT"
     }
 
-    fn run(&self, inst: &Instance, k: usize) -> ScheduleResult {
+    fn run_threaded(&self, inst: &Instance, k: usize, threads: Threads) -> ScheduleResult {
         timed_result(self.name(), inst, k, || {
             let num_events = inst.num_events();
             let num_intervals = inst.num_intervals();
-            let mut engine = ScoringEngine::new(inst);
+            let mut engine = ScoringEngine::with_threads(inst, threads);
             let mut schedule = Schedule::new(inst);
 
             let mut scores: Vec<Option<f64>> = Vec::with_capacity(num_events * num_intervals);

@@ -21,6 +21,7 @@ use crate::common::{
     better, max_duration, stale_window, timed_result, Cand, ScheduleResult, Scheduler,
 };
 use ses_core::model::Instance;
+use ses_core::parallel::{par_chunks_mut, Threads};
 use ses_core::schedule::Schedule;
 use ses_core::scoring::ScoringEngine;
 use ses_core::stats::Stats;
@@ -35,15 +36,21 @@ impl Scheduler for Hor {
         "HOR"
     }
 
-    fn run(&self, inst: &Instance, k: usize) -> ScheduleResult {
-        timed_result(self.name(), inst, k, || run_hor(inst, k))
+    fn run_threaded(&self, inst: &Instance, k: usize, threads: Threads) -> ScheduleResult {
+        timed_result(self.name(), inst, k, || run_hor(inst, k, threads))
     }
 }
 
-fn run_hor(inst: &Instance, k: usize) -> (Schedule, Stats) {
+/// Sorts one interval's candidate list into HOR's canonical order
+/// (descending score, ties by ascending event id).
+fn sort_list(list: &mut [(f64, EventId)]) {
+    list.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores").then(a.1.cmp(&b.1)));
+}
+
+fn run_hor(inst: &Instance, k: usize, threads: Threads) -> (Schedule, Stats) {
     let num_events = inst.num_events();
     let num_intervals = inst.num_intervals();
-    let mut engine = ScoringEngine::new(inst);
+    let mut engine = ScoringEngine::with_threads(inst, threads);
     let mut schedule = Schedule::new(inst);
     let max_dur = max_duration(inst);
     let mut first_round = true;
@@ -52,26 +59,56 @@ fn run_hor(inst: &Instance, k: usize) -> (Schedule, Stats) {
         // Round start: rebuild per-interval lists of valid assignments with
         // fresh scores (Algorithm 2 lines 3–8).
         let mut lists: Vec<Vec<(f64, EventId)>> = vec![Vec::new(); num_intervals];
-        #[allow(clippy::needless_range_loop)] // t indexes lists *and* names the interval
-        for t in 0..num_intervals {
-            let interval = IntervalId::new(t);
-            for e in 0..num_events {
-                let event = EventId::new(e);
-                if schedule.is_scheduled(event)
-                    || !schedule.is_valid_assignment(inst, event, interval)
-                {
-                    continue;
+        if first_round && !threads.is_sequential() && num_intervals >= 2 {
+            // Parallel candidate generation for the score-all first round:
+            // intervals are independent on the empty schedule, so each list
+            // is built and sorted on its own chunk via the stat-free
+            // `peek_score` (bit-identical to `assignment_score`); the Stats
+            // bookkeeping is replayed afterwards. Selection still merges
+            // through the canonical `Cand` order, so nothing downstream can
+            // tell the rounds apart.
+            let eng = &engine;
+            let sched = &schedule;
+            par_chunks_mut(threads, &mut lists, 1, |t, slot| {
+                let interval = IntervalId::new(t);
+                let list = &mut slot[0];
+                for e in 0..num_events {
+                    let event = EventId::new(e);
+                    if sched.is_scheduled(event)
+                        || !sched.is_valid_assignment(inst, event, interval)
+                    {
+                        continue;
+                    }
+                    list.push((eng.peek_score(event, interval), event));
                 }
-                let score = if first_round {
-                    engine.assignment_score(event, interval)
-                } else {
-                    engine.assignment_score_update(event, interval)
-                };
-                lists[t].push((score, event));
-            }
-            lists[t].sort_unstable_by(|a, b| {
-                b.0.partial_cmp(&a.0).expect("finite scores").then(a.1.cmp(&b.1))
+                sort_list(list);
             });
+            for list in &lists {
+                for &(_, event) in list {
+                    let cost = engine.score_cost(event);
+                    engine.stats_mut().record_score(cost);
+                }
+            }
+        } else {
+            #[allow(clippy::needless_range_loop)] // t indexes lists *and* names the interval
+            for t in 0..num_intervals {
+                let interval = IntervalId::new(t);
+                for e in 0..num_events {
+                    let event = EventId::new(e);
+                    if schedule.is_scheduled(event)
+                        || !schedule.is_valid_assignment(inst, event, interval)
+                    {
+                        continue;
+                    }
+                    let score = if first_round {
+                        engine.assignment_score(event, interval)
+                    } else {
+                        engine.assignment_score_update(event, interval)
+                    };
+                    lists[t].push((score, event));
+                }
+                sort_list(&mut lists[t]);
+            }
         }
         first_round = false;
 

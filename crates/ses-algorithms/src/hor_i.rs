@@ -22,6 +22,7 @@ use crate::common::{
     better, max_duration, stale_window, timed_result, Cand, ScheduleResult, Scheduler,
 };
 use ses_core::model::Instance;
+use ses_core::parallel::Threads;
 use ses_core::schedule::Schedule;
 use ses_core::scoring::ScoringEngine;
 use ses_core::stats::Stats;
@@ -37,8 +38,8 @@ impl Scheduler for HorI {
         "HOR-I"
     }
 
-    fn run(&self, inst: &Instance, k: usize) -> ScheduleResult {
-        timed_result(self.name(), inst, k, || run_hor_i(inst, k))
+    fn run_threaded(&self, inst: &Instance, k: usize, threads: Threads) -> ScheduleResult {
+        timed_result(self.name(), inst, k, || run_hor_i(inst, k, threads))
     }
 }
 
@@ -142,10 +143,10 @@ fn fallback(
     }
 }
 
-fn run_hor_i(inst: &Instance, k: usize) -> (Schedule, Stats) {
+fn run_hor_i(inst: &Instance, k: usize, threads: Threads) -> (Schedule, Stats) {
     let num_events = inst.num_events();
     let num_intervals = inst.num_intervals();
-    let mut engine = ScoringEngine::new(inst);
+    let mut engine = ScoringEngine::with_threads(inst, threads);
     let mut schedule = Schedule::new(inst);
     let max_dur = max_duration(inst);
     let mut lists: Vec<Vec<Entry>> = vec![Vec::new(); num_intervals];

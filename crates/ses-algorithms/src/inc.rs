@@ -29,6 +29,7 @@ use crate::common::{
     better, max_duration, stale_window, timed_result, Cand, ScheduleResult, Scheduler,
 };
 use ses_core::model::Instance;
+use ses_core::parallel::Threads;
 use ses_core::schedule::Schedule;
 use ses_core::scoring::ScoringEngine;
 use ses_core::stats::Stats;
@@ -43,8 +44,8 @@ impl Scheduler for Inc {
         "INC"
     }
 
-    fn run(&self, inst: &Instance, k: usize) -> ScheduleResult {
-        timed_result(self.name(), inst, k, || run_inc(inst, k))
+    fn run_threaded(&self, inst: &Instance, k: usize, threads: Threads) -> ScheduleResult {
+        timed_result(self.name(), inst, k, || run_inc(inst, k, threads))
     }
 }
 
@@ -161,13 +162,13 @@ impl IncState<'_, '_> {
     }
 }
 
-fn run_inc(inst: &Instance, k: usize) -> (Schedule, Stats) {
+fn run_inc(inst: &Instance, k: usize, threads: Threads) -> (Schedule, Stats) {
     let num_events = inst.num_events();
     let num_intervals = inst.num_intervals();
     let max_dur = max_duration(inst);
     let mut state = IncState {
         inst,
-        engine: ScoringEngine::new(inst),
+        engine: ScoringEngine::with_threads(inst, threads),
         schedule: Schedule::new(inst),
         lists: Vec::with_capacity(num_intervals),
         m: vec![None; num_intervals],

@@ -19,6 +19,7 @@
 
 use crate::common::{timed_result, Cand, ScheduleResult, Scheduler};
 use ses_core::model::Instance;
+use ses_core::parallel::Threads;
 use ses_core::schedule::Schedule;
 use ses_core::scoring::ScoringEngine;
 use ses_core::stats::Stats;
@@ -34,8 +35,8 @@ impl Scheduler for LazyGreedy {
         "LAZY"
     }
 
-    fn run(&self, inst: &Instance, k: usize) -> ScheduleResult {
-        timed_result(self.name(), inst, k, || run_lazy(inst, k))
+    fn run_threaded(&self, inst: &Instance, k: usize, threads: Threads) -> ScheduleResult {
+        timed_result(self.name(), inst, k, || run_lazy(inst, k, threads))
     }
 }
 
@@ -73,8 +74,8 @@ impl PartialOrd for HeapEntry {
     }
 }
 
-fn run_lazy(inst: &Instance, k: usize) -> (Schedule, Stats) {
-    let mut engine = ScoringEngine::new(inst);
+fn run_lazy(inst: &Instance, k: usize, threads: Threads) -> (Schedule, Stats) {
+    let mut engine = ScoringEngine::with_threads(inst, threads);
     let mut schedule = Schedule::new(inst);
     let mut epoch = vec![0u64; inst.num_intervals()];
     let span_epoch = |epoch: &[u64], e: ses_core::EventId, t: ses_core::IntervalId| -> u64 {

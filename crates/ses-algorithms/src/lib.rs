@@ -49,6 +49,7 @@ pub use common::{ScheduleResult, Scheduler};
 
 use serde::{Deserialize, Serialize};
 use ses_core::model::Instance;
+use ses_core::parallel::Threads;
 
 /// Enumerates the available schedulers — the currency of the experiment
 /// harness and CLI.
@@ -106,19 +107,26 @@ impl SchedulerKind {
         }
     }
 
-    /// Runs the scheduler on `inst` with the given `k`.
+    /// Runs the scheduler on `inst` with the given `k` and the ambient
+    /// thread resolution (`SES_THREADS` or sequential).
     pub fn run(self, inst: &Instance, k: usize) -> ScheduleResult {
+        self.run_threaded(inst, k, Threads::default())
+    }
+
+    /// Runs the scheduler with an explicit worker-thread count. Every kind
+    /// is bit-identical across counts (see `tests/parallel_equivalence.rs`).
+    pub fn run_threaded(self, inst: &Instance, k: usize, threads: Threads) -> ScheduleResult {
         match self {
-            Self::Alg => alg::Alg.run(inst, k),
-            Self::Inc => inc::Inc.run(inst, k),
-            Self::Hor => hor::Hor.run(inst, k),
-            Self::HorI => hor_i::HorI.run(inst, k),
-            Self::Top => top::Top.run(inst, k),
-            Self::Rand(seed) => random::Rand::with_seed(seed).run(inst, k),
-            Self::Exact => exact::Exact.run(inst, k),
-            Self::Lazy => lazy::LazyGreedy.run(inst, k),
+            Self::Alg => alg::Alg.run_threaded(inst, k, threads),
+            Self::Inc => inc::Inc.run_threaded(inst, k, threads),
+            Self::Hor => hor::Hor.run_threaded(inst, k, threads),
+            Self::HorI => hor_i::HorI.run_threaded(inst, k, threads),
+            Self::Top => top::Top.run_threaded(inst, k, threads),
+            Self::Rand(seed) => random::Rand::with_seed(seed).run_threaded(inst, k, threads),
+            Self::Exact => exact::Exact.run_threaded(inst, k, threads),
+            Self::Lazy => lazy::LazyGreedy.run_threaded(inst, k, threads),
             Self::RefinedHor => {
-                let mut res = refine::Refined::new(hor::Hor).run(inst, k);
+                let mut res = refine::Refined::new(hor::Hor).run_threaded(inst, k, threads);
                 res.algorithm = self.name().to_string();
                 res
             }

@@ -8,6 +8,7 @@ use crate::common::{timed_result, ScheduleResult, Scheduler};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use ses_core::model::Instance;
+use ses_core::parallel::Threads;
 use ses_core::schedule::Schedule;
 use ses_core::stats::Stats;
 
@@ -36,7 +37,9 @@ impl Scheduler for Rand {
         "RAND"
     }
 
-    fn run(&self, inst: &Instance, k: usize) -> ScheduleResult {
+    // RAND computes no scores, so the thread count is irrelevant — but the
+    // seeded shuffle keeps it bit-identical across counts by construction.
+    fn run_threaded(&self, inst: &Instance, k: usize, _threads: Threads) -> ScheduleResult {
         timed_result(self.name(), inst, k, || {
             let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
             let mut schedule = Schedule::new(inst);

@@ -19,6 +19,7 @@
 
 use crate::common::{timed_result, ScheduleResult, Scheduler};
 use ses_core::model::Instance;
+use ses_core::parallel::Threads;
 use ses_core::schedule::Schedule;
 use ses_core::scoring::ScoringEngine;
 use ses_core::stats::Stats;
@@ -50,7 +51,18 @@ impl LocalSearch {
     /// Refines `schedule` in place; returns the total utility improvement
     /// and the scoring work performed.
     pub fn refine(&self, inst: &Instance, schedule: &mut Schedule) -> (f64, Stats) {
-        let mut engine = ScoringEngine::new(inst);
+        self.refine_threaded(inst, schedule, Threads::default())
+    }
+
+    /// [`refine`](Self::refine) with an explicit engine thread count
+    /// (bit-identical for every count).
+    pub fn refine_threaded(
+        &self,
+        inst: &Instance,
+        schedule: &mut Schedule,
+        threads: Threads,
+    ) -> (f64, Stats) {
+        let mut engine = ScoringEngine::with_threads(inst, threads);
         for a in schedule.assignments() {
             engine.apply(a.event, a.interval);
         }
@@ -169,12 +181,12 @@ impl<S: Scheduler> Scheduler for Refined<S> {
         "REFINED"
     }
 
-    fn run(&self, inst: &Instance, k: usize) -> ScheduleResult {
-        let base = self.inner.run(inst, k);
+    fn run_threaded(&self, inst: &Instance, k: usize, threads: Threads) -> ScheduleResult {
+        let base = self.inner.run_threaded(inst, k, threads);
         let mut stats = base.stats;
         let mut schedule = base.schedule;
         timed_result(self.name(), inst, k, || {
-            let (_, search_stats) = self.search.refine(inst, &mut schedule);
+            let (_, search_stats) = self.search.refine_threaded(inst, &mut schedule, threads);
             stats += search_stats;
             (schedule, stats)
         })

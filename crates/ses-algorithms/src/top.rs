@@ -9,6 +9,7 @@
 
 use crate::common::{timed_result, Cand, ScheduleResult, Scheduler};
 use ses_core::model::Instance;
+use ses_core::parallel::Threads;
 use ses_core::schedule::Schedule;
 use ses_core::scoring::ScoringEngine;
 use ses_core::stats::Stats;
@@ -22,13 +23,13 @@ impl Scheduler for Top {
         "TOP"
     }
 
-    fn run(&self, inst: &Instance, k: usize) -> ScheduleResult {
-        timed_result(self.name(), inst, k, || run_top(inst, k))
+    fn run_threaded(&self, inst: &Instance, k: usize, threads: Threads) -> ScheduleResult {
+        timed_result(self.name(), inst, k, || run_top(inst, k, threads))
     }
 }
 
-fn run_top(inst: &Instance, k: usize) -> (Schedule, Stats) {
-    let mut engine = ScoringEngine::new(inst);
+fn run_top(inst: &Instance, k: usize, threads: Threads) -> (Schedule, Stats) {
+    let mut engine = ScoringEngine::with_threads(inst, threads);
     let mut schedule = Schedule::new(inst);
 
     let mut cands: Vec<Cand> = Vec::with_capacity(inst.num_events() * inst.num_intervals());

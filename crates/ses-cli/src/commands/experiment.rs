@@ -16,6 +16,9 @@ pub fn exec(args: &Args) -> Result<(), String> {
     let mut config = ExperimentConfig::default()
         .with_users(args.num_flag("users", ExperimentConfig::default().num_users)?);
     config.seed = args.num_flag("seed", config.seed)?;
+    // Sweep rows fan out across this many workers (0 = machine width, the
+    // default). Reports are byte-identical for every value.
+    config.threads = args.num_flag("threads", 0usize)?;
     if args.switch("full") {
         config = config.full();
     }

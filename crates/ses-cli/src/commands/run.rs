@@ -4,11 +4,15 @@
 use crate::args::Args;
 use crate::commands::dataset_from_flags;
 use ses_algorithms::SchedulerKind;
+use ses_core::parallel::Threads;
 
 /// Executes the `run` subcommand.
 pub fn exec(args: &Args) -> Result<(), String> {
     let (dataset, users, events, intervals, seed) = dataset_from_flags(args)?;
     let k = args.num_flag("k", 20usize)?;
+    // Worker threads for the schedulers (0 = machine width, the default).
+    // Results are bit-identical for every count — only wall time changes.
+    let threads = Threads::new(args.num_flag("threads", 0usize)?);
 
     let kinds: Vec<SchedulerKind> = match args.opt_flag("algorithms") {
         None => SchedulerKind::paper_lineup().to_vec(),
@@ -21,7 +25,7 @@ pub fn exec(args: &Args) -> Result<(), String> {
     };
 
     eprintln!(
-        "# dataset={} |U|={users} |E|={events} |T|={intervals} k={k} seed={seed}",
+        "# dataset={} |U|={users} |E|={events} |T|={intervals} k={k} seed={seed} threads={threads}",
         dataset.name()
     );
     let inst = dataset.build(users, events, intervals, seed);
@@ -31,7 +35,7 @@ pub fn exec(args: &Args) -> Result<(), String> {
         "method", "utility", "|S|", "computations", "examined", "updates", "time"
     );
     for kind in kinds {
-        let res = kind.run(&inst, k);
+        let res = kind.run_threaded(&inst, k, threads);
         println!(
             "{:>8} {:>14.4} {:>10} {:>16} {:>14} {:>12} {:>9.1}ms",
             res.algorithm,

@@ -2,13 +2,19 @@
 //!
 //! ```text
 //! ses run        --dataset <meetup|concerts|unf|zip> --k 20 [--users N] [--events N]
-//!                [--intervals N] [--seed S] [--algorithms ALG,INC,HOR,HOR-I,TOP,RAND]
+//!                [--intervals N] [--seed S] [--threads N]
+//!                [--algorithms ALG,INC,HOR,HOR-I,TOP,RAND]
 //! ses experiment <fig5|fig6|fig7|fig8|fig9|fig10a|fig10b|summary|params|all>
-//!                [--users N] [--full] [--seed S] [--json out.json] [--csv out.csv]
+//!                [--users N] [--full] [--seed S] [--threads N]
+//!                [--json out.json] [--csv out.csv]
 //! ses generate   --dataset <...> [--users N] [--events N] [--intervals N] [--seed S]
 //!                --out instance.json
 //! ses help
 //! ```
+//!
+//! `--threads 0` (the default) uses every hardware thread. Scheduling
+//! results and reports are bit-identical for every thread count; the flag
+//! only changes wall-clock time.
 
 mod args;
 mod commands;
@@ -50,17 +56,22 @@ ses — Social Event Scheduling (EDBT 2019 reproduction)
 
 USAGE:
   ses run        --dataset <meetup|concerts|unf|zip> [--k N] [--users N]
-                 [--events N] [--intervals N] [--seed S]
+                 [--events N] [--intervals N] [--seed S] [--threads N]
                  [--algorithms ALG,INC,HOR,HOR-I,TOP,RAND]
   ses experiment <fig5|fig6|fig7|fig8|fig9|fig10a|fig10b|ablation-schemes|
                   ablation-refine|summary|params|all>
-                 [--users N] [--full] [--seed S] [--json PATH] [--csv PATH]
+                 [--users N] [--full] [--seed S] [--threads N]
+                 [--json PATH] [--csv PATH]
   ses generate   --dataset <...> [--users N] [--events N] [--intervals N]
                  [--seed S] --out instance.json
   ses help
 
+`--threads N` sets the worker count (default 0 = all hardware threads):
+engine/scheduler threads for `run`, sweep-row fan-out for `experiment`.
+Results are bit-identical for every N.
+
 EXAMPLES:
-  ses run --dataset zip --k 50 --users 1000
+  ses run --dataset zip --k 50 --users 1000 --threads 4
   ses experiment fig5 --users 400
-  ses experiment all --users 200 --csv results.csv
+  ses experiment all --users 200 --csv results.csv --threads 8
 ";

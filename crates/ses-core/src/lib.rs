@@ -21,7 +21,10 @@
 //!   assignment scores (Eq. 4) in O(column) per score, and the independent
 //!   [`scoring::utility`] evaluator for Ω(S) (Eq. 1–3);
 //! * [`stats`] — counters reproducing the paper's evaluation metrics
-//!   (score computations / user operations / assignments examined).
+//!   (score computations / user operations / assignments examined);
+//! * [`parallel`] — deterministic multi-threading support: [`Threads`]
+//!   resolution and the fixed-block reduction scheme that keeps parallel
+//!   scores bit-identical to sequential ones.
 //!
 //! Algorithms (ALG, INC, HOR, HOR-I, baselines) live in `ses-algorithms`;
 //! dataset generators in `ses-datasets`.
@@ -45,6 +48,7 @@
 pub mod error;
 pub mod ids;
 pub mod model;
+pub mod parallel;
 pub mod schedule;
 pub mod scoring;
 pub mod stats;
@@ -52,5 +56,6 @@ pub mod stats;
 pub use error::{BuildError, ScheduleError};
 pub use ids::{CompetingEventId, EventId, IntervalId, LocationId, UserId};
 pub use model::Instance;
+pub use parallel::Threads;
 pub use schedule::{Assignment, Schedule};
 pub use stats::Stats;

@@ -67,10 +67,43 @@ impl InterestMatrix {
     #[inline]
     pub fn column(&self, item: usize) -> ColumnIter<'_> {
         match self {
-            Self::Dense(d) => ColumnIter::Dense { values: d.column_slice(item), next: 0 },
+            Self::Dense(d) => {
+                ColumnIter::Dense { values: d.column_slice(item), first_user: 0, next: 0 }
+            }
             Self::Sparse(s) => {
                 let (users, values) = s.column_slices(item);
                 ColumnIter::Sparse { users, values, next: 0 }
+            }
+        }
+    }
+
+    /// Iterates one *positional* slice of `item`'s column: entries at
+    /// positions `range` of the [`column`](Self::column) iteration (for
+    /// dense storage positions are user indices; for sparse they index the
+    /// non-zero list). Concatenating `column_part(item, r)` over the blocks
+    /// of [`crate::parallel::block_range`] reproduces `column(item)` exactly
+    /// — this is the unit the engine's fixed-block reduction works in.
+    ///
+    /// # Panics
+    /// Panics if `range` exceeds `column_len(item)`.
+    #[inline]
+    pub fn column_part(&self, item: usize, range: std::ops::Range<usize>) -> ColumnIter<'_> {
+        match self {
+            Self::Dense(d) => {
+                let col = d.column_slice(item);
+                ColumnIter::Dense {
+                    values: &col[range.start..range.end],
+                    first_user: range.start,
+                    next: 0,
+                }
+            }
+            Self::Sparse(s) => {
+                let (users, values) = s.column_slices(item);
+                ColumnIter::Sparse {
+                    users: &users[range.start..range.end],
+                    values: &values[range.start..range.end],
+                    next: 0,
+                }
             }
         }
     }
@@ -166,9 +199,11 @@ impl From<SparseInterest> for InterestMatrix {
 pub enum ColumnIter<'a> {
     /// Dense column: yields every user index with its (possibly zero) value.
     Dense {
-        /// The item's contiguous value slice, indexed by user.
+        /// The (sub)column's contiguous value slice.
         values: &'a [f64],
-        /// Next user index to yield.
+        /// User index of `values[0]` (non-zero for `column_part` slices).
+        first_user: usize,
+        /// Next position within `values` to yield.
         next: usize,
     },
     /// Sparse column: yields stored non-zeros only.
@@ -188,11 +223,11 @@ impl Iterator for ColumnIter<'_> {
     #[inline]
     fn next(&mut self) -> Option<(usize, f64)> {
         match self {
-            ColumnIter::Dense { values, next } => {
-                let u = *next;
-                let v = *values.get(u)?;
+            ColumnIter::Dense { values, first_user, next } => {
+                let i = *next;
+                let v = *values.get(i)?;
                 *next += 1;
-                Some((u, v))
+                Some((*first_user + i, v))
             }
             ColumnIter::Sparse { users, values, next } => {
                 let i = *next;
@@ -205,7 +240,7 @@ impl Iterator for ColumnIter<'_> {
 
     fn size_hint(&self) -> (usize, Option<usize>) {
         let rem = match self {
-            ColumnIter::Dense { values, next } => values.len() - next,
+            ColumnIter::Dense { values, next, .. } => values.len() - next,
             ColumnIter::Sparse { users, next, .. } => users.len() - next,
         };
         (rem, Some(rem))
@@ -505,6 +540,23 @@ mod tests {
         assert_eq!(it.len(), 3);
         it.next();
         assert_eq!(it.len(), 2);
+    }
+
+    #[test]
+    fn column_part_tiles_the_column() {
+        let dense = InterestMatrix::from(sample_dense());
+        let sparse = InterestMatrix::from(dense.to_sparse());
+        for m in [&dense, &sparse] {
+            for item in 0..2 {
+                let len = m.column_len(item);
+                let whole: Vec<_> = m.column(item).collect();
+                for split in 0..=len {
+                    let mut tiled: Vec<_> = m.column_part(item, 0..split).collect();
+                    tiled.extend(m.column_part(item, split..len));
+                    assert_eq!(tiled, whole, "item {item} split {split}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! Deterministic parallel execution: thread-count resolution and the
+//! fixed-block work partitioning shared by the scoring engine, the
+//! schedulers, and the experiment harness.
+//!
+//! ## The determinism contract
+//!
+//! Everything parallel in this workspace is **bit-identical** to the
+//! sequential reference, for every thread count. Two rules make that hold
+//! (the differential suite `tests/parallel_equivalence.rs` enforces it):
+//!
+//! 1. **Fixed-block reductions.** Floating-point sums are never chunked "by
+//!    thread"; they are chunked into fixed [`PAR_BLOCK`]-entry blocks whose
+//!    boundaries depend only on the data length. Each block's partial sum is
+//!    accumulated left-to-right, and block partials are combined in
+//!    ascending block order. The *sequential* engine uses the same blocked
+//!    order, so `f64` non-associativity never shows: 1, 2, or 64 threads
+//!    produce the same bits. See DESIGN.md §2.
+//! 2. **Ordered fan-out.** Work items (score-table rows, sweep rows) are
+//!    indexed before the fan-out and results land in their input slot, so
+//!    merges preserve the sequential order no matter which thread finished
+//!    first.
+//!
+//! ## One level of parallelism at a time
+//!
+//! The vendored `mini-rayon` pool does not support nested `run` calls, so
+//! layers never stack fan-outs: a scheduler that parallelizes candidate
+//! generation scores each candidate sequentially
+//! ([`ScoringEngine::peek_score`](crate::scoring::ScoringEngine::peek_score)),
+//! and an experiment sweep that fans out table rows pins each scheduler run
+//! to one thread. The blocked reduction keeps all combinations
+//! bit-identical, so layers can choose whichever fan-out level pays.
+
+use std::ops::Range;
+
+/// Entries per summation block: the granularity of both the deterministic
+/// reduction order and the parallel work split. Small enough that
+/// bench-scale dense columns (a few thousand users) split into several
+/// blocks, large enough that a block amortizes pool dispatch.
+pub const PAR_BLOCK: usize = 512;
+
+/// A resolved worker-thread count (always ≥ 1).
+///
+/// `Threads` is how a thread count travels from the CLI / environment down
+/// through schedulers into the scoring engine. Resolution happens at
+/// construction so every layer below deals in a concrete count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Threads(usize);
+
+impl Threads {
+    /// `n` threads; `0` means "machine width" (available parallelism).
+    pub fn new(n: usize) -> Self {
+        Self(if n == 0 { mini_rayon::available_parallelism() } else { n })
+    }
+
+    /// One thread — the sequential reference behaviour every parallel path
+    /// is tested against.
+    pub fn sequential() -> Self {
+        Self(1)
+    }
+
+    /// The ambient default used by `Scheduler::run`: the `SES_THREADS`
+    /// environment variable if set (`0` = machine width), otherwise
+    /// sequential. CI runs the whole test suite under `SES_THREADS=1` and
+    /// `SES_THREADS=4` — a thread-matrix differential test for free.
+    pub fn from_env() -> Self {
+        match std::env::var("SES_THREADS") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) => Self::new(n),
+                Err(_) => Self::sequential(),
+            },
+            Err(_) => Self::sequential(),
+        }
+    }
+
+    /// The resolved count (≥ 1).
+    pub fn get(self) -> usize {
+        self.0
+    }
+
+    /// Whether this is the single-threaded reference mode.
+    pub fn is_sequential(self) -> bool {
+        self.0 == 1
+    }
+}
+
+impl Default for Threads {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl std::fmt::Display for Threads {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Applies `f(chunk_index, window)` to consecutive `chunk_size` windows of
+/// `data` — in place and in index order when sequential, fanned across the
+/// cached `mini-rayon` pool otherwise. Chunk boundaries are identical in
+/// both modes, which is what lets callers treat the two paths as
+/// interchangeable bit-for-bit.
+///
+/// # Panics
+/// Panics if `chunk_size == 0`.
+pub fn par_chunks_mut<T, F>(threads: Threads, data: &mut [T], chunk_size: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    if threads.is_sequential() || data.len() <= chunk_size {
+        for (i, window) in data.chunks_mut(chunk_size).enumerate() {
+            f(i, window);
+        }
+    } else {
+        mini_rayon::pool(threads.get()).for_each_chunk_mut(data, chunk_size, f);
+    }
+}
+
+/// The fixed block boundaries of a `len`-entry column: `[0, PAR_BLOCK)`,
+/// `[PAR_BLOCK, 2·PAR_BLOCK)`, … — the canonical reduction units of the
+/// scoring engine. Returns the entry range of block `block`.
+#[inline]
+pub fn block_range(block: usize, len: usize) -> Range<usize> {
+    let lo = block * PAR_BLOCK;
+    lo..(lo + PAR_BLOCK).min(len)
+}
+
+/// Number of [`PAR_BLOCK`] blocks covering a `len`-entry column.
+#[inline]
+pub fn block_count(len: usize) -> usize {
+    len.div_ceil(PAR_BLOCK)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_resolution() {
+        assert_eq!(Threads::new(3).get(), 3);
+        assert!(Threads::new(0).get() >= 1, "0 resolves to machine width");
+        assert!(Threads::sequential().is_sequential());
+        assert!(!Threads::new(2).is_sequential());
+        assert_eq!(Threads::new(4).to_string(), "4");
+    }
+
+    #[test]
+    fn block_geometry() {
+        assert_eq!(block_count(0), 0);
+        assert_eq!(block_count(1), 1);
+        assert_eq!(block_count(PAR_BLOCK), 1);
+        assert_eq!(block_count(PAR_BLOCK + 1), 2);
+        assert_eq!(block_range(0, 10), 0..10);
+        assert_eq!(block_range(1, PAR_BLOCK + 7), PAR_BLOCK..PAR_BLOCK + 7);
+        // Blocks tile the column exactly.
+        let len = 3 * PAR_BLOCK + 19;
+        let mut covered = 0;
+        for b in 0..block_count(len) {
+            let r = block_range(b, len);
+            assert_eq!(r.start, covered);
+            covered = r.end;
+        }
+        assert_eq!(covered, len);
+    }
+
+    #[test]
+    fn par_chunks_mut_matches_sequential() {
+        let mut seq: Vec<usize> = vec![0; 2000];
+        let mut par: Vec<usize> = vec![0; 2000];
+        par_chunks_mut(Threads::sequential(), &mut seq, 128, |i, w| {
+            for x in w.iter_mut() {
+                *x = i;
+            }
+        });
+        par_chunks_mut(Threads::new(4), &mut par, 128, |i, w| {
+            for x in w.iter_mut() {
+                *x = i;
+            }
+        });
+        assert_eq!(seq, par);
+    }
+}

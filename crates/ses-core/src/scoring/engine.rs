@@ -29,6 +29,7 @@
 
 use crate::ids::{EventId, IntervalId};
 use crate::model::{Instance, InterestMatrix};
+use crate::parallel::{block_count, block_range, par_chunks_mut, Threads};
 use crate::stats::Stats;
 
 /// Incremental scorer for one instance. Create one per algorithm run.
@@ -40,27 +41,55 @@ pub struct ScoringEngine<'a> {
     comp_mass: Vec<f64>,
     /// Scheduled mass `M(u,t)`, same layout.
     sched_mass: Vec<f64>,
+    /// Worker threads for user sweeps. Results are bit-identical for every
+    /// count (fixed-block reduction; see the `parallel` module).
+    threads: Threads,
     stats: Stats,
 }
 
 impl<'a> ScoringEngine<'a> {
-    /// Builds the engine and pre-aggregates the competing masses — the
-    /// `O(|U|·|C|)` setup term of the paper's complexity analyses.
+    /// Builds a sequential engine — the reference behaviour all parallel
+    /// configurations are differentially tested against.
     pub fn new(inst: &'a Instance) -> Self {
+        Self::with_threads(inst, Threads::sequential())
+    }
+
+    /// Builds the engine with `threads` workers for its user sweeps, and
+    /// pre-aggregates the competing masses — the `O(|U|·|C|)` setup term of
+    /// the paper's complexity analyses, fanned out by interval row.
+    pub fn with_threads(inst: &'a Instance, threads: Threads) -> Self {
         let users = inst.num_users();
         let intervals = inst.num_intervals();
         let mut comp_mass = vec![0.0; users * intervals];
-        let mut setup_ops = 0u64;
-        for (ci, c) in inst.competing.iter().enumerate() {
-            let base = c.interval.index() * users;
-            for (u, mu) in inst.competing_interest.column(ci) {
-                comp_mass[base + u] += mu;
-                setup_ops += 1;
+        if users > 0 {
+            // Group competing events by interval (ascending id within each):
+            // each `comp_mass` row then aggregates independently, and every
+            // cell receives its additions in exactly the order the flat
+            // sequential loop over `inst.competing` used — rows are
+            // parallelism-safe *and* bit-identical.
+            let mut by_interval: Vec<Vec<usize>> = vec![Vec::new(); intervals];
+            for (ci, c) in inst.competing.iter().enumerate() {
+                by_interval[c.interval.index()].push(ci);
             }
+            par_chunks_mut(threads, &mut comp_mass, users, |t, row| {
+                for &ci in &by_interval[t] {
+                    for (u, mu) in inst.competing_interest.column(ci) {
+                        row[u] += mu;
+                    }
+                }
+            });
         }
+        let setup_ops: u64 =
+            (0..inst.competing.len()).map(|ci| inst.competing_interest.column_len(ci) as u64).sum();
         let mut stats = Stats::new();
         stats.user_ops += setup_ops;
-        Self { inst, comp_mass, sched_mass: vec![0.0; users * intervals], stats }
+        Self { inst, comp_mass, sched_mass: vec![0.0; users * intervals], threads, stats }
+    }
+
+    /// The configured worker-thread count.
+    #[inline]
+    pub fn threads(&self) -> Threads {
+        self.threads
     }
 
     /// The instance this engine scores.
@@ -93,22 +122,27 @@ impl<'a> ScoringEngine<'a> {
         self.comp_mass[t.index() * self.inst.num_users() + user]
     }
 
-    /// Marginal attendance gain of one spanned interval.
-    fn span_gain(&self, e: EventId, ti: usize) -> f64 {
+    /// The partial gain of one fixed reduction block of `e`'s column in
+    /// interval `ti`: entries at positions [`block_range`]`(block, len)`,
+    /// accumulated left-to-right. Blocks are the atoms of the deterministic
+    /// summation order (DESIGN.md §2) — every code path combines them in
+    /// ascending block index, so thread count never changes a bit.
+    fn block_gain(&self, e: EventId, ti: usize, block: usize, len: usize) -> f64 {
         let users = self.inst.num_users();
         let base = ti * users;
         let comp = &self.comp_mass[base..base + users];
         let sched = &self.sched_mass[base..base + users];
         let interest: &InterestMatrix = &self.inst.event_interest;
+        let range = block_range(block, len);
         let mut total = 0.0;
         match &self.inst.user_weights {
             None => {
-                for (u, mu) in interest.column(e.index()) {
+                for (u, mu) in interest.column_part(e.index(), range) {
                     total += self.inst.activity.value(u, ti) * gain(comp[u], sched[u], mu);
                 }
             }
             Some(w) => {
-                for (u, mu) in interest.column(e.index()) {
+                for (u, mu) in interest.column_part(e.index(), range) {
                     total += w[u] * self.inst.activity.value(u, ti) * gain(comp[u], sched[u], mu);
                 }
             }
@@ -116,7 +150,30 @@ impl<'a> ScoringEngine<'a> {
         total
     }
 
-    fn score_impl(&mut self, e: EventId, t: IntervalId) -> f64 {
+    /// Marginal attendance gain of one spanned interval: the fixed-block
+    /// reduction over `e`'s column, fanned across `threads` when the column
+    /// spans several blocks.
+    fn span_gain(&self, e: EventId, ti: usize, threads: Threads) -> f64 {
+        let len = self.inst.event_interest.column_len(e.index());
+        let n_blocks = block_count(len);
+        if threads.is_sequential() || n_blocks < 2 {
+            let mut total = 0.0;
+            for b in 0..n_blocks {
+                total += self.block_gain(e, ti, b, len);
+            }
+            total
+        } else {
+            let mut partials = vec![0.0f64; n_blocks];
+            par_chunks_mut(threads, &mut partials, 1, |b, out| {
+                out[0] = self.block_gain(e, ti, b, len);
+            });
+            // Combine in ascending block order — the same fold the
+            // sequential branch performs.
+            partials.iter().sum()
+        }
+    }
+
+    fn score_impl(&self, e: EventId, t: IntervalId, threads: Threads) -> f64 {
         let d = self.inst.events[e.index()].duration as usize;
         debug_assert!(
             t.index() + d <= self.inst.num_intervals(),
@@ -124,28 +181,46 @@ impl<'a> ScoringEngine<'a> {
         );
         let mut s = 0.0;
         for ti in t.index()..t.index() + d {
-            s += self.span_gain(e, ti);
+            s += self.span_gain(e, ti, threads);
         }
         s
+    }
+
+    /// The paper's per-score cost of `e`: entries touched per user sweep
+    /// times the spanned intervals — exactly what
+    /// [`assignment_score`](Self::assignment_score) records in [`Stats`].
+    #[inline]
+    pub fn score_cost(&self, e: EventId) -> usize {
+        self.inst.event_interest.column_len(e.index())
+            * self.inst.events[e.index()].duration as usize
     }
 
     /// Computes the assignment score `α_e^t.S` (Eq. 4): the gain in expected
     /// attendance from adding `e` to interval `t` under the current masses.
     /// Counts as an initial score computation.
     pub fn assignment_score(&mut self, e: EventId, t: IntervalId) -> f64 {
-        let cost = self.inst.event_interest.column_len(e.index())
-            * self.inst.events[e.index()].duration as usize;
-        self.stats.record_score(cost);
-        self.score_impl(e, t)
+        self.stats.record_score(self.score_cost(e));
+        self.score_impl(e, t, self.threads)
     }
 
     /// Same as [`assignment_score`](Self::assignment_score) but counted as a
     /// score *update* (a re-computation after a selection).
     pub fn assignment_score_update(&mut self, e: EventId, t: IntervalId) -> f64 {
-        let cost = self.inst.event_interest.column_len(e.index())
-            * self.inst.events[e.index()].duration as usize;
-        self.stats.record_update(cost);
-        self.score_impl(e, t)
+        self.stats.record_update(self.score_cost(e));
+        self.score_impl(e, t, self.threads)
+    }
+
+    /// The assignment score without touching [`Stats`] and without
+    /// engine-level fan-out — always evaluated on the calling thread.
+    ///
+    /// This is the building block for schedulers that parallelize *candidate
+    /// generation* instead (one thread per score-table row): the pool does
+    /// not nest, and the fixed-block reduction makes the result bit-identical
+    /// to [`assignment_score`](Self::assignment_score) anyway. Callers replay
+    /// the `Stats` bookkeeping afterwards via [`score_cost`](Self::score_cost)
+    /// + [`Stats::record_score`].
+    pub fn peek_score(&self, e: EventId, t: IntervalId) -> f64 {
+        self.score_impl(e, t, Threads::sequential())
     }
 
     /// Applies a selected assignment: folds `e`'s interest into the scheduled

@@ -7,6 +7,7 @@ use ses_core::ids::{EventId, IntervalId, LocationId};
 use ses_core::model::{
     ActivityMatrix, CompetingEvent, DenseInterest, Event, Instance, InstanceBuilder,
 };
+use ses_core::parallel::{Threads, PAR_BLOCK};
 use ses_core::schedule::Schedule;
 use ses_core::scoring::utility::total_utility;
 use ses_core::scoring::{gain, ScoringEngine};
@@ -50,6 +51,119 @@ fn small_instance() -> impl Strategy<Value = Instance> {
             .build()
             .unwrap()
     })
+}
+
+/// An instance whose dense columns span **multiple** `PAR_BLOCK` reduction
+/// blocks — the regime where the parallel user sweep actually splits work.
+/// Matrices are generated from a seed with a local xorshift instead of
+/// element-wise proptest vectors (thousands of entries per case).
+fn wide_instance() -> impl Strategy<Value = Instance> {
+    let users = PAR_BLOCK + 9..3 * PAR_BLOCK;
+    (2usize..=4, 1usize..=2, users, 0usize..=3, 0u64..1_000_000).prop_map(
+        |(ne, nt, nu, nc, seed)| {
+            let mut x = seed | 1;
+            let mut next = move || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            // Quantized probabilities (steps of 1/64), like `prob()`.
+            let mut p = move || (next() % 65) as f64 / 64.0;
+            let mut b = InstanceBuilder::new();
+            for l in 0..ne {
+                b.add_event(Event::new(LocationId::new(l % 3), 1.0));
+            }
+            b.add_intervals(nt);
+            for c in 0..nc {
+                b.add_competing(CompetingEvent::new(IntervalId::new(c % nt)));
+            }
+            b.event_interest(DenseInterest::from_fn(ne, nu, |_, _| p()))
+                .competing_interest(DenseInterest::from_fn(nc, nu, |_, _| p()))
+                .activity(
+                    ActivityMatrix::from_raw(nu, nt, (0..nu * nt).map(|_| p()).collect()).unwrap(),
+                )
+                .resources(100.0)
+                .build()
+                .unwrap()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Parallel `score` equals sequential `score` **bit-for-bit**, on the
+    /// dense and the sparse interest layout, at every probed thread count —
+    /// the engine-level core of the `ses-parallel` differential contract.
+    #[test]
+    fn parallel_scores_bit_identical(inst in wide_instance(), n in 2usize..=6) {
+        let mut sparse = inst.clone();
+        sparse.event_interest = inst.event_interest.to_sparse().into();
+        sparse.competing_interest = inst.competing_interest.to_sparse().into();
+        for (layout, variant) in [("dense", &inst), ("sparse", &sparse)] {
+            let mut seq = ScoringEngine::new(variant);
+            let mut par = ScoringEngine::with_threads(variant, Threads::new(n));
+            for (e, t) in variant.assignment_universe() {
+                let a = seq.assignment_score(e, t);
+                let b = par.assignment_score(e, t);
+                prop_assert_eq!(
+                    a.to_bits(), b.to_bits(),
+                    "{} {:?}@{:?} t{}: {} vs {}", layout, e, t, n, a, b
+                );
+            }
+            prop_assert_eq!(seq.stats(), par.stats(), "{} stats diverged", layout);
+        }
+    }
+
+    /// `apply`/`unapply` round-trips under the **parallel** engine leave
+    /// every score bit-identical (extends the sequential
+    /// `apply_unapply_roundtrip` / `stale_scores_upper_bound` family to the
+    /// threaded mass-update path, including the residue snapping).
+    #[test]
+    fn parallel_apply_unapply_leaves_scores_unchanged(
+        inst in wide_instance(),
+        n in 2usize..=6,
+        pick in 0usize..64,
+    ) {
+        let mut eng = ScoringEngine::with_threads(&inst, Threads::new(n));
+        let e = EventId::new(pick % inst.num_events());
+        let t = IntervalId::new((pick / 7) % inst.num_intervals());
+        let before: Vec<u64> = inst
+            .assignment_universe()
+            .map(|(e, t)| eng.assignment_score(e, t).to_bits())
+            .collect();
+        eng.apply(e, t);
+        eng.unapply(e, t);
+        let after: Vec<u64> = inst
+            .assignment_universe()
+            .map(|(e, t)| eng.assignment_score(e, t).to_bits())
+            .collect();
+        prop_assert_eq!(before, after, "round-trip perturbed a score bit (t{})", n);
+    }
+
+    /// Stale scores remain upper bounds under the parallel engine — the
+    /// INC/HOR-I pruning invariant is thread-count independent.
+    #[test]
+    fn parallel_stale_scores_upper_bound(inst in wide_instance(), pick in 0usize..64) {
+        let mut engine = ScoringEngine::with_threads(&inst, Threads::new(4));
+        let e_applied = EventId::new(pick % inst.num_events());
+        let t = IntervalId::new((pick / 7) % inst.num_intervals());
+        let stale: Vec<f64> = (0..inst.num_events())
+            .map(|e| engine.assignment_score(EventId::new(e), t))
+            .collect();
+        engine.apply(e_applied, t);
+        for (e, bound) in stale.iter().enumerate() {
+            if e == e_applied.index() {
+                continue;
+            }
+            let fresh = engine.assignment_score(EventId::new(e), t);
+            prop_assert!(
+                fresh <= bound + 1e-12,
+                "event {}: fresh {} exceeds stale bound {}", e, fresh, bound
+            );
+        }
+    }
 }
 
 proptest! {

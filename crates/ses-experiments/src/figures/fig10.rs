@@ -2,7 +2,7 @@
 //! (b) the ALG-vs-INC search space (assignments examined).
 
 use crate::report::{FigureReport, Metric};
-use crate::runner::{run_lineup, ExperimentConfig};
+use crate::runner::{par_rows, run_lineup_threaded, ExperimentConfig};
 use ses_algorithms::SchedulerKind;
 use ses_datasets::Dataset;
 
@@ -19,14 +19,22 @@ pub fn run_worst_case(config: &ExperimentConfig) -> FigureReport {
         SchedulerKind::HorI,
         SchedulerKind::Top,
     ];
-    let mut records = Vec::new();
     // Preserve the worst-case relation k mod |T| = 1 under scaling.
     let k = config.dim(K);
     let intervals = (k - 1).max(1);
-    for dataset in Dataset::ALL {
+    let records = par_rows(config.row_threads(), &Dataset::ALL, |&dataset| {
         let inst = dataset.build(config.num_users, 5 * k, intervals, config.seed ^ 0x10A);
-        records.extend(run_lineup("fig10a", dataset.name(), "worst-case", 0.0, &inst, k, &kinds));
-    }
+        run_lineup_threaded(
+            "fig10a",
+            dataset.name(),
+            "worst-case",
+            0.0,
+            &inst,
+            k,
+            &kinds,
+            config.scheduler_threads(),
+        )
+    });
     FigureReport {
         id: "fig10a".into(),
         title: "HOR & HOR-I worst case w.r.t. k and |T| (k = 100, |T| = 99)".into(),
@@ -61,13 +69,23 @@ pub fn search_space_configs(config: &ExperimentConfig) -> Vec<(String, usize, us
 /// Meetup dataset across the nine parameter configurations.
 pub fn run_search_space(config: &ExperimentConfig) -> FigureReport {
     let kinds = vec![SchedulerKind::Alg, SchedulerKind::Inc];
-    let mut records = Vec::new();
-    for (i, (label, k, events, intervals)) in search_space_configs(config).into_iter().enumerate() {
-        let (k, events, intervals) = (config.dim(k), config.dim(events), config.dim(intervals));
+    let jobs: Vec<(usize, (String, usize, usize, usize))> =
+        search_space_configs(config).into_iter().enumerate().collect();
+    let records = par_rows(config.row_threads(), &jobs, |(i, (label, k, events, intervals))| {
+        let (k, events, intervals) = (config.dim(*k), config.dim(*events), config.dim(*intervals));
         let inst =
-            Dataset::Meetup.build(config.num_users, events, intervals, config.seed ^ (i as u64));
-        records.extend(run_lineup("fig10b", &label, "config", i as f64, &inst, k, &kinds));
-    }
+            Dataset::Meetup.build(config.num_users, events, intervals, config.seed ^ (*i as u64));
+        run_lineup_threaded(
+            "fig10b",
+            label,
+            "config",
+            *i as f64,
+            &inst,
+            k,
+            &kinds,
+            config.scheduler_threads(),
+        )
+    });
     FigureReport {
         id: "fig10b".into(),
         title: "Search space: assignments examined, ALG vs INC (Meetup)".into(),
@@ -79,6 +97,7 @@ pub fn run_search_space(config: &ExperimentConfig) -> FigureReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_lineup;
 
     /// Fig 10b's claim: INC examines noticeably fewer assignments than ALG.
     #[test]

@@ -4,7 +4,7 @@
 //! Per Table 1 the other dimensions track `k`: `|E| = 5k`, `|T| = 3k/2`.
 
 use crate::report::{FigureReport, Metric};
-use crate::runner::{run_lineup, standard_kinds, ExperimentConfig};
+use crate::runner::{par_rows, run_lineup_threaded, standard_kinds, ExperimentConfig};
 use ses_datasets::Dataset;
 
 /// The swept `k` values (quick mode truncates the heaviest points).
@@ -16,22 +16,31 @@ pub fn sweep(config: &ExperimentConfig) -> Vec<usize> {
     }
 }
 
-/// Runs Figure 5.
+/// Runs Figure 5. Sweep rows fan out across `config.threads` workers; the
+/// report is byte-identical for every width (rows stay in input order).
 pub fn run(config: &ExperimentConfig) -> FigureReport {
     let kinds = standard_kinds();
-    let mut records = Vec::new();
+    let mut jobs = Vec::new();
     for dataset in Dataset::ALL {
         for &k in &sweep(config) {
-            let kk = config.dim(k);
-            let inst = dataset.build(
-                config.num_users,
-                5 * kk,
-                (3 * kk / 2).max(1),
-                config.seed ^ (k as u64),
-            );
-            records.extend(run_lineup("fig5", dataset.name(), "k", k as f64, &inst, kk, &kinds));
+            jobs.push((dataset, k));
         }
     }
+    let records = par_rows(config.row_threads(), &jobs, |&(dataset, k)| {
+        let kk = config.dim(k);
+        let inst =
+            dataset.build(config.num_users, 5 * kk, (3 * kk / 2).max(1), config.seed ^ (k as u64));
+        run_lineup_threaded(
+            "fig5",
+            dataset.name(),
+            "k",
+            k as f64,
+            &inst,
+            kk,
+            &kinds,
+            config.scheduler_threads(),
+        )
+    });
     FigureReport {
         id: "fig5".into(),
         title: "Varying the number of scheduled events k (|E| = 5k, |T| = 3k/2)".into(),
@@ -43,6 +52,7 @@ pub fn run(config: &ExperimentConfig) -> FigureReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_lineup;
 
     #[test]
     fn smoke_run_shapes() {

@@ -2,7 +2,7 @@
 //! (utility 6a–d, time 6e–h) with `k = 100`, `|E| = 500`.
 
 use crate::report::{FigureReport, Metric};
-use crate::runner::{run_lineup, standard_kinds, ExperimentConfig};
+use crate::runner::{par_rows, run_lineup_threaded, standard_kinds, ExperimentConfig};
 use ses_datasets::Dataset;
 
 /// Swept `|T|` values (Table 1's Fig-6 axis).
@@ -17,18 +17,30 @@ pub fn sweep(config: &ExperimentConfig) -> Vec<usize> {
 /// The fixed `k` of this figure.
 pub const K: usize = 100;
 
-/// Runs Figure 6.
+/// Runs Figure 6 (sweep rows fan out across `config.threads`).
 pub fn run(config: &ExperimentConfig) -> FigureReport {
     let kinds = standard_kinds();
-    let mut records = Vec::new();
     let k = config.dim(K);
+    let mut jobs = Vec::new();
     for dataset in Dataset::ALL {
         for &t in &sweep(config) {
-            let tt = config.dim(t);
-            let inst = dataset.build(config.num_users, 5 * k, tt, config.seed ^ (t as u64));
-            records.extend(run_lineup("fig6", dataset.name(), "|T|", t as f64, &inst, k, &kinds));
+            jobs.push((dataset, t));
         }
     }
+    let records = par_rows(config.row_threads(), &jobs, |&(dataset, t)| {
+        let tt = config.dim(t);
+        let inst = dataset.build(config.num_users, 5 * k, tt, config.seed ^ (t as u64));
+        run_lineup_threaded(
+            "fig6",
+            dataset.name(),
+            "|T|",
+            t as f64,
+            &inst,
+            k,
+            &kinds,
+            config.scheduler_threads(),
+        )
+    });
     FigureReport {
         id: "fig6".into(),
         title: "Varying the number of time intervals |T| (k = 100, |E| = 500)".into(),
@@ -40,6 +52,7 @@ pub fn run(config: &ExperimentConfig) -> FigureReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_lineup;
 
     /// §4.2.2: utility increases with |T| (fewer parallel events per
     /// interval + more candidate assignments).

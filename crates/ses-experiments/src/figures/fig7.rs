@@ -6,7 +6,7 @@
 //! HOR and the paper omits it — we follow suit.
 
 use crate::report::{FigureReport, Metric};
-use crate::runner::{run_lineup, ExperimentConfig};
+use crate::runner::{par_rows, run_lineup_threaded, ExperimentConfig};
 use ses_algorithms::SchedulerKind;
 use ses_datasets::Dataset;
 
@@ -34,16 +34,28 @@ pub fn run(config: &ExperimentConfig) -> FigureReport {
         SchedulerKind::Top,
         SchedulerKind::Rand(0),
     ];
-    let mut records = Vec::new();
     let k = config.dim(K);
     let intervals = config.dim(INTERVALS);
+    let mut jobs = Vec::new();
     for dataset in [Dataset::Concerts, Dataset::Unf] {
         for &e in &sweep(config) {
-            let ee = config.dim(e);
-            let inst = dataset.build(config.num_users, ee, intervals, config.seed ^ (e as u64));
-            records.extend(run_lineup("fig7", dataset.name(), "|E|", e as f64, &inst, k, &kinds));
+            jobs.push((dataset, e));
         }
     }
+    let records = par_rows(config.row_threads(), &jobs, |&(dataset, e)| {
+        let ee = config.dim(e);
+        let inst = dataset.build(config.num_users, ee, intervals, config.seed ^ (e as u64));
+        run_lineup_threaded(
+            "fig7",
+            dataset.name(),
+            "|E|",
+            e as f64,
+            &inst,
+            k,
+            &kinds,
+            config.scheduler_threads(),
+        )
+    });
     FigureReport {
         id: "fig7".into(),
         title: "Varying the number of candidate events |E| (k = 100, |T| = 150)".into(),

@@ -6,7 +6,7 @@
 //! HOR-I participates.
 
 use crate::report::{FigureReport, Metric};
-use crate::runner::{run_lineup, ExperimentConfig};
+use crate::runner::{par_rows, run_lineup_threaded, ExperimentConfig};
 use ses_algorithms::SchedulerKind;
 use ses_datasets::Dataset;
 
@@ -28,8 +28,9 @@ pub const K: usize = 100;
 pub const EVENTS: usize = 500;
 
 /// Runs Figure 8 (both sub-figures; dataset column distinguishes them).
+/// Sweep rows fan out across `config.threads`.
 pub fn run(config: &ExperimentConfig) -> FigureReport {
-    let mut records = Vec::new();
+    let mut jobs = Vec::new();
     for (label, raw_intervals, with_hor_i) in
         [("Unf |T|=150", 150usize, false), ("Unf |T|=65", 65usize, true)]
     {
@@ -39,15 +40,26 @@ pub fn run(config: &ExperimentConfig) -> FigureReport {
         }
         kinds.push(SchedulerKind::Top);
         kinds.push(SchedulerKind::Rand(0));
-
-        let k = config.dim(K);
-        let events = config.dim(EVENTS);
-        let intervals = config.dim(raw_intervals);
         for &users in &sweep(config) {
-            let inst = Dataset::Unf.build(users, events, intervals, config.seed ^ (users as u64));
-            records.extend(run_lineup("fig8", label, "|U|", users as f64, &inst, k, &kinds));
+            jobs.push((label, raw_intervals, kinds.clone(), users));
         }
     }
+    let k = config.dim(K);
+    let events = config.dim(EVENTS);
+    let records = par_rows(config.row_threads(), &jobs, |(label, raw_intervals, kinds, users)| {
+        let intervals = config.dim(*raw_intervals);
+        let inst = Dataset::Unf.build(*users, events, intervals, config.seed ^ (*users as u64));
+        run_lineup_threaded(
+            "fig8",
+            label,
+            "|U|",
+            *users as f64,
+            &inst,
+            k,
+            kinds,
+            config.scheduler_threads(),
+        )
+    });
     FigureReport {
         id: "fig8".into(),
         title: "Varying the number of users |U| (Unf, k = 100, |E| = 500)".into(),
@@ -59,6 +71,7 @@ pub fn run(config: &ExperimentConfig) -> FigureReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_lineup;
 
     /// §4.2.4: utility and computation cost both grow with |U|.
     #[test]

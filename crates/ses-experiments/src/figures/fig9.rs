@@ -6,7 +6,7 @@
 //! unaffected.
 
 use crate::report::{FigureReport, Metric};
-use crate::runner::{run_lineup, standard_kinds, ExperimentConfig};
+use crate::runner::{par_rows, run_lineup_threaded, standard_kinds, ExperimentConfig};
 use ses_datasets::params::{InterestModel, SyntheticParams};
 use ses_datasets::synthetic;
 
@@ -24,12 +24,12 @@ pub const K: usize = 100;
 /// The fixed `|T|` (the paper's 65-interval setting so HOR-I is defined).
 pub const INTERVALS: usize = 65;
 
-/// Runs Figure 9.
+/// Runs Figure 9 (sweep rows fan out across `config.threads`).
 pub fn run(config: &ExperimentConfig) -> FigureReport {
     let kinds = standard_kinds();
-    let mut records = Vec::new();
     let k = config.dim(K);
-    for &locations in &sweep(config) {
+    let jobs = sweep(config);
+    let records = par_rows(config.row_threads(), &jobs, |&locations| {
         let params = SyntheticParams {
             num_users: config.num_users,
             num_events: config.dim(500),
@@ -40,8 +40,17 @@ pub fn run(config: &ExperimentConfig) -> FigureReport {
             ..SyntheticParams::default()
         };
         let inst = synthetic::generate(&params);
-        records.extend(run_lineup("fig9", "Unf", "locations", locations as f64, &inst, k, &kinds));
-    }
+        run_lineup_threaded(
+            "fig9",
+            "Unf",
+            "locations",
+            locations as f64,
+            &inst,
+            k,
+            &kinds,
+            config.scheduler_threads(),
+        )
+    });
     FigureReport {
         id: "fig9".into(),
         title: "Varying the number of available locations (Unf, k = 100, |T| = 65)".into(),
@@ -53,6 +62,7 @@ pub fn run(config: &ExperimentConfig) -> FigureReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_lineup;
     use ses_algorithms::SchedulerKind;
 
     /// §4.2.5: fewer locations ⇒ fewer feasible assignments ⇒ less work.

@@ -5,6 +5,7 @@ use crate::report::RunRecord;
 use serde::{Deserialize, Serialize};
 use ses_algorithms::SchedulerKind;
 use ses_core::model::Instance;
+use ses_core::parallel::{par_chunks_mut, Threads};
 
 /// Laptop-scaling knobs for the experiment suite.
 ///
@@ -26,11 +27,25 @@ pub struct ExperimentConfig {
     /// values). `1.0` reproduces the paper's axes; smoke tests use smaller
     /// factors to run every figure end-to-end in milliseconds.
     pub dim_scale: f64,
+    /// Instance-level fan-out: how many sweep rows (dataset × sweep-point
+    /// cells) run concurrently. `1` = sequential reference, `0` = machine
+    /// width. Reports are byte-identical for every value — rows land in
+    /// input order, and each scheduler run inside a parallel sweep is
+    /// pinned to one thread (the pool does not nest; see
+    /// [`scheduler_threads`](Self::scheduler_threads)).
+    #[serde(default = "default_threads")]
+    pub threads: usize,
+}
+
+/// Serde default for [`ExperimentConfig::threads`]: reports produced before
+/// the field existed deserialize as sequential runs.
+fn default_threads() -> usize {
+    1
 }
 
 impl Default for ExperimentConfig {
     fn default() -> Self {
-        Self { num_users: 400, quick: true, seed: 0x5E5, dim_scale: 1.0 }
+        Self { num_users: 400, quick: true, seed: 0x5E5, dim_scale: 1.0, threads: 1 }
     }
 }
 
@@ -38,7 +53,7 @@ impl ExperimentConfig {
     /// A configuration for CI-speed smoke runs: few users, truncated sweeps,
     /// structural dimensions at one-tenth of the paper's.
     pub fn smoke() -> Self {
-        Self { num_users: 60, quick: true, seed: 0x5E5, dim_scale: 0.1 }
+        Self { num_users: 60, quick: true, seed: 0x5E5, dim_scale: 0.1, threads: 1 }
     }
 
     /// Overrides the user count.
@@ -46,6 +61,30 @@ impl ExperimentConfig {
     pub fn with_users(mut self, n: usize) -> Self {
         self.num_users = n;
         self
+    }
+
+    /// Overrides the sweep fan-out width (`0` = machine width).
+    #[must_use]
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// The resolved row-level fan-out width.
+    pub fn row_threads(&self) -> Threads {
+        Threads::new(self.threads)
+    }
+
+    /// Thread count for each scheduler run inside a sweep: one thread when
+    /// rows fan out (keeping total parallelism at `--threads` and avoiding
+    /// nested pool use), the ambient default otherwise. Either way results
+    /// are bit-identical — only wall-clock allocation differs.
+    pub fn scheduler_threads(&self) -> Threads {
+        if self.row_threads().get() > 1 {
+            Threads::sequential()
+        } else {
+            Threads::default()
+        }
     }
 
     /// Disables quick-mode truncation.
@@ -63,7 +102,8 @@ impl ExperimentConfig {
 }
 
 /// Runs every scheduler in `kinds` on `inst` and converts the results into
-/// [`RunRecord`]s for the given figure/dataset/sweep-point.
+/// [`RunRecord`]s for the given figure/dataset/sweep-point, with the
+/// ambient thread resolution.
 #[allow(clippy::too_many_arguments)]
 pub fn run_lineup(
     figure: &str,
@@ -74,10 +114,26 @@ pub fn run_lineup(
     k: usize,
     kinds: &[SchedulerKind],
 ) -> Vec<RunRecord> {
+    run_lineup_threaded(figure, dataset, x_label, x, inst, k, kinds, Threads::default())
+}
+
+/// [`run_lineup`] with an explicit per-scheduler thread count (used by
+/// parallel sweeps to pin each row to one thread).
+#[allow(clippy::too_many_arguments)]
+pub fn run_lineup_threaded(
+    figure: &str,
+    dataset: &str,
+    x_label: &str,
+    x: f64,
+    inst: &Instance,
+    k: usize,
+    kinds: &[SchedulerKind],
+    threads: Threads,
+) -> Vec<RunRecord> {
     kinds
         .iter()
         .map(|kind| {
-            let res = kind.run(inst, k);
+            let res = kind.run_threaded(inst, k, threads);
             RunRecord {
                 figure: figure.to_string(),
                 dataset: dataset.to_string(),
@@ -95,6 +151,25 @@ pub fn run_lineup(
             }
         })
         .collect()
+}
+
+/// Runs one closure per sweep row across `threads` workers and concatenates
+/// the produced records **in input order** — a parallel sweep emits a
+/// byte-identical report to the sequential one (golden-file tested), it
+/// just finishes sooner. Each row job should run its schedulers with
+/// [`ExperimentConfig::scheduler_threads`] so pools never nest.
+pub fn par_rows<J, F>(threads: Threads, jobs: &[J], run: F) -> Vec<RunRecord>
+where
+    J: Sync,
+    F: Fn(&J) -> Vec<RunRecord> + Sync,
+{
+    if threads.is_sequential() || jobs.len() < 2 {
+        return jobs.iter().flat_map(&run).collect();
+    }
+    let mut slots: Vec<Vec<RunRecord>> = Vec::new();
+    slots.resize_with(jobs.len(), Vec::new);
+    par_chunks_mut(threads, &mut slots, 1, |i, slot| slot[0] = run(&jobs[i]));
+    slots.into_iter().flatten().collect()
 }
 
 /// The paper's standard method lineup for time/computation plots.
@@ -131,8 +206,41 @@ mod tests {
 
     #[test]
     fn config_builders() {
-        let c = ExperimentConfig::default().with_users(99).full();
+        let c = ExperimentConfig::default().with_users(99).full().with_threads(3);
         assert_eq!(c.num_users, 99);
         assert!(!c.quick);
+        assert_eq!(c.row_threads().get(), 3);
+        // Parallel sweeps pin scheduler runs to one thread (no nesting).
+        assert!(c.scheduler_threads().is_sequential());
+    }
+
+    #[test]
+    fn par_rows_preserves_input_order() {
+        let inst = running_example();
+        let kinds = [SchedulerKind::Hor, SchedulerKind::Top];
+        let jobs: Vec<usize> = (1..=4).collect();
+        let run_jobs = |threads: Threads| {
+            par_rows(threads, &jobs, |&k| {
+                run_lineup_threaded(
+                    "figX",
+                    "RE",
+                    "k",
+                    k as f64,
+                    &inst,
+                    k,
+                    &kinds,
+                    Threads::sequential(),
+                )
+            })
+        };
+        let seq = run_jobs(Threads::sequential());
+        let par = run_jobs(Threads::new(4));
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!((a.x, a.algorithm.as_str()), (b.x, b.algorithm.as_str()));
+            assert_eq!(a.utility.to_bits(), b.utility.to_bits(), "x = {} {}", a.x, a.algorithm);
+            assert_eq!(a.computations, b.computations);
+            assert_eq!(a.examined, b.examined);
+        }
     }
 }

@@ -1,0 +1,80 @@
+//! Golden-file snapshots of `ses-experiments` report rendering, and the
+//! proof that **runner parallelism never reorders or perturbs a report**:
+//! the CSV/JSON of a seeded smoke-scale Figure-5 run is byte-compared
+//! against a committed golden file, and the same run at fan-out widths 4
+//! and 8 must render byte-identically to the sequential one.
+//!
+//! Wall-clock is the single nondeterministic column, so `time_ms` is
+//! zeroed before rendering; everything else (row order, utilities down to
+//! their printed digits, counters, shapes) is pinned.
+//!
+//! To regenerate after an intentional change:
+//! `UPDATE_GOLDEN=1 cargo test --test golden_reports` — then commit the
+//! rewritten files under `tests/golden/` and re-run without the variable.
+
+use social_event_scheduling::experiments::figures::fig5;
+use social_event_scheduling::experiments::{ExperimentConfig, FigureReport};
+
+const GOLDEN_CSV: &str = include_str!("golden/fig5_smoke.csv");
+const GOLDEN_JSON: &str = include_str!("golden/fig5_smoke.json");
+
+/// The pinned run: smoke scale (60 users, dimensions at one tenth), the
+/// default experiment seed, `threads` sweep-row fan-out.
+fn fig5_smoke(threads: usize) -> FigureReport {
+    let config = ExperimentConfig::smoke().with_threads(threads);
+    let mut report = fig5::run(&config);
+    for r in &mut report.records {
+        r.time_ms = 0.0;
+    }
+    report
+}
+
+fn maybe_update(path: &str, content: &str) -> bool {
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        let full = format!("{}/tests/{path}", env!("CARGO_MANIFEST_DIR"));
+        std::fs::write(&full, content).expect("write golden file");
+        eprintln!("rewrote {full}");
+        true
+    } else {
+        false
+    }
+}
+
+#[test]
+fn fig5_csv_matches_golden() {
+    let csv = fig5_smoke(1).to_csv();
+    if maybe_update("golden/fig5_smoke.csv", &csv) {
+        return;
+    }
+    assert_eq!(
+        csv, GOLDEN_CSV,
+        "fig5 smoke CSV drifted from tests/golden/fig5_smoke.csv \
+         (UPDATE_GOLDEN=1 regenerates if the change is intentional)"
+    );
+}
+
+#[test]
+fn fig5_json_matches_golden() {
+    let json = fig5_smoke(1).to_json();
+    if maybe_update("golden/fig5_smoke.json", &json) {
+        return;
+    }
+    assert_eq!(
+        json, GOLDEN_JSON,
+        "fig5 smoke JSON drifted from tests/golden/fig5_smoke.json \
+         (UPDATE_GOLDEN=1 regenerates if the change is intentional)"
+    );
+}
+
+/// Parallel sweeps must emit byte-identical reports: same rows, same
+/// order, same rendered digits — at every fan-out width.
+#[test]
+fn parallel_sweep_renders_byte_identical_reports() {
+    let seq = fig5_smoke(1);
+    for width in [4usize, 8] {
+        let par = fig5_smoke(width);
+        assert_eq!(seq.to_csv(), par.to_csv(), "CSV differs at fan-out {width}");
+        assert_eq!(seq.to_json(), par.to_json(), "JSON differs at fan-out {width}");
+        assert_eq!(seq.render(), par.render(), "text tables differ at fan-out {width}");
+    }
+}

@@ -116,6 +116,29 @@ fn schedulers_are_deterministic() {
     }
 }
 
+/// Regression pin for the EXPERIMENTS.md §4.2.8 open item: at laptop scale
+/// HOR's horizontal policy costs real utility versus INC (measured ratio
+/// 0.9121 on this seeded 400-user Unf instance — far from the paper's
+/// 0.008% mean gap at 100K users). Until that investigation lands, this
+/// test freezes the gap: HOR must stay within the recorded ratio of INC,
+/// and must never exceed it (INC is exact greedy). If this fails after an
+/// algorithm change, the known quality gap has silently widened — do not
+/// loosen the floor without updating the EXPERIMENTS.md open item.
+#[test]
+fn hor_quality_gap_does_not_widen() {
+    let inst = Dataset::Unf.build(400, 100, 30, 0x5E5);
+    let k = 20;
+    let inc = SchedulerKind::Inc.run(&inst, k);
+    let hor = SchedulerKind::Hor.run(&inst, k);
+    let ratio = hor.utility / inc.utility;
+    assert!(ratio <= 1.0 + 1e-9, "HOR beat exact greedy: ratio {ratio:.6}");
+    assert!(
+        ratio >= 0.90,
+        "HOR/INC utility ratio {ratio:.6} fell below the recorded 0.9121 floor \
+         (the §4.2.8 quality gap widened)"
+    );
+}
+
 /// Utility monotonicity in k: asking for more events never lowers the
 /// greedy utility (each added assignment has non-negative marginal gain).
 #[test]

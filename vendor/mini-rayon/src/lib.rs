@@ -1,0 +1,446 @@
+//! Offline stand-in for the `rayon` crate's fork–join core.
+//!
+//! Real rayon is a work-stealing deque scheduler; this stand-in keeps only
+//! the subset the workspace needs — a **fixed-size pool** of persistent
+//! workers executing one *chunked job* at a time:
+//!
+//! * [`ThreadPool::run`] — fork–join over `n_chunks` indexed chunks. The
+//!   calling thread participates, workers claim chunk indices from a shared
+//!   atomic counter, and the call returns only when every chunk has run
+//!   (rayon's `scope` + `par_iter` collapsed into one primitive).
+//! * [`ThreadPool::for_each_chunk_mut`] — rayon's `par_chunks_mut`: apply a
+//!   function to disjoint `&mut [T]` windows of a slice, one window per
+//!   chunk index.
+//! * [`pool`] — process-wide pools cached per thread count, so repeated
+//!   parallel sections reuse warm workers instead of spawning threads.
+//!
+//! **Determinism contract.** The pool assigns *which thread* runs a chunk
+//! nondeterministically, but chunk boundaries and indices are fixed by the
+//! caller — callers that make each chunk's result independent of its
+//! executing thread (as the `ses-core` scoring engine does with its
+//! fixed-block reductions) get bit-identical results for every pool size.
+//!
+//! **Nesting is not supported**: calling [`ThreadPool::run`] on a pool from
+//! inside one of that pool's own chunks would deadlock on the job lock, as
+//! would any cyclic wait between pools. Callers keep one level of
+//! parallelism at a time (see DESIGN.md §7).
+//!
+//! Panics inside a chunk are caught, the remaining chunks still run, and
+//! the join point re-raises a summary panic on the calling thread — the
+//! same observable behaviour as rayon's panic propagation.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::thread::JoinHandle;
+
+/// Locks ignoring poison: a panicking chunk must not brick the pool, and
+/// every protocol invariant is maintained by atomics, not by the absence of
+/// unwinds while a lock is held.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// `Condvar::wait` ignoring poison (see [`lock`]).
+fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Number of hardware threads available to this process (1 if detection
+/// fails) — the default pool size, mirroring `rayon`'s.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The job closure with its borrow lifetime erased.
+///
+/// Soundness rests on the join protocol: [`ThreadPool::run`] does not
+/// return before `pending` hits zero, every dereference of this pointer is
+/// bracketed by a successful chunk claim and the matching `pending`
+/// decrement, and workers that lose the claim race never dereference it.
+#[derive(Clone, Copy)]
+struct JobFn(*const (dyn Fn(usize) + Sync + 'static));
+
+// The pointee is `Sync` (shared, never mutated); the pointer only crosses
+// threads under the claim/join protocol documented on `JobFn`.
+unsafe impl Send for JobFn {}
+unsafe impl Sync for JobFn {}
+
+/// Per-job control block. Owning it through an `Arc` lets a worker that
+/// wakes up late drain the (already exhausted) claim counter of an old job
+/// without ever touching a newer job's state.
+struct JobCtl {
+    func: JobFn,
+    n_chunks: usize,
+    /// Next unclaimed chunk index; grows past `n_chunks`, never resets.
+    next: AtomicUsize,
+    /// Chunks claimed or unclaimed but not yet finished.
+    pending: AtomicUsize,
+    /// Set when any chunk panicked; re-raised at the join point.
+    panicked: AtomicBool,
+}
+
+struct PoolState {
+    /// Bumped once per published job so sleeping workers can tell a new job
+    /// from a spurious wakeup.
+    epoch: u64,
+    job: Option<Arc<JobCtl>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Workers sleep here between jobs.
+    work_cv: Condvar,
+    /// The caller sleeps here waiting for the join point.
+    done_cv: Condvar,
+}
+
+/// A fixed-size fork–join pool: `threads - 1` persistent workers plus the
+/// calling thread. `ThreadPool::new(1)` has no workers and runs everything
+/// inline, so "sequential" needs no special casing at call sites.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    /// Serializes jobs: one chunked job at a time per pool. Concurrent
+    /// callers queue here rather than interleaving claim counters.
+    job_lock: Mutex<()>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Builds a pool of `threads` total participants (minimum 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState { epoch: 0, job: None, shutdown: false }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|_| {
+                let sh = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&sh))
+            })
+            .collect();
+        Self { shared, workers, job_lock: Mutex::new(()), threads }
+    }
+
+    /// Total participants (workers + the calling thread).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(0)`, `f(1)`, …, `f(n_chunks - 1)` across the pool and
+    /// returns once **all** chunks have finished (fork–join). The calling
+    /// thread claims chunks alongside the workers.
+    ///
+    /// # Panics
+    /// Re-raises on the calling thread if any chunk panicked.
+    pub fn run<F>(&self, n_chunks: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if n_chunks == 0 {
+            return;
+        }
+        if self.workers.is_empty() || n_chunks == 1 {
+            for i in 0..n_chunks {
+                f(i);
+            }
+            return;
+        }
+        let _serial = lock(&self.job_lock);
+
+        // Erase the closure's borrow lifetime for storage in the shared
+        // job slot. Safety: this function only returns after `pending`
+        // reaches zero, i.e. after the last dereference of the pointer.
+        let func_ref: &(dyn Fn(usize) + Sync) = &f;
+        let func = JobFn(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(
+                func_ref,
+            )
+        });
+        let ctl = Arc::new(JobCtl {
+            func,
+            n_chunks,
+            next: AtomicUsize::new(0),
+            pending: AtomicUsize::new(n_chunks),
+            panicked: AtomicBool::new(false),
+        });
+
+        {
+            let mut st = lock(&self.shared.state);
+            st.epoch += 1;
+            st.job = Some(Arc::clone(&ctl));
+            self.shared.work_cv.notify_all();
+        }
+
+        // The caller is a full participant.
+        execute_chunks(&ctl, &self.shared);
+
+        // Join: wait until workers finish the chunks they claimed.
+        {
+            let mut st = lock(&self.shared.state);
+            while ctl.pending.load(Ordering::Acquire) > 0 {
+                st = wait(&self.shared.done_cv, st);
+            }
+            st.job = None;
+        }
+
+        if ctl.panicked.load(Ordering::Acquire) {
+            panic!("mini-rayon: a parallel chunk panicked (see worker output above)");
+        }
+    }
+
+    /// rayon's `par_chunks_mut`: splits `data` into consecutive windows of
+    /// `chunk_size` elements (the last may be shorter) and runs
+    /// `f(chunk_index, window)` for each across the pool.
+    ///
+    /// # Panics
+    /// Panics if `chunk_size == 0`, or re-raises a chunk panic.
+    pub fn for_each_chunk_mut<T, F>(&self, data: &mut [T], chunk_size: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        if data.is_empty() {
+            return;
+        }
+        let len = data.len();
+        let n_chunks = len.div_ceil(chunk_size);
+        let base = SendPtr(data.as_mut_ptr());
+        let f = &f;
+        self.run(n_chunks, move |i| {
+            // Capture the whole `SendPtr` wrapper (2021 closures would
+            // otherwise capture the bare `*mut T` field, which is !Sync).
+            let base = base;
+            let start = i * chunk_size;
+            let end = (start + chunk_size).min(len);
+            // Safety: windows [start, end) are pairwise disjoint across
+            // chunk indices, each index runs exactly once, and `data`
+            // outlives `run` (which joins before returning). `base` is
+            // captured by value (the closure is `move`) so only the Send +
+            // Sync wrapper crosses threads, never a `&*mut T`.
+            let window = unsafe { std::slice::from_raw_parts_mut(base.0.add(start), end - start) };
+            f(i, window);
+        });
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool").field("threads", &self.threads).finish()
+    }
+}
+
+/// Raw base pointer of a slice being chunked; `Send + Sync` because each
+/// chunk index derives a disjoint window from it exactly once. `Copy` is
+/// implemented manually so it holds for every `T` (derives would demand
+/// `T: Copy`).
+struct SendPtr<T>(*mut T);
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+fn worker_loop(shared: &Shared) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let ctl = {
+            let mut st = lock(&shared.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    seen_epoch = st.epoch;
+                    if let Some(ctl) = &st.job {
+                        break Arc::clone(ctl);
+                    }
+                    // Epoch advanced but the job already completed — a
+                    // very late wakeup. Keep waiting for the next one.
+                }
+                st = wait(&shared.work_cv, st);
+            }
+        };
+        execute_chunks(&ctl, shared);
+    }
+}
+
+/// Claims and runs chunks until the claim counter is exhausted. Shared by
+/// workers and the calling thread.
+fn execute_chunks(ctl: &JobCtl, shared: &Shared) {
+    loop {
+        let i = ctl.next.fetch_add(1, Ordering::AcqRel);
+        if i >= ctl.n_chunks {
+            break;
+        }
+        // Safety: we hold the claim on chunk `i`; the join point cannot
+        // pass until the decrement below, so the closure is still alive.
+        let f = unsafe { &*ctl.func.0 };
+        if catch_unwind(AssertUnwindSafe(|| f(i))).is_err() {
+            ctl.panicked.store(true, Ordering::Release);
+        }
+        if ctl.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last chunk finished. Taking the state lock before notifying
+            // guarantees the caller is either before its `pending` check or
+            // parked in `done_cv` — both observe completion.
+            drop(lock(&shared.state));
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// Process-wide pools, cached per thread count (pool sizes in practice are
+/// a handful of distinct values: 1, 2, 4, 8, the machine width).
+static POOLS: OnceLock<Mutex<BTreeMap<usize, Arc<ThreadPool>>>> = OnceLock::new();
+
+/// A process-wide pool with `threads` participants (`0` = machine width),
+/// created on first use and kept warm for the life of the process.
+pub fn pool(threads: usize) -> Arc<ThreadPool> {
+    let threads = if threads == 0 { available_parallelism() } else { threads };
+    let registry = POOLS.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let mut registry = lock(registry);
+    Arc::clone(registry.entry(threads).or_insert_with(|| Arc::new(ThreadPool::new(threads))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn run_covers_every_chunk_exactly_once() {
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(hits.len(), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "chunk {i}");
+        }
+    }
+
+    #[test]
+    fn run_joins_before_returning() {
+        let pool = ThreadPool::new(3);
+        let sum = AtomicU64::new(0);
+        pool.run(1000, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_jobs() {
+        let pool = ThreadPool::new(2);
+        for round in 0..50 {
+            let count = AtomicUsize::new(0);
+            pool.run(8, |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 8, "round {round}");
+        }
+    }
+
+    #[test]
+    fn for_each_chunk_mut_writes_disjoint_windows() {
+        let pool = ThreadPool::new(4);
+        let mut data = vec![0usize; 103];
+        pool.for_each_chunk_mut(&mut data, 10, |i, window| {
+            for x in window.iter_mut() {
+                *x = i + 1;
+            }
+        });
+        for (pos, &x) in data.iter().enumerate() {
+            assert_eq!(x, pos / 10 + 1, "position {pos}");
+        }
+        // Last window is the 3-element remainder.
+        assert_eq!(data[100..].iter().filter(|&&x| x == 11).count(), 3);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline_in_order() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let order = Mutex::new(Vec::new());
+        pool.run(5, |i| order.lock().unwrap().push(i));
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_chunks_is_a_no_op() {
+        let pool = ThreadPool::new(2);
+        pool.run(0, |_| panic!("must not run"));
+        pool.for_each_chunk_mut::<u8, _>(&mut [], 4, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn chunk_panic_propagates_and_pool_survives() {
+        let pool = ThreadPool::new(3);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(16, |i| {
+                if i == 7 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err(), "the join point must re-raise the chunk panic");
+        // The pool still works afterwards.
+        let count = AtomicUsize::new(0);
+        pool.run(4, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn cached_pools_are_shared_per_size() {
+        let a = pool(2);
+        let b = pool(2);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(pool(0).threads(), available_parallelism());
+    }
+
+    #[test]
+    fn concurrent_callers_serialize_without_deadlock() {
+        let pool = Arc::new(ThreadPool::new(3));
+        let total = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let (p, t) = (Arc::clone(&pool), Arc::clone(&total));
+                std::thread::spawn(move || {
+                    p.run(32, |i| {
+                        t.fetch_add(i as u64, Ordering::Relaxed);
+                    });
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 4 * (31 * 32 / 2));
+    }
+}
