@@ -14,6 +14,7 @@
 //! | `EXACT`   | [`exact`]  | — | optimal (tiny instances; test oracle) |
 //! | `LAZY`    | [`lazy`]   | — | CELF-style ablation; same solution as ALG |
 //! | `REFINED` | [`refine`] | — | local-search post-processing (extension) |
+//! | `STREAM`  | [`stream`] | — | incremental repair under delta-op streams; same solution as a full recompute |
 //!
 //! All schedulers implement the [`Scheduler`] trait, share one deterministic
 //! tie-break order (see [`common::Cand`]), and report a [`ScheduleResult`]
@@ -43,6 +44,7 @@ pub mod inc;
 pub mod lazy;
 pub mod random;
 pub mod refine;
+pub mod stream;
 pub mod top;
 
 pub use common::{ScheduleResult, Scheduler};
@@ -151,6 +153,7 @@ pub mod prelude {
     pub use crate::lazy::LazyGreedy;
     pub use crate::random::Rand;
     pub use crate::refine::{LocalSearch, Refined};
+    pub use crate::stream::StreamScheduler;
     pub use crate::top::Top;
     pub use crate::SchedulerKind;
 }

@@ -18,7 +18,39 @@ pub struct Args {
 }
 
 /// Switch-style flags that take no value.
-const SWITCHES: &[&str] = &["full", "help", "quiet"];
+const SWITCHES: &[&str] = &["full", "help", "quiet", "verify"];
+
+/// Per-subcommand flag whitelists: `(command, valued flags, switches)`.
+/// [`Args::validate`] checks parsed flags against the active subcommand so
+/// a typo (`--usrs 500`) errors with a suggestion instead of silently
+/// running with defaults.
+const COMMANDS: &[(&str, &[&str], &[&str])] = &[
+    (
+        "run",
+        &["dataset", "users", "events", "intervals", "seed", "threads", "k", "algorithms"],
+        &["help"],
+    ),
+    ("experiment", &["users", "seed", "threads", "json", "csv"], &["full", "quiet", "help"]),
+    ("generate", &["dataset", "users", "events", "intervals", "seed", "out"], &["help"]),
+    (
+        "stream",
+        &[
+            "dataset",
+            "users",
+            "events",
+            "intervals",
+            "seed",
+            "threads",
+            "k",
+            "ops",
+            "churn",
+            "user-churn",
+        ],
+        &["verify", "quiet", "help"],
+    ),
+    ("help", &[], &["help"]),
+    ("", &[], &["help"]),
+];
 
 impl Args {
     /// Parses the process arguments (without the binary name).
@@ -65,6 +97,61 @@ impl Args {
     pub fn switch(&self, name: &str) -> bool {
         self.flags.get(name).is_some_and(|v| v == "true")
     }
+
+    /// Validates every parsed flag against the active subcommand's
+    /// whitelist, suggesting the closest known flag on a miss. Unknown
+    /// subcommands are left for the dispatcher's own error.
+    ///
+    /// # Errors
+    /// The first unknown flag, with a "did you mean" hint when a known
+    /// flag is within edit distance 2.
+    pub fn validate(&self) -> Result<(), String> {
+        let Some(&(_, valued, switches)) = COMMANDS.iter().find(|(c, _, _)| *c == self.command)
+        else {
+            return Ok(());
+        };
+        for name in self.flags.keys() {
+            if valued.contains(&name.as_str()) || switches.contains(&name.as_str()) {
+                continue;
+            }
+            let known = valued.iter().chain(switches.iter()).copied();
+            let hint = match closest(name, known) {
+                Some(s) => format!(" (did you mean --{s}?)"),
+                None => String::new(),
+            };
+            let ctx = if self.command.is_empty() {
+                "without a subcommand".to_string()
+            } else {
+                format!("for '{}'", self.command)
+            };
+            return Err(format!("unknown flag --{name} {ctx}{hint}"));
+        }
+        Ok(())
+    }
+}
+
+/// The known flag closest to `name`, if within edit distance 2.
+fn closest<'a>(name: &str, candidates: impl Iterator<Item = &'a str>) -> Option<&'a str> {
+    candidates
+        .map(|c| (levenshtein(name, c), c))
+        .filter(|&(d, _)| d <= 2)
+        .min_by_key(|&(d, _)| d)
+        .map(|(_, c)| c)
+}
+
+/// Plain dynamic-programming edit distance (the flag namespace is tiny).
+fn levenshtein(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
 }
 
 #[cfg(test)]
@@ -103,5 +190,63 @@ mod tests {
     fn bad_number_errors() {
         let a = parse("run --k banana");
         assert!(a.num_flag("k", 0usize).is_err());
+    }
+
+    #[test]
+    fn typoed_flag_rejected_with_suggestion() {
+        let err = parse("run --usrs 500").validate().unwrap_err();
+        assert!(err.contains("--usrs"), "{err}");
+        assert!(err.contains("did you mean --users?"), "{err}");
+    }
+
+    #[test]
+    fn typoed_switch_rejected_before_it_swallows_a_token() {
+        // `--ful` is not a switch, so parse() eats `fig5` as its value; the
+        // whitelist still catches the typo before the command runs.
+        let err = parse("experiment --ful fig5").validate().unwrap_err();
+        assert!(err.contains("did you mean --full?"), "{err}");
+    }
+
+    #[test]
+    fn flags_are_scoped_per_subcommand() {
+        // --out belongs to generate, not run.
+        let err = parse("run --out x.json").validate().unwrap_err();
+        assert!(err.contains("for 'run'"), "{err}");
+        assert!(parse("generate --out x.json").validate().is_ok());
+        // --churn belongs to stream only.
+        assert!(parse("stream --churn 0.5 --verify").validate().is_ok());
+        assert!(parse("experiment fig5 --churn 0.5").validate().is_err());
+    }
+
+    #[test]
+    fn valid_command_lines_pass_validation() {
+        for line in [
+            "run --dataset zip --k 50 --users 1000 --threads 4",
+            "experiment fig5 --users 400 --full --seed 7 --csv out.csv",
+            "generate --dataset meetup --out inst.json",
+            "stream --dataset unf --ops 100 --churn 0.3 --user-churn 0.5 --threads 2 --quiet",
+            "help",
+        ] {
+            assert!(parse(line).validate().is_ok(), "{line}");
+        }
+    }
+
+    #[test]
+    fn unknown_subcommand_left_to_dispatcher() {
+        assert!(parse("frobnicate --whatever 1").validate().is_ok());
+    }
+
+    #[test]
+    fn bare_help_flag_still_valid() {
+        // `ses --help` (no subcommand) dispatches to the help screen; the
+        // whitelist must not reject it first.
+        assert!(parse("--help").validate().is_ok());
+        assert!(parse("help --help").validate().is_ok());
+    }
+
+    #[test]
+    fn distant_typos_get_no_suggestion() {
+        let err = parse("run --zzzzzz 1").validate().unwrap_err();
+        assert!(!err.contains("did you mean"), "{err}");
     }
 }

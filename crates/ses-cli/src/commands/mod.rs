@@ -3,6 +3,7 @@
 pub mod experiment;
 pub mod generate;
 pub mod run;
+pub mod stream;
 
 use crate::args::Args;
 use ses_datasets::Dataset;

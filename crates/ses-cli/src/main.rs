@@ -7,6 +7,9 @@
 //! ses experiment <fig5|fig6|fig7|fig8|fig9|fig10a|fig10b|summary|params|all>
 //!                [--users N] [--full] [--seed S] [--threads N]
 //!                [--json out.json] [--csv out.csv]
+//! ses stream     --dataset <...> [--k N] [--ops N] [--churn C] [--user-churn C]
+//!                [--users N] [--events N] [--intervals N] [--seed S] [--threads N]
+//!                [--verify] [--quiet]
 //! ses generate   --dataset <...> [--users N] [--events N] [--intervals N] [--seed S]
 //!                --out instance.json
 //! ses help
@@ -14,7 +17,9 @@
 //!
 //! `--threads 0` (the default) uses every hardware thread. Scheduling
 //! results and reports are bit-identical for every thread count; the flag
-//! only changes wall-clock time.
+//! only changes wall-clock time. Flags are validated against the active
+//! subcommand — a typo errors out with a suggestion instead of silently
+//! running with defaults.
 
 mod args;
 mod commands;
@@ -23,7 +28,10 @@ use args::Args;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args = match Args::parse(std::env::args().skip(1)) {
+    let args = match Args::parse(std::env::args().skip(1)).and_then(|a| {
+        a.validate()?;
+        Ok(a)
+    }) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
@@ -35,6 +43,7 @@ fn main() -> ExitCode {
         "run" => commands::run::exec(&args),
         "experiment" => commands::experiment::exec(&args),
         "generate" => commands::generate::exec(&args),
+        "stream" => commands::stream::exec(&args),
         "" | "help" => {
             print!("{HELP}");
             Ok(())
@@ -59,19 +68,29 @@ USAGE:
                  [--events N] [--intervals N] [--seed S] [--threads N]
                  [--algorithms ALG,INC,HOR,HOR-I,TOP,RAND]
   ses experiment <fig5|fig6|fig7|fig8|fig9|fig10a|fig10b|ablation-schemes|
-                  ablation-refine|summary|params|all>
+                  ablation-refine|dynamic|summary|params|all>
                  [--users N] [--full] [--seed S] [--threads N]
                  [--json PATH] [--csv PATH]
+  ses stream     --dataset <...> [--k N] [--ops N] [--churn C] [--user-churn C]
+                 [--users N] [--events N] [--intervals N] [--seed S]
+                 [--threads N] [--verify] [--quiet]
   ses generate   --dataset <...> [--users N] [--events N] [--intervals N]
                  [--seed S] --out instance.json
   ses help
 
 `--threads N` sets the worker count (default 0 = all hardware threads):
-engine/scheduler threads for `run`, sweep-row fan-out for `experiment`.
-Results are bit-identical for every N.
+engine/scheduler threads for `run`/`stream`, sweep-row fan-out for
+`experiment`. Results are bit-identical for every N.
+
+`stream` replays a seeded delta-op stream (event/user churn at rate
+`--churn`, interest drift otherwise) through the incremental repair
+scheduler and prints its work next to a per-op full recompute;
+`--verify` additionally checks every repaired schedule against an INC
+recompute, bit for bit.
 
 EXAMPLES:
   ses run --dataset zip --k 50 --users 1000 --threads 4
   ses experiment fig5 --users 400
   ses experiment all --users 200 --csv results.csv --threads 8
+  ses stream --dataset unf --users 200 --ops 100 --churn 0.5 --verify
 ";

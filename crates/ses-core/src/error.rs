@@ -145,6 +145,101 @@ impl fmt::Display for ScheduleError {
 
 impl std::error::Error for ScheduleError {}
 
+/// Errors raised while applying a [`DeltaOp`] to a live [`Instance`].
+///
+/// [`DeltaOp`]: crate::delta::DeltaOp
+/// [`Instance`]: crate::model::Instance
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaError {
+    /// The op referenced an event that does not exist.
+    UnknownEvent {
+        /// The dangling event id.
+        event: EventId,
+        /// Current number of candidate events.
+        num_events: usize,
+    },
+    /// The op referenced a user that does not exist.
+    UnknownUser {
+        /// The dangling user index.
+        user: usize,
+        /// Current number of users.
+        num_users: usize,
+    },
+    /// The removal would empty a dimension the instance requires.
+    WouldEmpty(&'static str),
+    /// A payload vector had the wrong length for the instance's shape.
+    ShapeMismatch {
+        /// What was being applied.
+        what: &'static str,
+        /// Expected number of entries.
+        expected: usize,
+        /// Actual number of entries.
+        actual: usize,
+    },
+    /// An interest/activity/weight value was outside its valid range.
+    ValueOutOfRange {
+        /// What kind of value it was.
+        what: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// A new event's required resources exceed the organizer's θ (or are
+    /// invalid), so it could never be scheduled.
+    UnschedulableEvent {
+        /// Resources the event requires.
+        required: f64,
+        /// Resources the organizer has per interval.
+        available: f64,
+    },
+    /// `RetireUsers` indices must be strictly increasing (sorted, unique).
+    UnsortedUsers,
+    /// A new user's weight presence must match the instance's weight
+    /// configuration (weighted instances need one, unweighted forbid it).
+    WeightMismatch {
+        /// Whether the instance carries per-user weights.
+        instance_weighted: bool,
+    },
+    /// The op carried an empty payload where at least one entry is required.
+    EmptyOp(&'static str),
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownEvent { event, num_events } => {
+                write!(f, "{event} does not exist (instance has {num_events} events)")
+            }
+            Self::UnknownUser { user, num_users } => {
+                write!(f, "user {user} does not exist (instance has {num_users} users)")
+            }
+            Self::WouldEmpty(what) => write!(f, "removal would leave the instance with no {what}"),
+            Self::ShapeMismatch { what, expected, actual } => {
+                write!(f, "{what}: expected {expected} entries, got {actual}")
+            }
+            Self::ValueOutOfRange { what, value } => {
+                write!(f, "{what} value {value} out of range")
+            }
+            Self::UnschedulableEvent { required, available } => write!(
+                f,
+                "new event requires {required} resources but only {available} are available"
+            ),
+            Self::UnsortedUsers => {
+                write!(f, "retired-user indices must be strictly increasing")
+            }
+            Self::WeightMismatch { instance_weighted } => {
+                if *instance_weighted {
+                    write!(f, "weighted instance: every new user needs a weight")
+                } else {
+                    write!(f, "unweighted instance: new users must not carry weights")
+                }
+            }
+            Self::EmptyOp(what) => write!(f, "op carries no {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

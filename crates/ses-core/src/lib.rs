@@ -24,7 +24,11 @@
 //!   (score computations / user operations / assignments examined);
 //! * [`parallel`] — deterministic multi-threading support: [`Threads`]
 //!   resolution and the fixed-block reduction scheme that keeps parallel
-//!   scores bit-identical to sequential ones.
+//!   scores bit-identical to sequential ones;
+//! * [`delta`] — dynamic-workload deltas: the [`delta::DeltaOp`] vocabulary
+//!   (event/user churn, interest drift), in-place application with dense-id
+//!   maintenance, and incremental competing-mass upkeep for warm-started
+//!   schedulers.
 //!
 //! Algorithms (ALG, INC, HOR, HOR-I, baselines) live in `ses-algorithms`;
 //! dataset generators in `ses-datasets`.
@@ -45,6 +49,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod delta;
 pub mod error;
 pub mod ids;
 pub mod model;
@@ -53,7 +58,8 @@ pub mod schedule;
 pub mod scoring;
 pub mod stats;
 
-pub use error::{BuildError, ScheduleError};
+pub use delta::{DeltaEffect, DeltaOp, NewUser};
+pub use error::{BuildError, DeltaError, ScheduleError};
 pub use ids::{CompetingEventId, EventId, IntervalId, LocationId, UserId};
 pub use model::Instance;
 pub use parallel::Threads;

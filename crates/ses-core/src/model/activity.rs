@@ -89,6 +89,32 @@ impl ActivityMatrix {
         self.data[user * self.num_intervals + interval] = p;
     }
 
+    /// Appends one user with the given per-interval activity row.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != num_intervals()`.
+    pub fn append_user(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.num_intervals, "activity row length must equal |T|");
+        self.data.extend_from_slice(row);
+        self.num_users += 1;
+    }
+
+    /// Removes the given users (strictly increasing indices); survivors
+    /// shift down to keep indices dense.
+    ///
+    /// # Panics
+    /// Panics if the indices are not strictly increasing or out of range.
+    pub fn remove_users(&mut self, users: &[usize]) {
+        let keep = super::user_keep_mask(self.num_users, users);
+        let mut data = Vec::with_capacity((self.num_users - users.len()) * self.num_intervals);
+        for (user, _) in keep.iter().enumerate().filter(|(_, &k)| k) {
+            let start = user * self.num_intervals;
+            data.extend_from_slice(&self.data[start..start + self.num_intervals]);
+        }
+        self.data = data;
+        self.num_users -= users.len();
+    }
+
     /// Validates that every probability lies in `[0, 1]`.
     pub fn validate(&self) -> Result<(), BuildError> {
         for (i, &p) in self.data.iter().enumerate() {
@@ -132,6 +158,26 @@ mod tests {
         a.set(0, 1, 0.8);
         assert_eq!(a.value(0, 1), 0.8);
         assert_eq!(a.value(0, 0), 0.0);
+    }
+
+    #[test]
+    fn append_and_remove_users() {
+        let mut a = ActivityMatrix::from_fn(3, 2, |u, t| (u * 10 + t) as f64 / 100.0);
+        a.append_user(&[0.9, 0.8]);
+        assert_eq!(a.num_users(), 4);
+        assert_eq!(a.value(3, 1), 0.8);
+        a.remove_users(&[0, 2]);
+        assert_eq!(a.num_users(), 2);
+        // Former users 1 and 3 are now 0 and 1.
+        assert_eq!(a.value(0, 0), 0.10);
+        assert_eq!(a.value(1, 0), 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn remove_users_rejects_duplicates() {
+        let mut a = ActivityMatrix::constant(3, 1, 0.5);
+        a.remove_users(&[1, 1]);
     }
 
     #[test]

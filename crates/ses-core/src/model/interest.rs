@@ -144,6 +144,68 @@ impl InterestMatrix {
         Ok(())
     }
 
+    /// Appends one item (event) with the given dense per-user column.
+    /// Sparse storage keeps only the non-zeros.
+    ///
+    /// # Panics
+    /// Panics if `column.len() != num_users()`.
+    pub fn push_item(&mut self, column: &[f64]) {
+        match self {
+            Self::Dense(d) => d.push_item(column),
+            Self::Sparse(s) => s.push_item(column),
+        }
+    }
+
+    /// Removes one item (event); items above it shift down by one, exactly
+    /// mirroring a `Vec::remove` on the owning event list.
+    ///
+    /// # Panics
+    /// Panics if `item` is out of range.
+    pub fn remove_item(&mut self, item: usize) {
+        match self {
+            Self::Dense(d) => d.remove_item(item),
+            Self::Sparse(s) => s.remove_item(item),
+        }
+    }
+
+    /// Sets `µ(user, item)`. Sparse storage inserts, overwrites, or (for a
+    /// zero) drops the entry, preserving the drop-exact-zeros convention of
+    /// [`to_sparse`](Self::to_sparse).
+    ///
+    /// # Panics
+    /// Panics if `item` or `user` is out of range.
+    pub fn set_value(&mut self, item: usize, user: usize, value: f64) {
+        match self {
+            Self::Dense(d) => d.set(item, user, value),
+            Self::Sparse(s) => s.set_value(item, user, value),
+        }
+    }
+
+    /// Appends new users. `rows[j]` is the j-th new user's interest over all
+    /// items (`rows[j].len() == num_items()`); the new users receive the next
+    /// consecutive user indices.
+    ///
+    /// # Panics
+    /// Panics on a row-length mismatch.
+    pub fn append_users(&mut self, rows: &[Vec<f64>]) {
+        match self {
+            Self::Dense(d) => d.append_users(rows),
+            Self::Sparse(s) => s.append_users(rows),
+        }
+    }
+
+    /// Removes the given users (strictly increasing indices); surviving
+    /// users shift down to keep indices dense.
+    ///
+    /// # Panics
+    /// Panics if the indices are not strictly increasing or out of range.
+    pub fn remove_users(&mut self, users: &[usize]) {
+        match self {
+            Self::Dense(d) => d.remove_users(users),
+            Self::Sparse(s) => s.remove_users(users),
+        }
+    }
+
     /// Converts to the dense representation (no-op if already dense).
     pub fn to_dense(&self) -> DenseInterest {
         match self {
@@ -330,6 +392,67 @@ impl DenseInterest {
         assert!(user < self.num_users, "user {user} out of range");
         self.data[item * self.num_users + user] = value;
     }
+
+    /// Appends one item column. See [`InterestMatrix::push_item`].
+    pub fn push_item(&mut self, column: &[f64]) {
+        assert_eq!(column.len(), self.num_users, "column length must equal user count");
+        self.data.extend_from_slice(column);
+        self.num_items += 1;
+    }
+
+    /// Removes one item column. See [`InterestMatrix::remove_item`].
+    pub fn remove_item(&mut self, item: usize) {
+        assert!(item < self.num_items, "item {item} out of range");
+        let start = item * self.num_users;
+        self.data.drain(start..start + self.num_users);
+        self.num_items -= 1;
+    }
+
+    /// Appends new users. See [`InterestMatrix::append_users`].
+    pub fn append_users(&mut self, rows: &[Vec<f64>]) {
+        for row in rows {
+            assert_eq!(row.len(), self.num_items, "user row length must equal item count");
+        }
+        let new_users = self.num_users + rows.len();
+        let mut data = Vec::with_capacity(self.num_items * new_users);
+        for item in 0..self.num_items {
+            data.extend_from_slice(self.column_slice(item));
+            data.extend(rows.iter().map(|row| row[item]));
+        }
+        self.data = data;
+        self.num_users = new_users;
+    }
+
+    /// Removes users. See [`InterestMatrix::remove_users`].
+    pub fn remove_users(&mut self, users: &[usize]) {
+        let keep = user_keep_mask(self.num_users, users);
+        let mut data = Vec::with_capacity(self.num_items * (self.num_users - users.len()));
+        for item in 0..self.num_items {
+            let col = self.column_slice(item);
+            data.extend(col.iter().zip(&keep).filter(|(_, &k)| k).map(|(&v, _)| v));
+        }
+        self.data = data;
+        self.num_users -= users.len();
+    }
+}
+
+/// Validates a strictly increasing user-removal list and returns the
+/// per-user keep mask — the one definition of the removal invariant shared
+/// by every user-indexed structure (interest, activity, weights).
+///
+/// # Panics
+/// Panics if the list is not strictly increasing or references a user out
+/// of range.
+pub(crate) fn user_keep_mask(num_users: usize, users: &[usize]) -> Vec<bool> {
+    let mut keep = vec![true; num_users];
+    let mut prev = None;
+    for &u in users {
+        assert!(u < num_users, "user {u} out of range");
+        assert!(prev.is_none_or(|p| p < u), "user removal list must be strictly increasing");
+        keep[u] = false;
+        prev = Some(u);
+    }
+    keep
 }
 
 /// Sparse (CSC-like) interest storage: per item, sorted `(user, value)`
@@ -375,6 +498,120 @@ impl SparseInterest {
             Ok(i) => values[i],
             Err(_) => 0.0,
         }
+    }
+
+    /// Appends one item column (dense input; zeros are dropped). See
+    /// [`InterestMatrix::push_item`].
+    pub fn push_item(&mut self, column: &[f64]) {
+        assert_eq!(column.len(), self.num_users, "column length must equal user count");
+        for (u, &v) in column.iter().enumerate() {
+            if v != 0.0 {
+                self.users.push(u as u32);
+                self.values.push(v);
+            }
+        }
+        self.indptr.push(self.users.len());
+    }
+
+    /// Removes one item column. See [`InterestMatrix::remove_item`].
+    pub fn remove_item(&mut self, item: usize) {
+        assert!(item < self.num_items(), "item {item} out of range");
+        let (a, b) = (self.indptr[item], self.indptr[item + 1]);
+        self.users.drain(a..b);
+        self.values.drain(a..b);
+        self.indptr.remove(item + 1);
+        for p in self.indptr.iter_mut().skip(item + 1) {
+            *p -= b - a;
+        }
+    }
+
+    /// Sets one value, inserting/overwriting/dropping the stored non-zero.
+    /// See [`InterestMatrix::set_value`].
+    pub fn set_value(&mut self, item: usize, user: usize, value: f64) {
+        assert!(item < self.num_items(), "item {item} out of range");
+        assert!(user < self.num_users, "user {user} out of range");
+        let (a, b) = (self.indptr[item], self.indptr[item + 1]);
+        match self.users[a..b].binary_search(&(user as u32)) {
+            Ok(i) if value != 0.0 => self.values[a + i] = value,
+            Ok(i) => {
+                self.users.remove(a + i);
+                self.values.remove(a + i);
+                for p in self.indptr.iter_mut().skip(item + 1) {
+                    *p -= 1;
+                }
+            }
+            Err(_) if value == 0.0 => {}
+            Err(i) => {
+                self.users.insert(a + i, user as u32);
+                self.values.insert(a + i, value);
+                for p in self.indptr.iter_mut().skip(item + 1) {
+                    *p += 1;
+                }
+            }
+        }
+    }
+
+    /// Appends new users (zeros dropped). New users receive the largest
+    /// indices, so their non-zeros land at every column's tail in order.
+    /// See [`InterestMatrix::append_users`].
+    pub fn append_users(&mut self, rows: &[Vec<f64>]) {
+        let num_items = self.num_items();
+        for row in rows {
+            assert_eq!(row.len(), num_items, "user row length must equal item count");
+        }
+        let mut users = Vec::with_capacity(self.users.len());
+        let mut values = Vec::with_capacity(self.values.len());
+        let mut indptr = Vec::with_capacity(self.indptr.len());
+        indptr.push(0);
+        for item in 0..num_items {
+            let (old_u, old_v) = self.column_slices(item);
+            users.extend_from_slice(old_u);
+            values.extend_from_slice(old_v);
+            for (j, row) in rows.iter().enumerate() {
+                if row[item] != 0.0 {
+                    users.push((self.num_users + j) as u32);
+                    values.push(row[item]);
+                }
+            }
+            indptr.push(users.len());
+        }
+        self.users = users;
+        self.values = values;
+        self.indptr = indptr;
+        self.num_users += rows.len();
+    }
+
+    /// Removes users, remapping the surviving indices down. See
+    /// [`InterestMatrix::remove_users`].
+    pub fn remove_users(&mut self, users: &[usize]) {
+        let keep = user_keep_mask(self.num_users, users);
+        // remap[u] = u's new index (meaningful only where keep[u]).
+        let mut remap = vec![0u32; self.num_users];
+        let mut next = 0u32;
+        for (u, &k) in keep.iter().enumerate() {
+            remap[u] = next;
+            if k {
+                next += 1;
+            }
+        }
+        let mut new_users = Vec::with_capacity(self.users.len());
+        let mut new_values = Vec::with_capacity(self.values.len());
+        let mut indptr = Vec::with_capacity(self.indptr.len());
+        indptr.push(0);
+        for item in 0..self.num_items() {
+            let (old_u, old_v) = self.column_slices(item);
+            for (&u, &v) in old_u.iter().zip(old_v) {
+                if keep[u as usize] {
+                    new_users.push(remap[u as usize]);
+                    new_values.push(v);
+                }
+            }
+            indptr.push(new_users.len());
+        }
+        self.users = new_users;
+        self.values = new_values;
+        self.indptr = indptr;
+        self.num_users -= users.len();
     }
 }
 
@@ -556,6 +793,74 @@ mod tests {
                     assert_eq!(tiled, whole, "item {item} split {split}");
                 }
             }
+        }
+    }
+
+    /// Every mutation, applied to both layouts, must leave them agreeing
+    /// value-for-value (the delta module relies on this to keep dense and
+    /// sparse instances interchangeable under op streams).
+    #[test]
+    fn mutations_agree_across_layouts() {
+        let mut dense = InterestMatrix::from(sample_dense());
+        let mut sparse = InterestMatrix::from(sample_dense().to_sparse_helper());
+        let assert_agree = |d: &InterestMatrix, s: &InterestMatrix, what: &str| {
+            assert_eq!(d.num_items(), s.num_items(), "{what}: item counts");
+            assert_eq!(d.num_users(), s.num_users(), "{what}: user counts");
+            for item in 0..d.num_items() {
+                for user in 0..d.num_users() {
+                    assert_eq!(d.value(item, user), s.value(item, user), "{what} ({item},{user})");
+                }
+            }
+        };
+        for m in [&mut dense, &mut sparse] {
+            m.push_item(&[0.0, 0.5, 0.8]);
+            m.set_value(0, 1, 0.4); // insert (was 0)
+            m.set_value(2, 1, 0.0); // drop
+            m.set_value(1, 0, 0.9); // overwrite
+            m.append_users(&[vec![0.1, 0.0, 0.2], vec![0.0, 0.0, 0.0]]);
+            m.remove_item(1);
+            m.remove_users(&[0, 3]);
+        }
+        assert_agree(&dense, &sparse, "after mutation chain");
+        assert_eq!(dense.num_items(), 2);
+        assert_eq!(dense.num_users(), 3);
+        // Mutated sparse must equal a from-scratch sparse of the mutated
+        // dense (canonical CSC form, zeros dropped).
+        assert_eq!(dense.to_sparse(), sparse.to_sparse());
+    }
+
+    #[test]
+    fn push_and_remove_item_shift_ids() {
+        let mut m = InterestMatrix::from(sample_dense());
+        m.push_item(&[0.7, 0.0, 0.1]);
+        assert_eq!(m.num_items(), 3);
+        assert_eq!(m.value(2, 0), 0.7);
+        m.remove_item(0);
+        // Former items 1, 2 are now 0, 1.
+        assert_eq!(m.value(0, 1), 0.6);
+        assert_eq!(m.value(1, 0), 0.7);
+    }
+
+    #[test]
+    fn sparse_set_value_keeps_zero_drop_convention() {
+        let mut s = InterestMatrix::from(sample_dense().to_sparse_helper());
+        let nnz_before = s.column_len(0);
+        s.set_value(0, 0, 0.0);
+        assert_eq!(s.column_len(0), nnz_before - 1, "zeros must be dropped, not stored");
+        s.set_value(0, 0, 0.0); // idempotent on absent entries
+        assert_eq!(s.column_len(0), nnz_before - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn remove_users_rejects_unsorted() {
+        let mut m = InterestMatrix::from(sample_dense());
+        m.remove_users(&[1, 0]);
+    }
+
+    impl DenseInterest {
+        fn to_sparse_helper(&self) -> SparseInterest {
+            InterestMatrix::from(self.clone()).to_sparse()
         }
     }
 

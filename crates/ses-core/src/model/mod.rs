@@ -11,6 +11,7 @@ mod interval;
 pub use activity::ActivityMatrix;
 pub use event::{CompetingEvent, Event};
 pub use instance::{running_example, Instance, InstanceBuilder};
+pub(crate) use interest::user_keep_mask;
 pub use interest::{
     ColumnIter, DenseInterest, InterestMatrix, SparseInterest, SparseInterestBuilder,
 };

@@ -86,6 +86,27 @@ impl<'a> ScoringEngine<'a> {
         Self { inst, comp_mass, sched_mass: vec![0.0; users * intervals], threads, stats }
     }
 
+    /// Rebuilds an engine around a previously extracted competing-mass
+    /// table (see [`into_comp_mass`](Self::into_comp_mass)), skipping the
+    /// `O(|U|·|C|)` setup — the warm-start path of the dynamic stream
+    /// scheduler, whose delta layer keeps the table bit-identical to a cold
+    /// rebuild (`ses_core::delta::refresh_comp_mass`). Counters start at
+    /// zero: a warm engine genuinely does not pay the setup term.
+    ///
+    /// # Panics
+    /// Panics if `comp_mass.len() != |U| · |T|` for `inst`.
+    pub fn from_comp_mass(inst: &'a Instance, comp_mass: Vec<f64>, threads: Threads) -> Self {
+        let cells = inst.num_users() * inst.num_intervals();
+        assert_eq!(comp_mass.len(), cells, "competing-mass table shape mismatch");
+        Self { inst, comp_mass, sched_mass: vec![0.0; cells], threads, stats: Stats::new() }
+    }
+
+    /// Consumes the engine, returning its competing-mass table for reuse by
+    /// a later [`from_comp_mass`](Self::from_comp_mass) warm start.
+    pub fn into_comp_mass(self) -> Vec<f64> {
+        self.comp_mass
+    }
+
     /// The configured worker-thread count.
     #[inline]
     pub fn threads(&self) -> Threads {

@@ -15,8 +15,10 @@
 //! are sensitive to. All generators are deterministic per seed.
 //!
 //! [`distributions`] provides the hand-rolled Uniform/Normal/Zipf samplers
-//! everything is built on, and [`hardness`] implements the paper's
-//! Theorem-1 reduction (3DM-3 → restricted SES) as testable code.
+//! everything is built on, [`hardness`] implements the paper's Theorem-1
+//! reduction (3DM-3 → restricted SES) as testable code, and [`ops`]
+//! generates seeded delta-op streams (event/user churn, interest drift)
+//! for the dynamic-workload experiments.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -25,12 +27,14 @@ pub mod concerts;
 pub mod distributions;
 pub mod hardness;
 pub mod meetup;
+pub mod ops;
 pub mod params;
 pub mod scaffold;
 pub mod synthetic;
 
 pub use concerts::ConcertsParams;
 pub use meetup::MeetupParams;
+pub use ops::OpStreamParams;
 pub use params::{ActivityModel, InterestModel, SyntheticParams};
 
 use ses_core::model::Instance;

@@ -1,0 +1,250 @@
+//! Seeded op-stream generator for dynamic-workload experiments: a churning
+//! sequence of [`DeltaOp`]s against a base [`Instance`], with knobs for how
+//! much of the stream is structural churn (events and users arriving and
+//! departing) versus plain interest drift.
+//!
+//! The generator tracks the evolving shape (`|E|`, `|U|`) as it emits ops,
+//! so every op in the stream is valid when applied in order. Structural
+//! churn is *mean-reverting* — the grow/shrink coin is biased toward the
+//! base shape — so long streams hover around the seed sizes, and hard
+//! floors keep removals from draining a dimension outright. Streams are
+//! deterministic per seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ses_core::delta::{DeltaOp, NewUser};
+use ses_core::model::{Event, Instance};
+use ses_core::{EventId, LocationId};
+
+/// Never remove events below this count.
+pub const MIN_EVENTS: usize = 2;
+/// Never retire users below this count.
+pub const MIN_USERS: usize = 8;
+
+/// Knobs of a generated op stream.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OpStreamParams {
+    /// Number of ops to generate.
+    pub num_ops: usize,
+    /// Probability an op is *structural* (add/remove events, add/retire
+    /// users) rather than a [`DeltaOp::ShiftInterest`] drift.
+    pub churn: f64,
+    /// Among structural ops, the probability the op targets users rather
+    /// than events.
+    pub user_churn: f64,
+    /// Users per [`DeltaOp::AddUsers`] / [`DeltaOp::RetireUsers`] batch.
+    pub users_per_batch: usize,
+    /// Probability a generated interest value is non-zero (1.0 = dense;
+    /// lower values imitate sparse EBSN interest).
+    pub interest_density: f64,
+    /// RNG seed; streams are deterministic per (base, params).
+    pub seed: u64,
+}
+
+impl Default for OpStreamParams {
+    fn default() -> Self {
+        Self {
+            num_ops: 100,
+            churn: 0.3,
+            user_churn: 0.3,
+            users_per_batch: 4,
+            interest_density: 1.0,
+            seed: 0x0D5,
+        }
+    }
+}
+
+impl OpStreamParams {
+    /// Overrides the op count.
+    #[must_use]
+    pub fn with_ops(mut self, n: usize) -> Self {
+        self.num_ops = n;
+        self
+    }
+
+    /// Overrides the structural-churn probability.
+    #[must_use]
+    pub fn with_churn(mut self, churn: f64) -> Self {
+        self.churn = churn;
+        self
+    }
+
+    /// Overrides the user-vs-event structural split.
+    #[must_use]
+    pub fn with_user_churn(mut self, user_churn: f64) -> Self {
+        self.user_churn = user_churn;
+        self
+    }
+
+    /// Overrides the interest density of generated values.
+    #[must_use]
+    pub fn with_interest_density(mut self, density: f64) -> Self {
+        self.interest_density = density;
+        self
+    }
+
+    /// Overrides the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Generates a valid op stream against `base`: applying the returned ops in
+/// order with `ses_core::delta::apply` never errors.
+///
+/// # Panics
+/// Panics if `base` has no events or users (an invalid instance).
+pub fn generate(base: &Instance, params: &OpStreamParams) -> Vec<DeltaOp> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut num_events = base.num_events();
+    let mut num_users = base.num_users();
+    assert!(num_events > 0 && num_users > 0, "base instance must be populated");
+    let num_intervals = base.num_intervals();
+    let num_competing = base.num_competing();
+    let weighted = base.user_weights.is_some();
+    let num_locations = base.events.iter().map(|e| e.location.index() + 1).max().unwrap_or(1);
+    let max_req = if base.resources.is_finite() { (base.resources / 2.0).max(0.0) } else { 1.0 };
+
+    let mut ops = Vec::with_capacity(params.num_ops);
+    for _ in 0..params.num_ops {
+        let structural = rng.gen_range(0.0..1.0) < params.churn;
+        let op = if !structural {
+            DeltaOp::ShiftInterest {
+                event: EventId::new(rng.gen_range(0..num_events)),
+                user: rng.gen_range(0..num_users),
+                interest: interest_value(&mut rng, params),
+            }
+        } else if rng.gen_range(0.0..1.0) < params.user_churn {
+            // User churn; grow when at the floor, otherwise mean-revert.
+            let batch = params.users_per_batch.max(1);
+            let can_retire = num_users >= MIN_USERS + batch;
+            if !can_retire || mean_revert_grow(&mut rng, num_users, base.num_users()) {
+                let users: Vec<NewUser> = (0..batch)
+                    .map(|_| NewUser {
+                        event_interest: (0..num_events)
+                            .map(|_| interest_value(&mut rng, params))
+                            .collect(),
+                        competing_interest: (0..num_competing)
+                            .map(|_| interest_value(&mut rng, params))
+                            .collect(),
+                        activity: (0..num_intervals).map(|_| rng.gen_range(0.0..1.0)).collect(),
+                        weight: weighted.then(|| rng.gen_range(0.0..1.0)),
+                    })
+                    .collect();
+                num_users += batch;
+                DeltaOp::AddUsers { users }
+            } else {
+                let mut gone = std::collections::BTreeSet::new();
+                while gone.len() < batch {
+                    gone.insert(rng.gen_range(0..num_users));
+                }
+                num_users -= batch;
+                DeltaOp::RetireUsers { users: gone.into_iter().collect() }
+            }
+        } else {
+            // Event churn; grow when at the floor, otherwise mean-revert.
+            if num_events <= MIN_EVENTS || mean_revert_grow(&mut rng, num_events, base.num_events())
+            {
+                let location = LocationId::new(rng.gen_range(0..num_locations));
+                let required = if max_req > 0.0 { rng.gen_range(0.0..max_req) } else { 0.0 };
+                let interest = (0..num_users).map(|_| interest_value(&mut rng, params)).collect();
+                num_events += 1;
+                DeltaOp::AddEvent { event: Event::new(location, required), interest }
+            } else {
+                let victim = rng.gen_range(0..num_events);
+                num_events -= 1;
+                DeltaOp::RemoveEvent { event: EventId::new(victim) }
+            }
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+/// Whether a structural op should grow (vs shrink) a dimension: the grow
+/// probability pulls the dimension back toward its base size, so long
+/// streams hover around the seed shape instead of random-walking into
+/// degenerate floors.
+fn mean_revert_grow(rng: &mut StdRng, current: usize, base: usize) -> bool {
+    let bias = (base as f64 - current as f64) / (2.0 * base.max(1) as f64);
+    rng.gen_range(0.0..1.0) < (0.5 + bias).clamp(0.1, 0.9)
+}
+
+fn interest_value(rng: &mut StdRng, params: &OpStreamParams) -> f64 {
+    if rng.gen_range(0.0..1.0) < params.interest_density {
+        rng.gen_range(0.0..1.0)
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dataset;
+    use ses_core::delta;
+
+    fn base() -> Instance {
+        Dataset::Unf.build(30, 12, 5, 0xB0)
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let inst = base();
+        let p = OpStreamParams::default().with_ops(60).with_churn(0.5);
+        assert_eq!(generate(&inst, &p), generate(&inst, &p));
+        assert_ne!(generate(&inst, &p), generate(&inst, &p.with_seed(9)));
+    }
+
+    #[test]
+    fn generated_streams_apply_cleanly() {
+        let inst = base();
+        for churn in [0.0, 0.4, 1.0] {
+            for user_churn in [0.0, 0.5, 1.0] {
+                let p = OpStreamParams::default()
+                    .with_ops(200)
+                    .with_churn(churn)
+                    .with_user_churn(user_churn)
+                    .with_seed(3);
+                let ops = generate(&inst, &p);
+                assert_eq!(ops.len(), 200);
+                let materialized = delta::materialize(&inst, &ops)
+                    .unwrap_or_else(|e| panic!("churn {churn}/{user_churn}: {e}"));
+                assert!(materialized.validate().is_ok());
+                assert!(materialized.num_events() >= MIN_EVENTS);
+                assert!(materialized.num_users() >= MIN_USERS.min(inst.num_users()));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_churn_is_pure_drift() {
+        let inst = base();
+        let ops = generate(&inst, &OpStreamParams::default().with_ops(50).with_churn(0.0));
+        assert!(ops.iter().all(|op| matches!(op, DeltaOp::ShiftInterest { .. })));
+    }
+
+    #[test]
+    fn density_controls_zeros() {
+        let inst = base();
+        let p = OpStreamParams::default().with_ops(80).with_churn(0.0).with_interest_density(0.2);
+        let ops = generate(&inst, &p);
+        let zeros = ops
+            .iter()
+            .filter(|op| matches!(op, DeltaOp::ShiftInterest { interest, .. } if *interest == 0.0))
+            .count();
+        assert!(zeros > ops.len() / 2, "density 0.2 should zero most drifts ({zeros}/80)");
+    }
+
+    #[test]
+    fn weighted_bases_get_weighted_users() {
+        let mut inst = base();
+        inst.user_weights = Some(vec![1.0; inst.num_users()]);
+        let p = OpStreamParams::default().with_ops(120).with_churn(1.0).with_user_churn(1.0);
+        let ops = generate(&inst, &p);
+        assert!(delta::materialize(&inst, &ops).is_ok());
+        assert!(ops.iter().any(|op| matches!(op, DeltaOp::AddUsers { .. })));
+    }
+}

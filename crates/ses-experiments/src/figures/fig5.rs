@@ -21,8 +21,10 @@ pub fn sweep(config: &ExperimentConfig) -> Vec<usize> {
 pub fn run(config: &ExperimentConfig) -> FigureReport {
     let kinds = standard_kinds();
     let mut jobs = Vec::new();
+    // Dedup after scaling: at small dim_scale two k values can collapse to
+    // the same scheduled size, which would collide as duplicate x points.
     for dataset in Dataset::ALL {
-        for &k in &sweep(config) {
+        for &k in &config.scaled_sweep(&sweep(config)) {
             jobs.push((dataset, k));
         }
     }

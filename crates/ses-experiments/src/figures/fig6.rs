@@ -23,7 +23,7 @@ pub fn run(config: &ExperimentConfig) -> FigureReport {
     let k = config.dim(K);
     let mut jobs = Vec::new();
     for dataset in Dataset::ALL {
-        for &t in &sweep(config) {
+        for &t in &config.scaled_sweep(&sweep(config)) {
             jobs.push((dataset, t));
         }
     }

@@ -38,7 +38,7 @@ pub fn run(config: &ExperimentConfig) -> FigureReport {
     let intervals = config.dim(INTERVALS);
     let mut jobs = Vec::new();
     for dataset in [Dataset::Concerts, Dataset::Unf] {
-        for &e in &sweep(config) {
+        for &e in &config.scaled_sweep(&sweep(config)) {
             jobs.push((dataset, e));
         }
     }

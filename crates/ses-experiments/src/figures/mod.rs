@@ -1,6 +1,7 @@
 //! One module per table/figure of the paper's evaluation (§4.2).
 
 pub mod ablation;
+pub mod dynamic;
 pub mod fig10;
 pub mod fig5;
 pub mod fig6;
@@ -25,12 +26,14 @@ pub fn run_figure(id: &str, config: &ExperimentConfig) -> Option<FigureReport> {
         "fig10b" => Some(fig10::run_search_space(config)),
         "ablation-schemes" => Some(ablation::run_schemes(config)),
         "ablation-refine" => Some(ablation::run_refinement(config)),
+        "dynamic" => Some(dynamic::run(config)),
         _ => None,
     }
 }
 
-/// All figure ids, in paper order, followed by the two ablations.
-pub const ALL_FIGURES: [&str; 9] = [
+/// All figure ids, in paper order, followed by the two ablations and the
+/// beyond-the-paper dynamic-workload figure.
+pub const ALL_FIGURES: [&str; 10] = [
     "fig5",
     "fig6",
     "fig7",
@@ -40,4 +43,5 @@ pub const ALL_FIGURES: [&str; 9] = [
     "fig10b",
     "ablation-schemes",
     "ablation-refine",
+    "dynamic",
 ];

@@ -77,6 +77,14 @@ impl Metric {
     }
 }
 
+/// Tolerant sweep-point comparison: two x values are the same sweep point
+/// when they agree to within a relative 1e-9 (absolute near zero). Exact
+/// `f64 ==` would lose lookups whose x was recomputed through float
+/// arithmetic — `0.1 + 0.2` vs `0.3` style misses.
+pub fn x_eq(a: f64, b: f64) -> bool {
+    a == b || (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
 /// All measurements of one figure.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FigureReport {
@@ -115,18 +123,22 @@ impl FigureReport {
         out
     }
 
-    /// Distinct sweep values, ascending.
+    /// Distinct sweep values, ascending ([`x_eq`]-tolerant dedup).
     pub fn xs(&self, dataset: &str) -> Vec<f64> {
         let mut xs: Vec<f64> =
             self.records.iter().filter(|r| r.dataset == dataset).map(|r| r.x).collect();
         xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
-        xs.dedup();
+        xs.dedup_by(|a, b| x_eq(*a, *b));
         xs
     }
 
-    /// Looks up one cell.
+    /// Looks up one cell. The sweep value matches under [`x_eq`], so x
+    /// values re-derived through float arithmetic (e.g. a `dim_scale`
+    /// product) still find their record.
     pub fn cell(&self, dataset: &str, algorithm: &str, x: f64) -> Option<&RunRecord> {
-        self.records.iter().find(|r| r.dataset == dataset && r.algorithm == algorithm && r.x == x)
+        self.records
+            .iter()
+            .find(|r| r.dataset == dataset && r.algorithm == algorithm && x_eq(r.x, x))
     }
 
     /// The series `(x, metric)` for one dataset & algorithm, ascending x.
@@ -238,7 +250,8 @@ mod tests {
             algorithm: alg.into(),
             x_label: "k".into(),
             x,
-            k: x as usize,
+            // Round — a plain `as usize` cast truncates (x = 2.9 → k = 2).
+            k: x.round() as usize,
             num_events: 10,
             num_intervals: 5,
             num_users: 100,
@@ -307,6 +320,29 @@ mod tests {
         let rep = sample();
         let back: FigureReport = serde_json::from_str(&rep.to_json()).unwrap();
         assert_eq!(back.records.len(), rep.records.len());
+    }
+
+    /// Regression: `cell`/`xs` lookups must survive x values recomputed
+    /// through float arithmetic (exact `f64 ==` loses `0.1 + 0.2` vs `0.3`).
+    #[test]
+    fn cell_lookup_is_float_tolerant() {
+        let mut rep = sample();
+        rep.records.push(record("Unf", "ALG", 0.1 + 0.2, 7.0));
+        let hit = rep.cell("Unf", "ALG", 0.3).expect("tolerant lookup must hit");
+        assert_eq!(hit.utility, 7.0);
+        // xs() must not report the recomputed value as a second sweep point.
+        rep.records.push(record("Unf", "HOR", 0.3, 6.0));
+        let xs = rep.xs("Unf");
+        assert_eq!(xs.iter().filter(|&&x| x_eq(x, 0.3)).count(), 1);
+        // Distinct points stay distinct.
+        assert!(!x_eq(50.0, 100.0));
+        assert!(rep.cell("Unf", "ALG", 50.0).is_some());
+    }
+
+    #[test]
+    fn test_record_k_rounds_instead_of_truncating() {
+        let r = record("Unf", "ALG", 2.9, 1.0);
+        assert_eq!(r.k, 3, "k must round, not truncate");
     }
 
     #[test]

@@ -99,6 +99,30 @@ impl ExperimentConfig {
     pub fn dim(&self, n: usize) -> usize {
         ((n as f64 * self.dim_scale).round() as usize).max(2)
     }
+
+    /// Applies [`dim`](Self::dim) to a whole sweep axis, dropping raw
+    /// values whose scaled dimension collides with an earlier one — an
+    /// aggressive `dim_scale` (or the floor) can map two distinct sweep
+    /// points to the same size, which would duplicate x points in reports.
+    /// Each drop is reported on stderr.
+    pub fn scaled_sweep(&self, raw: &[usize]) -> Vec<usize> {
+        let mut kept = Vec::with_capacity(raw.len());
+        let mut dims: Vec<usize> = Vec::with_capacity(raw.len());
+        for &r in raw {
+            let d = self.dim(r);
+            if dims.contains(&d) {
+                eprintln!(
+                    "warning: sweep point {r} scales to duplicate dimension {d} \
+                     (dim_scale = {}); dropping it",
+                    self.dim_scale
+                );
+            } else {
+                dims.push(d);
+                kept.push(r);
+            }
+        }
+        kept
+    }
 }
 
 /// Runs every scheduler in `kinds` on `inst` and converts the results into
@@ -212,6 +236,18 @@ mod tests {
         assert_eq!(c.row_threads().get(), 3);
         // Parallel sweeps pin scheduler runs to one thread (no nesting).
         assert!(c.scheduler_threads().is_sequential());
+    }
+
+    /// Regression: quick-mode scaling mapping two sweep dims to one value
+    /// must deduplicate instead of producing colliding sweep points.
+    #[test]
+    fn scaled_sweep_drops_collisions() {
+        // 20 → 2 (floor), 50 → 2, 100 → 2, 150 → 3.
+        let c = ExperimentConfig { dim_scale: 0.02, ..ExperimentConfig::default() };
+        assert_eq!(c.scaled_sweep(&[20, 50, 100, 150]), vec![20, 150]);
+        // At the paper's scale nothing is dropped.
+        let c = ExperimentConfig { dim_scale: 1.0, ..c };
+        assert_eq!(c.scaled_sweep(&[20, 50, 100, 150]), vec![20, 50, 100, 150]);
     }
 
     #[test]
