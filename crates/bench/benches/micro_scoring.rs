@@ -40,6 +40,9 @@ fn bench(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new("assignment_score", &t), &t, |b, _| {
                 b.iter(|| black_box(engine.assignment_score(EventId::new(0), IntervalId::new(0))))
             });
+            group.bench_with_input(BenchmarkId::new("score_bound", &t), &t, |b, _| {
+                b.iter(|| black_box(engine.score_bound(EventId::new(0), IntervalId::new(0))))
+            });
             group.bench_with_input(BenchmarkId::new("apply_unapply", &t), &t, |b, _| {
                 b.iter(|| {
                     engine.apply(EventId::new(2), IntervalId::new(3));

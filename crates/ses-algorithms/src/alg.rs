@@ -7,13 +7,16 @@
 //! selected interval. Its two inefficiencies — full-table scans and full
 //! per-interval recomputation — are exactly what INC/HOR/HOR-I attack.
 
-use crate::common::{max_duration, stale_window, timed_result, Cand, ScheduleResult, Scheduler};
+use crate::common::{
+    max_duration, stale_window, timed_result, Cand, RunConfig, ScheduleResult, Scheduler, Scratch,
+};
 use ses_core::model::Instance;
-use ses_core::parallel::{par_chunks_mut, Threads};
+use ses_core::parallel::par_chunks_mut;
 use ses_core::schedule::Schedule;
-use ses_core::scoring::ScoringEngine;
+use ses_core::scoring::{EngineProfile, ScoringEngine};
 use ses_core::stats::Stats;
 use ses_core::{EventId, IntervalId};
+use std::time::Instant;
 
 /// The baseline greedy algorithm (see module docs).
 #[derive(Debug, Clone, Copy, Default)]
@@ -24,26 +27,37 @@ impl Scheduler for Alg {
         "ALG"
     }
 
-    fn run_threaded(&self, inst: &Instance, k: usize, threads: Threads) -> ScheduleResult {
-        timed_result(self.name(), inst, k, || run_alg(inst, k, threads))
+    fn run_configured(
+        &self,
+        inst: &Instance,
+        k: usize,
+        cfg: RunConfig,
+        scratch: &mut Scratch,
+    ) -> ScheduleResult {
+        timed_result(self.name(), inst, k, || run_alg(inst, k, cfg, scratch))
     }
 }
 
-/// Score table entry: `None` once the assignment is dead (event scheduled or
-/// assignment infeasible).
-type Slot = Option<f64>;
-
-fn run_alg(inst: &Instance, k: usize, threads: Threads) -> (Schedule, Stats) {
+fn run_alg(
+    inst: &Instance,
+    k: usize,
+    cfg: RunConfig,
+    scratch: &mut Scratch,
+) -> (Schedule, Stats, Option<EngineProfile>) {
+    let threads = cfg.threads;
     let num_events = inst.num_events();
     let num_intervals = inst.num_intervals();
     let mut engine = ScoringEngine::with_threads(inst, threads);
+    if cfg.profile {
+        engine.enable_profiling();
+    }
     let mut schedule = Schedule::new(inst);
     let max_dur = max_duration(inst);
 
     // scores[t * |E| + e]; assignments that are infeasible even on the empty
     // schedule (only possible under the duration extension, where a spanning
     // event can run off the calendar) are born dead.
-    let mut scores: Vec<Slot> = vec![None; num_events * num_intervals];
+    let scores = scratch.reset_slots(num_events * num_intervals);
     if threads.is_sequential() || num_intervals < 2 {
         for t in 0..num_intervals {
             for e in 0..num_events {
@@ -61,27 +75,34 @@ fn run_alg(inst: &Instance, k: usize, threads: Threads) -> (Schedule, Stats) {
         // chunk, each scored via the stat-free `peek_score` (bit-identical
         // to `assignment_score`; the pool does not nest), then the Stats
         // bookkeeping replayed in the sequential pass's (t, e) order.
-        let eng = &engine;
-        let sched = &schedule;
-        par_chunks_mut(threads, &mut scores, num_events, |t, row| {
-            let interval = IntervalId::new(t);
-            for (e, slot) in row.iter_mut().enumerate() {
-                let event = EventId::new(e);
-                *slot = if sched.is_valid_assignment(inst, event, interval) {
-                    Some(eng.peek_score(event, interval))
-                } else {
-                    None
-                };
-            }
-        });
+        let gen_start = Instant::now();
+        {
+            let eng = &engine;
+            let sched = &schedule;
+            par_chunks_mut(threads, scores, num_events, |t, row| {
+                let interval = IntervalId::new(t);
+                for (e, slot) in row.iter_mut().enumerate() {
+                    let event = EventId::new(e);
+                    *slot = if sched.is_valid_assignment(inst, event, interval) {
+                        Some(eng.peek_score(event, interval))
+                    } else {
+                        None
+                    };
+                }
+            });
+        }
+        let gen_ns = gen_start.elapsed().as_nanos() as u64;
+        let mut generated = 0u64;
         for t in 0..num_intervals {
             for e in 0..num_events {
                 if scores[t * num_events + e].is_some() {
                     let cost = engine.score_cost(EventId::new(e));
                     engine.stats_mut().record_score(cost);
+                    generated += 1;
                 }
             }
         }
+        engine.add_scoring_time(gen_ns, generated);
     }
 
     while schedule.len() < k {
@@ -146,7 +167,8 @@ fn run_alg(inst: &Instance, k: usize, threads: Threads) -> (Schedule, Stats) {
     }
 
     let stats = *engine.stats();
-    (schedule, stats)
+    let profile = engine.take_profile();
+    (schedule, stats, profile)
 }
 
 #[cfg(test)]

@@ -1,12 +1,14 @@
 //! Shared scaffolding for all SES schedulers: the [`Scheduler`] trait, the
-//! [`ScheduleResult`] record, candidate ordering, and per-interval candidate
-//! lists.
+//! [`ScheduleResult`] record, per-run execution options ([`RunConfig`]),
+//! the reusable allocation pool ([`Scratch`]), candidate ordering, and
+//! per-interval candidate lists.
 
 use serde::{Deserialize, Serialize};
 use ses_core::model::Instance;
 use ses_core::parallel::Threads;
 use ses_core::schedule::Schedule;
 use ses_core::scoring::utility::total_utility;
+use ses_core::scoring::EngineProfile;
 use ses_core::stats::Stats;
 use ses_core::{EventId, IntervalId};
 use std::time::{Duration, Instant};
@@ -29,6 +31,55 @@ pub struct ScheduleResult {
     pub stats: Stats,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
+    /// Per-phase engine timing, when the run opted into
+    /// [`RunConfig::profile`].
+    pub profile: Option<EngineProfile>,
+}
+
+/// Per-run execution options, threaded from the CLI / harness down to the
+/// engine. `Copy` so schedulers pass it freely.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Worker threads (bit-identical results for every count).
+    pub threads: Threads,
+    /// Opt-in bound-first gate: before refreshing a stale candidate,
+    /// consult the engine's O(duration) separable upper bound and skip the
+    /// full user sweep when it cannot beat the current Φ. **Never changes
+    /// the schedule or utility** (the gate is selection-neutral; see
+    /// DESIGN.md §9) — only the work counters, which is why it is opt-in:
+    /// the default keeps `Stats` comparable with the paper's accounting and
+    /// the committed golden traces.
+    pub bound_gate: bool,
+    /// Opt-in per-phase (setup/score/apply) wall-clock attribution,
+    /// surfaced as [`ScheduleResult::profile`] (`ses run --profile`).
+    pub profile: bool,
+}
+
+impl RunConfig {
+    /// Options for a plain run at the given thread count (gate and
+    /// profiling off — the reference configuration every differential test
+    /// pins).
+    pub fn threaded(threads: Threads) -> Self {
+        Self { threads, bound_gate: false, profile: false }
+    }
+
+    /// Toggles the bound-first gate.
+    pub fn with_bound_gate(mut self, on: bool) -> Self {
+        self.bound_gate = on;
+        self
+    }
+
+    /// Toggles per-phase profiling.
+    pub fn with_profile(mut self, on: bool) -> Self {
+        self.profile = on;
+        self
+    }
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self::threaded(Threads::default())
+    }
 }
 
 /// A scheduling algorithm for the SES problem.
@@ -47,7 +98,23 @@ pub trait Scheduler {
     /// implementation is **bit-identical** across thread counts — same
     /// schedule, same utility bits, same [`Stats`] — which
     /// `tests/parallel_equivalence.rs` enforces differentially.
-    fn run_threaded(&self, inst: &Instance, k: usize, threads: Threads) -> ScheduleResult;
+    fn run_threaded(&self, inst: &Instance, k: usize, threads: Threads) -> ScheduleResult {
+        self.run_configured(inst, k, RunConfig::threaded(threads), &mut Scratch::default())
+    }
+
+    /// Full-control entry point: explicit [`RunConfig`] plus a caller-owned
+    /// [`Scratch`]. Re-running with the same scratch makes the scheduling
+    /// loop allocation-free across runs (candidate tables, per-interval
+    /// lists, and heaps are cleared and reused, never re-allocated) — the
+    /// repeated-run mode of the stream scheduler, the sweep harness, and
+    /// the benches.
+    fn run_configured(
+        &self,
+        inst: &Instance,
+        k: usize,
+        cfg: RunConfig,
+        scratch: &mut Scratch,
+    ) -> ScheduleResult;
 }
 
 /// Helper used by every implementation: times `f`, evaluates the utility of
@@ -57,13 +124,173 @@ pub(crate) fn timed_result(
     name: &'static str,
     inst: &Instance,
     k: usize,
-    f: impl FnOnce() -> (Schedule, Stats),
+    f: impl FnOnce() -> (Schedule, Stats, Option<EngineProfile>),
 ) -> ScheduleResult {
     let start = Instant::now();
-    let (schedule, stats) = f();
+    let (schedule, stats, profile) = f();
     let elapsed = start.elapsed();
     let utility = total_utility(inst, &schedule);
-    ScheduleResult { algorithm: name.to_string(), k, schedule, utility, stats, elapsed }
+    ScheduleResult { algorithm: name.to_string(), k, schedule, utility, stats, elapsed, profile }
+}
+
+/// One assignment of a per-interval candidate list: the shape INC, HOR-I,
+/// and the stream repairer all walk (score current iff `updated`, otherwise
+/// a monotonicity upper bound).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Entry {
+    /// The candidate event.
+    pub event: EventId,
+    /// Current score if `updated`, otherwise an upper bound (the score as
+    /// of the last refresh).
+    pub score: f64,
+    /// Whether `score` is current.
+    pub updated: bool,
+}
+
+/// A per-interval assignment list `L_i`, sorted descending by stored score
+/// (ties: ascending event id — the canonical [`Cand`] order restricted to
+/// one interval).
+#[derive(Debug, Default)]
+pub(crate) struct IntervalList {
+    /// The (possibly stale) candidates of this interval.
+    pub entries: Vec<Entry>,
+    /// True iff every surviving entry is updated (lets update passes skip
+    /// the interval without peeking).
+    pub fully_updated: bool,
+}
+
+impl IntervalList {
+    /// Restores the canonical descending-score order after refreshes.
+    pub fn sort(&mut self) {
+        self.entries.sort_unstable_by(|a, b| {
+            b.score.partial_cmp(&a.score).expect("scores are finite").then(a.event.cmp(&b.event))
+        });
+    }
+
+    /// The best stale bound of the interval (`None` when every entry is
+    /// updated).
+    pub fn front_stale_bound(&self) -> Option<f64> {
+        self.entries.iter().find(|e| !e.updated).map(|e| e.score)
+    }
+}
+
+/// A lazy-greedy heap entry: a candidate plus the epoch snapshot its score
+/// was computed at. Max-heap order = the canonical [`Cand::beats`] order.
+/// `FORCE_REFRESH` marks an entry whose stored score was *lowered to a
+/// bound* by the gate — it must be refreshed before it can be selected.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HeapEntry {
+    /// The candidate (score possibly stale or bound-tightened).
+    pub cand: Cand,
+    /// Epoch the score was computed at; [`HeapEntry::FORCE_REFRESH`] forces
+    /// a refresh on pop.
+    pub epoch: u64,
+}
+
+impl HeapEntry {
+    /// Sentinel epoch that can never equal a real span epoch.
+    pub const FORCE_REFRESH: u64 = u64::MAX;
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cand == other.cand
+    }
+}
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.cand.beats(&other.cand) {
+            std::cmp::Ordering::Greater
+        } else if other.cand.beats(&self.cand) {
+            std::cmp::Ordering::Less
+        } else {
+            std::cmp::Ordering::Equal
+        }
+    }
+}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Reusable allocation pool for the scheduling loops. All buffers are
+/// cleared (capacity kept) by the per-run reset helpers, so a scratch
+/// shared across runs makes every scheduler's main loop allocation-free
+/// after its first run at a given instance shape. A scratch carries no
+/// result state between runs — only capacity.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// Per-interval candidate lists (INC / HOR-I / STREAM).
+    pub(crate) lists: Vec<IntervalList>,
+    /// Per-interval top-candidate table `M`.
+    pub(crate) m: Vec<Option<Cand>>,
+    /// Per-interval sorted `(score, event)` rows (HOR).
+    pub(crate) rows: Vec<Vec<(f64, EventId)>>,
+    /// HOR's per-interval fallback cursors.
+    pub(crate) cursors: Vec<usize>,
+    /// ALG's flat `|T|·|E|` score table.
+    pub(crate) slots: Vec<Option<f64>>,
+    /// LAZY's heap backing store.
+    pub(crate) heap: Vec<HeapEntry>,
+    /// Stale-interval visit order buffer (INC / STREAM).
+    pub(crate) pending: Vec<(f64, usize)>,
+    /// Per-interval virgin-span flags (STREAM's table write-back tracking).
+    pub(crate) virgin: Vec<bool>,
+}
+
+/// Resets scratch `lists` and `m` buffers to `n` empty intervals, keeping
+/// capacity. A free function so callers that destructure a [`Scratch`] into
+/// disjoint field borrows can still use it.
+pub(crate) fn reset_interval_lists(
+    lists: &mut Vec<IntervalList>,
+    m: &mut Vec<Option<Cand>>,
+    n: usize,
+) {
+    lists.truncate(n);
+    for list in lists.iter_mut() {
+        list.entries.clear();
+        list.fully_updated = false;
+    }
+    lists.resize_with(n, IntervalList::default);
+    m.clear();
+    m.resize(n, None);
+}
+
+/// HOR's per-round buffers, borrowed together from a [`Scratch`]:
+/// `(rows, cursors, m)`.
+pub(crate) type HorBuffers<'s> =
+    (&'s mut Vec<Vec<(f64, EventId)>>, &'s mut Vec<usize>, &'s mut Vec<Option<Cand>>);
+
+impl Scratch {
+    /// A fresh, empty scratch (equivalent to `Default::default()`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets HOR's row/cursor/`M` buffers to `n` intervals, keeping
+    /// capacity.
+    pub(crate) fn reset_rows(&mut self, n: usize) -> HorBuffers<'_> {
+        self.rows.truncate(n);
+        for row in &mut self.rows {
+            row.clear();
+        }
+        self.rows.resize_with(n, Vec::new);
+        self.cursors.clear();
+        self.cursors.resize(n, 0);
+        self.m.clear();
+        self.m.resize(n, None);
+        (&mut self.rows, &mut self.cursors, &mut self.m)
+    }
+
+    /// Resets ALG's flat score table to `len` dead slots, keeping capacity.
+    pub(crate) fn reset_slots(&mut self, len: usize) -> &mut Vec<Option<f64>> {
+        self.slots.clear();
+        self.slots.resize(len, None);
+        &mut self.slots
+    }
 }
 
 /// A candidate assignment with its (possibly stale) score, ordered by the

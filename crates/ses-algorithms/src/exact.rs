@@ -13,11 +13,10 @@
 //! `current + Σ (top remaining initial bounds) ≤ incumbent` prunes the
 //! subtree.
 
-use crate::common::{timed_result, ScheduleResult, Scheduler};
+use crate::common::{timed_result, RunConfig, ScheduleResult, Scheduler, Scratch};
 use ses_core::model::Instance;
-use ses_core::parallel::Threads;
 use ses_core::schedule::Schedule;
-use ses_core::scoring::ScoringEngine;
+use ses_core::scoring::{EngineProfile, ScoringEngine};
 use ses_core::stats::Stats;
 use ses_core::{EventId, IntervalId};
 
@@ -31,8 +30,14 @@ impl Scheduler for Exact {
         "EXACT"
     }
 
-    fn run_threaded(&self, inst: &Instance, k: usize, threads: Threads) -> ScheduleResult {
-        timed_result(self.name(), inst, k, || run_exact(inst, k, threads))
+    fn run_configured(
+        &self,
+        inst: &Instance,
+        k: usize,
+        cfg: RunConfig,
+        _scratch: &mut Scratch,
+    ) -> ScheduleResult {
+        timed_result(self.name(), inst, k, || run_exact(inst, k, cfg))
     }
 }
 
@@ -88,8 +93,15 @@ impl Search<'_, '_> {
     }
 }
 
-fn run_exact(inst: &Instance, k: usize, threads: Threads) -> (Schedule, Stats) {
-    let mut engine = ScoringEngine::with_threads(inst, threads);
+fn run_exact(
+    inst: &Instance,
+    k: usize,
+    cfg: RunConfig,
+) -> (Schedule, Stats, Option<EngineProfile>) {
+    let mut engine = ScoringEngine::with_threads(inst, cfg.threads);
+    if cfg.profile {
+        engine.enable_profiling();
+    }
     let empty = Schedule::new(inst);
     let mut event_bound = vec![0.0f64; inst.num_events()];
     for (event, interval) in inst.assignment_universe() {
@@ -114,7 +126,8 @@ fn run_exact(inst: &Instance, k: usize, threads: Threads) -> (Schedule, Stats) {
     };
     search.dfs(0, 0.0);
     let stats = *search.engine.stats();
-    (search.best_schedule, stats)
+    let profile = search.engine.take_profile();
+    (search.best_schedule, stats, profile)
 }
 
 #[cfg(test)]

@@ -9,9 +9,8 @@
 //! remaining assignment has negative marginal profit (scheduling it would
 //! lose money), whereas attendance-greedy always fills `k`.
 
-use crate::common::{timed_result, Cand, ScheduleResult, Scheduler};
+use crate::common::{timed_result, Cand, RunConfig, ScheduleResult, Scheduler, Scratch};
 use ses_core::model::Instance;
-use ses_core::parallel::Threads;
 use ses_core::schedule::Schedule;
 use ses_core::scoring::ScoringEngine;
 use ses_core::{EventId, IntervalId};
@@ -46,11 +45,20 @@ impl Scheduler for ProfitGreedy {
         "PROFIT"
     }
 
-    fn run_threaded(&self, inst: &Instance, k: usize, threads: Threads) -> ScheduleResult {
+    fn run_configured(
+        &self,
+        inst: &Instance,
+        k: usize,
+        cfg: RunConfig,
+        _scratch: &mut Scratch,
+    ) -> ScheduleResult {
         timed_result(self.name(), inst, k, || {
             let num_events = inst.num_events();
             let num_intervals = inst.num_intervals();
-            let mut engine = ScoringEngine::with_threads(inst, threads);
+            let mut engine = ScoringEngine::with_threads(inst, cfg.threads);
+            if cfg.profile {
+                engine.enable_profiling();
+            }
             let mut schedule = Schedule::new(inst);
 
             let mut scores: Vec<Option<f64>> = Vec::with_capacity(num_events * num_intervals);
@@ -113,7 +121,8 @@ impl Scheduler for ProfitGreedy {
             }
 
             let stats = *engine.stats();
-            (schedule, stats)
+            let profile = engine.take_profile();
+            (schedule, stats, profile)
         })
     }
 }

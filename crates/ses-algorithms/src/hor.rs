@@ -18,14 +18,16 @@
 //!   utility is identical and the observed gap averages 0.008%.
 
 use crate::common::{
-    better, max_duration, stale_window, timed_result, Cand, ScheduleResult, Scheduler,
+    better, max_duration, stale_window, timed_result, Cand, RunConfig, ScheduleResult, Scheduler,
+    Scratch,
 };
 use ses_core::model::Instance;
-use ses_core::parallel::{par_chunks_mut, Threads};
+use ses_core::parallel::par_chunks_mut;
 use ses_core::schedule::Schedule;
-use ses_core::scoring::ScoringEngine;
+use ses_core::scoring::{EngineProfile, ScoringEngine};
 use ses_core::stats::Stats;
 use ses_core::{EventId, IntervalId};
+use std::time::Instant;
 
 /// The Horizontal Assignment algorithm (see module docs).
 #[derive(Debug, Clone, Copy, Default)]
@@ -36,8 +38,14 @@ impl Scheduler for Hor {
         "HOR"
     }
 
-    fn run_threaded(&self, inst: &Instance, k: usize, threads: Threads) -> ScheduleResult {
-        timed_result(self.name(), inst, k, || run_hor(inst, k, threads))
+    fn run_configured(
+        &self,
+        inst: &Instance,
+        k: usize,
+        cfg: RunConfig,
+        scratch: &mut Scratch,
+    ) -> ScheduleResult {
+        timed_result(self.name(), inst, k, || run_hor(inst, k, cfg, scratch))
     }
 }
 
@@ -47,18 +55,28 @@ fn sort_list(list: &mut [(f64, EventId)]) {
     list.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores").then(a.1.cmp(&b.1)));
 }
 
-fn run_hor(inst: &Instance, k: usize, threads: Threads) -> (Schedule, Stats) {
+fn run_hor(
+    inst: &Instance,
+    k: usize,
+    cfg: RunConfig,
+    scratch: &mut Scratch,
+) -> (Schedule, Stats, Option<EngineProfile>) {
+    let threads = cfg.threads;
     let num_events = inst.num_events();
     let num_intervals = inst.num_intervals();
     let mut engine = ScoringEngine::with_threads(inst, threads);
+    if cfg.profile {
+        engine.enable_profiling();
+    }
     let mut schedule = Schedule::new(inst);
     let max_dur = max_duration(inst);
     let mut first_round = true;
 
     while schedule.len() < k {
         // Round start: rebuild per-interval lists of valid assignments with
-        // fresh scores (Algorithm 2 lines 3–8).
-        let mut lists: Vec<Vec<(f64, EventId)>> = vec![Vec::new(); num_intervals];
+        // fresh scores (Algorithm 2 lines 3–8); the row buffers come from
+        // the scratch, so rounds past the first allocate nothing.
+        let (lists, cursor, m) = scratch.reset_rows(num_intervals);
         if first_round && !threads.is_sequential() && num_intervals >= 2 {
             // Parallel candidate generation for the score-all first round:
             // intervals are independent on the empty schedule, so each list
@@ -67,28 +85,35 @@ fn run_hor(inst: &Instance, k: usize, threads: Threads) -> (Schedule, Stats) {
             // bookkeeping is replayed afterwards. Selection still merges
             // through the canonical `Cand` order, so nothing downstream can
             // tell the rounds apart.
-            let eng = &engine;
-            let sched = &schedule;
-            par_chunks_mut(threads, &mut lists, 1, |t, slot| {
-                let interval = IntervalId::new(t);
-                let list = &mut slot[0];
-                for e in 0..num_events {
-                    let event = EventId::new(e);
-                    if sched.is_scheduled(event)
-                        || !sched.is_valid_assignment(inst, event, interval)
-                    {
-                        continue;
+            let gen_start = Instant::now();
+            {
+                let eng = &engine;
+                let sched = &schedule;
+                par_chunks_mut(threads, lists, 1, |t, slot| {
+                    let interval = IntervalId::new(t);
+                    let list = &mut slot[0];
+                    for e in 0..num_events {
+                        let event = EventId::new(e);
+                        if sched.is_scheduled(event)
+                            || !sched.is_valid_assignment(inst, event, interval)
+                        {
+                            continue;
+                        }
+                        list.push((eng.peek_score(event, interval), event));
                     }
-                    list.push((eng.peek_score(event, interval), event));
-                }
-                sort_list(list);
-            });
-            for list in &lists {
+                    sort_list(list);
+                });
+            }
+            let gen_ns = gen_start.elapsed().as_nanos() as u64;
+            let mut generated = 0u64;
+            for list in lists.iter() {
                 for &(_, event) in list {
                     let cost = engine.score_cost(event);
                     engine.stats_mut().record_score(cost);
+                    generated += 1;
                 }
             }
+            engine.add_scoring_time(gen_ns, generated);
         } else {
             #[allow(clippy::needless_range_loop)] // t indexes lists *and* names the interval
             for t in 0..num_intervals {
@@ -114,10 +139,10 @@ fn run_hor(inst: &Instance, k: usize, threads: Threads) -> (Schedule, Stats) {
 
         // M: per interval, the best not-yet-consumed entry; `cursor[t]`
         // points at the next fallback within lists[t].
-        let mut m: Vec<Option<Cand>> = (0..num_intervals)
-            .map(|t| lists[t].first().map(|&(s, e)| Cand::new(s, IntervalId::new(t), e)))
-            .collect();
-        let mut cursor: Vec<usize> = vec![1; num_intervals];
+        for t in 0..num_intervals {
+            m[t] = lists[t].first().map(|&(s, e)| Cand::new(s, IntervalId::new(t), e));
+            cursor[t] = 1;
+        }
 
         // Selection phase (Algorithm 2 lines 9–14).
         let selected_before = schedule.len();
@@ -165,7 +190,8 @@ fn run_hor(inst: &Instance, k: usize, threads: Threads) -> (Schedule, Stats) {
     }
 
     let stats = *engine.stats();
-    (schedule, stats)
+    let profile = engine.take_profile();
+    (schedule, stats, profile)
 }
 
 /// Advances the cursor past entries that are no longer assignable (event

@@ -19,12 +19,12 @@
 //! HOR-I is identical to HOR whenever one round suffices (`k ≤ |T|`).
 
 use crate::common::{
-    better, max_duration, stale_window, timed_result, Cand, ScheduleResult, Scheduler,
+    better, max_duration, stale_window, timed_result, Cand, Entry, RunConfig, ScheduleResult,
+    Scheduler, Scratch,
 };
 use ses_core::model::Instance;
-use ses_core::parallel::Threads;
 use ses_core::schedule::Schedule;
-use ses_core::scoring::ScoringEngine;
+use ses_core::scoring::{EngineProfile, ScoringEngine};
 use ses_core::stats::Stats;
 use ses_core::{EventId, IntervalId};
 
@@ -38,18 +38,15 @@ impl Scheduler for HorI {
         "HOR-I"
     }
 
-    fn run_threaded(&self, inst: &Instance, k: usize, threads: Threads) -> ScheduleResult {
-        timed_result(self.name(), inst, k, || run_hor_i(inst, k, threads))
+    fn run_configured(
+        &self,
+        inst: &Instance,
+        k: usize,
+        cfg: RunConfig,
+        scratch: &mut Scratch,
+    ) -> ScheduleResult {
+        timed_result(self.name(), inst, k, || run_hor_i(inst, k, cfg, scratch))
     }
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Entry {
-    event: EventId,
-    /// Current score if `updated`, otherwise an upper bound from an earlier
-    /// round.
-    score: f64,
-    updated: bool,
 }
 
 fn sort_entries(entries: &mut [Entry]) {
@@ -64,6 +61,12 @@ fn sort_entries(entries: &mut [Entry]) {
 /// `trust_updated_flags` is true (in-round re-walks), entries already flagged
 /// updated are known current — their interval has received no assignment
 /// since they were refreshed — and are folded into `Φ` without recomputation.
+///
+/// Bound-seeded entries (the opt-in bound-first gate) need no special
+/// handling here: they are ordinary stale entries whose stored value is a
+/// sound upper bound, so the walk refreshes exactly the ones that can still
+/// reach `Φ` — any entry tying or beating the interval's true best has
+/// `bound ≥ true ≥ Φ` and is therefore swept before it matters.
 fn walk_interval(
     inst: &Instance,
     engine: &mut ScoringEngine<'_>,
@@ -143,19 +146,31 @@ fn fallback(
     }
 }
 
-fn run_hor_i(inst: &Instance, k: usize, threads: Threads) -> (Schedule, Stats) {
+fn run_hor_i(
+    inst: &Instance,
+    k: usize,
+    cfg: RunConfig,
+    scratch: &mut Scratch,
+) -> (Schedule, Stats, Option<EngineProfile>) {
+    let gate = cfg.bound_gate;
     let num_events = inst.num_events();
     let num_intervals = inst.num_intervals();
-    let mut engine = ScoringEngine::with_threads(inst, threads);
+    let mut engine = ScoringEngine::with_threads(inst, cfg.threads);
+    if cfg.profile {
+        engine.enable_profiling();
+    }
     let mut schedule = Schedule::new(inst);
     let max_dur = max_duration(inst);
-    let mut lists: Vec<Vec<Entry>> = vec![Vec::new(); num_intervals];
+    let Scratch { lists, m, .. } = scratch;
+    crate::common::reset_interval_lists(lists, m, num_intervals);
     let mut first_round = true;
 
     while schedule.len() < k {
         if first_round {
-            // Generate all valid assignments with initial scores
-            // (Algorithm 3 lines 3–7).
+            // Generate all valid assignments (Algorithm 3 lines 3–7) — with
+            // initial scores, or (bound-first gate) with O(duration) bound
+            // seeds that the round-1 walk below lazily refreshes where they
+            // can still reach the interval's Φ.
             #[allow(clippy::needless_range_loop)] // t indexes lists *and* names the interval
             for t in 0..num_intervals {
                 let interval = IntervalId::new(t);
@@ -164,10 +179,26 @@ fn run_hor_i(inst: &Instance, k: usize, threads: Threads) -> (Schedule, Stats) {
                     if !schedule.is_valid_assignment(inst, event, interval) {
                         continue;
                     }
-                    let score = engine.assignment_score(event, interval);
-                    lists[t].push(Entry { event, score, updated: true });
+                    if gate {
+                        let bound = engine.score_bound(event, interval);
+                        engine.stats_mut().record_bound_skip();
+                        lists[t].entries.push(Entry { event, score: bound, updated: false });
+                    } else {
+                        let score = engine.assignment_score(event, interval);
+                        lists[t].entries.push(Entry { event, score, updated: true });
+                    }
                 }
-                sort_entries(&mut lists[t]);
+                sort_entries(&mut lists[t].entries);
+                if gate {
+                    walk_interval(
+                        inst,
+                        &mut engine,
+                        &schedule,
+                        &mut lists[t].entries,
+                        interval,
+                        false,
+                    );
+                }
             }
             first_round = false;
         } else {
@@ -178,23 +209,25 @@ fn run_hor_i(inst: &Instance, k: usize, threads: Threads) -> (Schedule, Stats) {
                     inst,
                     &mut engine,
                     &schedule,
-                    &mut lists[t],
+                    &mut lists[t].entries,
                     IntervalId::new(t),
                     false,
                 );
             }
         }
 
-        // M: per interval, the top updated entry (after a walk the sorted
-        // front is always updated — stale bounds end strictly below Φ).
-        let mut m: Vec<Option<Cand>> = (0..num_intervals)
-            .map(|t| {
-                lists[t]
-                    .first()
-                    .filter(|e| e.updated)
-                    .map(|e| Cand::new(e.score, IntervalId::new(t), e.event))
-            })
-            .collect();
+        // M: per interval, the top updated entry. Without the gate the
+        // sorted front is always updated after a walk (stale bounds end
+        // strictly below Φ); with it, gate-skipped stale entries may sit
+        // above, so the first *updated* entry — the same candidate either
+        // way — is what M records.
+        for t in 0..num_intervals {
+            m[t] = lists[t]
+                .entries
+                .iter()
+                .find(|e| e.updated)
+                .map(|e| Cand::new(e.score, IntervalId::new(t), e.event));
+        }
 
         // Selection phase (lines 21–30).
         let selected_before = schedule.len();
@@ -219,14 +252,15 @@ fn run_hor_i(inst: &Instance, k: usize, threads: Threads) -> (Schedule, Stats) {
                 // span-affected entries: mark survivors stale and retire the
                 // window for this round (a no-op beyond tp under duration-1).
                 for ti in stale_window(inst, max_dur, top.event, top.interval) {
-                    lists[ti].retain(|e| e.event != top.event);
-                    for e in &mut lists[ti] {
+                    lists[ti].entries.retain(|e| e.event != top.event);
+                    for e in &mut lists[ti].entries {
                         e.updated = false;
                     }
                     m[ti] = None;
                 }
             } else {
-                m[tp] = fallback(inst, &mut engine, &schedule, &mut lists[tp], top.interval);
+                m[tp] =
+                    fallback(inst, &mut engine, &schedule, &mut lists[tp].entries, top.interval);
             }
         }
 
@@ -236,7 +270,8 @@ fn run_hor_i(inst: &Instance, k: usize, threads: Threads) -> (Schedule, Stats) {
     }
 
     let stats = *engine.stats();
-    (schedule, stats)
+    let profile = engine.take_profile();
+    (schedule, stats, profile)
 }
 
 #[cfg(test)]

@@ -26,12 +26,12 @@
 //! score as the interval's upper bound, which is both correct and effective.
 
 use crate::common::{
-    better, max_duration, stale_window, timed_result, Cand, ScheduleResult, Scheduler,
+    better, max_duration, stale_window, timed_result, Cand, Entry, IntervalList, RunConfig,
+    ScheduleResult, Scheduler, Scratch,
 };
 use ses_core::model::Instance;
-use ses_core::parallel::Threads;
 use ses_core::schedule::Schedule;
-use ses_core::scoring::ScoringEngine;
+use ses_core::scoring::{EngineProfile, ScoringEngine};
 use ses_core::stats::Stats;
 use ses_core::{EventId, IntervalId};
 
@@ -44,49 +44,27 @@ impl Scheduler for Inc {
         "INC"
     }
 
-    fn run_threaded(&self, inst: &Instance, k: usize, threads: Threads) -> ScheduleResult {
-        timed_result(self.name(), inst, k, || run_inc(inst, k, threads))
+    fn run_configured(
+        &self,
+        inst: &Instance,
+        k: usize,
+        cfg: RunConfig,
+        scratch: &mut Scratch,
+    ) -> ScheduleResult {
+        timed_result(self.name(), inst, k, || run_inc(inst, k, cfg, scratch))
     }
 }
 
-/// One assignment of the owning interval's list.
-#[derive(Debug, Clone, Copy)]
-struct Entry {
-    event: EventId,
-    /// Current score if `updated`, otherwise an upper bound (the score as of
-    /// the last refresh).
-    score: f64,
-    updated: bool,
-}
-
-/// The per-interval assignment list `L_i`, sorted descending by stored score
-/// (ties: ascending event id, mirroring ALG's scan order).
-#[derive(Debug)]
-struct IntervalList {
-    entries: Vec<Entry>,
-    /// True iff every surviving entry is updated (lets the update pass skip
-    /// the interval without even peeking).
-    fully_updated: bool,
-}
-
-impl IntervalList {
-    fn sort(&mut self) {
-        self.entries.sort_unstable_by(|a, b| {
-            b.score.partial_cmp(&a.score).expect("scores are finite").then(a.event.cmp(&b.event))
-        });
-    }
-}
-
-struct IncState<'a, 'b> {
+struct IncState<'a, 'b, 's> {
     inst: &'a Instance,
     engine: ScoringEngine<'b>,
     schedule: Schedule,
-    lists: Vec<IntervalList>,
+    lists: &'s mut Vec<IntervalList>,
     /// `M`: per interval, the top updated & valid assignment.
-    m: Vec<Option<Cand>>,
+    m: &'s mut Vec<Option<Cand>>,
 }
 
-impl IncState<'_, '_> {
+impl IncState<'_, '_, '_> {
     /// Re-derives `M[i]`: the first *updated and valid* entry in sorted
     /// order (= the interval's best updated score, since updated entries
     /// carry true scores). Invalid entries encountered on the way — e.g.
@@ -117,10 +95,9 @@ impl IncState<'_, '_> {
     /// possibly-improved Φ.
     fn update_interval(&mut self, i: usize, mut phi: Option<Cand>) -> Option<Cand> {
         let interval = IntervalId::new(i);
-        let list = &mut self.lists[i];
 
         // Interval-level skip: even the best upper bound cannot reach Φ.
-        if let (Some(p), Some(front)) = (phi, list.entries.first()) {
+        if let (Some(p), Some(front)) = (phi, self.lists[i].entries.first()) {
             self.engine.stats_mut().record_examined(1);
             if front.score < p.score {
                 return phi;
@@ -129,11 +106,11 @@ impl IncState<'_, '_> {
 
         let mut idx = 0;
         let mut any_refresh = false;
-        while idx < list.entries.len() {
-            let ent = list.entries[idx];
+        while idx < self.lists[i].entries.len() {
+            let ent = self.lists[i].entries[idx];
             self.engine.stats_mut().record_examined(1);
             if !self.schedule.is_valid_assignment(self.inst, ent.event, interval) {
-                list.entries.remove(idx);
+                self.lists[i].entries.remove(idx);
                 continue;
             }
             if let Some(p) = phi {
@@ -143,16 +120,17 @@ impl IncState<'_, '_> {
             }
             if !ent.updated {
                 let fresh = self.engine.assignment_score_update(ent.event, interval);
-                let e = &mut list.entries[idx];
+                let e = &mut self.lists[i].entries[idx];
                 e.score = fresh;
                 e.updated = true;
                 any_refresh = true;
             }
-            let cand = Cand::new(list.entries[idx].score, interval, ent.event);
+            let cand = Cand::new(self.lists[i].entries[idx].score, interval, ent.event);
             phi = better(phi, Some(cand));
             idx += 1;
         }
 
+        let list = &mut self.lists[i];
         if any_refresh {
             list.sort();
         }
@@ -162,35 +140,55 @@ impl IncState<'_, '_> {
     }
 }
 
-fn run_inc(inst: &Instance, k: usize, threads: Threads) -> (Schedule, Stats) {
+fn run_inc(
+    inst: &Instance,
+    k: usize,
+    cfg: RunConfig,
+    scratch: &mut Scratch,
+) -> (Schedule, Stats, Option<EngineProfile>) {
     let num_events = inst.num_events();
     let num_intervals = inst.num_intervals();
     let max_dur = max_duration(inst);
-    let mut state = IncState {
-        inst,
-        engine: ScoringEngine::with_threads(inst, threads),
-        schedule: Schedule::new(inst),
-        lists: Vec::with_capacity(num_intervals),
-        m: vec![None; num_intervals],
-    };
+    let Scratch { lists, m, pending, .. } = scratch;
+    crate::common::reset_interval_lists(lists, m, num_intervals);
+    let mut engine = ScoringEngine::with_threads(inst, cfg.threads);
+    if cfg.profile {
+        engine.enable_profiling();
+    }
+    let mut state = IncState { inst, engine, schedule: Schedule::new(inst), lists, m };
 
-    // Initial pass: score the full |E| × |T| universe (same as ALG).
+    // Initial pass over the full |E| × |T| universe (same as ALG).
     // Duration-extension guard: spanning events that run off the calendar
     // are skipped outright.
+    //
+    // **Bound-first gate** (opt-in): instead of paying the full user sweep
+    // per cell up front, every candidate is seeded with the engine's
+    // O(duration) separable upper bound and marked stale. The Corollary-1
+    // machinery below already treats stale stored values as sound upper
+    // bounds, so it lazily sweeps exactly the candidates whose bound
+    // survives Φ — a candidate whose bound never reaches Φ *never pays for
+    // a sweep at all* (`Stats::bound_skips` counts the deferred seeds;
+    // `score_updates` shows how many were eventually swept). Selection is
+    // untouched: any candidate tying or beating the final Φ has
+    // `bound ≥ true ≥ Φ` and is therefore refreshed before the choice.
     for t in 0..num_intervals {
         let interval = IntervalId::new(t);
-        let mut entries = Vec::with_capacity(num_events);
         for e in 0..num_events {
             let event = EventId::new(e);
             if !state.schedule.is_valid_assignment(state.inst, event, interval) {
                 continue;
             }
-            let score = state.engine.assignment_score(event, interval);
-            entries.push(Entry { event, score, updated: true });
+            if cfg.bound_gate {
+                let bound = state.engine.score_bound(event, interval);
+                state.engine.stats_mut().record_bound_skip();
+                state.lists[t].entries.push(Entry { event, score: bound, updated: false });
+            } else {
+                let score = state.engine.assignment_score(event, interval);
+                state.lists[t].entries.push(Entry { event, score, updated: true });
+            }
         }
-        let mut list = IntervalList { entries, fully_updated: true };
-        list.sort();
-        state.lists.push(list);
+        state.lists[t].fully_updated = !cfg.bound_gate;
+        state.lists[t].sort();
         state.refresh_m(t);
     }
 
@@ -203,12 +201,14 @@ fn run_inc(inst: &Instance, k: usize, threads: Threads) -> (Schedule, Stats) {
         // Visit partially-updated intervals in descending front-bound order
         // so Φ tightens as early as possible (this is what lets Example 3 get
         // away with a single update).
-        let mut pending: Vec<(f64, usize)> = (0..num_intervals)
-            .filter(|&i| !state.lists[i].fully_updated)
-            .map(|i| (state.lists[i].entries.first().map_or(f64::NEG_INFINITY, |e| e.score), i))
-            .collect();
+        pending.clear();
+        pending.extend(
+            (0..num_intervals).filter(|&i| !state.lists[i].fully_updated).map(|i| {
+                (state.lists[i].entries.first().map_or(f64::NEG_INFINITY, |e| e.score), i)
+            }),
+        );
         pending.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
-        for (_, i) in pending {
+        for &(_, i) in pending.iter() {
             phi = state.update_interval(i, phi);
         }
 
@@ -262,7 +262,8 @@ fn run_inc(inst: &Instance, k: usize, threads: Threads) -> (Schedule, Stats) {
     }
 
     let stats = *state.engine.stats();
-    (state.schedule, stats)
+    let profile = state.engine.take_profile();
+    (state.schedule, stats, profile)
 }
 
 #[cfg(test)]

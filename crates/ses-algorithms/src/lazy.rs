@@ -17,13 +17,11 @@
 //! ALG's schedule. Comparing LAZY with INC in the `ablation` bench isolates
 //! what the interval organization buys on top of lazy evaluation.
 
-use crate::common::{timed_result, Cand, ScheduleResult, Scheduler};
+use crate::common::{timed_result, Cand, HeapEntry, RunConfig, ScheduleResult, Scheduler, Scratch};
 use ses_core::model::Instance;
-use ses_core::parallel::Threads;
 use ses_core::schedule::Schedule;
-use ses_core::scoring::ScoringEngine;
+use ses_core::scoring::{EngineProfile, ScoringEngine};
 use ses_core::stats::Stats;
-use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// The lazy greedy scheduler (see module docs).
@@ -35,47 +33,27 @@ impl Scheduler for LazyGreedy {
         "LAZY"
     }
 
-    fn run_threaded(&self, inst: &Instance, k: usize, threads: Threads) -> ScheduleResult {
-        timed_result(self.name(), inst, k, || run_lazy(inst, k, threads))
+    fn run_configured(
+        &self,
+        inst: &Instance,
+        k: usize,
+        cfg: RunConfig,
+        scratch: &mut Scratch,
+    ) -> ScheduleResult {
+        timed_result(self.name(), inst, k, || run_lazy(inst, k, cfg, scratch))
     }
 }
 
-/// Heap entry: a candidate with the epoch snapshot (summed over the
-/// assignment's own span, so spanning events notice changes in *any* slot
-/// they cover) its score was computed at. Max-heap order = the canonical
-/// [`Cand::beats`] order.
-#[derive(Debug, Clone, Copy)]
-struct HeapEntry {
-    cand: Cand,
-    epoch: u64,
-}
-
-impl PartialEq for HeapEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.cand == other.cand
+fn run_lazy(
+    inst: &Instance,
+    k: usize,
+    cfg: RunConfig,
+    scratch: &mut Scratch,
+) -> (Schedule, Stats, Option<EngineProfile>) {
+    let mut engine = ScoringEngine::with_threads(inst, cfg.threads);
+    if cfg.profile {
+        engine.enable_profiling();
     }
-}
-impl Eq for HeapEntry {}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        if self.cand.beats(&other.cand) {
-            Ordering::Greater
-        } else if other.cand.beats(&self.cand) {
-            Ordering::Less
-        } else {
-            Ordering::Equal
-        }
-    }
-}
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-fn run_lazy(inst: &Instance, k: usize, threads: Threads) -> (Schedule, Stats) {
-    let mut engine = ScoringEngine::with_threads(inst, threads);
     let mut schedule = Schedule::new(inst);
     let mut epoch = vec![0u64; inst.num_intervals()];
     let span_epoch = |epoch: &[u64], e: ses_core::EventId, t: ses_core::IntervalId| -> u64 {
@@ -83,14 +61,34 @@ fn run_lazy(inst: &Instance, k: usize, threads: Threads) -> (Schedule, Stats) {
         epoch[t.index()..t.index() + d].iter().sum()
     };
 
-    let mut heap: BinaryHeap<HeapEntry> =
-        BinaryHeap::with_capacity(inst.num_events() * inst.num_intervals());
+    // The heap's backing store comes from the scratch (heapifying an empty
+    // vec is free; `into_vec` hands the capacity back at the end).
+    //
+    // **Bound-first gate** (opt-in): entries are seeded with the engine's
+    // O(duration) separable upper bound at the FORCE_REFRESH epoch instead
+    // of paying `|E|·|T|` full sweeps up front. A seeded entry is swept
+    // exactly when it surfaces as the heap maximum — candidates whose bound
+    // never climbs that high are never swept at all (`Stats::bound_skips`
+    // counts the seeds; `score_updates` the sweeps eventually paid).
+    // Selections are untouched: a bound is a sound upper bound, and the
+    // sentinel epoch forces a sweep before the entry can be selected.
+    scratch.heap.clear();
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::from(std::mem::take(&mut scratch.heap));
     for (event, interval) in inst.assignment_universe() {
         if !schedule.is_valid_assignment(inst, event, interval) {
             continue; // duration-extension guard: off-calendar spans
         }
-        let score = engine.assignment_score(event, interval);
-        heap.push(HeapEntry { cand: Cand::new(score, interval, event), epoch: 0 });
+        if cfg.bound_gate {
+            let bound = engine.score_bound(event, interval);
+            engine.stats_mut().record_bound_skip();
+            heap.push(HeapEntry {
+                cand: Cand::new(bound, interval, event),
+                epoch: HeapEntry::FORCE_REFRESH,
+            });
+        } else {
+            let score = engine.assignment_score(event, interval);
+            heap.push(HeapEntry { cand: Cand::new(score, interval, event), epoch: 0 });
+        }
     }
 
     while schedule.len() < k {
@@ -101,7 +99,8 @@ fn run_lazy(inst: &Instance, k: usize, threads: Threads) -> (Schedule, Stats) {
             continue; // dead entry: event scheduled or slot infeasible
         }
         if top.epoch != span_epoch(&epoch, e, t) {
-            // Stale: refresh and reinsert — it may no longer be the top.
+            // Stale (or bound-seeded): refresh and reinsert — it may no
+            // longer be the top.
             let fresh = engine.assignment_score_update(e, t);
             heap.push(HeapEntry { cand: Cand::new(fresh, t, e), epoch: span_epoch(&epoch, e, t) });
             continue;
@@ -115,8 +114,14 @@ fn run_lazy(inst: &Instance, k: usize, threads: Threads) -> (Schedule, Stats) {
         }
     }
 
+    scratch.heap = {
+        let mut v = heap.into_vec();
+        v.clear();
+        v
+    };
     let stats = *engine.stats();
-    (schedule, stats)
+    let profile = engine.take_profile();
+    (schedule, stats, profile)
 }
 
 #[cfg(test)]

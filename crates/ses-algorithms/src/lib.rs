@@ -47,7 +47,7 @@ pub mod refine;
 pub mod stream;
 pub mod top;
 
-pub use common::{ScheduleResult, Scheduler};
+pub use common::{RunConfig, ScheduleResult, Scheduler, Scratch};
 
 use serde::{Deserialize, Serialize};
 use ses_core::model::Instance;
@@ -118,17 +118,30 @@ impl SchedulerKind {
     /// Runs the scheduler with an explicit worker-thread count. Every kind
     /// is bit-identical across counts (see `tests/parallel_equivalence.rs`).
     pub fn run_threaded(self, inst: &Instance, k: usize, threads: Threads) -> ScheduleResult {
+        self.run_configured(inst, k, RunConfig::threaded(threads), &mut Scratch::new())
+    }
+
+    /// Runs the scheduler with full [`RunConfig`] control and a caller-owned
+    /// [`Scratch`] (allocation-free across repeated runs; see
+    /// [`Scheduler::run_configured`]).
+    pub fn run_configured(
+        self,
+        inst: &Instance,
+        k: usize,
+        cfg: RunConfig,
+        scratch: &mut Scratch,
+    ) -> ScheduleResult {
         match self {
-            Self::Alg => alg::Alg.run_threaded(inst, k, threads),
-            Self::Inc => inc::Inc.run_threaded(inst, k, threads),
-            Self::Hor => hor::Hor.run_threaded(inst, k, threads),
-            Self::HorI => hor_i::HorI.run_threaded(inst, k, threads),
-            Self::Top => top::Top.run_threaded(inst, k, threads),
-            Self::Rand(seed) => random::Rand::with_seed(seed).run_threaded(inst, k, threads),
-            Self::Exact => exact::Exact.run_threaded(inst, k, threads),
-            Self::Lazy => lazy::LazyGreedy.run_threaded(inst, k, threads),
+            Self::Alg => alg::Alg.run_configured(inst, k, cfg, scratch),
+            Self::Inc => inc::Inc.run_configured(inst, k, cfg, scratch),
+            Self::Hor => hor::Hor.run_configured(inst, k, cfg, scratch),
+            Self::HorI => hor_i::HorI.run_configured(inst, k, cfg, scratch),
+            Self::Top => top::Top.run_configured(inst, k, cfg, scratch),
+            Self::Rand(seed) => random::Rand::with_seed(seed).run_configured(inst, k, cfg, scratch),
+            Self::Exact => exact::Exact.run_configured(inst, k, cfg, scratch),
+            Self::Lazy => lazy::LazyGreedy.run_configured(inst, k, cfg, scratch),
             Self::RefinedHor => {
-                let mut res = refine::Refined::new(hor::Hor).run_threaded(inst, k, threads);
+                let mut res = refine::Refined::new(hor::Hor).run_configured(inst, k, cfg, scratch);
                 res.algorithm = self.name().to_string();
                 res
             }

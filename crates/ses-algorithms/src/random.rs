@@ -4,11 +4,10 @@
 //! first `k` valid assignments. No scores are ever computed; the utility of
 //! the result is evaluated after the fact.
 
-use crate::common::{timed_result, ScheduleResult, Scheduler};
+use crate::common::{timed_result, RunConfig, ScheduleResult, Scheduler, Scratch};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use ses_core::model::Instance;
-use ses_core::parallel::Threads;
 use ses_core::schedule::Schedule;
 use ses_core::stats::Stats;
 
@@ -39,7 +38,13 @@ impl Scheduler for Rand {
 
     // RAND computes no scores, so the thread count is irrelevant — but the
     // seeded shuffle keeps it bit-identical across counts by construction.
-    fn run_threaded(&self, inst: &Instance, k: usize, _threads: Threads) -> ScheduleResult {
+    fn run_configured(
+        &self,
+        inst: &Instance,
+        k: usize,
+        _cfg: RunConfig,
+        _scratch: &mut Scratch,
+    ) -> ScheduleResult {
         timed_result(self.name(), inst, k, || {
             let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
             let mut schedule = Schedule::new(inst);
@@ -56,7 +61,7 @@ impl Scheduler for Rand {
                     stats.record_selection();
                 }
             }
-            (schedule, stats)
+            (schedule, stats, None)
         })
     }
 }

@@ -17,7 +17,7 @@
 //! rescore, re-add), so the utility never decreases; passes repeat until a
 //! fixed point or `max_passes`.
 
-use crate::common::{timed_result, ScheduleResult, Scheduler};
+use crate::common::{timed_result, RunConfig, ScheduleResult, Scheduler, Scratch};
 use ses_core::model::Instance;
 use ses_core::parallel::Threads;
 use ses_core::schedule::Schedule;
@@ -181,14 +181,23 @@ impl<S: Scheduler> Scheduler for Refined<S> {
         "REFINED"
     }
 
-    fn run_threaded(&self, inst: &Instance, k: usize, threads: Threads) -> ScheduleResult {
-        let base = self.inner.run_threaded(inst, k, threads);
+    fn run_configured(
+        &self,
+        inst: &Instance,
+        k: usize,
+        cfg: RunConfig,
+        scratch: &mut Scratch,
+    ) -> ScheduleResult {
+        let base = self.inner.run_configured(inst, k, cfg, scratch);
         let mut stats = base.stats;
+        let profile = base.profile;
         let mut schedule = base.schedule;
         timed_result(self.name(), inst, k, || {
-            let (_, search_stats) = self.search.refine_threaded(inst, &mut schedule, threads);
+            let (_, search_stats) = self.search.refine_threaded(inst, &mut schedule, cfg.threads);
             stats += search_stats;
-            (schedule, stats)
+            // The profile covers the base run; the local-search engine is
+            // not instrumented.
+            (schedule, stats, profile)
         })
     }
 }

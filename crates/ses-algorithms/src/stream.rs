@@ -44,7 +44,9 @@
 //! a repair's `assignments_examined` stays strictly below a recompute's
 //! (which must rescore all `|E|·|T|` cells) for every single-op delta.
 
-use crate::common::{better, max_duration, stale_window, Cand};
+use crate::common::{
+    better, max_duration, reset_interval_lists, stale_window, Cand, Entry, IntervalList, Scratch,
+};
 use serde::{Deserialize, Serialize};
 use ses_core::delta::{self, DeltaEffect, DeltaOp};
 use ses_core::error::DeltaError;
@@ -52,7 +54,7 @@ use ses_core::model::Instance;
 use ses_core::parallel::{par_chunks_mut, Threads};
 use ses_core::schedule::Schedule;
 use ses_core::scoring::utility::total_utility;
-use ses_core::scoring::ScoringEngine;
+use ses_core::scoring::{ScoringEngine, StaticCaches};
 use ses_core::stats::Stats;
 use ses_core::{EventId, IntervalId};
 use std::time::Instant;
@@ -100,6 +102,17 @@ pub struct StreamScheduler {
     cumulative: Stats,
     last: RepairReport,
     ops_applied: u64,
+    /// Reusable selection buffers — repairs after the first allocate
+    /// nothing in the scheduling loop.
+    scratch: Scratch,
+    /// Warm instance-static engine caches (fused weight table + bound
+    /// invariants), reused across repairs and invalidated only by user
+    /// churn — the ops that can change user weights, activity rows, or
+    /// competing masses.
+    engine_caches: Option<StaticCaches>,
+    /// Opt-in bound-first gate for the repair's lazy refreshes (see
+    /// [`crate::common::RunConfig::bound_gate`]; selection-neutral).
+    bound_gate: bool,
 }
 
 impl StreamScheduler {
@@ -109,12 +122,13 @@ impl StreamScheduler {
     /// [`last_repair`](Self::last_repair) holds its cost.
     pub fn new(inst: Instance, k: usize, threads: Threads) -> Self {
         let start = Instant::now();
+        let mut scratch = Scratch::new();
         let mut engine = ScoringEngine::with_threads(&inst, threads);
         let mut table = score_table_full(&mut engine, threads);
         let rescored = table.iter().flatten().count();
-        let schedule = run_selection(&inst, &mut engine, &mut table, k);
+        let schedule = run_selection(&inst, &mut engine, &mut table, k, &mut scratch);
         let stats = *engine.stats();
-        let comp_mass = engine.into_comp_mass();
+        let (comp_mass, engine_caches) = engine.into_warm_parts();
         let utility = total_utility(&inst, &schedule);
         let last = RepairReport {
             rescored,
@@ -134,7 +148,19 @@ impl StreamScheduler {
             cumulative: stats,
             last,
             ops_applied: 0,
+            scratch,
+            engine_caches: Some(engine_caches),
+            bound_gate: false,
         }
+    }
+
+    /// Toggles the bound-first gate for subsequent repairs. The gate never
+    /// changes a repaired schedule or utility — only how many stale
+    /// candidates pay for a full refresh sweep (`Stats::bound_skips` counts
+    /// the ones that did not).
+    pub fn with_bound_gate(mut self, on: bool) -> Self {
+        self.bound_gate = on;
+        self
     }
 
     /// Applies one op and repairs the schedule. Returns this repair's
@@ -161,15 +187,29 @@ impl StreamScheduler {
             DeltaEffect::UsersRetired { .. } => retire_adjust,
             _ => None,
         };
-        let mut engine = ScoringEngine::from_comp_mass(
-            &self.inst,
-            std::mem::take(&mut self.comp_mass),
-            self.threads,
-        );
-        let rescored = maintain_table(&mut self.table, &effect, &mut engine, adjust);
-        let schedule = run_selection(&self.inst, &mut engine, &mut self.table, self.k);
+        // User churn invalidates the static caches (weights/activity rows
+        // resize, competing masses change); every other op reuses them,
+        // making the warm rebuild O(|U|·|T|) lighter.
+        let warm_caches = match &effect {
+            DeltaEffect::UsersAdded { .. } | DeltaEffect::UsersRetired { .. } => {
+                self.engine_caches = None;
+                None
+            }
+            _ => self.engine_caches.take(),
+        };
+        let comp = std::mem::take(&mut self.comp_mass);
+        let mut engine = match warm_caches {
+            Some(caches) => ScoringEngine::from_warm_parts(&self.inst, comp, caches, self.threads),
+            None => ScoringEngine::from_comp_mass(&self.inst, comp, self.threads),
+        };
+        let rescored =
+            maintain_table(&mut self.table, &effect, &mut engine, adjust, self.bound_gate);
+        let schedule =
+            run_selection(&self.inst, &mut engine, &mut self.table, self.k, &mut self.scratch);
         let stats = *engine.stats();
-        self.comp_mass = engine.into_comp_mass();
+        let (comp_mass, engine_caches) = engine.into_warm_parts();
+        self.comp_mass = comp_mass;
+        self.engine_caches = Some(engine_caches);
         self.utility = total_utility(&self.inst, &schedule);
         self.schedule = schedule;
         self.cumulative += stats;
@@ -281,12 +321,20 @@ fn score_table_full(engine: &mut ScoringEngine<'_>, threads: Threads) -> Vec<Opt
     table
 }
 
-/// Rescores one event's `|T|` table cells exactly (the engine's scheduled
-/// mass must be zero). Returns the number of cells scored.
+/// Rescores one event's `|T|` table cells (the engine's scheduled mass must
+/// be zero). Returns the number of cells scored eagerly.
+///
+/// With the bound-first gate on, the cells are instead *seeded* with the
+/// engine's O(duration) separable upper bound and marked inexact
+/// (`Stats::bound_skips` counts them) — the selection machinery already
+/// refreshes inexact cells lazily, exactly when their bound could still win
+/// a round, and writes virgin-span refreshes back as exact. A column the
+/// schedule never competes for thus never pays a full sweep.
 fn rescore_event_column(
     table: &mut [Option<TableEntry>],
     engine: &mut ScoringEngine<'_>,
     event: EventId,
+    gate: bool,
 ) -> usize {
     let inst = engine.instance();
     let num_e = inst.num_events();
@@ -296,8 +344,13 @@ fn rescore_event_column(
         let interval = IntervalId::new(t);
         table[t * num_e + event.index()] = if probe.is_valid_assignment(inst, event, interval) {
             engine.stats_mut().record_examined(1);
-            scored += 1;
-            Some(TableEntry { score: engine.assignment_score(event, interval), exact: true })
+            if gate {
+                engine.stats_mut().record_bound_skip();
+                Some(TableEntry { score: engine.score_bound(event, interval), exact: false })
+            } else {
+                scored += 1;
+                Some(TableEntry { score: engine.assignment_score(event, interval), exact: true })
+            }
         } else {
             None
         };
@@ -355,6 +408,7 @@ fn maintain_table(
     effect: &DeltaEffect,
     engine: &mut ScoringEngine<'_>,
     adjust: Option<Vec<f64>>,
+    gate: bool,
 ) -> usize {
     let inst = engine.instance();
     let (num_e, num_t) = (inst.num_events(), inst.num_intervals());
@@ -368,7 +422,7 @@ fn maintain_table(
                 out.push(None);
             }
             *table = out;
-            rescore_event_column(table, engine, *event)
+            rescore_event_column(table, engine, *event, gate)
         }
         DeltaEffect::EventRemoved(event) => {
             let old_e = num_e + 1;
@@ -381,7 +435,9 @@ fn maintain_table(
             *table = out;
             0
         }
-        DeltaEffect::InterestShifted { event, .. } => rescore_event_column(table, engine, *event),
+        DeltaEffect::InterestShifted { event, .. } => {
+            rescore_event_column(table, engine, *event, gate)
+        }
         DeltaEffect::UsersAdded { .. } => {
             // Old users' contribution to an empty-schedule score is
             // untouched by a join, so cached + joined-users' contribution
@@ -411,52 +467,21 @@ fn maintain_table(
     }
 }
 
-/// One assignment of a per-interval selection list (INC's `L_i` shape).
-#[derive(Debug, Clone, Copy)]
-struct ListEntry {
-    event: EventId,
-    /// Current score if `updated`, otherwise an upper bound.
-    score: f64,
-    updated: bool,
-}
-
-/// A per-interval list sorted descending by stored score (ties: ascending
-/// event id — the canonical [`Cand`] order).
-#[derive(Debug)]
-struct IntervalList {
-    entries: Vec<ListEntry>,
-    fully_updated: bool,
-}
-
-impl IntervalList {
-    fn sort(&mut self) {
-        self.entries.sort_unstable_by(|a, b| {
-            b.score.partial_cmp(&a.score).expect("scores are finite").then(a.event.cmp(&b.event))
-        });
-    }
-
-    /// The best stale bound of the interval — the only thing that can beat
-    /// Φ here (updated entries are capped by `M[i]`, which Φ already
-    /// covers). `None` when every entry is updated.
-    fn front_stale_bound(&self) -> Option<f64> {
-        self.entries.iter().find(|e| !e.updated).map(|e| e.score)
-    }
-}
-
-/// Selection-phase state: INC's interval-organized machinery plus the
-/// virgin-span tracking that lets refreshes flow back into the table.
+/// Selection-phase state: INC's interval-organized machinery (the shared
+/// [`IntervalList`] shape) plus the virgin-span tracking that lets
+/// refreshes flow back into the table.
 struct RunState<'a, 'b, 'e> {
     inst: &'a Instance,
     engine: &'e mut ScoringEngine<'b>,
     table: &'e mut [Option<TableEntry>],
     schedule: Schedule,
-    lists: Vec<IntervalList>,
+    lists: &'e mut Vec<IntervalList>,
     /// `M`: per interval, the top updated & valid assignment.
-    m: Vec<Option<Cand>>,
+    m: &'e mut Vec<Option<Cand>>,
     /// Whether no scheduled mass has been applied to the interval yet — a
     /// refresh whose whole span is virgin equals the empty-schedule score
     /// and is written back to the table as exact.
-    virgin: Vec<bool>,
+    virgin: &'e mut Vec<bool>,
 }
 
 impl RunState<'_, '_, '_> {
@@ -550,36 +575,28 @@ fn run_selection(
     engine: &mut ScoringEngine<'_>,
     table: &mut [Option<TableEntry>],
     k: usize,
+    scratch: &mut Scratch,
 ) -> Schedule {
     let num_e = inst.num_events();
     let num_t = inst.num_intervals();
     let max_dur = max_duration(inst);
-    let lists: Vec<IntervalList> = (0..num_t)
-        .map(|t| {
-            let entries: Vec<ListEntry> = (0..num_e)
-                .filter_map(|e| {
-                    table[t * num_e + e].map(|cell| ListEntry {
-                        event: EventId::new(e),
-                        score: cell.score,
-                        updated: cell.exact,
-                    })
-                })
-                .collect();
-            let mut list =
-                IntervalList { fully_updated: entries.iter().all(|e| e.updated), entries };
-            list.sort();
-            list
-        })
-        .collect();
-    let mut state = RunState {
-        inst,
-        engine,
-        table,
-        schedule: Schedule::new(inst),
-        lists,
-        m: vec![None; num_t],
-        virgin: vec![true; num_t],
-    };
+    let Scratch { lists, m, pending, virgin, .. } = scratch;
+    reset_interval_lists(lists, m, num_t);
+    virgin.clear();
+    virgin.resize(num_t, true);
+    for (t, list) in lists.iter_mut().enumerate() {
+        list.entries.extend((0..num_e).filter_map(|e| {
+            table[t * num_e + e].map(|cell| Entry {
+                event: EventId::new(e),
+                score: cell.score,
+                updated: cell.exact,
+            })
+        }));
+        list.fully_updated = list.entries.iter().all(|e| e.updated);
+        list.sort();
+    }
+    let mut state =
+        RunState { inst, engine, table, schedule: Schedule::new(inst), lists, m, virgin };
     for i in 0..num_t {
         state.refresh_m(i);
     }
@@ -593,13 +610,15 @@ fn run_selection(
         // descending bound order so Φ tightens as early as possible.
         // (Φ only grows during the pass, so pre-filtering with the seeded
         // Φ is sound; update_interval re-checks with the current Φ.)
-        let mut pending: Vec<(f64, usize)> = (0..num_t)
-            .filter(|&i| !state.lists[i].fully_updated)
-            .filter_map(|i| state.lists[i].front_stale_bound().map(|b| (b, i)))
-            .filter(|&(b, _)| phi.is_none_or(|p| b >= p.score))
-            .collect();
+        pending.clear();
+        pending.extend(
+            (0..num_t)
+                .filter(|&i| !state.lists[i].fully_updated)
+                .filter_map(|i| state.lists[i].front_stale_bound().map(|b| (b, i)))
+                .filter(|&(b, _)| phi.is_none_or(|p| b >= p.score)),
+        );
         pending.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
-        for (_, i) in pending {
+        for &(_, i) in pending.iter() {
             phi = state.update_interval(i, phi);
         }
 

@@ -7,11 +7,10 @@
 //! interval's audience — which is why the paper observes it piling events
 //! into few intervals and reporting "considerably low utility scores".
 
-use crate::common::{timed_result, Cand, ScheduleResult, Scheduler};
+use crate::common::{timed_result, Cand, RunConfig, ScheduleResult, Scheduler, Scratch};
 use ses_core::model::Instance;
-use ses_core::parallel::Threads;
 use ses_core::schedule::Schedule;
-use ses_core::scoring::ScoringEngine;
+use ses_core::scoring::{EngineProfile, ScoringEngine};
 use ses_core::stats::Stats;
 
 /// The TOP baseline (see module docs).
@@ -23,13 +22,22 @@ impl Scheduler for Top {
         "TOP"
     }
 
-    fn run_threaded(&self, inst: &Instance, k: usize, threads: Threads) -> ScheduleResult {
-        timed_result(self.name(), inst, k, || run_top(inst, k, threads))
+    fn run_configured(
+        &self,
+        inst: &Instance,
+        k: usize,
+        cfg: RunConfig,
+        _scratch: &mut Scratch,
+    ) -> ScheduleResult {
+        timed_result(self.name(), inst, k, || run_top(inst, k, cfg))
     }
 }
 
-fn run_top(inst: &Instance, k: usize, threads: Threads) -> (Schedule, Stats) {
-    let mut engine = ScoringEngine::with_threads(inst, threads);
+fn run_top(inst: &Instance, k: usize, cfg: RunConfig) -> (Schedule, Stats, Option<EngineProfile>) {
+    let mut engine = ScoringEngine::with_threads(inst, cfg.threads);
+    if cfg.profile {
+        engine.enable_profiling();
+    }
     let mut schedule = Schedule::new(inst);
 
     let mut cands: Vec<Cand> = Vec::with_capacity(inst.num_events() * inst.num_intervals());
@@ -61,7 +69,8 @@ fn run_top(inst: &Instance, k: usize, threads: Threads) -> (Schedule, Stats) {
     }
 
     let stats = *engine.stats();
-    (schedule, stats)
+    let profile = engine.take_profile();
+    (schedule, stats, profile)
 }
 
 #[cfg(test)]

@@ -18,7 +18,7 @@ pub struct Args {
 }
 
 /// Switch-style flags that take no value.
-const SWITCHES: &[&str] = &["full", "help", "quiet", "verify"];
+const SWITCHES: &[&str] = &["full", "gate", "help", "profile", "quiet", "verify"];
 
 /// Per-subcommand flag whitelists: `(command, valued flags, switches)`.
 /// [`Args::validate`] checks parsed flags against the active subcommand so
@@ -28,7 +28,7 @@ const COMMANDS: &[(&str, &[&str], &[&str])] = &[
     (
         "run",
         &["dataset", "users", "events", "intervals", "seed", "threads", "k", "algorithms"],
-        &["help"],
+        &["gate", "profile", "help"],
     ),
     ("experiment", &["users", "seed", "threads", "json", "csv"], &["full", "quiet", "help"]),
     ("generate", &["dataset", "users", "events", "intervals", "seed", "out"], &["help"]),
@@ -48,6 +48,7 @@ const COMMANDS: &[(&str, &[&str], &[&str])] = &[
         ],
         &["verify", "quiet", "help"],
     ),
+    ("bench-baseline", &["targets", "out", "label", "check", "from"], &["help"]),
     ("help", &[], &["help"]),
     ("", &[], &["help"]),
 ];

@@ -1,0 +1,259 @@
+//! `ses bench-baseline` — record (or check) the benchmark trajectory.
+//!
+//! **Record mode** (default): runs the requested criterion bench targets
+//! with `CRITERION_JSON` set, collects every benchmark's median/mean/min,
+//! and appends one run — annotated with rustc version, git commit, and a
+//! free-form label — to `BENCH_BASELINE.json` at the repository root. The
+//! committed file is the performance trajectory of the project: every entry
+//! is a snapshot that later optimizations (and regressions) are measured
+//! against.
+//!
+//! **Check mode** (`--check FACTOR`): runs the targets fresh (or, with
+//! `--from FILE`, reuses the last run recorded in FILE) and compares each
+//! benchmark's median against the *last recorded run* in the baseline
+//! file. Exits non-zero if any shared benchmark regressed by more than
+//! `FACTOR`× — the CI perf-smoke gate (generous factors absorb noisy
+//! runners and runner-vs-recording-machine hardware gaps; the CI gate
+//! uses 2.0).
+
+use crate::args::Args;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// The ten criterion bench targets of `crates/bench`.
+const ALL_TARGETS: &[&str] = &[
+    "micro_scoring",
+    "fig5_vary_k",
+    "fig6_vary_intervals",
+    "fig7_vary_events",
+    "fig8_vary_users",
+    "fig9_vary_locations",
+    "fig10a_worst_case",
+    "fig10b_search_space",
+    "ablation",
+    "dynamic_stream",
+];
+
+/// One benchmark's timing summary — the schema of the JSON lines the
+/// vendored criterion emits under `CRITERION_JSON`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BenchResult {
+    /// Full benchmark id, e.g. `micro_scoring/assignment_score/dense/t1`.
+    id: String,
+    /// Median per-sample time in nanoseconds (the comparison metric).
+    median_ns: u64,
+    /// Mean per-sample time in nanoseconds.
+    mean_ns: u64,
+    /// Minimum per-sample time in nanoseconds.
+    min_ns: u64,
+    /// Number of timed samples.
+    samples: u64,
+}
+
+/// One recorded baseline run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BaselineRun {
+    /// Free-form annotation (`--label`), e.g. "pre-optimization".
+    label: String,
+    /// `git rev-parse --short HEAD` at record time ("unknown" outside git).
+    commit: String,
+    /// `rustc --version` at record time.
+    rustc: String,
+    /// Unix seconds at record time.
+    recorded_at_unix: u64,
+    /// Bench targets included in this run.
+    targets: Vec<String>,
+    /// Every benchmark's summary, in execution order.
+    results: Vec<BenchResult>,
+}
+
+/// The committed `BENCH_BASELINE.json` document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BaselineFile {
+    /// Format version.
+    schema: u32,
+    /// Recorded runs, oldest first.
+    runs: Vec<BaselineRun>,
+}
+
+/// Executes the `bench-baseline` subcommand.
+pub fn exec(args: &Args) -> Result<(), String> {
+    let out = PathBuf::from(args.str_flag("out", "BENCH_BASELINE.json"));
+    let label = args.str_flag("label", "snapshot");
+    let targets: Vec<String> = match args.opt_flag("targets") {
+        None => ALL_TARGETS.iter().map(|s| s.to_string()).collect(),
+        Some(spec) => spec.split(',').map(|s| s.trim().to_string()).collect(),
+    };
+    for t in &targets {
+        if !ALL_TARGETS.contains(&t.as_str()) {
+            return Err(format!("unknown bench target '{t}' (known: {})", ALL_TARGETS.join(", ")));
+        }
+    }
+
+    // `--from FILE` reuses the last run recorded in FILE instead of
+    // benching again — the CI perf-smoke job records once (artifact) and
+    // checks from that record, halving its bench time.
+    let results = match args.opt_flag("from") {
+        Some(path) => {
+            let file = load_baseline(Path::new(path))?
+                .ok_or_else(|| format!("--from: no baseline at {path}"))?;
+            file.runs.last().ok_or("--from: file holds no runs")?.results.clone()
+        }
+        None => run_targets(&targets)?,
+    };
+    match args.opt_flag("check") {
+        Some(factor) => {
+            let factor: f64 =
+                factor.parse().map_err(|_| format!("--check: cannot parse '{factor}'"))?;
+            check_regressions(&out, &results, factor)
+        }
+        None => record_run(&out, label, targets, results),
+    }
+}
+
+/// Runs each bench target with `CRITERION_JSON` pointed at a scratch file
+/// and parses the emitted lines.
+fn run_targets(targets: &[String]) -> Result<Vec<BenchResult>, String> {
+    let scratch = std::env::temp_dir().join(format!("ses-bench-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&scratch);
+    for target in targets {
+        eprintln!("# bench-baseline: running target {target}");
+        let status = Command::new("cargo")
+            .args(["bench", "--bench", target])
+            .env("CRITERION_JSON", &scratch)
+            .status()
+            .map_err(|e| format!("cannot spawn cargo bench: {e}"))?;
+        if !status.success() {
+            return Err(format!("cargo bench --bench {target} failed ({status})"));
+        }
+    }
+    let raw = std::fs::read_to_string(&scratch)
+        .map_err(|e| format!("no bench output at {}: {e}", scratch.display()))?;
+    let _ = std::fs::remove_file(&scratch);
+    let mut results = Vec::new();
+    for line in raw.lines().filter(|l| !l.trim().is_empty()) {
+        let r: BenchResult =
+            serde_json::from_str(line).map_err(|e| format!("bad bench line '{line}': {e}"))?;
+        results.push(r);
+    }
+    if results.is_empty() {
+        return Err("bench run produced no results".into());
+    }
+    Ok(results)
+}
+
+/// Appends one run to the baseline file (creating it if absent) and prints
+/// the speedup of every benchmark shared with the previous run.
+fn record_run(
+    out: &Path,
+    label: String,
+    targets: Vec<String>,
+    results: Vec<BenchResult>,
+) -> Result<(), String> {
+    let mut file = load_baseline(out)?.unwrap_or(BaselineFile { schema: 1, runs: Vec::new() });
+    if let Some(prev) = file.runs.last() {
+        print_comparison(prev, &results);
+    }
+    let run = BaselineRun {
+        label,
+        commit: git_commit(),
+        rustc: rustc_version(),
+        recorded_at_unix: unix_now(),
+        targets,
+        results,
+    };
+    eprintln!(
+        "# bench-baseline: recording run '{}' ({} benchmarks) -> {}",
+        run.label,
+        run.results.len(),
+        out.display()
+    );
+    file.runs.push(run);
+    let json = serde_json::to_string_pretty(&file).map_err(|e| e.to_string())?;
+    std::fs::write(out, json + "\n").map_err(|e| format!("cannot write {}: {e}", out.display()))
+}
+
+/// Compares fresh results against the last recorded run; errors if any
+/// shared benchmark's median regressed by more than `factor`×.
+fn check_regressions(out: &Path, fresh: &[BenchResult], factor: f64) -> Result<(), String> {
+    let file = load_baseline(out)?
+        .ok_or_else(|| format!("--check needs a committed baseline at {}", out.display()))?;
+    let prev = file.runs.last().ok_or("baseline file holds no runs")?;
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    for f in fresh {
+        let Some(p) = prev.results.iter().find(|p| p.id == f.id) else { continue };
+        compared += 1;
+        let ratio = f.median_ns as f64 / p.median_ns.max(1) as f64;
+        let verdict = if ratio > factor { "REGRESSED" } else { "ok" };
+        eprintln!(
+            "{:<56} committed {:>10} ns  fresh {:>10} ns  x{ratio:.2} {verdict}",
+            f.id, p.median_ns, f.median_ns
+        );
+        if ratio > factor {
+            regressions.push(format!("{} regressed {ratio:.2}x (limit {factor}x)", f.id));
+        }
+    }
+    if compared == 0 {
+        return Err("no benchmark ids shared with the committed baseline".into());
+    }
+    if regressions.is_empty() {
+        eprintln!("# bench-baseline: {compared} benchmarks within {factor}x of baseline");
+        Ok(())
+    } else {
+        Err(regressions.join("; "))
+    }
+}
+
+/// Prints per-benchmark speedup vs. a previous run (old median / new median;
+/// > 1 is faster).
+fn print_comparison(prev: &BaselineRun, fresh: &[BenchResult]) {
+    eprintln!("# bench-baseline: speedup vs previous run '{}' ({})", prev.label, prev.commit);
+    for f in fresh {
+        if let Some(p) = prev.results.iter().find(|p| p.id == f.id) {
+            let speedup = p.median_ns as f64 / f.median_ns.max(1) as f64;
+            eprintln!(
+                "{:<56} {:>10} ns -> {:>10} ns  ({speedup:.2}x)",
+                f.id, p.median_ns, f.median_ns
+            );
+        }
+    }
+}
+
+fn load_baseline(path: &Path) -> Result<Option<BaselineFile>, String> {
+    match std::fs::read_to_string(path) {
+        Ok(s) => serde_json::from_str(&s)
+            .map(Some)
+            .map_err(|e| format!("cannot parse {}: {e}", path.display())),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+    }
+}
+
+fn git_commit() -> String {
+    Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+fn rustc_version() -> String {
+    Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

@@ -1,5 +1,6 @@
 //! Subcommand implementations.
 
+pub mod bench_baseline;
 pub mod experiment;
 pub mod generate;
 pub mod run;

@@ -1,9 +1,10 @@
 //! `ses run` — build one instance, run a lineup of schedulers, print a
-//! comparison table.
+//! comparison table (optionally with the bound-first gate and a per-phase
+//! timing breakdown).
 
 use crate::args::Args;
 use crate::commands::dataset_from_flags;
-use ses_algorithms::SchedulerKind;
+use ses_algorithms::{RunConfig, SchedulerKind, Scratch};
 use ses_core::parallel::Threads;
 
 /// Executes the `run` subcommand.
@@ -13,6 +14,9 @@ pub fn exec(args: &Args) -> Result<(), String> {
     // Worker threads for the schedulers (0 = machine width, the default).
     // Results are bit-identical for every count — only wall time changes.
     let threads = Threads::new(args.num_flag("threads", 0usize)?);
+    let gate = args.switch("gate");
+    let profile = args.switch("profile");
+    let cfg = RunConfig::threaded(threads).with_bound_gate(gate).with_profile(profile);
 
     let kinds: Vec<SchedulerKind> = match args.opt_flag("algorithms") {
         None => SchedulerKind::paper_lineup().to_vec(),
@@ -25,27 +29,54 @@ pub fn exec(args: &Args) -> Result<(), String> {
     };
 
     eprintln!(
-        "# dataset={} |U|={users} |E|={events} |T|={intervals} k={k} seed={seed} threads={threads}",
-        dataset.name()
+        "# dataset={} |U|={users} |E|={events} |T|={intervals} k={k} seed={seed} threads={threads}\
+         {}{}",
+        dataset.name(),
+        if gate { " gate=on" } else { "" },
+        if profile { " profile=on" } else { "" },
     );
     let inst = dataset.build(users, events, intervals, seed);
 
     println!(
-        "{:>8} {:>14} {:>10} {:>16} {:>14} {:>12} {:>10}",
-        "method", "utility", "|S|", "computations", "examined", "updates", "time"
+        "{:>8} {:>14} {:>10} {:>16} {:>14} {:>12} {:>10} {:>10}",
+        "method", "utility", "|S|", "computations", "examined", "updates", "skips", "time"
     );
+    // One scratch for the whole lineup: after the first scheduler the
+    // candidate tables and lists are reused, not re-allocated.
+    let mut scratch = Scratch::new();
     for kind in kinds {
-        let res = kind.run_threaded(&inst, k, threads);
+        let res = kind.run_configured(&inst, k, cfg, &mut scratch);
         println!(
-            "{:>8} {:>14.4} {:>10} {:>16} {:>14} {:>12} {:>9.1}ms",
+            "{:>8} {:>14.4} {:>10} {:>16} {:>14} {:>12} {:>10} {:>9.1}ms",
             res.algorithm,
             res.utility,
             res.schedule.len(),
             res.stats.user_ops,
             res.stats.assignments_examined,
             res.stats.score_updates,
+            res.stats.bound_skips,
             res.elapsed.as_secs_f64() * 1e3,
         );
+        if let Some(p) = res.profile {
+            let total = res.elapsed.as_nanos().max(1) as f64;
+            let ms = |ns: u64| ns as f64 / 1e6;
+            let pct = |ns: u64| 100.0 * ns as f64 / total;
+            let other = res.elapsed.as_nanos() as u64
+                - (p.setup_ns + p.score_ns + p.apply_ns).min(res.elapsed.as_nanos() as u64);
+            println!(
+                "         profile: setup {:>8.2}ms ({:>4.1}%) | score {:>8.2}ms ({:>4.1}%, {} calls) \
+                 | apply {:>8.2}ms ({:>4.1}%, {} calls) | other {:>8.2}ms",
+                ms(p.setup_ns),
+                pct(p.setup_ns),
+                ms(p.score_ns),
+                pct(p.score_ns),
+                p.scores,
+                ms(p.apply_ns),
+                pct(p.apply_ns),
+                p.applies,
+                ms(other),
+            );
+        }
     }
     Ok(())
 }

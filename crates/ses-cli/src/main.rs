@@ -44,6 +44,7 @@ fn main() -> ExitCode {
         "experiment" => commands::experiment::exec(&args),
         "generate" => commands::generate::exec(&args),
         "stream" => commands::stream::exec(&args),
+        "bench-baseline" => commands::bench_baseline::exec(&args),
         "" | "help" => {
             print!("{HELP}");
             Ok(())
@@ -66,7 +67,7 @@ ses — Social Event Scheduling (EDBT 2019 reproduction)
 USAGE:
   ses run        --dataset <meetup|concerts|unf|zip> [--k N] [--users N]
                  [--events N] [--intervals N] [--seed S] [--threads N]
-                 [--algorithms ALG,INC,HOR,HOR-I,TOP,RAND]
+                 [--algorithms ALG,INC,HOR,HOR-I,TOP,RAND] [--gate] [--profile]
   ses experiment <fig5|fig6|fig7|fig8|fig9|fig10a|fig10b|ablation-schemes|
                   ablation-refine|dynamic|summary|params|all>
                  [--users N] [--full] [--seed S] [--threads N]
@@ -76,11 +77,26 @@ USAGE:
                  [--threads N] [--verify] [--quiet]
   ses generate   --dataset <...> [--users N] [--events N] [--intervals N]
                  [--seed S] --out instance.json
+  ses bench-baseline [--targets micro_scoring,...] [--out BENCH_BASELINE.json]
+                 [--label NOTE] [--check FACTOR] [--from RUN.json]
   ses help
 
 `--threads N` sets the worker count (default 0 = all hardware threads):
 engine/scheduler threads for `run`/`stream`, sweep-row fan-out for
 `experiment`. Results are bit-identical for every N.
+
+`run --gate` turns on the bound-first gate (INC/HOR-I/LAZY): candidates
+are seeded with a cheap separable upper bound and only swept when the
+bound survives the running threshold. Schedules and utilities are
+bit-identical to ungated runs; the `skips` column counts deferred
+sweeps. `run --profile` appends a per-phase engine timing breakdown
+(setup / score / apply / other) under each row.
+
+`bench-baseline` runs the criterion bench targets (all ten by default)
+and appends one annotated run — medians, rustc, commit — to the
+committed BENCH_BASELINE.json trajectory; with `--check FACTOR` it
+instead compares fresh medians against the last recorded run and fails
+on a > FACTOR x regression (the CI perf-smoke gate).
 
 `stream` replays a seeded delta-op stream (event/user churn at rate
 `--churn`, interest drift otherwise) through the incremental repair

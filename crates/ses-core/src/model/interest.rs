@@ -124,9 +124,16 @@ impl InterestMatrix {
         }
     }
 
-    /// Total mass `Σ_u µ(u, item)` of one column.
+    /// Total mass `Σ_u µ(u, item)` of one column — O(1): both layouts cache
+    /// per-column sums, maintained as the bitwise left-to-right sum of the
+    /// stored column on every mutation. The scoring engine's bound-first
+    /// gate leans on this being cheap.
+    #[inline]
     pub fn column_sum(&self, item: usize) -> f64 {
-        self.column(item).map(|(_, v)| v).sum()
+        match self {
+            Self::Dense(d) => d.col_sums[item],
+            Self::Sparse(s) => s.col_sums[item],
+        }
     }
 
     /// Validates that every stored value lies in `[0, 1]`.
@@ -211,14 +218,19 @@ impl InterestMatrix {
         match self {
             Self::Dense(d) => d.clone(),
             Self::Sparse(s) => {
-                let mut dense = DenseInterest::zeros(s.indptr.len() - 1, s.num_users);
-                for item in 0..dense.num_items {
+                // Fill the raw buffer, then compute each column sum once at
+                // construction — `set` would recompute the O(|U|) sum per
+                // stored non-zero.
+                let (num_items, num_users) = (s.indptr.len() - 1, s.num_users);
+                let mut data = vec![0.0; num_items * num_users];
+                for item in 0..num_items {
                     let (users, values) = s.column_slices(item);
                     for (&u, &v) in users.iter().zip(values) {
-                        dense.set(item, u as usize, v);
+                        data[item * num_users + u as usize] = v;
                     }
                 }
-                dense
+                DenseInterest::from_raw(num_items, num_users, data)
+                    .expect("shape is consistent by construction")
             }
         }
     }
@@ -317,12 +329,33 @@ pub struct DenseInterest {
     num_items: usize,
     num_users: usize,
     data: Vec<f64>,
+    /// Cached per-item column sums — always the bitwise left-to-right sum of
+    /// the stored column (every mutation recomputes the affected columns, it
+    /// never adjusts incrementally, so the cache cannot drift).
+    col_sums: Vec<f64>,
+}
+
+/// The one definition of a cached column sum: the left-to-right sum of the
+/// stored values. Shared by both layouts so dense and sparse caches agree
+/// bitwise (interleaved exact zeros add nothing).
+#[inline]
+fn stored_sum(values: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for &v in values {
+        s += v;
+    }
+    s
 }
 
 impl DenseInterest {
     /// An all-zero matrix of the given shape.
     pub fn zeros(num_items: usize, num_users: usize) -> Self {
-        Self { num_items, num_users, data: vec![0.0; num_items * num_users] }
+        Self {
+            num_items,
+            num_users,
+            data: vec![0.0; num_items * num_users],
+            col_sums: vec![0.0; num_items],
+        }
     }
 
     /// Builds from a generator function `f(item, user) -> µ`.
@@ -337,7 +370,7 @@ impl DenseInterest {
                 data.push(f(item, user));
             }
         }
-        Self { num_items, num_users, data }
+        Self::with_sums(num_items, num_users, data)
     }
 
     /// Builds from raw item-major data.
@@ -357,7 +390,19 @@ impl DenseInterest {
                 actual: data.len(),
             });
         }
-        Ok(Self { num_items, num_users, data })
+        Ok(Self::with_sums(num_items, num_users, data))
+    }
+
+    fn with_sums(num_items: usize, num_users: usize, data: Vec<f64>) -> Self {
+        let col_sums =
+            (0..num_items).map(|i| stored_sum(&data[i * num_users..(i + 1) * num_users])).collect();
+        Self { num_items, num_users, data, col_sums }
+    }
+
+    /// Recomputes one cached column sum from storage.
+    fn refresh_sum(&mut self, item: usize) {
+        let s = stored_sum(self.column_slice(item));
+        self.col_sums[item] = s;
     }
 
     /// Number of items (columns).
@@ -391,12 +436,14 @@ impl DenseInterest {
     pub fn set(&mut self, item: usize, user: usize, value: f64) {
         assert!(user < self.num_users, "user {user} out of range");
         self.data[item * self.num_users + user] = value;
+        self.refresh_sum(item);
     }
 
     /// Appends one item column. See [`InterestMatrix::push_item`].
     pub fn push_item(&mut self, column: &[f64]) {
         assert_eq!(column.len(), self.num_users, "column length must equal user count");
         self.data.extend_from_slice(column);
+        self.col_sums.push(stored_sum(column));
         self.num_items += 1;
     }
 
@@ -405,6 +452,7 @@ impl DenseInterest {
         assert!(item < self.num_items, "item {item} out of range");
         let start = item * self.num_users;
         self.data.drain(start..start + self.num_users);
+        self.col_sums.remove(item);
         self.num_items -= 1;
     }
 
@@ -419,8 +467,7 @@ impl DenseInterest {
             data.extend_from_slice(self.column_slice(item));
             data.extend(rows.iter().map(|row| row[item]));
         }
-        self.data = data;
-        self.num_users = new_users;
+        *self = Self::with_sums(self.num_items, new_users, data);
     }
 
     /// Removes users. See [`InterestMatrix::remove_users`].
@@ -431,8 +478,7 @@ impl DenseInterest {
             let col = self.column_slice(item);
             data.extend(col.iter().zip(&keep).filter(|(_, &k)| k).map(|(&v, _)| v));
         }
-        self.data = data;
-        self.num_users -= users.len();
+        *self = Self::with_sums(self.num_items, self.num_users - users.len(), data);
     }
 }
 
@@ -456,7 +502,9 @@ pub(crate) fn user_keep_mask(num_users: usize, users: &[usize]) -> Vec<bool> {
 }
 
 /// Sparse (CSC-like) interest storage: per item, sorted `(user, value)`
-/// non-zeros.
+/// non-zeros held in two parallel arrays (`users[i]` indexes `values[i]`),
+/// so a column is a pair of contiguous slices the scoring kernel can stream
+/// without per-entry dispatch.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SparseInterest {
     num_users: usize,
@@ -464,6 +512,10 @@ pub struct SparseInterest {
     indptr: Vec<usize>,
     users: Vec<u32>,
     values: Vec<f64>,
+    /// Cached per-item column sums; see [`DenseInterest`]'s field docs —
+    /// identical invariant (bitwise left-to-right sum of stored non-zeros,
+    /// recomputed on every mutation of the column).
+    col_sums: Vec<f64>,
 }
 
 impl SparseInterest {
@@ -485,9 +537,25 @@ impl SparseInterest {
         self.indptr.len() - 1
     }
 
-    fn column_slices(&self, item: usize) -> (&[u32], &[f64]) {
+    /// One item's column as parallel `(user-index, value)` slices — the raw
+    /// form the scoring kernel's sparse loop streams over.
+    #[inline]
+    pub fn column_slices(&self, item: usize) -> (&[u32], &[f64]) {
         let (a, b) = (self.indptr[item], self.indptr[item + 1]);
         (&self.users[a..b], &self.values[a..b])
+    }
+
+    /// Recomputes one cached column sum from storage.
+    fn refresh_sum(&mut self, item: usize) {
+        let (a, b) = (self.indptr[item], self.indptr[item + 1]);
+        self.col_sums[item] = stored_sum(&self.values[a..b]);
+    }
+
+    /// Recomputes every cached column sum (used after whole-matrix rebuilds).
+    fn refresh_all_sums(&mut self) {
+        self.col_sums = (0..self.num_items())
+            .map(|i| stored_sum(&self.values[self.indptr[i]..self.indptr[i + 1]]))
+            .collect();
     }
 
     /// Value lookup by binary search; absent entries are `0.0`.
@@ -504,6 +572,7 @@ impl SparseInterest {
     /// [`InterestMatrix::push_item`].
     pub fn push_item(&mut self, column: &[f64]) {
         assert_eq!(column.len(), self.num_users, "column length must equal user count");
+        let before = self.values.len();
         for (u, &v) in column.iter().enumerate() {
             if v != 0.0 {
                 self.users.push(u as u32);
@@ -511,6 +580,7 @@ impl SparseInterest {
             }
         }
         self.indptr.push(self.users.len());
+        self.col_sums.push(stored_sum(&self.values[before..]));
     }
 
     /// Removes one item column. See [`InterestMatrix::remove_item`].
@@ -520,6 +590,7 @@ impl SparseInterest {
         self.users.drain(a..b);
         self.values.drain(a..b);
         self.indptr.remove(item + 1);
+        self.col_sums.remove(item);
         for p in self.indptr.iter_mut().skip(item + 1) {
             *p -= b - a;
         }
@@ -549,6 +620,7 @@ impl SparseInterest {
                 }
             }
         }
+        self.refresh_sum(item);
     }
 
     /// Appends new users (zeros dropped). New users receive the largest
@@ -579,6 +651,7 @@ impl SparseInterest {
         self.values = values;
         self.indptr = indptr;
         self.num_users += rows.len();
+        self.refresh_all_sums();
     }
 
     /// Removes users, remapping the surviving indices down. See
@@ -612,6 +685,7 @@ impl SparseInterest {
         self.values = new_values;
         self.indptr = indptr;
         self.num_users -= users.len();
+        self.refresh_all_sums();
     }
 }
 
@@ -668,7 +742,10 @@ impl SparseInterestBuilder {
             }
             indptr.push(users.len());
         }
-        SparseInterest { num_users: self.num_users, indptr, users, values }
+        let mut out =
+            SparseInterest { num_users: self.num_users, indptr, users, values, col_sums: vec![] };
+        out.refresh_all_sums();
+        out
     }
 }
 
@@ -723,6 +800,47 @@ mod tests {
         let sparse = InterestMatrix::from(dense.to_sparse());
         for item in 0..2 {
             assert!((dense.column_sum(item) - sparse.column_sum(item)).abs() < 1e-12);
+        }
+    }
+
+    /// The cached `column_sum` must stay bitwise equal to a fresh
+    /// left-to-right recompute of the stored column through every mutation,
+    /// in both layouts — the O(1) lookup the scoring engine's bound-first
+    /// gate relies on.
+    #[test]
+    fn column_sum_cache_survives_mutations() {
+        let assert_cache = |m: &InterestMatrix, what: &str| {
+            for item in 0..m.num_items() {
+                let recomputed: f64 = {
+                    let mut s = 0.0;
+                    for (_, v) in m.column(item) {
+                        s += v;
+                    }
+                    s
+                };
+                assert_eq!(
+                    m.column_sum(item).to_bits(),
+                    recomputed.to_bits(),
+                    "{what}: cached sum of item {item} drifted"
+                );
+            }
+        };
+        for mut m in [
+            InterestMatrix::from(sample_dense()),
+            InterestMatrix::from(sample_dense().to_sparse_helper()),
+        ] {
+            assert_cache(&m, "fresh");
+            m.push_item(&[0.0, 0.5, 0.8]);
+            assert_cache(&m, "push_item");
+            m.set_value(0, 1, 0.4);
+            m.set_value(2, 1, 0.0);
+            assert_cache(&m, "set_value");
+            m.append_users(&[vec![0.1, 0.0, 0.2]]);
+            assert_cache(&m, "append_users");
+            m.remove_item(1);
+            assert_cache(&m, "remove_item");
+            m.remove_users(&[0, 3]);
+            assert_cache(&m, "remove_users");
         }
     }
 

@@ -26,11 +26,32 @@
 //! so scores only shrink as events are applied to an interval. Stale scores
 //! are therefore upper bounds — the invariant INC and HOR-I prune with. This
 //! is asserted by property tests in this module.
+//!
+//! ## Kernel memory layout (DESIGN.md §9)
+//!
+//! The user sweep is the system's hot loop, so its per-user state is
+//! maintained as four interval-major tables updated only on `apply`/
+//! `unapply` (which are ~`k` rare events per run, vs millions of sweeps):
+//!
+//! * `num_base[t·|U|+u]` — the residue-clamped scheduled mass `m̂`,
+//! * `tot_mass[t·|U|+u]` — the Luce denominator `C + m̂`,
+//! * `share[t·|U|+u]`    — the cached old share `m̂ / (C + m̂)`,
+//! * `weight_act[t·|U|+u]` — the fused factor `w(u)·σ(u,t)` (built once).
+//!
+//! A sweep then performs **one division and one multiply per user**
+//! (`wact · ((m̂+µ)/(tot+µ) − share)`) over four contiguous streams, instead
+//! of two divisions, a residue branch, a strided `σ` lookup (the activity
+//! matrix is user-major), and a `w·σ` recompute. Every cached value is the
+//! bitwise result of the exact expression the pre-fusion kernel evaluated
+//! inline, so scores are bit-identical to the unfused engine — the
+//! differential suites and golden traces enforce this.
 
 use crate::ids::{EventId, IntervalId};
 use crate::model::{Instance, InterestMatrix};
 use crate::parallel::{block_count, block_range, par_chunks_mut, Threads};
 use crate::stats::Stats;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Incremental scorer for one instance. Create one per algorithm run.
 #[derive(Debug, Clone)]
@@ -39,12 +60,75 @@ pub struct ScoringEngine<'a> {
     /// Competing mass `C(u,t)`, laid out `[t · |U| + u]` (interval-major so a
     /// score's user sweep is contiguous).
     comp_mass: Vec<f64>,
-    /// Scheduled mass `M(u,t)`, same layout.
+    /// Scheduled mass `M(u,t)`, same layout. The *raw* accumulator — the
+    /// hot path never reads it; it exists so mass evolution under
+    /// apply/unapply stays bit-exact while the clamped caches below feed
+    /// the sweeps.
     sched_mass: Vec<f64>,
+    /// Residue-clamped scheduled mass `m̂ = (M < MASS_SNAP ? 0 : M)`.
+    num_base: Vec<f64>,
+    /// Cached Luce denominator `C + m̂`.
+    tot_mass: Vec<f64>,
+    /// Cached old share `m̂ / (C + m̂)` (`0` when the denominator is zero).
+    share: Vec<f64>,
+    /// Fused per-`(u,t)` weight `w(u)·σ(u,t)` — precomputed at build so the
+    /// sweep neither recomputes the product nor strides through the
+    /// user-major activity matrix.
+    weight_act: Vec<f64>,
+    /// Per interval: `min_u C(u,t)` — a static lower bound on every user's
+    /// Luce denominator, feeding [`score_bound`](Self::score_bound).
+    comp_min: Vec<f64>,
+    /// Per interval: `max_u w(u)·σ(u,t)`, same purpose.
+    weight_act_max: Vec<f64>,
+    /// Per interval: number of applied event-span occupancies. When a count
+    /// returns to zero the interval's scheduled state is hard-reset to
+    /// exact zeros, eliminating subtraction residue wholesale.
+    sched_events: Vec<u32>,
+    /// Per interval: number of users with non-zero raw scheduled mass —
+    /// lets the empty-interval hard reset skip its row scan when every
+    /// cell already subtracted back to exact zero (the common case).
+    dirty_cells: Vec<u32>,
     /// Worker threads for user sweeps. Results are bit-identical for every
     /// count (fixed-block reduction; see the `parallel` module).
     threads: Threads,
     stats: Stats,
+    /// Engine-construction wall time, folded into a profile if enabled.
+    setup_ns: u64,
+    /// Per-phase wall-clock attribution; `None` (the default) keeps the hot
+    /// path free of timing calls.
+    profile: Option<EngineProfile>,
+}
+
+/// The engine's instance-static kernel caches (fused `w·σ` weight table and
+/// per-interval bound invariants), extractable via
+/// [`ScoringEngine::into_warm_parts`] and re-entered via
+/// [`ScoringEngine::from_warm_parts`] so repeated warm rebuilds (the stream
+/// repairer's per-op engines) skip their `O(|U|·|T|)` construction. Opaque:
+/// validity is the caller's contract (no user churn, no weight/activity/
+/// competing-interest change since extraction).
+#[derive(Debug, Clone)]
+pub struct StaticCaches {
+    weight_act: Vec<f64>,
+    comp_min: Vec<f64>,
+    weight_act_max: Vec<f64>,
+}
+
+/// Wall-clock attribution of an engine's life, split by phase — the payload
+/// of `ses run --profile`. All values in nanoseconds of the engine's own
+/// sequential work (parallel candidate-generation time is folded in by the
+/// schedulers via [`ScoringEngine::add_scoring_time`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineProfile {
+    /// Engine construction: competing-mass aggregation + cache builds.
+    pub setup_ns: u64,
+    /// Time inside score evaluations (initial scores and updates).
+    pub score_ns: u64,
+    /// Time inside `apply`/`unapply` mass maintenance.
+    pub apply_ns: u64,
+    /// Number of timed score evaluations.
+    pub scores: u64,
+    /// Number of timed apply/unapply calls.
+    pub applies: u64,
 }
 
 impl<'a> ScoringEngine<'a> {
@@ -56,8 +140,11 @@ impl<'a> ScoringEngine<'a> {
 
     /// Builds the engine with `threads` workers for its user sweeps, and
     /// pre-aggregates the competing masses — the `O(|U|·|C|)` setup term of
-    /// the paper's complexity analyses, fanned out by interval row.
+    /// the paper's complexity analyses, fanned out by interval row — plus
+    /// the fused kernel caches (weight table, Luce denominators, bound-gate
+    /// invariants).
     pub fn with_threads(inst: &'a Instance, threads: Threads) -> Self {
+        let start = Instant::now();
         let users = inst.num_users();
         let intervals = inst.num_intervals();
         let mut comp_mass = vec![0.0; users * intervals];
@@ -83,7 +170,9 @@ impl<'a> ScoringEngine<'a> {
             (0..inst.competing.len()).map(|ci| inst.competing_interest.column_len(ci) as u64).sum();
         let mut stats = Stats::new();
         stats.user_ops += setup_ops;
-        Self { inst, comp_mass, sched_mass: vec![0.0; users * intervals], threads, stats }
+        let mut engine = Self::assemble(inst, comp_mass, threads, stats);
+        engine.setup_ns = start.elapsed().as_nanos() as u64;
+        engine
     }
 
     /// Rebuilds an engine around a previously extracted competing-mass
@@ -91,20 +180,146 @@ impl<'a> ScoringEngine<'a> {
     /// `O(|U|·|C|)` setup — the warm-start path of the dynamic stream
     /// scheduler, whose delta layer keeps the table bit-identical to a cold
     /// rebuild (`ses_core::delta::refresh_comp_mass`). Counters start at
-    /// zero: a warm engine genuinely does not pay the setup term.
+    /// zero: a warm engine genuinely does not pay the setup term (it still
+    /// rebuilds the `O(|U|·|T|)` kernel caches, which is `|C|/|T|`-fold
+    /// cheaper).
     ///
     /// # Panics
     /// Panics if `comp_mass.len() != |U| · |T|` for `inst`.
     pub fn from_comp_mass(inst: &'a Instance, comp_mass: Vec<f64>, threads: Threads) -> Self {
+        let start = Instant::now();
         let cells = inst.num_users() * inst.num_intervals();
         assert_eq!(comp_mass.len(), cells, "competing-mass table shape mismatch");
-        Self { inst, comp_mass, sched_mass: vec![0.0; cells], threads, stats: Stats::new() }
+        let mut engine = Self::assemble(inst, comp_mass, threads, Stats::new());
+        engine.setup_ns = start.elapsed().as_nanos() as u64;
+        engine
+    }
+
+    /// Derives every kernel cache from a finished competing-mass table: the
+    /// empty-schedule scheduled state (`m̂ = 0`, `tot = C + 0`, `share = 0`),
+    /// the fused `w(u)·σ(u,t)` weight table, and the per-interval bound-gate
+    /// invariants. All fills are elementwise or per-row sequential scans, so
+    /// every thread count produces identical bits.
+    fn assemble(inst: &'a Instance, comp_mass: Vec<f64>, threads: Threads, stats: Stats) -> Self {
+        let caches = Self::build_static_caches(inst, &comp_mass, threads);
+        Self::assemble_with(inst, comp_mass, caches, threads, stats)
+    }
+
+    /// Builds the instance-static caches: the fused weight table and the
+    /// per-interval bound invariants.
+    fn build_static_caches(inst: &Instance, comp_mass: &[f64], threads: Threads) -> StaticCaches {
+        let users = inst.num_users();
+        let intervals = inst.num_intervals();
+        let cells = users * intervals;
+
+        let mut weight_act = vec![0.0; cells];
+        par_chunks_mut(threads, &mut weight_act, users.max(1), |t, row| {
+            for (u, cell) in row.iter_mut().enumerate() {
+                *cell = inst.user_weight(u) * inst.activity.value(u, t);
+            }
+        });
+
+        let mut comp_min = vec![0.0; intervals];
+        let mut weight_act_max = vec![0.0; intervals];
+        for t in 0..intervals {
+            let row = t * users;
+            let mut cmin = f64::INFINITY;
+            let mut wmax = 0.0f64;
+            for u in 0..users {
+                cmin = cmin.min(comp_mass[row + u]);
+                wmax = wmax.max(weight_act[row + u]);
+            }
+            comp_min[t] = if users > 0 { cmin } else { 0.0 };
+            weight_act_max[t] = wmax;
+        }
+        StaticCaches { weight_act, comp_min, weight_act_max }
+    }
+
+    /// Final assembly around a competing-mass table and (possibly reused)
+    /// static caches: builds only the per-run scheduled state.
+    fn assemble_with(
+        inst: &'a Instance,
+        comp_mass: Vec<f64>,
+        caches: StaticCaches,
+        threads: Threads,
+        stats: Stats,
+    ) -> Self {
+        let users = inst.num_users();
+        let intervals = inst.num_intervals();
+        let cells = users * intervals;
+
+        let mut tot_mass = vec![0.0; cells];
+        par_chunks_mut(threads, &mut tot_mass, users.max(1), |t, row| {
+            let comp = &comp_mass[t * users..(t + 1) * users];
+            for (cell, &c) in row.iter_mut().zip(comp) {
+                *cell = c + 0.0;
+            }
+        });
+
+        Self {
+            inst,
+            comp_mass,
+            sched_mass: vec![0.0; cells],
+            num_base: vec![0.0; cells],
+            tot_mass,
+            share: vec![0.0; cells],
+            weight_act: caches.weight_act,
+            comp_min: caches.comp_min,
+            weight_act_max: caches.weight_act_max,
+            sched_events: vec![0; intervals],
+            dirty_cells: vec![0; intervals],
+            threads,
+            stats,
+            setup_ns: 0,
+            profile: None,
+        }
     }
 
     /// Consumes the engine, returning its competing-mass table for reuse by
     /// a later [`from_comp_mass`](Self::from_comp_mass) warm start.
     pub fn into_comp_mass(self) -> Vec<f64> {
         self.comp_mass
+    }
+
+    /// Consumes the engine, returning the competing-mass table *and* the
+    /// instance-static kernel caches for reuse by
+    /// [`from_warm_parts`](Self::from_warm_parts) — the fully warm start of
+    /// the stream repairer. The caches depend only on the user weights, the
+    /// activity matrix, and the competing masses, so they stay valid across
+    /// any delta that does not churn users.
+    pub fn into_warm_parts(self) -> (Vec<f64>, StaticCaches) {
+        (
+            self.comp_mass,
+            StaticCaches {
+                weight_act: self.weight_act,
+                comp_min: self.comp_min,
+                weight_act_max: self.weight_act_max,
+            },
+        )
+    }
+
+    /// [`from_comp_mass`](Self::from_comp_mass) that additionally reuses
+    /// previously extracted static caches, skipping their `O(|U|·|T|)`
+    /// rebuild. The caller owns the invalidation rule: the caches are only
+    /// valid if no user joined/retired and no weight, activity, or
+    /// competing-interest value changed since they were extracted.
+    ///
+    /// # Panics
+    /// Panics on any shape mismatch against `inst`.
+    pub fn from_warm_parts(
+        inst: &'a Instance,
+        comp_mass: Vec<f64>,
+        caches: StaticCaches,
+        threads: Threads,
+    ) -> Self {
+        let start = Instant::now();
+        let cells = inst.num_users() * inst.num_intervals();
+        assert_eq!(comp_mass.len(), cells, "competing-mass table shape mismatch");
+        assert_eq!(caches.weight_act.len(), cells, "weight table shape mismatch");
+        assert_eq!(caches.comp_min.len(), inst.num_intervals(), "bound cache shape mismatch");
+        let mut engine = Self::assemble_with(inst, comp_mass, caches, threads, Stats::new());
+        engine.setup_ns = start.elapsed().as_nanos() as u64;
+        engine
     }
 
     /// The configured worker-thread count.
@@ -143,28 +358,47 @@ impl<'a> ScoringEngine<'a> {
         self.comp_mass[t.index() * self.inst.num_users() + user]
     }
 
+    /// The cached Luce share `m̂ / (C + m̂)` of `(user, t)` — maintained on
+    /// every `apply`/`unapply`; property tests assert it stays bitwise equal
+    /// to a recompute from the mass accessors above.
+    #[inline]
+    pub fn cached_share(&self, user: usize, t: IntervalId) -> f64 {
+        self.share[t.index() * self.inst.num_users() + user]
+    }
+
     /// The partial gain of one fixed reduction block of `e`'s column in
     /// interval `ti`: entries at positions [`block_range`]`(block, len)`,
     /// accumulated left-to-right. Blocks are the atoms of the deterministic
     /// summation order (DESIGN.md §2) — every code path combines them in
     /// ascending block index, so thread count never changes a bit.
+    ///
+    /// This is the fused kernel: the layout enum is matched **once** per
+    /// block (not per entry), and each user costs one division and one
+    /// multiply over four contiguous `f64` streams plus the interest column.
     fn block_gain(&self, e: EventId, ti: usize, block: usize, len: usize) -> f64 {
         let users = self.inst.num_users();
         let base = ti * users;
-        let comp = &self.comp_mass[base..base + users];
-        let sched = &self.sched_mass[base..base + users];
-        let interest: &InterestMatrix = &self.inst.event_interest;
+        let num = &self.num_base[base..base + users];
+        let tot = &self.tot_mass[base..base + users];
+        let share = &self.share[base..base + users];
+        let wact = &self.weight_act[base..base + users];
         let range = block_range(block, len);
         let mut total = 0.0;
-        match &self.inst.user_weights {
-            None => {
-                for (u, mu) in interest.column_part(e.index(), range) {
-                    total += self.inst.activity.value(u, ti) * gain(comp[u], sched[u], mu);
+        match &self.inst.event_interest {
+            InterestMatrix::Dense(d) => {
+                let first = range.start;
+                let col = &d.column_slice(e.index())[range];
+                for (i, &mu) in col.iter().enumerate() {
+                    let u = first + i;
+                    total += wact[u] * cached_gain(num[u], tot[u], share[u], mu);
                 }
             }
-            Some(w) => {
-                for (u, mu) in interest.column_part(e.index(), range) {
-                    total += w[u] * self.inst.activity.value(u, ti) * gain(comp[u], sched[u], mu);
+            InterestMatrix::Sparse(s) => {
+                let (us, vs) = s.column_slices(e.index());
+                let (us, vs) = (&us[range.clone()], &vs[range]);
+                for (&u, &mu) in us.iter().zip(vs) {
+                    let u = u as usize;
+                    total += wact[u] * cached_gain(num[u], tot[u], share[u], mu);
                 }
             }
         }
@@ -221,14 +455,59 @@ impl<'a> ScoringEngine<'a> {
     /// Counts as an initial score computation.
     pub fn assignment_score(&mut self, e: EventId, t: IntervalId) -> f64 {
         self.stats.record_score(self.score_cost(e));
-        self.score_impl(e, t, self.threads)
+        self.timed_score(e, t)
     }
 
     /// Same as [`assignment_score`](Self::assignment_score) but counted as a
     /// score *update* (a re-computation after a selection).
     pub fn assignment_score_update(&mut self, e: EventId, t: IntervalId) -> f64 {
         self.stats.record_update(self.score_cost(e));
-        self.score_impl(e, t, self.threads)
+        self.timed_score(e, t)
+    }
+
+    /// `score_impl` with optional per-phase timing — the profile branch is
+    /// a `None` check in the common case.
+    #[inline]
+    fn timed_score(&mut self, e: EventId, t: IntervalId) -> f64 {
+        match self.profile.is_some() {
+            false => self.score_impl(e, t, self.threads),
+            true => {
+                let start = Instant::now();
+                let s = self.score_impl(e, t, self.threads);
+                let p = self.profile.as_mut().expect("checked above");
+                p.score_ns += start.elapsed().as_nanos() as u64;
+                p.scores += 1;
+                s
+            }
+        }
+    }
+
+    /// A cheap **upper bound** on [`assignment_score`](Self::assignment_score)
+    /// in `O(duration)` — no user sweep. Per spanned interval `t`:
+    ///
+    /// ```text
+    /// Σ_u w·σ·gain ≤ (max_u w·σ) · Σ_u min(1, µ_u / C_min)
+    ///              ≤ wact_max[t] · min(nnz(e), µ_sum(e) / C_min[t])
+    /// ```
+    ///
+    /// using `gain(c, m, µ) ≤ µ/(c+m+µ) ≤ min(1, µ/C_min)` (the Luce gain is
+    /// `µ·c/((c+m+µ)(c+m))` for `c+m > 0` and exactly `1` at `c+m = 0`), the
+    /// cached interest column sum, and the static per-interval invariants.
+    /// A `1 + 1e-9` inflation dominates float rounding, keeping the bound
+    /// sound, so a candidate whose bound is *strictly* below the current Φ
+    /// can never be the selected argmax — the bound-first gate's soundness
+    /// argument (DESIGN.md §9).
+    pub fn score_bound(&self, e: EventId, t: IntervalId) -> f64 {
+        let nnz = self.inst.event_interest.column_len(e.index()) as f64;
+        let mu_sum = self.inst.event_interest.column_sum(e.index());
+        let d = self.inst.events[e.index()].duration as usize;
+        let mut bound = 0.0;
+        for ti in t.index()..t.index() + d {
+            let cap =
+                if self.comp_min[ti] > 0.0 { (mu_sum / self.comp_min[ti]).min(nnz) } else { nnz };
+            bound += self.weight_act_max[ti] * cap;
+        }
+        bound * (1.0 + 1e-9)
     }
 
     /// The assignment score without touching [`Stats`] and without
@@ -245,26 +524,64 @@ impl<'a> ScoringEngine<'a> {
     }
 
     /// Applies a selected assignment: folds `e`'s interest into the scheduled
-    /// mass of every interval it spans. Subsequent scores for those intervals
-    /// reflect the new competition.
+    /// mass of every interval it spans and refreshes the fused caches of the
+    /// touched cells. Subsequent scores for those intervals reflect the new
+    /// competition.
     pub fn apply(&mut self, e: EventId, t: IntervalId) {
         self.stats.record_selection();
-        self.mass_delta(e, t, 1.0);
+        self.timed_mass_delta(e, t, 1.0);
     }
 
     /// Reverts [`apply`](Self::apply) — used by backtracking solvers.
     pub fn unapply(&mut self, e: EventId, t: IntervalId) {
-        self.mass_delta(e, t, -1.0);
+        self.timed_mass_delta(e, t, -1.0);
+    }
+
+    #[inline]
+    fn timed_mass_delta(&mut self, e: EventId, t: IntervalId, sign: f64) {
+        match self.profile.is_some() {
+            false => self.mass_delta(e, t, sign),
+            true => {
+                let start = Instant::now();
+                self.mass_delta(e, t, sign);
+                let p = self.profile.as_mut().expect("checked above");
+                p.apply_ns += start.elapsed().as_nanos() as u64;
+                p.applies += 1;
+            }
+        }
+    }
+
+    /// Re-derives the fused caches of one `(u, t)` cell from its raw masses —
+    /// the single definition of the cache invariant: `num_base` is the
+    /// clamped mass, `tot_mass` the Luce denominator, `share` the old share,
+    /// each computed by exactly the expression the pre-fusion kernel
+    /// evaluated per score (so cached and inline values are bit-equal).
+    #[inline]
+    fn refresh_cell(&mut self, idx: usize) {
+        let m = self.sched_mass[idx];
+        let m_hat = if m < MASS_SNAP { 0.0 } else { m };
+        let tot = self.comp_mass[idx] + m_hat;
+        self.num_base[idx] = m_hat;
+        self.tot_mass[idx] = tot;
+        self.share[idx] = if tot > 0.0 { m_hat / tot } else { 0.0 };
     }
 
     fn mass_delta(&mut self, e: EventId, t: IntervalId, sign: f64) {
-        let users = self.inst.num_users();
-        let d = self.inst.events[e.index()].duration as usize;
+        let inst = self.inst;
+        let users = inst.num_users();
+        let d = inst.events[e.index()].duration as usize;
         for ti in t.index()..t.index() + d {
             let base = ti * users;
             if sign >= 0.0 {
-                for (u, mu) in self.inst.event_interest.column(e.index()) {
-                    self.sched_mass[base + u] += mu;
+                self.sched_events[ti] += 1;
+                for (u, mu) in inst.event_interest.column(e.index()) {
+                    let idx = base + u;
+                    let was_zero = self.sched_mass[idx] == 0.0;
+                    self.sched_mass[idx] += mu;
+                    if was_zero && self.sched_mass[idx] != 0.0 {
+                        self.dirty_cells[ti] += 1;
+                    }
+                    self.refresh_cell(idx);
                 }
             } else {
                 // Subtractive update (backtracking): snap float residue to
@@ -273,14 +590,61 @@ impl<'a> ScoringEngine<'a> {
                 // a user's share from 0 to 1 and silently corrupt every
                 // subsequent score (found by a property test via the exact
                 // solver losing to greedy).
-                for (u, mu) in self.inst.event_interest.column(e.index()) {
-                    let cell = &mut self.sched_mass[base + u];
+                for (u, mu) in inst.event_interest.column(e.index()) {
+                    let idx = base + u;
+                    let was_zero = self.sched_mass[idx] == 0.0;
+                    let cell = &mut self.sched_mass[idx];
                     *cell -= mu;
                     if cell.abs() < MASS_SNAP {
                         *cell = 0.0;
                     }
+                    let is_zero = self.sched_mass[idx] == 0.0;
+                    match (was_zero, is_zero) {
+                        (true, false) => self.dirty_cells[ti] += 1,
+                        (false, true) => self.dirty_cells[ti] -= 1,
+                        _ => {}
+                    }
+                    self.refresh_cell(idx);
+                }
+                self.sched_events[ti] = self.sched_events[ti].saturating_sub(1);
+                if self.sched_events[ti] == 0 && self.dirty_cells[ti] > 0 {
+                    // The interval's scheduled event set is empty again but
+                    // some cell kept a residue the per-cell snap missed:
+                    // hard-reset the row to exact zeros, wiping the float
+                    // residue of *every* event that ever visited the
+                    // interval. The dirty-cell counter makes this scan-free
+                    // in the common case (all cells subtracted back to
+                    // exact zero already).
+                    for idx in base..base + users {
+                        if self.sched_mass[idx] != 0.0 {
+                            self.sched_mass[idx] = 0.0;
+                            self.refresh_cell(idx);
+                        }
+                    }
+                    self.dirty_cells[ti] = 0;
                 }
             }
+        }
+    }
+
+    /// Switches on per-phase wall-clock attribution (engine construction
+    /// time is captured retroactively). Costs one branch per score/apply.
+    pub fn enable_profiling(&mut self) {
+        self.profile = Some(EngineProfile { setup_ns: self.setup_ns, ..Default::default() });
+    }
+
+    /// Takes the accumulated profile, if profiling was enabled.
+    pub fn take_profile(&mut self) -> Option<EngineProfile> {
+        self.profile.take()
+    }
+
+    /// Folds externally measured scoring time (parallel candidate
+    /// generation, which runs through [`peek_score`](Self::peek_score) on
+    /// pool workers) into the profile, if enabled.
+    pub fn add_scoring_time(&mut self, ns: u64, scores: u64) {
+        if let Some(p) = self.profile.as_mut() {
+            p.score_ns += ns;
+            p.scores += scores;
         }
     }
 }
@@ -308,6 +672,20 @@ pub fn gain(c: f64, m: f64, mu: f64) -> f64 {
     let new_share = (m + mu) / new_denom;
     let old_share = if old_denom > 0.0 { m / old_denom } else { 0.0 };
     new_share - old_share
+}
+
+/// [`gain`] restated over the engine's fused caches: `num = m̂` (clamped
+/// mass), `tot = c + m̂`, `share = m̂/(c + m̂)`. One division and no residue
+/// branch per call; bit-identical to `gain(c, m, µ)` because every operand
+/// is the cached result of exactly the expression `gain` computes inline
+/// (same operands, same operation order — see `refresh_cell`).
+#[inline]
+fn cached_gain(num: f64, tot: f64, share: f64, mu: f64) -> f64 {
+    let den = tot + mu;
+    if den <= 0.0 {
+        return 0.0;
+    }
+    (num + mu) / den - share
 }
 
 #[cfg(test)]
@@ -462,7 +840,7 @@ mod tests {
 mod residue_regression {
     use super::*;
     use crate::ids::LocationId;
-    use crate::model::{ActivityMatrix, DenseInterest, Event, InstanceBuilder};
+    use crate::model::{running_example, ActivityMatrix, DenseInterest, Event, InstanceBuilder};
 
     /// Regression for the backtracking-residue bug: after an apply/unapply
     /// cycle, a user with zero competing mass must still grant the full
@@ -505,5 +883,110 @@ mod residue_regression {
         assert_eq!(gain(0.0, 0.0, 0.5), 1.0);
         // Real (non-residue) masses are untouched.
         assert!(gain(0.0, 0.5, 0.5) < 1.0);
+    }
+
+    /// When an interval's scheduled event set empties, the whole scheduled
+    /// state is hard-reset: every user's mass, clamped mass, and share go
+    /// back to *exact* zero — not "small residue below the snap threshold" —
+    /// and subsequent scores are bitwise equal to a fresh engine's.
+    #[test]
+    fn empty_interval_hard_resets_to_exact_zero() {
+        let mut b = InstanceBuilder::new();
+        for l in 0..3 {
+            b.add_event(Event::new(LocationId::new(l), 1.0));
+        }
+        b.add_intervals(1);
+        let inst = b
+            .event_interest(
+                DenseInterest::from_raw(3, 2, vec![0.1, 0.3, 0.7, 0.2, 0.9, 0.6]).unwrap(),
+            )
+            .activity(ActivityMatrix::constant(2, 1, 1.0))
+            .resources(10.0)
+            .build()
+            .unwrap();
+
+        let mut eng = ScoringEngine::new(&inst);
+        let t = IntervalId::new(0);
+        let fresh = eng.assignment_score(EventId::new(2), t);
+        // Stack two events, then remove them in the opposite order.
+        eng.apply(EventId::new(0), t);
+        eng.apply(EventId::new(1), t);
+        eng.unapply(EventId::new(0), t);
+        eng.unapply(EventId::new(1), t);
+        for u in 0..2 {
+            assert_eq!(eng.scheduled_mass(u, t).to_bits(), 0.0f64.to_bits(), "user {u} mass");
+            assert_eq!(eng.cached_share(u, t).to_bits(), 0.0f64.to_bits(), "user {u} share");
+        }
+        let again = eng.assignment_score(EventId::new(2), t);
+        assert_eq!(fresh.to_bits(), again.to_bits(), "post-reset score must equal a cold score");
+    }
+
+    /// The cached share table tracks `m̂/(C+m̂)` bitwise through apply/unapply
+    /// churn (the deeper randomized version lives in `tests/properties.rs`).
+    #[test]
+    fn cached_share_matches_recompute() {
+        let inst = running_example();
+        let mut eng = ScoringEngine::new(&inst);
+        eng.apply(EventId::new(3), IntervalId::new(1));
+        eng.apply(EventId::new(0), IntervalId::new(0));
+        eng.unapply(EventId::new(3), IntervalId::new(1));
+        eng.apply(EventId::new(1), IntervalId::new(1));
+        for t in 0..2 {
+            let interval = IntervalId::new(t);
+            for u in 0..2 {
+                let m = eng.scheduled_mass(u, interval);
+                let c = eng.competing_mass(u, interval);
+                let m_hat = if m < MASS_SNAP { 0.0 } else { m };
+                let tot = c + m_hat;
+                let want = if tot > 0.0 { m_hat / tot } else { 0.0 };
+                assert_eq!(
+                    eng.cached_share(u, interval).to_bits(),
+                    want.to_bits(),
+                    "share(u{u}, t{t})"
+                );
+            }
+        }
+    }
+
+    /// `score_bound` upper-bounds the true assignment score at every
+    /// schedule state it is consulted in.
+    #[test]
+    fn score_bound_dominates_score() {
+        let inst = running_example();
+        let mut eng = ScoringEngine::new(&inst);
+        let check = |eng: &mut ScoringEngine<'_>, label: &str| {
+            for e in 0..4 {
+                for t in 0..2 {
+                    let (event, interval) = (EventId::new(e), IntervalId::new(t));
+                    let score = eng.assignment_score(event, interval);
+                    let bound = eng.score_bound(event, interval);
+                    assert!(bound >= score, "{label}: bound {bound} < score {score} (e{e}, t{t})");
+                }
+            }
+        };
+        check(&mut eng, "empty");
+        eng.apply(EventId::new(3), IntervalId::new(1));
+        check(&mut eng, "one applied");
+        eng.apply(EventId::new(0), IntervalId::new(0));
+        check(&mut eng, "two applied");
+    }
+
+    /// Profiling attributes wall time per phase without perturbing results.
+    #[test]
+    fn profiling_records_phases() {
+        let inst = running_example();
+        let mut plain = ScoringEngine::new(&inst);
+        let mut profiled = ScoringEngine::new(&inst);
+        profiled.enable_profiling();
+        for (e, t) in [(0, 0), (3, 1)] {
+            let a = plain.assignment_score(EventId::new(e), IntervalId::new(t));
+            let b = profiled.assignment_score(EventId::new(e), IntervalId::new(t));
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        profiled.apply(EventId::new(3), IntervalId::new(1));
+        let p = profiled.take_profile().expect("profiling was enabled");
+        assert_eq!(p.scores, 2);
+        assert_eq!(p.applies, 1);
+        assert!(profiled.take_profile().is_none(), "take drains the profile");
     }
 }

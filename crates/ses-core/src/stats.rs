@@ -34,6 +34,13 @@ pub struct Stats {
     /// Number of score updates (re-computations after the initial pass).
     /// `score_computations - initial |E|·|T| pass` for ALG-family algorithms.
     pub score_updates: u64,
+    /// Candidates the bound-first gate *seeded* with a cheap separable
+    /// upper bound instead of an eager full sweep (counted at seed time).
+    /// A seeded candidate pays for a sweep later only if its bound survives
+    /// Φ — those late sweeps appear in `score_updates`, so the sweeps
+    /// avoided outright are `bound_skips` minus the gated run's extra
+    /// updates. Zero unless a run opts into the gate.
+    pub bound_skips: u64,
 }
 
 impl Stats {
@@ -70,6 +77,12 @@ impl Stats {
         self.selections += 1;
     }
 
+    /// Records one candidate seeded with a bound instead of an eager sweep.
+    #[inline]
+    pub fn record_bound_skip(&mut self) {
+        self.bound_skips += 1;
+    }
+
     /// Merges another counter set into this one.
     pub fn merge(&mut self, other: &Stats) {
         *self += *other;
@@ -86,6 +99,7 @@ impl Add for Stats {
             assignments_examined: self.assignments_examined + rhs.assignments_examined,
             selections: self.selections + rhs.selections,
             score_updates: self.score_updates + rhs.score_updates,
+            bound_skips: self.bound_skips + rhs.bound_skips,
         }
     }
 }

@@ -304,6 +304,86 @@ proptest! {
         prop_assert_eq!(seen, schedule.len());
     }
 
+    /// The engine's cached `share(u,t)` table stays **bitwise** equal to a
+    /// recompute from the raw masses (`m̂/(C+m̂)` with the residue clamp)
+    /// through arbitrary apply/unapply churn — on the dense and the sparse
+    /// layout, at 1, 2, and 8 worker threads. This is the invariant that
+    /// lets the fused kernel drop a division per user without moving a bit.
+    #[test]
+    fn share_cache_matches_recompute_after_churn(inst in small_instance(), seed in 0u64..1000) {
+        const MASS_SNAP: f64 = 1e-9;
+        let mut sparse = inst.clone();
+        sparse.event_interest = inst.event_interest.to_sparse().into();
+        sparse.competing_interest = inst.competing_interest.to_sparse().into();
+        for (layout, variant) in [("dense", &inst), ("sparse", &sparse)] {
+            for threads in [1usize, 2, 8] {
+                let mut engine = ScoringEngine::with_threads(variant, Threads::new(threads));
+                let mut applied: Vec<(EventId, IntervalId)> = Vec::new();
+                let mut x = seed | 1;
+                for _ in 0..14 {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let e = EventId::new((x >> 33) as usize % variant.num_events());
+                    let t = IntervalId::new((x >> 17) as usize % variant.num_intervals());
+                    if let Some(pos) = applied.iter().position(|&(ae, at)| ae == e && at == t) {
+                        engine.unapply(e, t);
+                        applied.swap_remove(pos);
+                    } else {
+                        engine.apply(e, t);
+                        applied.push((e, t));
+                    }
+                    for u in 0..variant.num_users() {
+                        for ti in 0..variant.num_intervals() {
+                            let interval = IntervalId::new(ti);
+                            let m = engine.scheduled_mass(u, interval);
+                            let c = engine.competing_mass(u, interval);
+                            let m_hat = if m < MASS_SNAP { 0.0 } else { m };
+                            let tot = c + m_hat;
+                            let want = if tot > 0.0 { m_hat / tot } else { 0.0 };
+                            prop_assert_eq!(
+                                engine.cached_share(u, interval).to_bits(),
+                                want.to_bits(),
+                                "{}/t{}: share(u{}, t{}) drifted", layout, threads, u, ti
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// `score_bound` dominates the true assignment score at every reachable
+    /// schedule state, on both layouts — the soundness precondition of the
+    /// bound-first gate (a skipped candidate can never have been the argmax).
+    #[test]
+    fn score_bound_is_sound(inst in small_instance(), seed in 0u64..1000) {
+        let mut sparse = inst.clone();
+        sparse.event_interest = inst.event_interest.to_sparse().into();
+        sparse.competing_interest = inst.competing_interest.to_sparse().into();
+        for (layout, variant) in [("dense", &inst), ("sparse", &sparse)] {
+            let mut engine = ScoringEngine::new(variant);
+            let mut schedule = Schedule::new(variant);
+            let mut x = seed | 1;
+            for _ in 0..4 {
+                for (e, t) in variant.assignment_universe() {
+                    let score = engine.assignment_score(e, t);
+                    let bound = engine.score_bound(e, t);
+                    prop_assert!(
+                        bound >= score,
+                        "{}: bound {} < score {} for {:?}@{:?}", layout, bound, score, e, t
+                    );
+                }
+                // Advance the schedule state with one random valid apply.
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let e = EventId::new((x >> 33) as usize % variant.num_events());
+                let t = IntervalId::new((x >> 17) as usize % variant.num_intervals());
+                if schedule.is_valid_assignment(variant, e, t) {
+                    schedule.assign(variant, e, t).unwrap();
+                    engine.apply(e, t);
+                }
+            }
+        }
+    }
+
     /// Utility is always non-negative and bounded by the weighted user mass
     /// (each user contributes at most Σ_t σ(u,t) ≤ |T|).
     #[test]

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Record (or check) the benchmark trajectory in BENCH_BASELINE.json.
+#
+#   scripts/bench-baseline.sh --label "post-kernel-fusion"
+#   scripts/bench-baseline.sh --targets micro_scoring --check 2.0
+#
+# Thin wrapper around `ses bench-baseline` (crates/ses-cli); all flags are
+# forwarded. Run from the repository root so the baseline file and the
+# bench targets resolve.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo run --release -p ses-cli -- bench-baseline "$@"

@@ -1,14 +1,23 @@
 //! Offline stand-in for the `criterion` crate.
 //!
-//! Compiles the workspace's nine `harness = false` bench targets unchanged
+//! Compiles the workspace's ten `harness = false` bench targets unchanged
 //! and gives them a useful (if statistically modest) runtime: each
 //! `Bencher::iter` call is warmed up once, then timed over `sample_size`
-//! batches with `std::time::Instant`, and the per-iteration mean and min
-//! are printed as plain text. No plots, no HTML report, no outlier
+//! batches with `std::time::Instant`, and the per-iteration median, mean,
+//! and min are printed as plain text. No plots, no HTML report, no outlier
 //! analysis — swapping real criterion back in later is a manifest-only
 //! change because the bench sources only use the stable subset
 //! (`criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
 //! `sample_size`, `bench_function`, `bench_with_input`, `BenchmarkId`).
+//!
+//! ## Machine-readable output
+//!
+//! When the `CRITERION_JSON` environment variable names a file, every
+//! benchmark additionally appends one JSON line to it:
+//! `{"id": ..., "median_ns": ..., "mean_ns": ..., "min_ns": ...,
+//! "samples": ...}`. This is what `ses bench-baseline` (and the CI
+//! perf-smoke job) consume to build `BENCH_BASELINE.json` — the recorded
+//! performance trajectory at the repository root.
 
 #![warn(missing_docs)]
 
@@ -140,12 +149,53 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
     let total: Duration = b.samples.iter().sum();
     let mean = total / b.samples.len() as u32;
     let min = b.samples.iter().min().copied().unwrap_or_default();
+    let median = median_of(&b.samples);
     eprintln!(
-        "{label:<56} mean {:>12} min {:>12} ({} samples)",
+        "{label:<56} median {:>12} mean {:>12} min {:>12} ({} samples)",
+        fmt_duration(median),
         fmt_duration(mean),
         fmt_duration(min),
         b.samples.len()
     );
+    append_json_line(label, median, mean, min, b.samples.len());
+}
+
+/// Median sample duration (lower-middle for even counts — deterministic and
+/// robust against the single slow outlier a noisy runner produces).
+fn median_of(samples: &[Duration]) -> Duration {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    sorted[(sorted.len() - 1) / 2]
+}
+
+/// Appends one `{"id", "median_ns", "mean_ns", "min_ns", "samples"}` line to
+/// the file named by `CRITERION_JSON`, if set. Failures are reported but
+/// never fail the bench run.
+fn append_json_line(label: &str, median: Duration, mean: Duration, min: Duration, samples: usize) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else { return };
+    if path.is_empty() {
+        return;
+    }
+    let escaped: String = label
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    let line = format!(
+        "{{\"id\":\"{escaped}\",\"median_ns\":{},\"mean_ns\":{},\"min_ns\":{},\"samples\":{samples}}}\n",
+        median.as_nanos(),
+        mean.as_nanos(),
+        min.as_nanos(),
+    );
+    use std::io::Write as _;
+    let res = std::fs::OpenOptions::new().create(true).append(true).open(&path);
+    match res.and_then(|mut f| f.write_all(line.as_bytes())) {
+        Ok(()) => {}
+        Err(e) => eprintln!("criterion: cannot append to CRITERION_JSON={path}: {e}"),
+    }
 }
 
 fn fmt_duration(d: Duration) -> String {
