@@ -16,10 +16,12 @@ use std::time::{Duration, Instant};
 /// Everything a scheduling run produces: the schedule, its exact utility
 /// Ω(S) (recomputed from scratch by the independent evaluator), the
 /// instrumentation counters, and the wall-clock duration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScheduleResult {
-    /// Which algorithm produced this result.
-    pub algorithm: String,
+    /// Which algorithm produced this result (a canonical name from
+    /// [`known_algorithm_names`] — `&'static str` so packing a result
+    /// allocates nothing for the label).
+    pub algorithm: &'static str,
     /// The requested number of assignments `k`.
     pub k: usize,
     /// The feasible schedule found (`|S| ≤ k`; `< k` only when the instance
@@ -34,6 +36,68 @@ pub struct ScheduleResult {
     /// Per-phase engine timing, when the run opted into
     /// [`RunConfig::profile`].
     pub profile: Option<EngineProfile>,
+}
+
+/// Every canonical display name a [`ScheduleResult`] can carry — the
+/// closed set deserialization resolves against so the field can stay a
+/// `&'static str`.
+pub fn known_algorithm_names() -> &'static [&'static str] {
+    &["ALG", "INC", "HOR", "HOR-I", "TOP", "RAND", "EXACT", "LAZY", "HOR+LS", "REFINED", "PROFIT"]
+}
+
+/// Resolves a serialized algorithm label back to its canonical
+/// `&'static str` (exact match only — aliases are a parsing concern, see
+/// [`SchedulerKind::parse`](crate::SchedulerKind::parse)).
+pub fn static_algorithm_name(name: &str) -> Option<&'static str> {
+    known_algorithm_names().iter().find(|&&n| n == name).copied()
+}
+
+// Hand-written (de)serialization: the derive cannot produce a
+// `&'static str` field, so `algorithm` round-trips through the
+// [`static_algorithm_name`] table instead. The value layout matches what
+// the derive emitted when the field was a `String`, so previously
+// serialized results still load.
+impl Serialize for ScheduleResult {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("algorithm".to_string(), self.algorithm.to_value()),
+            ("k".to_string(), self.k.to_value()),
+            ("schedule".to_string(), self.schedule.to_value()),
+            ("utility".to_string(), self.utility.to_value()),
+            ("stats".to_string(), self.stats.to_value()),
+            ("elapsed".to_string(), self.elapsed.to_value()),
+            ("profile".to_string(), self.profile.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ScheduleResult {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj =
+            v.as_object().ok_or_else(|| serde::Error::expected("object", "ScheduleResult"))?;
+        fn field<'a>(
+            obj: &'a [(String, serde::Value)],
+            name: &str,
+        ) -> Result<&'a serde::Value, serde::Error> {
+            serde::__get(obj, name)
+                .ok_or_else(|| serde::Error::missing_field(name, "ScheduleResult"))
+        }
+        let label = String::from_value(field(obj, "algorithm")?)?;
+        let algorithm = static_algorithm_name(&label)
+            .ok_or_else(|| serde::Error::unknown_variant(&label, "algorithm name"))?;
+        Ok(Self {
+            algorithm,
+            k: usize::from_value(field(obj, "k")?)?,
+            schedule: Schedule::from_value(field(obj, "schedule")?)?,
+            utility: f64::from_value(field(obj, "utility")?)?,
+            stats: Stats::from_value(field(obj, "stats")?)?,
+            elapsed: Duration::from_value(field(obj, "elapsed")?)?,
+            profile: match serde::__get(obj, "profile") {
+                None => None,
+                Some(p) => Option::<EngineProfile>::from_value(p)?,
+            },
+        })
+    }
 }
 
 /// Per-run execution options, threaded from the CLI / harness down to the
@@ -130,7 +194,7 @@ pub(crate) fn timed_result(
     let (schedule, stats, profile) = f();
     let elapsed = start.elapsed();
     let utility = total_utility(inst, &schedule);
-    ScheduleResult { algorithm: name.to_string(), k, schedule, utility, stats, elapsed, profile }
+    ScheduleResult { algorithm: name, k, schedule, utility, stats, elapsed, profile }
 }
 
 /// One assignment of a per-interval candidate list: the shape INC, HOR-I,

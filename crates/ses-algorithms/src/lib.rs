@@ -44,10 +44,12 @@ pub mod inc;
 pub mod lazy;
 pub mod random;
 pub mod refine;
+pub mod service;
 pub mod stream;
 pub mod top;
 
 pub use common::{RunConfig, ScheduleResult, Scheduler, Scratch};
+pub use service::{Request, Response, SchedulerRegistry, SesService};
 
 use serde::{Deserialize, Serialize};
 use ses_core::model::Instance;
@@ -142,7 +144,7 @@ impl SchedulerKind {
             Self::Lazy => lazy::LazyGreedy.run_configured(inst, k, cfg, scratch),
             Self::RefinedHor => {
                 let mut res = refine::Refined::new(hor::Hor).run_configured(inst, k, cfg, scratch);
-                res.algorithm = self.name().to_string();
+                res.algorithm = self.name();
                 res
             }
         }
@@ -166,6 +168,7 @@ pub mod prelude {
     pub use crate::lazy::LazyGreedy;
     pub use crate::random::Rand;
     pub use crate::refine::{LocalSearch, Refined};
+    pub use crate::service::{Request, Response, SchedulerRegistry, SesService};
     pub use crate::stream::StreamScheduler;
     pub use crate::top::Top;
     pub use crate::SchedulerKind;
@@ -189,18 +192,9 @@ mod tests {
 
     #[test]
     fn every_kind_runs() {
+        // The registry is the canonical every-kind table — no local copy.
         let inst = running_example();
-        for kind in [
-            SchedulerKind::Alg,
-            SchedulerKind::Inc,
-            SchedulerKind::Hor,
-            SchedulerKind::HorI,
-            SchedulerKind::Top,
-            SchedulerKind::Rand(1),
-            SchedulerKind::Exact,
-            SchedulerKind::Lazy,
-            SchedulerKind::RefinedHor,
-        ] {
+        for kind in service::SchedulerRegistry::standard().kinds() {
             let res = kind.run(&inst, 2);
             assert_eq!(res.algorithm, kind.name());
             assert!(res.schedule.verify_feasible(&inst).is_ok(), "{}", kind.name());

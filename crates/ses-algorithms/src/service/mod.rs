@@ -1,0 +1,952 @@
+//! `SesService` — the long-lived session API over a live instance.
+//!
+//! Every earlier entry point (CLI subcommands, experiment harness, benches,
+//! tests) re-plumbed `Instance` + scheduler + [`RunConfig`] + [`Scratch`]
+//! by hand, and nothing could keep warm state — the stream repairer's
+//! caches, the engine tables, the scratch pools — alive across requests.
+//! [`SesService`] owns all of that behind one typed request surface:
+//!
+//! * a live [`Instance`] (mutated in place by [`Request::ApplyOps`]);
+//! * a [`SchedulerRegistry`] (one boxed scheduler per canonical name,
+//!   replacing the ad-hoc match tables that used to be duplicated across
+//!   crates);
+//! * one persistent [`Scratch`] pool **per registered scheduler**, so
+//!   repeated `Schedule` requests re-run allocation-free;
+//! * the stream repairer's warm caches ([`StreamScheduler`]): once a
+//!   `Repair` request arms it, every subsequent `ApplyOps` repairs the
+//!   schedule incrementally instead of recomputing.
+//!
+//! ## Bit-identity contract
+//!
+//! The service is plumbing, never policy: a `Schedule` request returns the
+//! exact same schedule, utility **bits**, and [`Stats`] as a cold
+//! [`Scheduler::run_configured`] call with the same [`RunConfig`], and a
+//! `Repair`/`ApplyOps` sequence matches a hand-driven [`StreamScheduler`]
+//! op for op (`tests/service_equivalence.rs` proves both differentially,
+//! across thread counts, with warm state reused over hundreds of
+//! requests). The bound-first gate and profiling stay opt-in flags on the
+//! request, per the repo's invariants.
+//!
+//! ## Wire protocol
+//!
+//! [`wire`] defines the versioned JSON-lines codec (`{"v":1,...}`
+//! envelopes) that `ses serve` speaks over stdin/stdout; wire responses
+//! carry only deterministic fields (no wall-clock), so a seeded request
+//! script always produces a byte-identical response log — the committed
+//! golden transcript leans on this.
+//!
+//! [`Scheduler::run_configured`]: crate::common::Scheduler::run_configured
+
+mod registry;
+pub mod wire;
+
+pub use registry::SchedulerRegistry;
+
+use crate::common::{RunConfig, ScheduleResult, Scratch};
+use crate::stream::{RepairReport, StreamScheduler};
+use serde::{Deserialize, Serialize};
+use ses_core::delta::{self, DeltaOp};
+use ses_core::error::ServiceError;
+use ses_core::model::Instance;
+use ses_core::parallel::Threads;
+use ses_core::schedule::{Assignment, Schedule};
+use ses_core::stats::Stats;
+use ses_core::{EventId, IntervalId};
+
+/// One request against a [`SesService`] — the typed currency of the wire
+/// protocol and of [`SesService::handle`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Run one registered scheduler on the current instance.
+    Schedule {
+        /// Scheduler name (case-insensitive, aliases accepted: `hor-i`,
+        /// `hori`, `random`, …).
+        algorithm: String,
+        /// Number of assignments to select.
+        k: usize,
+        /// Worker threads (`0` = machine width); omitted = the service's
+        /// default. Bit-identical results for every count.
+        #[serde(default)]
+        threads: Option<usize>,
+        /// Opt-in bound-first gate (selection-neutral; counters only).
+        #[serde(default)]
+        gate: bool,
+        /// Opt-in per-phase engine profiling.
+        #[serde(default)]
+        profile: bool,
+    },
+    /// Apply a batch of delta ops to the live instance, in order, each op
+    /// atomically. While the repairer is armed (after a `Repair`), every
+    /// op also incrementally repairs the maintained schedule.
+    ApplyOps {
+        /// The ops, applied front to back.
+        ops: Vec<DeltaOp>,
+    },
+    /// Arm (or re-use) the incremental repairer at `(k, threads, gate)`
+    /// and report the maintained schedule. A matching warm repairer is
+    /// reused as-is; a mismatch pays one cold rebuild.
+    Repair {
+        /// Schedule size the repairer maintains.
+        k: usize,
+        /// Worker threads (`0` = machine width); omitted = service default.
+        #[serde(default)]
+        threads: Option<usize>,
+        /// Opt-in bound-first gate for the repair's lazy refreshes.
+        #[serde(default)]
+        gate: bool,
+    },
+    /// Inspect one entity of the live instance / current schedule.
+    Query {
+        /// What to look up.
+        query: Query,
+    },
+    /// Report the service's full state summary.
+    Snapshot,
+    /// Drop all warm state (repairer caches, scratch pools, last
+    /// schedule). The live instance — including every applied op — is
+    /// kept.
+    Reset,
+}
+
+/// Entity lookups served by [`Request::Query`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Query {
+    /// One candidate event.
+    Event {
+        /// Dense event index.
+        event: usize,
+    },
+    /// One time interval.
+    Interval {
+        /// Dense interval index.
+        interval: usize,
+    },
+    /// One user.
+    User {
+        /// Dense user index.
+        user: usize,
+    },
+}
+
+/// One response line — every variant is fully deterministic (no
+/// wall-clock), so response logs are byte-comparable across runs and
+/// thread counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Result of a `Schedule` request.
+    Scheduled {
+        /// Canonical algorithm name.
+        algorithm: String,
+        /// The requested `k`.
+        k: usize,
+        /// Utility Ω(S) of the returned schedule.
+        utility: f64,
+        /// The schedule, assignment by assignment, in selection order.
+        assignments: Vec<Assignment>,
+        /// The run's instrumentation counters.
+        stats: Stats,
+    },
+    /// Result of an `ApplyOps` request.
+    Applied {
+        /// Number of ops applied.
+        applied: usize,
+        /// One repair summary per op while the repairer is armed (empty
+        /// before the first `Repair`).
+        repairs: Vec<RepairSummary>,
+    },
+    /// Result of a `Repair` request.
+    Repaired {
+        /// The maintained schedule size `k`.
+        k: usize,
+        /// Whether a warm repairer was reused (`false` = this request paid
+        /// a cold rebuild).
+        warm: bool,
+        /// Score-table cells rescored eagerly by the reported repair.
+        rescored: usize,
+        /// Utility Ω(S) of the maintained schedule.
+        utility: f64,
+        /// The maintained schedule.
+        assignments: Vec<Assignment>,
+        /// The reported repair's counters.
+        stats: Stats,
+    },
+    /// Result of a `Query` request.
+    Info {
+        /// The looked-up entity.
+        reply: QueryReply,
+    },
+    /// Result of a `Snapshot` request.
+    State {
+        /// The state summary.
+        snapshot: Snapshot,
+    },
+    /// Acknowledges a `Reset`.
+    ResetDone,
+    /// Any failure, as a stable machine-readable code plus rendered
+    /// message (see [`ServiceError::code`]).
+    Error {
+        /// Stable error code.
+        code: String,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+/// Per-op repair measurements with the wall-clock stripped (the
+/// deterministic subset of [`RepairReport`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepairSummary {
+    /// Score-table cells rescored eagerly.
+    pub rescored: usize,
+    /// Size of the repaired schedule.
+    pub schedule_len: usize,
+    /// Utility Ω(S) after the repair.
+    pub utility: f64,
+    /// The repair's counters.
+    pub stats: Stats,
+}
+
+impl From<&RepairReport> for RepairSummary {
+    fn from(r: &RepairReport) -> Self {
+        Self {
+            rescored: r.rescored,
+            schedule_len: r.schedule_len,
+            utility: r.utility,
+            stats: r.stats,
+        }
+    }
+}
+
+/// Answer to a [`Query`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QueryReply {
+    /// A candidate event.
+    Event {
+        /// Dense event index.
+        event: usize,
+        /// Optional display label.
+        label: Option<String>,
+        /// Location index.
+        location: usize,
+        /// Resources ξ the event requires.
+        required_resources: f64,
+        /// Duration in intervals.
+        duration: u32,
+        /// Mean user interest µ over the current user base.
+        mean_interest: f64,
+        /// Interval the current schedule places it at, if any.
+        scheduled_at: Option<usize>,
+    },
+    /// A time interval.
+    Interval {
+        /// Dense interval index.
+        interval: usize,
+        /// Events the current schedule places here, in id order.
+        scheduled: Vec<usize>,
+        /// Resources consumed by those events.
+        used_resources: f64,
+        /// The organizer's per-interval budget θ.
+        resources: f64,
+        /// Number of competing events pinned to this interval.
+        competing: usize,
+    },
+    /// A user.
+    User {
+        /// Dense user index.
+        user: usize,
+        /// The user's weight (1.0 on unweighted instances).
+        weight: f64,
+        /// Mean activity σ over the intervals.
+        mean_activity: f64,
+        /// The candidate event the user is most interested in (ties →
+        /// smaller event id); `None` only when every interest is 0.
+        favorite_event: Option<usize>,
+    },
+}
+
+/// Full state summary returned by [`Request::Snapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Current number of users `|U|`.
+    pub users: usize,
+    /// Current number of candidate events `|E|`.
+    pub events: usize,
+    /// Number of intervals `|T|`.
+    pub intervals: usize,
+    /// Number of competing events `|C|`.
+    pub competing: usize,
+    /// Number of distinct event locations.
+    pub locations: usize,
+    /// The organizer's per-interval resource budget θ.
+    pub resources: f64,
+    /// Whether the instance carries per-user weights.
+    pub weighted: bool,
+    /// Whether the incremental repairer is armed (warm).
+    pub warm: bool,
+    /// Delta ops applied over the service's lifetime.
+    pub ops_applied: u64,
+    /// The current schedule, if any request has produced one.
+    pub schedule: Option<ScheduleState>,
+}
+
+/// The schedule slice of a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleState {
+    /// Which algorithm produced it (`STREAM` for the maintained repair
+    /// schedule).
+    pub algorithm: String,
+    /// The `k` it was produced for.
+    pub k: usize,
+    /// Utility Ω(S).
+    pub utility: f64,
+    /// The assignments, in selection order.
+    pub assignments: Vec<Assignment>,
+}
+
+/// Typed result of [`SesService::repair`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairOutcome {
+    /// Measurements of the repair this request reports: the last op's
+    /// repair when a warm repairer was reused, otherwise the cold build.
+    pub report: RepairReport,
+    /// Whether a warm repairer was reused.
+    pub warm: bool,
+}
+
+/// The current schedule the service answers `Query`/`Snapshot` from.
+#[derive(Debug)]
+struct LastSchedule {
+    algorithm: &'static str,
+    k: usize,
+    schedule: Schedule,
+    utility: f64,
+}
+
+/// The long-lived session service (see the module docs).
+#[derive(Debug)]
+pub struct SesService {
+    registry: SchedulerRegistry,
+    /// One warm scratch per registry entry (same indexing).
+    scratches: Vec<Scratch>,
+    /// Warm scratch for non-registry kinds run via
+    /// [`schedule_kind`](Self::schedule_kind).
+    misc_scratch: Scratch,
+    /// The live instance while cold. `None` exactly when `stream` is
+    /// `Some` (the armed repairer owns the authoritative instance).
+    inst: Option<Instance>,
+    /// The armed incremental repairer, if any.
+    stream: Option<StreamScheduler>,
+    last: Option<LastSchedule>,
+    default_threads: Threads,
+    ops_applied: u64,
+    requests_handled: u64,
+}
+
+/// The authoritative instance among the two owners (free function so
+/// callers holding disjoint field borrows can use it).
+fn authority<'a>(stream: &'a Option<StreamScheduler>, inst: &'a Option<Instance>) -> &'a Instance {
+    match (stream, inst) {
+        (Some(s), _) => s.instance(),
+        (None, Some(i)) => i,
+        (None, None) => unreachable!("service always owns an instance"),
+    }
+}
+
+impl SesService {
+    /// A service over `inst` with the standard registry and the ambient
+    /// thread default (`SES_THREADS` or sequential).
+    pub fn new(inst: Instance) -> Self {
+        Self::with_registry(inst, SchedulerRegistry::standard())
+    }
+
+    /// A service with an explicit registry.
+    pub fn with_registry(inst: Instance, registry: SchedulerRegistry) -> Self {
+        let mut scratches = Vec::new();
+        scratches.resize_with(registry.len(), Scratch::new);
+        Self {
+            registry,
+            scratches,
+            misc_scratch: Scratch::new(),
+            inst: Some(inst),
+            stream: None,
+            last: None,
+            default_threads: Threads::default(),
+            ops_applied: 0,
+            requests_handled: 0,
+        }
+    }
+
+    /// Overrides the default worker-thread count used when a request
+    /// leaves `threads` unset.
+    #[must_use]
+    pub fn with_threads(mut self, threads: Threads) -> Self {
+        self.default_threads = threads;
+        self
+    }
+
+    /// The registry this service schedules from.
+    pub fn registry(&self) -> &SchedulerRegistry {
+        &self.registry
+    }
+
+    /// The live instance in its current (post-ops) state.
+    pub fn instance(&self) -> &Instance {
+        authority(&self.stream, &self.inst)
+    }
+
+    /// The schedule the service currently answers queries from — the one
+    /// produced by the **most recent** schedule-writing request
+    /// (`Schedule`, `Repair`, or a warm `ApplyOps` repair), last writer
+    /// wins. [`Snapshot`]'s `schedule.algorithm` says which kind it is
+    /// (`STREAM` for the maintained repair schedule). `None` after
+    /// construction, a [`reset`](Self::reset), or a cold `ApplyOps`
+    /// (which invalidates a schedule its instance mutated under).
+    pub fn current_schedule(&self) -> Option<&Schedule> {
+        self.last.as_ref().map(|l| &l.schedule)
+    }
+
+    /// Ω(S) of [`current_schedule`](Self::current_schedule).
+    pub fn current_utility(&self) -> Option<f64> {
+        self.last.as_ref().map(|l| l.utility)
+    }
+
+    /// Whether the incremental repairer is armed.
+    pub fn is_warm(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Delta ops applied over the service's lifetime.
+    pub fn ops_applied(&self) -> u64 {
+        self.ops_applied
+    }
+
+    /// Requests handled via [`handle`](Self::handle) (typed-API calls are
+    /// not counted).
+    pub fn requests_handled(&self) -> u64 {
+        self.requests_handled
+    }
+
+    /// Resolves a request-level thread override against the service
+    /// default.
+    fn resolve_threads(&self, threads: Option<usize>) -> Threads {
+        match threads {
+            Some(n) => Threads::new(n),
+            None => self.default_threads,
+        }
+    }
+
+    /// Runs one registered scheduler on the current instance with this
+    /// entry's warm scratch. Bit-identical — schedule, utility bits, full
+    /// [`Stats`] — to a cold `run_configured` with the same config.
+    ///
+    /// # Errors
+    /// [`ServiceError::UnknownAlgorithm`] if `algorithm` does not resolve.
+    pub fn schedule(
+        &mut self,
+        algorithm: &str,
+        k: usize,
+        cfg: RunConfig,
+    ) -> Result<ScheduleResult, ServiceError> {
+        let idx = self.registry.resolve(algorithm)?;
+        let inst = authority(&self.stream, &self.inst);
+        let res = self.registry.run(idx, inst, k, cfg, &mut self.scratches[idx]);
+        self.last = Some(LastSchedule {
+            algorithm: res.algorithm,
+            k,
+            schedule: res.schedule.clone(),
+            utility: res.utility,
+        });
+        Ok(res)
+    }
+
+    /// [`schedule`](Self::schedule) for an explicit [`SchedulerKind`] —
+    /// registered kinds use their warm pool; unregistered ones (e.g. a
+    /// custom `Rand` seed) share the service's miscellaneous scratch.
+    ///
+    /// [`SchedulerKind`]: crate::SchedulerKind
+    pub fn schedule_kind(
+        &mut self,
+        kind: crate::SchedulerKind,
+        k: usize,
+        cfg: RunConfig,
+    ) -> ScheduleResult {
+        let inst = authority(&self.stream, &self.inst);
+        let res = match self.registry.resolve_kind(kind) {
+            Some(idx) => self.registry.run(idx, inst, k, cfg, &mut self.scratches[idx]),
+            None => kind.run_configured(inst, k, cfg, &mut self.misc_scratch),
+        };
+        self.last = Some(LastSchedule {
+            algorithm: res.algorithm,
+            k,
+            schedule: res.schedule.clone(),
+            utility: res.utility,
+        });
+        res
+    }
+
+    /// Applies a batch of delta ops, in order, each op atomically. While
+    /// the repairer is armed every op also repairs the maintained schedule
+    /// incrementally, and the per-op [`RepairReport`]s are returned (empty
+    /// while cold).
+    ///
+    /// # Errors
+    /// [`ServiceError::Delta`] naming the first rejected op; ops before it
+    /// remain applied (each op is atomic, the batch is not).
+    pub fn apply_ops(&mut self, ops: &[DeltaOp]) -> Result<Vec<RepairReport>, ServiceError> {
+        let mut reports = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            if let Some(stream) = &mut self.stream {
+                match stream.apply(op) {
+                    Ok(report) => reports.push(report.clone()),
+                    Err(e) => return Err(ServiceError::delta(i, e)),
+                }
+                self.ops_applied += 1;
+                self.sync_last_from_stream();
+            } else {
+                let inst = self.inst.as_mut().expect("cold service owns an instance");
+                match delta::apply(inst, op) {
+                    // The instance changed under the last schedule; drop it
+                    // rather than report a stale (possibly infeasible) one.
+                    Ok(_) => {
+                        self.ops_applied += 1;
+                        self.last = None;
+                    }
+                    Err(e) => return Err(ServiceError::delta(i, e)),
+                }
+            }
+        }
+        Ok(reports)
+    }
+
+    /// Arms (or reuses) the incremental repairer at `(k, threads, gate)`
+    /// and reports the maintained schedule. A warm repairer with matching
+    /// parameters is reused as-is (idempotent, no work); any mismatch —
+    /// or a cold service — pays one cold rebuild from the current
+    /// instance. `cfg.profile` is ignored (the repairer is not
+    /// instrumented for phase timing).
+    ///
+    /// # Errors
+    /// Currently infallible; the `Result` reserves room for
+    /// resource-limit rejections.
+    pub fn repair(&mut self, k: usize, cfg: RunConfig) -> Result<RepairOutcome, ServiceError> {
+        let warm = match &self.stream {
+            Some(s) => s.k() == k && s.threads() == cfg.threads && s.bound_gate() == cfg.bound_gate,
+            None => false,
+        };
+        if !warm {
+            let inst = self.instance().clone();
+            self.stream =
+                Some(StreamScheduler::new(inst, k, cfg.threads).with_bound_gate(cfg.bound_gate));
+            self.inst = None;
+        }
+        self.sync_last_from_stream();
+        let report = self.stream.as_ref().expect("just armed").last_repair().clone();
+        Ok(RepairOutcome { report, warm })
+    }
+
+    /// Refreshes `last` from the armed repairer's maintained schedule.
+    fn sync_last_from_stream(&mut self) {
+        let stream = self.stream.as_ref().expect("sync requires an armed repairer");
+        self.last = Some(LastSchedule {
+            algorithm: "STREAM",
+            k: stream.k(),
+            schedule: stream.schedule().clone(),
+            utility: stream.utility(),
+        });
+    }
+
+    /// Looks up one entity of the live instance / current schedule.
+    ///
+    /// # Errors
+    /// [`ServiceError::OutOfRange`] for a dangling index.
+    pub fn query(&self, q: &Query) -> Result<QueryReply, ServiceError> {
+        let inst = self.instance();
+        match *q {
+            Query::Event { event } => {
+                if event >= inst.num_events() {
+                    return Err(ServiceError::OutOfRange {
+                        what: "event",
+                        index: event,
+                        len: inst.num_events(),
+                    });
+                }
+                let e = &inst.events[event];
+                let users = inst.num_users();
+                let mean_interest =
+                    (0..users).map(|u| inst.event_interest.value(event, u)).sum::<f64>()
+                        / users as f64;
+                let scheduled_at = self
+                    .last
+                    .as_ref()
+                    .and_then(|l| l.schedule.interval_of(EventId::new(event)))
+                    .map(|t| t.index());
+                Ok(QueryReply::Event {
+                    event,
+                    label: e.label.clone(),
+                    location: e.location.index(),
+                    required_resources: e.required_resources,
+                    duration: e.duration,
+                    mean_interest,
+                    scheduled_at,
+                })
+            }
+            Query::Interval { interval } => {
+                if interval >= inst.num_intervals() {
+                    return Err(ServiceError::OutOfRange {
+                        what: "interval",
+                        index: interval,
+                        len: inst.num_intervals(),
+                    });
+                }
+                let t = IntervalId::new(interval);
+                let (scheduled, used_resources) = match &self.last {
+                    Some(l) => {
+                        let mut events: Vec<usize> =
+                            l.schedule.events_at(t).iter().map(|e| e.index()).collect();
+                        events.sort_unstable();
+                        (events, l.schedule.used_resources(t))
+                    }
+                    None => (Vec::new(), 0.0),
+                };
+                Ok(QueryReply::Interval {
+                    interval,
+                    scheduled,
+                    used_resources,
+                    resources: inst.resources,
+                    competing: inst.competing_at(t).count(),
+                })
+            }
+            Query::User { user } => {
+                if user >= inst.num_users() {
+                    return Err(ServiceError::OutOfRange {
+                        what: "user",
+                        index: user,
+                        len: inst.num_users(),
+                    });
+                }
+                let intervals = inst.num_intervals();
+                let mean_activity =
+                    (0..intervals).map(|t| inst.activity.value(user, t)).sum::<f64>()
+                        / intervals as f64;
+                let mut favorite_event = None;
+                let mut best = 0.0;
+                for e in 0..inst.num_events() {
+                    let mu = inst.event_interest.value(e, user);
+                    if mu > best {
+                        best = mu;
+                        favorite_event = Some(e);
+                    }
+                }
+                Ok(QueryReply::User {
+                    user,
+                    weight: inst.user_weight(user),
+                    mean_activity,
+                    favorite_event,
+                })
+            }
+        }
+    }
+
+    /// The full state summary.
+    pub fn snapshot(&self) -> Snapshot {
+        let inst = self.instance();
+        Snapshot {
+            users: inst.num_users(),
+            events: inst.num_events(),
+            intervals: inst.num_intervals(),
+            competing: inst.num_competing(),
+            locations: inst.num_locations(),
+            resources: inst.resources,
+            weighted: inst.is_weighted(),
+            warm: self.stream.is_some(),
+            ops_applied: self.ops_applied,
+            schedule: self.last.as_ref().map(|l| ScheduleState {
+                algorithm: l.algorithm.to_string(),
+                k: l.k,
+                utility: l.utility,
+                assignments: l.schedule.assignments().to_vec(),
+            }),
+        }
+    }
+
+    /// Drops all warm state — the armed repairer, the scratch pools, the
+    /// last schedule — keeping the live instance (every applied op
+    /// included) and the lifetime counters.
+    pub fn reset(&mut self) {
+        if let Some(stream) = self.stream.take() {
+            self.inst = Some(stream.instance().clone());
+        }
+        self.last = None;
+        for s in &mut self.scratches {
+            *s = Scratch::new();
+        }
+        self.misc_scratch = Scratch::new();
+    }
+
+    /// Answers one typed request. Failures come back as
+    /// [`Response::Error`] (the service never panics on bad input), so the
+    /// serve loop can keep going.
+    pub fn handle(&mut self, req: &Request) -> Response {
+        self.requests_handled += 1;
+        match self.dispatch(req) {
+            Ok(resp) => resp,
+            Err(e) => Response::Error { code: e.code().to_string(), message: e.to_string() },
+        }
+    }
+
+    fn dispatch(&mut self, req: &Request) -> Result<Response, ServiceError> {
+        match req {
+            Request::Schedule { algorithm, k, threads, gate, profile } => {
+                let cfg = RunConfig::threaded(self.resolve_threads(*threads))
+                    .with_bound_gate(*gate)
+                    .with_profile(*profile);
+                let res = self.schedule(algorithm, *k, cfg)?;
+                Ok(Response::Scheduled {
+                    algorithm: res.algorithm.to_string(),
+                    k: res.k,
+                    utility: res.utility,
+                    assignments: res.schedule.assignments().to_vec(),
+                    stats: res.stats,
+                })
+            }
+            Request::ApplyOps { ops } => {
+                let reports = self.apply_ops(ops)?;
+                Ok(Response::Applied {
+                    applied: ops.len(),
+                    repairs: reports.iter().map(RepairSummary::from).collect(),
+                })
+            }
+            Request::Repair { k, threads, gate } => {
+                let cfg =
+                    RunConfig::threaded(self.resolve_threads(*threads)).with_bound_gate(*gate);
+                let out = self.repair(*k, cfg)?;
+                let stream = self.stream.as_ref().expect("repair arms the repairer");
+                Ok(Response::Repaired {
+                    k: *k,
+                    warm: out.warm,
+                    rescored: out.report.rescored,
+                    utility: out.report.utility,
+                    assignments: stream.schedule().assignments().to_vec(),
+                    stats: out.report.stats,
+                })
+            }
+            Request::Query { query } => Ok(Response::Info { reply: self.query(query)? }),
+            Request::Snapshot => Ok(Response::State { snapshot: self.snapshot() }),
+            Request::Reset => {
+                self.reset();
+                Ok(Response::ResetDone)
+            }
+        }
+    }
+
+    /// The serve-loop body: decode one request line, handle it, encode the
+    /// response line. Malformed lines come back as encoded `Error`
+    /// responses rather than failures.
+    pub fn handle_line(&mut self, line: &str) -> String {
+        let resp = match wire::decode_request(line) {
+            Ok(req) => self.handle(&req),
+            Err(e) => Response::Error { code: e.code().to_string(), message: e.to_string() },
+        };
+        wire::encode_response(&resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::Scheduler;
+    use crate::inc::Inc;
+    use crate::SchedulerKind;
+    use ses_core::model::{running_example, Event};
+    use ses_core::LocationId;
+
+    fn service() -> SesService {
+        SesService::new(running_example()).with_threads(Threads::sequential())
+    }
+
+    /// Equality on everything but the wall clock.
+    fn assert_reports_match(a: &RepairReport, b: &RepairReport) {
+        assert_eq!(RepairSummary::from(a), RepairSummary::from(b));
+        assert_eq!(a.utility.to_bits(), b.utility.to_bits());
+    }
+
+    fn seq_cfg() -> RunConfig {
+        RunConfig::threaded(Threads::sequential())
+    }
+
+    #[test]
+    fn schedule_matches_direct_run_bitwise() {
+        let mut svc = service();
+        for _ in 0..3 {
+            let via = svc.schedule("inc", 3, seq_cfg()).unwrap();
+            let direct = Inc.run_configured(&running_example(), 3, seq_cfg(), &mut Scratch::new());
+            assert_eq!(via.algorithm, "INC");
+            assert_eq!(via.schedule.assignments(), direct.schedule.assignments());
+            assert_eq!(via.utility.to_bits(), direct.utility.to_bits());
+            assert_eq!(via.stats, direct.stats);
+        }
+    }
+
+    #[test]
+    fn unknown_algorithm_is_typed() {
+        let mut svc = service();
+        let err = svc.schedule("greedy9000", 2, seq_cfg()).unwrap_err();
+        assert_eq!(err.code(), "unknown-algorithm");
+    }
+
+    #[test]
+    fn apply_ops_cold_then_repair_matches_direct_stream() {
+        let op = DeltaOp::ShiftInterest { event: EventId::new(0), user: 1, interest: 0.9 };
+        // Service path: cold op, then arm the repairer.
+        let mut svc = service();
+        svc.apply_ops(std::slice::from_ref(&op)).unwrap();
+        let out = svc.repair(3, seq_cfg()).unwrap();
+        assert!(!out.warm);
+        // Direct path: materialize, cold StreamScheduler.
+        let mut inst = running_example();
+        delta::apply(&mut inst, &op).unwrap();
+        let direct = StreamScheduler::new(inst, 3, Threads::sequential());
+        assert_reports_match(&out.report, direct.last_repair());
+        assert_eq!(svc.current_schedule().unwrap(), direct.schedule());
+    }
+
+    #[test]
+    fn warm_apply_ops_match_direct_stream_repairs() {
+        let ops = vec![
+            DeltaOp::ShiftInterest { event: EventId::new(2), user: 0, interest: 0.7 },
+            DeltaOp::AddEvent {
+                event: Event::new(LocationId::new(3), 1.0),
+                interest: vec![0.5, 0.4],
+            },
+            DeltaOp::RemoveEvent { event: EventId::new(1) },
+        ];
+        let mut svc = service();
+        svc.repair(3, seq_cfg()).unwrap();
+        let mut direct = StreamScheduler::new(running_example(), 3, Threads::sequential());
+        for op in &ops {
+            let reports = svc.apply_ops(std::slice::from_ref(op)).unwrap();
+            let direct_report = direct.apply(op).unwrap().clone();
+            assert_eq!(reports.len(), 1);
+            assert_eq!(reports[0].stats, direct_report.stats);
+            assert_eq!(reports[0].utility.to_bits(), direct_report.utility.to_bits());
+            assert_eq!(svc.current_schedule().unwrap(), direct.schedule());
+        }
+        // A matching repair request reuses the warm repairer verbatim.
+        let out = svc.repair(3, seq_cfg()).unwrap();
+        assert!(out.warm);
+        assert_reports_match(&out.report, direct.last_repair());
+        // A k change pays a cold rebuild.
+        let out = svc.repair(2, seq_cfg()).unwrap();
+        assert!(!out.warm);
+        let rebuilt = StreamScheduler::new(direct.instance().clone(), 2, Threads::sequential());
+        assert_reports_match(&out.report, rebuilt.last_repair());
+    }
+
+    #[test]
+    fn batch_failure_reports_op_index_and_keeps_prefix() {
+        let mut svc = service();
+        let ops = vec![
+            DeltaOp::ShiftInterest { event: EventId::new(0), user: 0, interest: 0.3 },
+            DeltaOp::RemoveEvent { event: EventId::new(99) },
+        ];
+        let err = svc.apply_ops(&ops).unwrap_err();
+        match err {
+            ServiceError::Delta { op_index, .. } => assert_eq!(op_index, 1),
+            other => panic!("wrong error {other:?}"),
+        }
+        // The valid prefix stayed applied.
+        assert_eq!(svc.instance().event_interest.value(0, 0), 0.3);
+        assert_eq!(svc.ops_applied(), 1);
+    }
+
+    #[test]
+    fn query_and_snapshot_track_state() {
+        let mut svc = service();
+        let snap = svc.snapshot();
+        assert_eq!((snap.users, snap.events, snap.intervals), (2, 4, 2));
+        assert!(!snap.warm);
+        assert!(snap.schedule.is_none());
+
+        svc.schedule("hor", 2, seq_cfg()).unwrap();
+        let snap = svc.snapshot();
+        let sched = snap.schedule.expect("schedule recorded");
+        assert_eq!(sched.algorithm, "HOR");
+        assert_eq!(sched.assignments.len(), 2);
+
+        // Event query reflects the schedule.
+        let placed = sched.assignments[0];
+        match svc.query(&Query::Event { event: placed.event.index() }).unwrap() {
+            QueryReply::Event { scheduled_at, .. } => {
+                assert_eq!(scheduled_at, Some(placed.interval.index()));
+            }
+            other => panic!("wrong reply {other:?}"),
+        }
+        match svc.query(&Query::Interval { interval: placed.interval.index() }).unwrap() {
+            QueryReply::Interval { scheduled, used_resources, .. } => {
+                assert!(scheduled.contains(&placed.event.index()));
+                assert!(used_resources > 0.0);
+            }
+            other => panic!("wrong reply {other:?}"),
+        }
+        match svc.query(&Query::User { user: 0 }).unwrap() {
+            QueryReply::User { weight, favorite_event, .. } => {
+                assert_eq!(weight, 1.0);
+                assert!(favorite_event.is_some());
+            }
+            other => panic!("wrong reply {other:?}"),
+        }
+        assert_eq!(svc.query(&Query::User { user: 99 }).unwrap_err().code(), "out-of-range");
+    }
+
+    #[test]
+    fn reset_keeps_instance_drops_warm_state() {
+        let mut svc = service();
+        svc.repair(2, seq_cfg()).unwrap();
+        svc.apply_ops(&[DeltaOp::ShiftInterest { event: EventId::new(0), user: 0, interest: 0.9 }])
+            .unwrap();
+        assert!(svc.is_warm());
+        svc.reset();
+        assert!(!svc.is_warm());
+        assert!(svc.current_schedule().is_none());
+        // The applied op survived the reset.
+        assert_eq!(svc.instance().event_interest.value(0, 0), 0.9);
+        assert_eq!(svc.ops_applied(), 1);
+        // The service still serves after a reset.
+        assert!(svc.schedule("alg", 2, seq_cfg()).is_ok());
+    }
+
+    #[test]
+    fn schedule_kind_pools_unregistered_kinds() {
+        let mut svc = service();
+        let res = svc.schedule_kind(SchedulerKind::Rand(7), 2, seq_cfg());
+        assert_eq!(res.algorithm, "RAND");
+        let direct = SchedulerKind::Rand(7).run_configured(
+            &running_example(),
+            2,
+            seq_cfg(),
+            &mut Scratch::new(),
+        );
+        assert_eq!(res.schedule.assignments(), direct.schedule.assignments());
+        assert_eq!(res.utility.to_bits(), direct.utility.to_bits());
+    }
+
+    #[test]
+    fn handle_converts_failures_to_error_responses() {
+        let mut svc = service();
+        let resp = svc.handle(&Request::Schedule {
+            algorithm: "nope".into(),
+            k: 2,
+            threads: None,
+            gate: false,
+            profile: false,
+        });
+        match resp {
+            Response::Error { code, message } => {
+                assert_eq!(code, "unknown-algorithm");
+                assert!(message.contains("nope"));
+            }
+            other => panic!("wrong response {other:?}"),
+        }
+        assert_eq!(svc.requests_handled(), 1);
+    }
+}

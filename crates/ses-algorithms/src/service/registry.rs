@@ -1,0 +1,239 @@
+//! The scheduler registry: one canonical name → boxed-scheduler table.
+//!
+//! Before the service existed, the CLI, the experiment harness, and the
+//! test suites each kept their own ad-hoc `match`/array tables mapping
+//! scheduler names to constructors. [`SchedulerRegistry`] replaces them:
+//! it owns one boxed instance of every registered scheduler, resolves
+//! (aliased, case-insensitive) names through the single parser
+//! ([`SchedulerKind::parse`]), and runs entries through the same
+//! [`Scheduler::run_configured`] path every caller uses — so a result
+//! obtained via the registry is bit-identical to one obtained by calling
+//! the concrete scheduler directly.
+
+use crate::common::{RunConfig, ScheduleResult, Scheduler, Scratch};
+use crate::SchedulerKind;
+use ses_core::error::ServiceError;
+use ses_core::model::Instance;
+use std::fmt;
+
+/// Boxes the concrete scheduler behind a [`SchedulerKind`] tag.
+fn boxed(kind: SchedulerKind) -> Box<dyn Scheduler + Send + Sync> {
+    match kind {
+        SchedulerKind::Alg => Box::new(crate::alg::Alg),
+        SchedulerKind::Inc => Box::new(crate::inc::Inc),
+        SchedulerKind::Hor => Box::new(crate::hor::Hor),
+        SchedulerKind::HorI => Box::new(crate::hor_i::HorI),
+        SchedulerKind::Top => Box::new(crate::top::Top),
+        SchedulerKind::Rand(seed) => Box::new(crate::random::Rand::with_seed(seed)),
+        SchedulerKind::Exact => Box::new(crate::exact::Exact),
+        SchedulerKind::Lazy => Box::new(crate::lazy::LazyGreedy),
+        SchedulerKind::RefinedHor => Box::new(crate::refine::Refined::new(crate::hor::Hor)),
+    }
+}
+
+/// One registered scheduler: its kind tag, canonical display name, and the
+/// boxed implementation (constructed once, reused for every run).
+struct RegistryEntry {
+    kind: SchedulerKind,
+    name: &'static str,
+    scheduler: Box<dyn Scheduler + Send + Sync>,
+}
+
+/// Name → boxed-scheduler registry (see the module docs).
+///
+/// Entries are addressed by index so callers (notably [`SesService`],
+/// which keeps one warm [`Scratch`] per entry) can attach per-scheduler
+/// state without re-resolving names.
+///
+/// [`SesService`]: crate::service::SesService
+pub struct SchedulerRegistry {
+    entries: Vec<RegistryEntry>,
+}
+
+impl SchedulerRegistry {
+    /// The full standard registry: every [`SchedulerKind`], with `RAND`
+    /// seeded 0 (the seed [`SchedulerKind::parse`] assigns).
+    pub fn standard() -> Self {
+        Self::from_kinds([
+            SchedulerKind::Alg,
+            SchedulerKind::Inc,
+            SchedulerKind::Hor,
+            SchedulerKind::HorI,
+            SchedulerKind::Top,
+            SchedulerKind::Rand(0),
+            SchedulerKind::Exact,
+            SchedulerKind::Lazy,
+            SchedulerKind::RefinedHor,
+        ])
+    }
+
+    /// A registry over an explicit kind list (order is preserved and
+    /// becomes the entry indexing).
+    pub fn from_kinds(kinds: impl IntoIterator<Item = SchedulerKind>) -> Self {
+        let entries = kinds
+            .into_iter()
+            .map(|kind| RegistryEntry { kind, name: kind.name(), scheduler: boxed(kind) })
+            .collect();
+        Self { entries }
+    }
+
+    /// Number of registered schedulers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The canonical display names, in entry order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.name).collect()
+    }
+
+    /// The registered kinds, in entry order.
+    pub fn kinds(&self) -> Vec<SchedulerKind> {
+        self.entries.iter().map(|e| e.kind).collect()
+    }
+
+    /// The kind tag of entry `idx`.
+    pub fn kind(&self, idx: usize) -> SchedulerKind {
+        self.entries[idx].kind
+    }
+
+    /// The canonical display name of entry `idx`.
+    pub fn name(&self, idx: usize) -> &'static str {
+        self.entries[idx].name
+    }
+
+    /// Resolves a (case-insensitive, alias-tolerant) scheduler name to an
+    /// entry index.
+    ///
+    /// # Errors
+    /// [`ServiceError::UnknownAlgorithm`] carrying the canonical names this
+    /// registry does know.
+    pub fn resolve(&self, name: &str) -> Result<usize, ServiceError> {
+        SchedulerKind::parse(name).and_then(|kind| self.resolve_kind(kind)).ok_or_else(|| {
+            ServiceError::UnknownAlgorithm { name: name.to_string(), known: self.names() }
+        })
+    }
+
+    /// The entry index of an exact kind (including `Rand`'s seed), if
+    /// registered.
+    pub fn resolve_kind(&self, kind: SchedulerKind) -> Option<usize> {
+        self.entries.iter().position(|e| e.kind == kind)
+    }
+
+    /// Direct trait-object access to a registered scheduler by name.
+    pub fn get(&self, name: &str) -> Option<&(dyn Scheduler + Send + Sync)> {
+        let idx = self.resolve(name).ok()?;
+        Some(self.entries[idx].scheduler.as_ref())
+    }
+
+    /// Runs entry `idx` with full configuration control. Identical to
+    /// calling the concrete scheduler's `run_configured` — same schedule,
+    /// utility bits, and [`Stats`] — except the result's `algorithm` label
+    /// is normalized to the entry's canonical name (`HOR+LS` rather than
+    /// the `Refined` wrapper's internal `REFINED`).
+    ///
+    /// [`Stats`]: ses_core::stats::Stats
+    pub fn run(
+        &self,
+        idx: usize,
+        inst: &Instance,
+        k: usize,
+        cfg: RunConfig,
+        scratch: &mut Scratch,
+    ) -> ScheduleResult {
+        let entry = &self.entries[idx];
+        let mut res = entry.scheduler.run_configured(inst, k, cfg, scratch);
+        res.algorithm = entry.name;
+        res
+    }
+
+    /// Entry indices of the paper's six-method evaluation lineup (§4.1),
+    /// in plot order — the subset the CLI and harness default to.
+    pub fn paper_indices(&self) -> Vec<usize> {
+        SchedulerKind::paper_lineup().iter().filter_map(|k| self.resolve_kind(*k)).collect()
+    }
+}
+
+impl Default for SchedulerRegistry {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+impl fmt::Debug for SchedulerRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SchedulerRegistry").field("names", &self.names()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_core::model::running_example;
+    use ses_core::parallel::Threads;
+
+    #[test]
+    fn standard_registry_covers_every_kind() {
+        let reg = SchedulerRegistry::standard();
+        assert_eq!(reg.len(), 9);
+        assert_eq!(
+            reg.names(),
+            vec!["ALG", "INC", "HOR", "HOR-I", "TOP", "RAND", "EXACT", "LAZY", "HOR+LS"]
+        );
+    }
+
+    #[test]
+    fn resolve_accepts_aliases_and_rejects_unknowns() {
+        let reg = SchedulerRegistry::standard();
+        assert_eq!(reg.name(reg.resolve("hor-i").unwrap()), "HOR-I");
+        assert_eq!(reg.name(reg.resolve("hori").unwrap()), "HOR-I");
+        assert_eq!(reg.name(reg.resolve("random").unwrap()), "RAND");
+        assert_eq!(reg.name(reg.resolve("refined").unwrap()), "HOR+LS");
+        let err = reg.resolve("bogus").unwrap_err();
+        match &err {
+            ServiceError::UnknownAlgorithm { name, known } => {
+                assert_eq!(name, "bogus");
+                assert!(known.contains(&"INC"));
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+        assert!(err.is_usage());
+    }
+
+    /// The registry path must be bit-identical to the direct
+    /// `SchedulerKind::run_configured` path for every registered entry.
+    #[test]
+    fn registry_runs_match_direct_runs() {
+        let reg = SchedulerRegistry::standard();
+        let inst = running_example();
+        let cfg = RunConfig::threaded(Threads::sequential());
+        for idx in 0..reg.len() {
+            let mut scratch = Scratch::new();
+            let via_registry = reg.run(idx, &inst, 3, cfg, &mut scratch);
+            let direct = reg.kind(idx).run_configured(&inst, 3, cfg, &mut Scratch::new());
+            assert_eq!(via_registry.algorithm, direct.algorithm);
+            assert_eq!(via_registry.schedule.assignments(), direct.schedule.assignments());
+            assert_eq!(via_registry.utility.to_bits(), direct.utility.to_bits());
+            assert_eq!(via_registry.stats, direct.stats);
+        }
+    }
+
+    #[test]
+    fn paper_indices_follow_plot_order() {
+        let reg = SchedulerRegistry::standard();
+        let names: Vec<&str> = reg.paper_indices().into_iter().map(|i| reg.name(i)).collect();
+        assert_eq!(names, vec!["ALG", "INC", "HOR", "HOR-I", "TOP", "RAND"]);
+    }
+
+    #[test]
+    fn boxed_access_by_name() {
+        let reg = SchedulerRegistry::standard();
+        assert_eq!(reg.get("inc").unwrap().name(), "INC");
+        assert!(reg.get("nope").is_none());
+    }
+}

@@ -1,0 +1,194 @@
+//! Versioned JSON-lines wire codec for the service protocol.
+//!
+//! One request or response per line, wrapped in a tiny version envelope:
+//!
+//! ```text
+//! {"v":1,"req":{"Schedule":{"algorithm":"INC","k":5,"threads":null,"gate":false,"profile":false}}}
+//! {"v":1,"resp":{"Scheduled":{"algorithm":"INC","k":5,...}}}
+//! ```
+//!
+//! The payload under `req`/`resp` is the externally-tagged serde encoding
+//! of [`Request`]/[`Response`]. Rules:
+//!
+//! * Every line **must** carry `"v"`; a missing or non-integer version is
+//!   a [`ServiceError::Protocol`] error, a version other than
+//!   [`VERSION`] is [`ServiceError::UnsupportedVersion`] — so a v2 client
+//!   gets a precise rejection instead of a field-level parse error.
+//! * Encoding is deterministic: object keys keep declaration order and
+//!   floats print in Rust's shortest round-trip form, so equal values
+//!   encode to equal bytes (the golden-transcript tests byte-compare whole
+//!   response logs).
+//! * Decoding ignores unknown envelope keys (forward-compatible padding)
+//!   but is strict about the payload shape.
+
+use super::{Request, Response};
+use serde::{Deserialize, Serialize, Value};
+use ses_core::error::{ServiceError, SERVICE_PROTOCOL_VERSION};
+
+/// The protocol version this build speaks.
+pub const VERSION: u64 = SERVICE_PROTOCOL_VERSION;
+
+/// Ordered-object key lookup.
+fn get<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Wraps a payload in the `{"v":VERSION, <key>: payload}` envelope.
+fn encode(key: &str, payload: Value) -> String {
+    let envelope =
+        Value::Object(vec![("v".to_string(), Value::UInt(VERSION)), (key.to_string(), payload)]);
+    serde_json::to_string(&envelope).expect("wire payloads contain only finite floats")
+}
+
+/// Unwraps the `{"v":VERSION, <key>: payload}` envelope, moving the
+/// payload out of the parsed tree (no clone — `ApplyOps` batches can
+/// carry full per-user interest vectors).
+fn decode(line: &str, key: &str) -> Result<Value, ServiceError> {
+    let value: Value =
+        serde_json::from_str(line).map_err(|e| ServiceError::protocol(e.to_string()))?;
+    let Value::Object(mut obj) = value else {
+        return Err(ServiceError::protocol("envelope must be a JSON object"));
+    };
+    let v = get(&obj, "v").ok_or_else(|| ServiceError::protocol("missing version field \"v\""))?;
+    let got = v
+        .as_u64()
+        .ok_or_else(|| ServiceError::protocol("version field \"v\" must be an integer"))?;
+    if got != VERSION {
+        return Err(ServiceError::UnsupportedVersion { got, supported: VERSION });
+    }
+    let idx = obj
+        .iter()
+        .position(|(k, _)| k == key)
+        .ok_or_else(|| ServiceError::protocol(format!("missing payload field \"{key}\"")))?;
+    Ok(obj.swap_remove(idx).1)
+}
+
+/// Encodes one request line.
+pub fn encode_request(req: &Request) -> String {
+    encode("req", req.to_value())
+}
+
+/// Decodes one request line.
+///
+/// # Errors
+/// [`ServiceError::Protocol`] for malformed lines,
+/// [`ServiceError::UnsupportedVersion`] for a version mismatch.
+pub fn decode_request(line: &str) -> Result<Request, ServiceError> {
+    let payload = decode(line, "req")?;
+    Request::from_value(&payload).map_err(|e| ServiceError::protocol(e.to_string()))
+}
+
+/// Encodes one response line.
+pub fn encode_response(resp: &Response) -> String {
+    encode("resp", resp.to_value())
+}
+
+/// Decodes one response line.
+///
+/// # Errors
+/// [`ServiceError::Protocol`] for malformed lines,
+/// [`ServiceError::UnsupportedVersion`] for a version mismatch.
+pub fn decode_response(line: &str) -> Result<Response, ServiceError> {
+    let payload = decode(line, "resp")?;
+    Response::from_value(&payload).map_err(|e| ServiceError::protocol(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::Query;
+    use ses_core::delta::DeltaOp;
+    use ses_core::stats::Stats;
+    use ses_core::EventId;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = vec![
+            Request::Schedule {
+                algorithm: "INC".into(),
+                k: 5,
+                threads: Some(4),
+                gate: true,
+                profile: false,
+            },
+            Request::ApplyOps {
+                ops: vec![DeltaOp::ShiftInterest {
+                    event: EventId::new(1),
+                    user: 0,
+                    interest: 0.25,
+                }],
+            },
+            Request::Repair { k: 3, threads: None, gate: false },
+            Request::Query { query: Query::Event { event: 2 } },
+            Request::Snapshot,
+            Request::Reset,
+        ];
+        for req in reqs {
+            let line = encode_request(&req);
+            assert!(line.starts_with("{\"v\":1,"), "{line}");
+            assert!(!line.contains('\n'));
+            assert_eq!(decode_request(&line).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = vec![
+            Response::Scheduled {
+                algorithm: "HOR".into(),
+                k: 2,
+                utility: 1.5,
+                assignments: vec![],
+                stats: Stats::new(),
+            },
+            Response::ResetDone,
+            Response::Error { code: "delta".into(), message: "op 3: bad".into() },
+        ];
+        for resp in resps {
+            let line = encode_response(&resp);
+            assert_eq!(decode_response(&line).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn omitted_optional_fields_take_defaults() {
+        let req =
+            decode_request(r#"{"v":1,"req":{"Schedule":{"algorithm":"inc","k":4}}}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::Schedule {
+                algorithm: "inc".into(),
+                k: 4,
+                threads: None,
+                gate: false,
+                profile: false,
+            }
+        );
+        let req = decode_request(r#"{"v":1,"req":{"Repair":{"k":2}}}"#).unwrap();
+        assert_eq!(req, Request::Repair { k: 2, threads: None, gate: false });
+    }
+
+    #[test]
+    fn version_is_mandatory_and_checked() {
+        let err = decode_request(r#"{"req":{"Snapshot":null}}"#).unwrap_err();
+        assert_eq!(err.code(), "protocol");
+        let err = decode_request(r#"{"v":2,"req":{"Snapshot":null}}"#).unwrap_err();
+        assert_eq!(err, ServiceError::UnsupportedVersion { got: 2, supported: 1 });
+        let err = decode_request(r#"{"v":"one","req":{"Snapshot":null}}"#).unwrap_err();
+        assert_eq!(err.code(), "protocol");
+    }
+
+    #[test]
+    fn malformed_lines_are_protocol_errors() {
+        for line in ["", "not json", "[1,2,3]", r#"{"v":1}"#, r#"{"v":1,"req":{"Nope":{}}}"#] {
+            let err = decode_request(line).unwrap_err();
+            assert_eq!(err.code(), "protocol", "line {line:?} gave {err:?}");
+        }
+    }
+
+    #[test]
+    fn unit_variants_encode_compactly() {
+        assert_eq!(encode_request(&Request::Snapshot), r#"{"v":1,"req":"Snapshot"}"#);
+        assert_eq!(encode_response(&Response::ResetDone), r#"{"v":1,"resp":"ResetDone"}"#);
+    }
+}

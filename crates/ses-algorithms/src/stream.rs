@@ -255,6 +255,13 @@ impl StreamScheduler {
         self.threads
     }
 
+    /// Whether the bound-first gate is enabled for repairs (see
+    /// [`with_bound_gate`](Self::with_bound_gate)).
+    #[inline]
+    pub fn bound_gate(&self) -> bool {
+        self.bound_gate
+    }
+
     /// Counters accumulated since construction (cold build included).
     #[inline]
     pub fn stats(&self) -> &Stats {

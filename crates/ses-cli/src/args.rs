@@ -3,7 +3,13 @@
 //! Hand-rolled on purpose — the only CLI dependency the workspace would
 //! otherwise need is clap, and this binary's surface is small enough that a
 //! 100-line parser with good error messages is the lighter choice.
+//!
+//! Every parse/validation failure is a [`ServiceError::InvalidArgument`],
+//! which `main` reports with **exit code 2** (usage error) — distinct from
+//! the exit-1 runtime failures — through the same `ServiceError` display
+//! path the service API uses.
 
+use ses_core::error::ServiceError;
 use std::collections::BTreeMap;
 
 /// Parsed command line.
@@ -48,6 +54,7 @@ const COMMANDS: &[(&str, &[&str], &[&str])] = &[
         ],
         &["verify", "quiet", "help"],
     ),
+    ("serve", &["dataset", "users", "events", "intervals", "seed", "threads"], &["help"]),
     ("bench-baseline", &["targets", "out", "label", "check", "from"], &["help"]),
     ("help", &[], &["help"]),
     ("", &[], &["help"]),
@@ -55,7 +62,11 @@ const COMMANDS: &[(&str, &[&str], &[&str])] = &[
 
 impl Args {
     /// Parses the process arguments (without the binary name).
-    pub fn parse(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
+    ///
+    /// # Errors
+    /// [`ServiceError::InvalidArgument`] for a valued flag missing its
+    /// value.
+    pub fn parse(argv: impl IntoIterator<Item = String>) -> Result<Args, ServiceError> {
         let mut out = Args::default();
         let mut iter = argv.into_iter().peekable();
         while let Some(tok) = iter.next() {
@@ -63,8 +74,9 @@ impl Args {
                 if SWITCHES.contains(&name) {
                     out.flags.insert(name.to_string(), "true".to_string());
                 } else {
-                    let val =
-                        iter.next().ok_or_else(|| format!("flag --{name} expects a value"))?;
+                    let val = iter.next().ok_or_else(|| {
+                        ServiceError::invalid(format!("flag --{name} expects a value"))
+                    })?;
                     out.flags.insert(name.to_string(), val);
                 }
             } else if out.command.is_empty() {
@@ -87,10 +99,19 @@ impl Args {
     }
 
     /// Numeric flag with a default.
-    pub fn num_flag<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+    ///
+    /// # Errors
+    /// [`ServiceError::InvalidArgument`] for an unparseable value.
+    pub fn num_flag<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+    ) -> Result<T, ServiceError> {
         match self.flags.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("flag --{name}: cannot parse '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ServiceError::invalid(format!("flag --{name}: cannot parse '{v}'"))),
         }
     }
 
@@ -104,9 +125,9 @@ impl Args {
     /// subcommands are left for the dispatcher's own error.
     ///
     /// # Errors
-    /// The first unknown flag, with a "did you mean" hint when a known
-    /// flag is within edit distance 2.
-    pub fn validate(&self) -> Result<(), String> {
+    /// The first unknown flag (as [`ServiceError::InvalidArgument`]), with
+    /// a "did you mean" hint when a known flag is within edit distance 2.
+    pub fn validate(&self) -> Result<(), ServiceError> {
         let Some(&(_, valued, switches)) = COMMANDS.iter().find(|(c, _, _)| *c == self.command)
         else {
             return Ok(());
@@ -125,7 +146,7 @@ impl Args {
             } else {
                 format!("for '{}'", self.command)
             };
-            return Err(format!("unknown flag --{name} {ctx}{hint}"));
+            return Err(ServiceError::invalid(format!("unknown flag --{name} {ctx}{hint}")));
         }
         Ok(())
     }
@@ -184,7 +205,9 @@ mod tests {
     #[test]
     fn missing_value_errors() {
         let err = Args::parse(["run".into(), "--k".into()]).unwrap_err();
-        assert!(err.contains("--k"));
+        assert!(err.to_string().contains("--k"));
+        // Argument mistakes classify as usage errors (exit code 2).
+        assert!(err.is_usage());
     }
 
     #[test]
@@ -196,6 +219,8 @@ mod tests {
     #[test]
     fn typoed_flag_rejected_with_suggestion() {
         let err = parse("run --usrs 500").validate().unwrap_err();
+        assert!(err.is_usage());
+        let err = err.to_string();
         assert!(err.contains("--usrs"), "{err}");
         assert!(err.contains("did you mean --users?"), "{err}");
     }
@@ -204,14 +229,14 @@ mod tests {
     fn typoed_switch_rejected_before_it_swallows_a_token() {
         // `--ful` is not a switch, so parse() eats `fig5` as its value; the
         // whitelist still catches the typo before the command runs.
-        let err = parse("experiment --ful fig5").validate().unwrap_err();
+        let err = parse("experiment --ful fig5").validate().unwrap_err().to_string();
         assert!(err.contains("did you mean --full?"), "{err}");
     }
 
     #[test]
     fn flags_are_scoped_per_subcommand() {
         // --out belongs to generate, not run.
-        let err = parse("run --out x.json").validate().unwrap_err();
+        let err = parse("run --out x.json").validate().unwrap_err().to_string();
         assert!(err.contains("for 'run'"), "{err}");
         assert!(parse("generate --out x.json").validate().is_ok());
         // --churn belongs to stream only.
@@ -226,6 +251,7 @@ mod tests {
             "experiment fig5 --users 400 --full --seed 7 --csv out.csv",
             "generate --dataset meetup --out inst.json",
             "stream --dataset unf --ops 100 --churn 0.3 --user-churn 0.5 --threads 2 --quiet",
+            "serve --dataset unf --users 50 --threads 2",
             "help",
         ] {
             assert!(parse(line).validate().is_ok(), "{line}");
@@ -247,7 +273,13 @@ mod tests {
 
     #[test]
     fn distant_typos_get_no_suggestion() {
-        let err = parse("run --zzzzzz 1").validate().unwrap_err();
+        let err = parse("run --zzzzzz 1").validate().unwrap_err().to_string();
         assert!(!err.contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn serve_rejects_foreign_flags() {
+        assert!(parse("serve --verify").validate().is_err());
+        assert!(parse("serve --k 5").validate().is_err());
     }
 }

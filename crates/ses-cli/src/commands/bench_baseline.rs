@@ -18,6 +18,7 @@
 
 use crate::args::Args;
 use serde::{Deserialize, Serialize};
+use ses_core::error::ServiceError;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
@@ -77,8 +78,10 @@ struct BaselineFile {
     runs: Vec<BaselineRun>,
 }
 
-/// Executes the `bench-baseline` subcommand.
-pub fn exec(args: &Args) -> Result<(), String> {
+/// Executes the `bench-baseline` subcommand. Argument mistakes surface as
+/// usage errors (exit 2); bench failures and regression-gate trips as
+/// runtime failures (exit 1).
+pub fn exec(args: &Args) -> Result<(), ServiceError> {
     let out = PathBuf::from(args.str_flag("out", "BENCH_BASELINE.json"));
     let label = args.str_flag("label", "snapshot");
     let targets: Vec<String> = match args.opt_flag("targets") {
@@ -87,7 +90,10 @@ pub fn exec(args: &Args) -> Result<(), String> {
     };
     for t in &targets {
         if !ALL_TARGETS.contains(&t.as_str()) {
-            return Err(format!("unknown bench target '{t}' (known: {})", ALL_TARGETS.join(", ")));
+            return Err(ServiceError::invalid(format!(
+                "unknown bench target '{t}' (known: {})",
+                ALL_TARGETS.join(", ")
+            )));
         }
     }
 
@@ -96,19 +102,25 @@ pub fn exec(args: &Args) -> Result<(), String> {
     // checks from that record, halving its bench time.
     let results = match args.opt_flag("from") {
         Some(path) => {
-            let file = load_baseline(Path::new(path))?
-                .ok_or_else(|| format!("--from: no baseline at {path}"))?;
-            file.runs.last().ok_or("--from: file holds no runs")?.results.clone()
+            let file = load_baseline(Path::new(path))
+                .map_err(ServiceError::failed)?
+                .ok_or_else(|| ServiceError::invalid(format!("--from: no baseline at {path}")))?;
+            file.runs
+                .last()
+                .ok_or_else(|| ServiceError::invalid("--from: file holds no runs"))?
+                .results
+                .clone()
         }
-        None => run_targets(&targets)?,
+        None => run_targets(&targets).map_err(ServiceError::failed)?,
     };
     match args.opt_flag("check") {
         Some(factor) => {
-            let factor: f64 =
-                factor.parse().map_err(|_| format!("--check: cannot parse '{factor}'"))?;
-            check_regressions(&out, &results, factor)
+            let factor: f64 = factor
+                .parse()
+                .map_err(|_| ServiceError::invalid(format!("--check: cannot parse '{factor}'")))?;
+            check_regressions(&out, &results, factor).map_err(ServiceError::failed)
         }
-        None => record_run(&out, label, targets, results),
+        None => record_run(&out, label, targets, results).map_err(ServiceError::failed),
     }
 }
 

@@ -1,17 +1,16 @@
 //! `ses experiment` — regenerate the paper's tables and figures.
 
 use crate::args::Args;
+use ses_core::error::ServiceError;
 use ses_datasets::params::table1;
 use ses_experiments::figures::{self, summary, ALL_FIGURES};
 use ses_experiments::ExperimentConfig;
 
 /// Executes the `experiment` subcommand.
-pub fn exec(args: &Args) -> Result<(), String> {
-    let which = args
-        .positional
-        .first()
-        .cloned()
-        .ok_or("experiment requires a figure id (fig5…fig10b, summary, params, all)")?;
+pub fn exec(args: &Args) -> Result<(), ServiceError> {
+    let which = args.positional.first().cloned().ok_or_else(|| {
+        ServiceError::invalid("experiment requires a figure id (fig5…fig10b, summary, params, all)")
+    })?;
 
     let mut config = ExperimentConfig::default()
         .with_users(args.num_flag("users", ExperimentConfig::default().num_users)?);
@@ -32,8 +31,9 @@ pub fn exec(args: &Args) -> Result<(), String> {
             let s = summary::run(config.num_users, 2);
             print!("{}", s.render());
             if let Some(path) = args.opt_flag("json") {
-                std::fs::write(path, serde_json::to_string_pretty(&s).map_err(|e| e.to_string())?)
-                    .map_err(|e| e.to_string())?;
+                let json = serde_json::to_string_pretty(&s)
+                    .map_err(|e| ServiceError::failed(e.to_string()))?;
+                std::fs::write(path, json)?;
             }
             Ok(())
         }
@@ -49,18 +49,23 @@ pub fn exec(args: &Args) -> Result<(), String> {
     }
 }
 
-fn run_one(id: &str, config: &ExperimentConfig, args: &Args) -> Result<(), String> {
-    let report = figures::run_figure(id, config)
-        .ok_or_else(|| format!("unknown figure '{id}' (try fig5…fig10b, summary, params, all)"))?;
+fn run_one(id: &str, config: &ExperimentConfig, args: &Args) -> Result<(), ServiceError> {
+    let report = figures::run_figure(id, config).ok_or_else(|| {
+        ServiceError::invalid(format!(
+            "unknown figure '{id}' (try fig5…fig10b, summary, params, all)"
+        ))
+    })?;
     print!("{}", report.render());
     if let Some(path) = args.opt_flag("json") {
         let path = suffixed(path, id, "json");
-        std::fs::write(&path, report.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        std::fs::write(&path, report.to_json())
+            .map_err(|e| ServiceError::Io { detail: format!("writing {path}: {e}") })?;
         eprintln!("wrote {path}");
     }
     if let Some(path) = args.opt_flag("csv") {
         let path = suffixed(path, id, "csv");
-        std::fs::write(&path, report.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
+        std::fs::write(&path, report.to_csv())
+            .map_err(|e| ServiceError::Io { detail: format!("writing {path}: {e}") })?;
         eprintln!("wrote {path}");
     }
     Ok(())

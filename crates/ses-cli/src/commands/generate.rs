@@ -3,15 +3,20 @@
 
 use crate::args::Args;
 use crate::commands::dataset_from_flags;
+use ses_core::error::ServiceError;
 
 /// Executes the `generate` subcommand.
-pub fn exec(args: &Args) -> Result<(), String> {
+pub fn exec(args: &Args) -> Result<(), ServiceError> {
     let (dataset, users, events, intervals, seed) = dataset_from_flags(args)?;
-    let out = args.opt_flag("out").ok_or("generate requires --out <path>")?.to_string();
+    let out = args
+        .opt_flag("out")
+        .ok_or_else(|| ServiceError::invalid("generate requires --out <path>"))?
+        .to_string();
 
     let inst = dataset.build(users, events, intervals, seed);
-    let json = serde_json::to_string(&inst).map_err(|e| e.to_string())?;
-    std::fs::write(&out, json).map_err(|e| format!("writing {out}: {e}"))?;
+    let json = serde_json::to_string(&inst).map_err(|e| ServiceError::failed(e.to_string()))?;
+    std::fs::write(&out, json)
+        .map_err(|e| ServiceError::Io { detail: format!("writing {out}: {e}") })?;
     eprintln!(
         "wrote {} ({} events, {} intervals, {} users, {} competing)",
         out,

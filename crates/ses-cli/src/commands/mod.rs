@@ -4,17 +4,20 @@ pub mod bench_baseline;
 pub mod experiment;
 pub mod generate;
 pub mod run;
+pub mod serve;
 pub mod stream;
 
 use crate::args::Args;
+use ses_core::error::ServiceError;
 use ses_datasets::Dataset;
 
 /// Shared flag handling: dataset + shape + seed.
 pub(crate) fn dataset_from_flags(
     args: &Args,
-) -> Result<(Dataset, usize, usize, usize, u64), String> {
+) -> Result<(Dataset, usize, usize, usize, u64), ServiceError> {
     let name = args.str_flag("dataset", "unf");
-    let dataset = Dataset::parse(&name).ok_or_else(|| format!("unknown dataset '{name}'"))?;
+    let dataset = Dataset::parse(&name)
+        .ok_or_else(|| ServiceError::invalid(format!("unknown dataset '{name}'")))?;
     let users = args.num_flag("users", 400usize)?;
     let events = args.num_flag("events", 200usize)?;
     let intervals = args.num_flag("intervals", 30usize)?;

@@ -1,14 +1,22 @@
 //! `ses run` — build one instance, run a lineup of schedulers, print a
 //! comparison table (optionally with the bound-first gate and a per-phase
 //! timing breakdown).
+//!
+//! A thin client of [`SesService`]: the lineup resolves through the
+//! service's [`SchedulerRegistry`] (no local name table) and every run
+//! reuses the service's warm per-scheduler scratch pools. Results are
+//! bit-identical to direct `run_configured` calls.
+//!
+//! [`SchedulerRegistry`]: ses_algorithms::SchedulerRegistry
 
 use crate::args::Args;
 use crate::commands::dataset_from_flags;
-use ses_algorithms::{RunConfig, SchedulerKind, Scratch};
+use ses_algorithms::{RunConfig, SesService};
+use ses_core::error::ServiceError;
 use ses_core::parallel::Threads;
 
 /// Executes the `run` subcommand.
-pub fn exec(args: &Args) -> Result<(), String> {
+pub fn exec(args: &Args) -> Result<(), ServiceError> {
     let (dataset, users, events, intervals, seed) = dataset_from_flags(args)?;
     let k = args.num_flag("k", 20usize)?;
     // Worker threads for the schedulers (0 = machine width, the default).
@@ -18,16 +26,6 @@ pub fn exec(args: &Args) -> Result<(), String> {
     let profile = args.switch("profile");
     let cfg = RunConfig::threaded(threads).with_bound_gate(gate).with_profile(profile);
 
-    let kinds: Vec<SchedulerKind> = match args.opt_flag("algorithms") {
-        None => SchedulerKind::paper_lineup().to_vec(),
-        Some(spec) => spec
-            .split(',')
-            .map(|s| {
-                SchedulerKind::parse(s.trim()).ok_or_else(|| format!("unknown algorithm '{s}'"))
-            })
-            .collect::<Result<_, _>>()?,
-    };
-
     eprintln!(
         "# dataset={} |U|={users} |E|={events} |T|={intervals} k={k} seed={seed} threads={threads}\
          {}{}",
@@ -36,16 +34,32 @@ pub fn exec(args: &Args) -> Result<(), String> {
         if profile { " profile=on" } else { "" },
     );
     let inst = dataset.build(users, events, intervals, seed);
+    // One service for the whole lineup: the registry resolves names and the
+    // per-scheduler scratch pools make repeat runs allocation-free.
+    let mut service = SesService::new(inst).with_threads(threads);
+
+    // Canonical `&'static str` names outlive the registry borrow, so the
+    // lineup costs no allocation per name.
+    let lineup: Vec<&'static str> = match args.opt_flag("algorithms") {
+        None => {
+            let reg = service.registry();
+            reg.paper_indices().into_iter().map(|i| reg.name(i)).collect()
+        }
+        Some(spec) => {
+            let reg = service.registry();
+            spec.split(',')
+                // Resolve eagerly so a typo fails (exit 2) before any run.
+                .map(|s| reg.resolve(s.trim()).map(|i| reg.name(i)))
+                .collect::<Result<_, _>>()?
+        }
+    };
 
     println!(
         "{:>8} {:>14} {:>10} {:>16} {:>14} {:>12} {:>10} {:>10}",
         "method", "utility", "|S|", "computations", "examined", "updates", "skips", "time"
     );
-    // One scratch for the whole lineup: after the first scheduler the
-    // candidate tables and lists are reused, not re-allocated.
-    let mut scratch = Scratch::new();
-    for kind in kinds {
-        let res = kind.run_configured(&inst, k, cfg, &mut scratch);
+    for name in &lineup {
+        let res = service.schedule(name, k, cfg)?;
         println!(
             "{:>8} {:>14.4} {:>10} {:>16} {:>14} {:>12} {:>10} {:>9.1}ms",
             res.algorithm,

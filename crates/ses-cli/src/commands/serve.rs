@@ -1,0 +1,61 @@
+//! `ses serve` — run the process as a long-lived session service.
+//!
+//! Builds one instance from the dataset flags, then answers the versioned
+//! JSON-lines protocol on stdio: one `{"v":1,"req":{...}}` request per
+//! stdin line, one `{"v":1,"resp":{...}}` response per stdout line.
+//! Blank lines and `#` comments are skipped (so request scripts can be
+//! annotated), malformed lines come back as `Error` responses without
+//! ending the session, and EOF ends the process with exit 0.
+//!
+//! All diagnostics go to **stderr** — stdout carries nothing but response
+//! lines, which is what makes `ses serve < script | diff - golden` a
+//! meaningful byte comparison.
+
+use crate::args::Args;
+use crate::commands::dataset_from_flags;
+use ses_algorithms::SesService;
+use ses_core::error::{ServiceError, SERVICE_PROTOCOL_VERSION};
+use ses_core::parallel::Threads;
+use std::io::{BufRead, Write};
+
+/// Executes the `serve` subcommand.
+pub fn exec(args: &Args) -> Result<(), ServiceError> {
+    let (dataset, users, events, intervals, seed) = dataset_from_flags(args)?;
+    // No --threads flag = the ambient default (SES_THREADS or sequential),
+    // so a thread-matrix CI can exercise the server at several widths —
+    // responses are bit-identical for every count.
+    let threads = match args.opt_flag("threads") {
+        Some(_) => Threads::new(args.num_flag("threads", 0usize)?),
+        None => Threads::default(),
+    };
+
+    let inst = dataset.build(users, events, intervals, seed);
+    let mut service = SesService::new(inst).with_threads(threads);
+    eprintln!(
+        "# ses serve: protocol v{SERVICE_PROTOCOL_VERSION}, dataset={} |U|={users} |E|={events} \
+         |T|={intervals} seed={seed} threads={threads} — one JSON request per line, EOF ends",
+        dataset.name(),
+    );
+
+    let stdin = std::io::stdin().lock();
+    let mut stdout = std::io::stdout().lock();
+    // Counts every answered line — including ones that failed wire
+    // decoding, which `service.requests_handled()` does not see.
+    let mut answered = 0u64;
+    for line in stdin.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let response = service.handle_line(trimmed);
+        writeln!(stdout, "{response}")?;
+        stdout.flush()?;
+        answered += 1;
+    }
+    eprintln!(
+        "# ses serve: EOF after {answered} request lines ({} ops applied)",
+        service.ops_applied()
+    );
+    Ok(())
+}

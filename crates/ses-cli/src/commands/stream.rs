@@ -1,17 +1,24 @@
 //! `ses stream` — replay a seeded delta-op stream with incremental repair
 //! and compare its work against a full recompute per op.
+//!
+//! The incremental side is a thin client of [`SesService`]: one `Repair`
+//! request arms the warm repairer, then every op flows through
+//! `apply_ops`. The per-op full recompute stays a direct cold
+//! [`StreamScheduler`] build — it is the measurement baseline, not part of
+//! the session.
 
 use crate::args::Args;
 use crate::commands::dataset_from_flags;
 use ses_algorithms::stream::StreamScheduler;
-use ses_algorithms::SchedulerKind;
+use ses_algorithms::{RunConfig, SchedulerKind, SesService};
 use ses_core::delta;
+use ses_core::error::ServiceError;
 use ses_core::parallel::Threads;
 use ses_core::stats::Stats;
 use ses_datasets::ops::{self, OpStreamParams};
 
 /// Executes the `stream` subcommand.
-pub fn exec(args: &Args) -> Result<(), String> {
+pub fn exec(args: &Args) -> Result<(), ServiceError> {
     let (dataset, users, events, intervals, seed) = dataset_from_flags(args)?;
     let k = args.num_flag("k", 20usize)?;
     let num_ops = args.num_flag("ops", 50usize)?;
@@ -22,7 +29,7 @@ pub fn exec(args: &Args) -> Result<(), String> {
     let quiet = args.switch("quiet");
     for (name, v) in [("churn", churn), ("user-churn", user_churn)] {
         if !(0.0..=1.0).contains(&v) {
-            return Err(format!("flag --{name}: {v} is not within [0, 1]"));
+            return Err(ServiceError::invalid(format!("flag --{name}: {v} is not within [0, 1]")));
         }
     }
 
@@ -39,12 +46,11 @@ pub fn exec(args: &Args) -> Result<(), String> {
          ops={num_ops} churn={churn} user-churn={user_churn} threads={threads}",
         dataset.name()
     );
-    let mut stream = StreamScheduler::new(base.clone(), k, threads);
+    let mut service = SesService::new(base.clone()).with_threads(threads);
+    let cold = service.repair(k, RunConfig::threaded(threads))?;
     eprintln!(
         "# cold build: {} cells scored, {} user-ops, utility {:.4}",
-        stream.last_repair().rescored,
-        stream.last_repair().stats.user_ops,
-        stream.utility()
+        cold.report.rescored, cold.report.stats.user_ops, cold.report.utility
     );
 
     if !quiet {
@@ -68,8 +74,16 @@ pub fn exec(args: &Args) -> Result<(), String> {
     let mut repair_ms = 0.0;
     let mut rebuild_ms = 0.0;
     for (i, op) in stream_ops.iter().enumerate() {
-        delta::apply(&mut mat, op).map_err(|e| format!("op {i}: {e}"))?;
-        let rep = stream.apply(op).map_err(|e| format!("op {i}: {e}"))?.clone();
+        delta::apply(&mut mat, op).map_err(|e| ServiceError::delta(i, e))?;
+        let rep = service
+            .apply_ops(std::slice::from_ref(op))
+            .map_err(|e| match e {
+                // Re-index the single-op batch error to the stream position.
+                ServiceError::Delta { source, .. } => ServiceError::delta(i, source),
+                other => other,
+            })?
+            .pop()
+            .expect("one repair report per applied op");
         let cold = StreamScheduler::new(mat.clone(), k, threads);
         repair += rep.stats;
         repair_ms += rep.time_ms;
@@ -77,16 +91,18 @@ pub fn exec(args: &Args) -> Result<(), String> {
         rebuild_ms += cold.last_repair().time_ms;
         if verify {
             let inc = SchedulerKind::Inc.run_threaded(&mat, k, threads);
-            if inc.schedule.assignments() != stream.schedule().assignments()
-                || inc.utility.to_bits() != stream.utility().to_bits()
+            let repaired = service.current_schedule().expect("warm service has a schedule");
+            let utility = service.current_utility().expect("warm service has a utility");
+            if inc.schedule.assignments() != repaired.assignments()
+                || inc.utility.to_bits() != utility.to_bits()
             {
-                return Err(format!(
+                return Err(ServiceError::failed(format!(
                     "op {i} ({}): incremental repair diverged from INC recompute \
                      (utility {} vs {})",
                     op.kind(),
-                    stream.utility(),
+                    utility,
                     inc.utility
-                ));
+                )));
             }
         }
         if !quiet {
@@ -123,10 +139,10 @@ pub fn exec(args: &Args) -> Result<(), String> {
     );
     println!(
         "# final: |E|={} |U|={} |S|={} utility={:.4}{}",
-        stream.instance().num_events(),
-        stream.instance().num_users(),
-        stream.schedule().len(),
-        stream.utility(),
+        service.instance().num_events(),
+        service.instance().num_users(),
+        service.current_schedule().map_or(0, |s| s.len()),
+        service.current_utility().unwrap_or(0.0),
         if verify { " — verified against INC recompute at every op" } else { "" }
     );
     Ok(())

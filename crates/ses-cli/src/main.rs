@@ -12,6 +12,8 @@
 //!                [--verify] [--quiet]
 //! ses generate   --dataset <...> [--users N] [--events N] [--intervals N] [--seed S]
 //!                --out instance.json
+//! ses serve      --dataset <...> [--users N] [--events N] [--intervals N] [--seed S]
+//!                [--threads N]
 //! ses help
 //! ```
 //!
@@ -25,7 +27,19 @@ mod args;
 mod commands;
 
 use args::Args;
+use ses_core::error::ServiceError;
 use std::process::ExitCode;
+
+/// Exit codes follow the common CLI convention: `2` for usage errors (bad
+/// flags, unknown subcommands/algorithms — the caller's mistake), `1` for
+/// runtime failures. [`ServiceError::is_usage`] is the single classifier.
+fn exit_code(e: &ServiceError) -> ExitCode {
+    if e.is_usage() {
+        ExitCode::from(2)
+    } else {
+        ExitCode::FAILURE
+    }
+}
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)).and_then(|a| {
@@ -35,7 +49,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            return exit_code(&e);
         }
     };
 
@@ -44,19 +58,20 @@ fn main() -> ExitCode {
         "experiment" => commands::experiment::exec(&args),
         "generate" => commands::generate::exec(&args),
         "stream" => commands::stream::exec(&args),
+        "serve" => commands::serve::exec(&args),
         "bench-baseline" => commands::bench_baseline::exec(&args),
         "" | "help" => {
             print!("{HELP}");
             Ok(())
         }
-        other => Err(format!("unknown command '{other}' (try `ses help`)")),
+        other => Err(ServiceError::invalid(format!("unknown command '{other}' (try `ses help`)"))),
     };
 
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            exit_code(&e)
         }
     }
 }
@@ -77,6 +92,8 @@ USAGE:
                  [--threads N] [--verify] [--quiet]
   ses generate   --dataset <...> [--users N] [--events N] [--intervals N]
                  [--seed S] --out instance.json
+  ses serve      --dataset <...> [--users N] [--events N] [--intervals N]
+                 [--seed S] [--threads N]
   ses bench-baseline [--targets micro_scoring,...] [--out BENCH_BASELINE.json]
                  [--label NOTE] [--check FACTOR] [--from RUN.json]
   ses help
@@ -103,6 +120,17 @@ on a > FACTOR x regression (the CI perf-smoke gate).
 scheduler and prints its work next to a per-op full recompute;
 `--verify` additionally checks every repaired schedule against an INC
 recompute, bit for bit.
+
+`serve` turns the process into a long-lived session: one JSON request
+per stdin line (protocol v1: {\"v\":1,\"req\":{...}}), one JSON response
+per stdout line. The session keeps warm state across requests —
+per-scheduler scratch pools and the incremental repairer's caches — and
+answers Schedule / ApplyOps / Repair / Query / Snapshot / Reset.
+Responses carry no wall-clock fields, so a seeded request script always
+produces a byte-identical response log (see scripts/serve-smoke.jsonl).
+
+Exit codes: 0 success, 1 runtime failure, 2 usage error (bad flag or
+unknown subcommand/algorithm).
 
 EXAMPLES:
   ses run --dataset zip --k 50 --users 1000 --threads 4

@@ -1,0 +1,179 @@
+//! End-to-end tests of the `ses` binary surface added by the service PR:
+//! the `serve` golden transcript (byte-compared) and the exit-code
+//! contract (0 success / 1 runtime failure / 2 usage error).
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
+}
+
+fn ses() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ses"))
+}
+
+/// Pipes `scripts/serve-smoke.jsonl` through `ses serve` and byte-compares
+/// the response log against the committed golden transcript. Responses
+/// carry no wall-clock fields and are bit-identical across thread counts,
+/// so this holds under any `SES_THREADS` (CI runs it at 1 and 4).
+#[test]
+fn serve_round_trips_the_golden_transcript() {
+    let root = repo_root();
+    let script = std::fs::read_to_string(root.join("scripts/serve-smoke.jsonl")).unwrap();
+    let golden = std::fs::read_to_string(root.join("tests/golden/serve_smoke.jsonl")).unwrap();
+
+    let mut child = ses()
+        .args([
+            "serve",
+            "--dataset",
+            "unf",
+            "--users",
+            "40",
+            "--events",
+            "12",
+            "--intervals",
+            "6",
+            "--seed",
+            "1509",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn ses serve");
+    child.stdin.take().unwrap().write_all(script.as_bytes()).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "serve exited {:?}", out.status);
+
+    let got = String::from_utf8(out.stdout).expect("responses are UTF-8");
+    assert_eq!(
+        got, golden,
+        "serve responses diverged from tests/golden/serve_smoke.jsonl — if the protocol \
+         changed intentionally, regenerate the golden with the command at the top of the script"
+    );
+}
+
+/// A second session over the same script must produce the same bytes —
+/// the transcript is deterministic, not merely pinned.
+#[test]
+fn serve_is_deterministic_across_sessions() {
+    let root = repo_root();
+    let script = std::fs::read_to_string(root.join("scripts/serve-smoke.jsonl")).unwrap();
+    let run = || {
+        let mut child = ses()
+            .args([
+                "serve",
+                "--dataset",
+                "unf",
+                "--users",
+                "40",
+                "--events",
+                "12",
+                "--intervals",
+                "6",
+                "--seed",
+                "1509",
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap();
+        child.stdin.take().unwrap().write_all(script.as_bytes()).unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert!(out.status.success());
+        out.stdout
+    };
+    assert_eq!(run(), run());
+}
+
+fn exit_code(args: &[&str]) -> i32 {
+    ses()
+        .args(args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .unwrap()
+        .code()
+        .expect("no signal")
+}
+
+/// Usage errors — the caller's mistake — exit 2, distinguishable from the
+/// exit-1 runtime failures.
+#[test]
+fn usage_errors_exit_2() {
+    // Typoed flag (caught by the per-subcommand whitelist).
+    assert_eq!(exit_code(&["run", "--usrs", "5"]), 2);
+    // Unknown subcommand.
+    assert_eq!(exit_code(&["frobnicate"]), 2);
+    // Unparseable flag value.
+    assert_eq!(exit_code(&["run", "--k", "banana"]), 2);
+    // Unknown dataset / algorithm resolve before any work runs.
+    assert_eq!(exit_code(&["run", "--dataset", "nope"]), 2);
+    assert_eq!(
+        exit_code(&[
+            "run",
+            "--dataset",
+            "unf",
+            "--users",
+            "10",
+            "--events",
+            "4",
+            "--intervals",
+            "2",
+            "--algorithms",
+            "XYZ",
+        ]),
+        2
+    );
+    // Missing required argument.
+    assert_eq!(exit_code(&["generate", "--dataset", "unf"]), 2);
+}
+
+/// Runtime failures keep exiting 1.
+#[test]
+fn runtime_failures_exit_1() {
+    assert_eq!(
+        exit_code(&[
+            "generate",
+            "--dataset",
+            "unf",
+            "--users",
+            "5",
+            "--events",
+            "3",
+            "--intervals",
+            "2",
+            "--out",
+            "/nonexistent-dir/x.json",
+        ]),
+        1
+    );
+}
+
+/// The happy paths still exit 0 (run is also a service client now).
+#[test]
+fn success_exits_0() {
+    assert_eq!(
+        exit_code(&[
+            "run",
+            "--dataset",
+            "unf",
+            "--users",
+            "20",
+            "--events",
+            "6",
+            "--intervals",
+            "3",
+            "--k",
+            "3",
+            "--threads",
+            "1",
+        ]),
+        0
+    );
+    assert_eq!(exit_code(&["help"]), 0);
+}

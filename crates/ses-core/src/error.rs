@@ -240,6 +240,183 @@ impl fmt::Display for DeltaError {
 
 impl std::error::Error for DeltaError {}
 
+/// The wire protocol version the service speaks (see
+/// `ses_algorithms::service::wire`).
+pub const SERVICE_PROTOCOL_VERSION: u64 = 1;
+
+/// The unified error surface of the long-lived service API (and of the
+/// `ses` CLI, which routes every failure through it so exit codes and
+/// messages stay consistent).
+///
+/// Every failure a request can hit maps to one typed variant: the three
+/// domain errors ([`BuildError`], [`ScheduleError`], [`DeltaError`]) are
+/// wrapped, and the service/CLI-specific conditions (unknown names, bad
+/// arguments, protocol violations, I/O) get variants of their own —
+/// replacing the ad-hoc `String` errors the CLI used to thread around.
+///
+/// [`code`](Self::code) gives each variant a stable machine-readable tag
+/// (the wire protocol's `Error` responses carry `{code, message}`), and
+/// [`is_usage`](Self::is_usage) classifies the caller-mistake subset the
+/// CLI reports with exit code 2 instead of 1.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// Instance construction or validation failed.
+    Build(BuildError),
+    /// A schedule mutation was infeasible.
+    Schedule(ScheduleError),
+    /// A delta op was rejected. `op_index` locates it within the submitted
+    /// batch; ops before it were already applied (ops apply one at a time,
+    /// each atomically).
+    Delta {
+        /// Position of the failing op in the request's batch.
+        op_index: usize,
+        /// The underlying rejection.
+        source: DeltaError,
+    },
+    /// A scheduler name did not resolve against the registry.
+    UnknownAlgorithm {
+        /// The unresolvable name.
+        name: String,
+        /// The canonical names the registry does know.
+        known: Vec<&'static str>,
+    },
+    /// An entity index (event/interval/user) was outside the instance.
+    OutOfRange {
+        /// What kind of entity was looked up.
+        what: &'static str,
+        /// The out-of-range index.
+        index: usize,
+        /// Current number of entities of that kind.
+        len: usize,
+    },
+    /// A command-line argument or request parameter was malformed — the
+    /// caller-mistake class the CLI exits 2 on.
+    InvalidArgument {
+        /// Human-readable description of the problem.
+        detail: String,
+    },
+    /// A wire envelope declared a protocol version this build cannot serve.
+    UnsupportedVersion {
+        /// The version the envelope declared.
+        got: u64,
+        /// The version this build speaks.
+        supported: u64,
+    },
+    /// A wire line was not a well-formed request envelope.
+    Protocol {
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// An operating-system I/O failure (file write, pipe, …).
+    Io {
+        /// The rendered I/O error.
+        detail: String,
+    },
+    /// A runtime failure that is not a caller mistake (verification
+    /// divergence, regression-gate trip, …).
+    Failed {
+        /// What failed.
+        detail: String,
+    },
+}
+
+impl ServiceError {
+    /// Builds the [`Delta`](Self::Delta) variant for the op at `op_index`.
+    pub fn delta(op_index: usize, source: DeltaError) -> Self {
+        Self::Delta { op_index, source }
+    }
+
+    /// Convenience constructor for [`InvalidArgument`](Self::InvalidArgument).
+    pub fn invalid(detail: impl Into<String>) -> Self {
+        Self::InvalidArgument { detail: detail.into() }
+    }
+
+    /// Convenience constructor for [`Failed`](Self::Failed).
+    pub fn failed(detail: impl Into<String>) -> Self {
+        Self::Failed { detail: detail.into() }
+    }
+
+    /// Convenience constructor for [`Protocol`](Self::Protocol).
+    pub fn protocol(detail: impl Into<String>) -> Self {
+        Self::Protocol { detail: detail.into() }
+    }
+
+    /// Stable machine-readable tag, carried by wire `Error` responses.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Self::Build(_) => "build",
+            Self::Schedule(_) => "schedule",
+            Self::Delta { .. } => "delta",
+            Self::UnknownAlgorithm { .. } => "unknown-algorithm",
+            Self::OutOfRange { .. } => "out-of-range",
+            Self::InvalidArgument { .. } => "invalid-argument",
+            Self::UnsupportedVersion { .. } => "unsupported-version",
+            Self::Protocol { .. } => "protocol",
+            Self::Io { .. } => "io",
+            Self::Failed { .. } => "failed",
+        }
+    }
+
+    /// Whether this is a caller mistake (bad argument / unknown name) as
+    /// opposed to a runtime failure. The CLI maps usage errors to exit
+    /// code 2 and everything else to exit code 1.
+    pub fn is_usage(&self) -> bool {
+        matches!(self, Self::InvalidArgument { .. } | Self::UnknownAlgorithm { .. })
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Build(e) => write!(f, "instance error: {e}"),
+            Self::Schedule(e) => write!(f, "schedule error: {e}"),
+            Self::Delta { op_index, source } => write!(f, "op {op_index}: {source}"),
+            Self::UnknownAlgorithm { name, known } => {
+                write!(f, "unknown algorithm '{name}' (known: {})", known.join(", "))
+            }
+            Self::OutOfRange { what, index, len } => {
+                write!(f, "{what} {index} does not exist (instance has {len})")
+            }
+            Self::InvalidArgument { detail } => write!(f, "{detail}"),
+            Self::UnsupportedVersion { got, supported } => {
+                write!(f, "unsupported protocol version {got} (this build speaks v{supported})")
+            }
+            Self::Protocol { detail } => write!(f, "malformed request: {detail}"),
+            Self::Io { detail } => write!(f, "I/O error: {detail}"),
+            Self::Failed { detail } => write!(f, "{detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Build(e) => Some(e),
+            Self::Schedule(e) => Some(e),
+            Self::Delta { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuildError> for ServiceError {
+    fn from(e: BuildError) -> Self {
+        Self::Build(e)
+    }
+}
+
+impl From<ScheduleError> for ServiceError {
+    fn from(e: ScheduleError) -> Self {
+        Self::Schedule(e)
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io { detail: e.to_string() }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,5 +441,51 @@ mod tests {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&BuildError::EmptyDimension("users"));
         takes_err(&ScheduleError::EventNotScheduled(EventId::new(0)));
+        takes_err(&ServiceError::failed("x"));
+    }
+
+    #[test]
+    fn service_error_wraps_domain_errors_with_sources() {
+        use std::error::Error as _;
+        let e: ServiceError = BuildError::EmptyDimension("users").into();
+        assert_eq!(e.code(), "build");
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("no users"));
+
+        let e = ServiceError::delta(3, DeltaError::UnknownUser { user: 9, num_users: 2 });
+        assert_eq!(e.code(), "delta");
+        assert!(e.to_string().contains("op 3"));
+        assert!(e.to_string().contains("user 9"));
+    }
+
+    #[test]
+    fn usage_classification_drives_exit_codes() {
+        assert!(ServiceError::invalid("bad flag").is_usage());
+        assert!(
+            ServiceError::UnknownAlgorithm { name: "XYZ".into(), known: vec!["ALG"] }.is_usage()
+        );
+        assert!(!ServiceError::failed("verify diverged").is_usage());
+        assert!(!ServiceError::Io { detail: "broken pipe".into() }.is_usage());
+        assert!(!ServiceError::UnsupportedVersion { got: 9, supported: 1 }.is_usage());
+    }
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let all = [
+            ServiceError::Build(BuildError::EmptyDimension("users")).code(),
+            ServiceError::Schedule(ScheduleError::EventNotScheduled(EventId::new(0))).code(),
+            ServiceError::delta(0, DeltaError::UnsortedUsers).code(),
+            ServiceError::UnknownAlgorithm { name: String::new(), known: vec![] }.code(),
+            ServiceError::OutOfRange { what: "event", index: 0, len: 0 }.code(),
+            ServiceError::invalid("").code(),
+            ServiceError::UnsupportedVersion { got: 0, supported: 1 }.code(),
+            ServiceError::protocol("").code(),
+            ServiceError::Io { detail: String::new() }.code(),
+            ServiceError::failed("").code(),
+        ];
+        let mut dedup = all.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len(), "codes must be distinct");
     }
 }

@@ -59,7 +59,7 @@ pub mod scoring;
 pub mod stats;
 
 pub use delta::{DeltaEffect, DeltaOp, NewUser};
-pub use error::{BuildError, DeltaError, ScheduleError};
+pub use error::{BuildError, DeltaError, ScheduleError, ServiceError};
 pub use ids::{CompetingEventId, EventId, IntervalId, LocationId, UserId};
 pub use model::Instance;
 pub use parallel::Threads;

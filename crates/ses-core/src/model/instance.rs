@@ -71,6 +71,22 @@ impl Instance {
         }
     }
 
+    /// Whether the instance carries per-user weights (the weighted-SES
+    /// extension; unweighted instances treat every user as weight 1).
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        self.user_weights.is_some()
+    }
+
+    /// Number of *distinct* locations referenced by the candidate events —
+    /// the `|L|` a service snapshot reports.
+    pub fn num_locations(&self) -> usize {
+        let mut locs: Vec<usize> = self.events.iter().map(|e| e.location.index()).collect();
+        locs.sort_unstable();
+        locs.dedup();
+        locs.len()
+    }
+
     /// The competing events pinned to interval `t` (the paper's `C_t`).
     pub fn competing_at(&self, t: IntervalId) -> impl Iterator<Item = CompetingEventId> + '_ {
         self.competing

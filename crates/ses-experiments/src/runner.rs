@@ -3,7 +3,7 @@
 
 use crate::report::RunRecord;
 use serde::{Deserialize, Serialize};
-use ses_algorithms::SchedulerKind;
+use ses_algorithms::{RunConfig, SchedulerKind, SesService};
 use ses_core::model::Instance;
 use ses_core::parallel::{par_chunks_mut, Threads};
 
@@ -143,6 +143,15 @@ pub fn run_lineup(
 
 /// [`run_lineup`] with an explicit per-scheduler thread count (used by
 /// parallel sweeps to pin each row to one thread).
+///
+/// The lineup is a thin client of the session service: one [`SesService`]
+/// per call owns the warm scratch pools, so the schedulers after the first
+/// run allocation-free. Records are bit-identical to direct
+/// `run_configured` calls (the service contract, enforced by
+/// `tests/service_equivalence.rs`). The service owns its instance, so each
+/// row pays one `Instance` clone — `O(|U|·|E|)`, dwarfed by the lineup's
+/// `|T|`-factor scoring sweeps over the same matrices — in exchange for
+/// the single code path every entry point now shares.
 #[allow(clippy::too_many_arguments)]
 pub fn run_lineup_threaded(
     figure: &str,
@@ -154,14 +163,15 @@ pub fn run_lineup_threaded(
     kinds: &[SchedulerKind],
     threads: Threads,
 ) -> Vec<RunRecord> {
+    let mut service = SesService::new(inst.clone()).with_threads(threads);
     kinds
         .iter()
         .map(|kind| {
-            let res = kind.run_threaded(inst, k, threads);
+            let res = service.schedule_kind(*kind, k, RunConfig::threaded(threads));
             RunRecord {
                 figure: figure.to_string(),
                 dataset: dataset.to_string(),
-                algorithm: res.algorithm.clone(),
+                algorithm: res.algorithm.to_string(),
                 x_label: x_label.to_string(),
                 x,
                 k,
@@ -196,16 +206,11 @@ where
     slots.into_iter().flatten().collect()
 }
 
-/// The paper's standard method lineup for time/computation plots.
+/// The paper's standard method lineup for time/computation plots —
+/// delegates to the single canonical table ([`SchedulerKind::paper_lineup`])
+/// instead of keeping a duplicate list.
 pub fn standard_kinds() -> Vec<SchedulerKind> {
-    vec![
-        SchedulerKind::Alg,
-        SchedulerKind::Inc,
-        SchedulerKind::Hor,
-        SchedulerKind::HorI,
-        SchedulerKind::Top,
-        SchedulerKind::Rand(0),
-    ]
+    SchedulerKind::paper_lineup().to_vec()
 }
 
 #[cfg(test)]

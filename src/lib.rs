@@ -8,6 +8,11 @@
 //!   generators over the paper's Table-1 parameter space;
 //! * [`experiments`](ses_experiments) — harness regenerating every figure.
 //!
+//! The embeddable entry point is [`SesService`] (also served over stdio by
+//! `ses serve`): a long-lived session owning a live instance, the
+//! scheduler registry, and all warm state, answering the typed
+//! [`Request`]/[`Response`] protocol.
+//!
 //! See `examples/quickstart.rs` for a guided tour, and DESIGN.md /
 //! EXPERIMENTS.md at the repository root for the system inventory and the
 //! paper-vs-measured record.
@@ -20,4 +25,6 @@ pub use ses_datasets as datasets;
 pub use ses_experiments as experiments;
 
 pub use ses_algorithms::prelude::*;
-pub use ses_core::{Assignment, EventId, Instance, IntervalId, LocationId, Schedule, Stats};
+pub use ses_core::{
+    Assignment, EventId, Instance, IntervalId, LocationId, Schedule, ServiceError, Stats,
+};

@@ -17,7 +17,7 @@
 //! (dense columns span ≥ 2 blocks), so the parallel summation path really
 //! executes rather than degenerating to the single-block fast path.
 
-use social_event_scheduling::algorithms::SchedulerKind;
+use social_event_scheduling::algorithms::{SchedulerKind, SchedulerRegistry};
 use social_event_scheduling::core::parallel::{Threads, PAR_BLOCK};
 use social_event_scheduling::datasets::Dataset;
 use social_event_scheduling::Instance;
@@ -61,18 +61,28 @@ const SHAPES: [(usize, usize, usize); 2] = [
 
 #[test]
 fn all_schedulers_bit_identical_across_thread_counts() {
-    let kinds = [
-        SchedulerKind::Alg,
-        SchedulerKind::Inc,
-        SchedulerKind::Hor,
-        SchedulerKind::HorI,
-        SchedulerKind::Top,
-    ];
+    // The registry is the canonical scheduler table; this test takes every
+    // entry except EXACT (covered on a tractable shape below) and the
+    // aux/extension schedulers (covered on one instance below).
+    let kinds: Vec<SchedulerKind> = SchedulerRegistry::standard()
+        .kinds()
+        .into_iter()
+        .filter(|k| {
+            !matches!(
+                k,
+                SchedulerKind::Exact
+                    | SchedulerKind::Lazy
+                    | SchedulerKind::RefinedHor
+                    | SchedulerKind::Rand(_)
+            )
+        })
+        .collect();
+    assert_eq!(kinds.len(), 5, "registry lost a paper scheduler");
     for dataset in Dataset::ALL {
         for (i, &(k, events, intervals)) in SHAPES.iter().enumerate() {
             let inst = dataset.build(USERS, events, intervals, 0x9A8 + i as u64);
             let label = format!("{}#{i}", dataset.name());
-            for kind in kinds {
+            for &kind in &kinds {
                 assert_bit_identical(kind, &inst, k, &label);
             }
         }
