@@ -12,6 +12,19 @@
 //! assignment is at most that event's best *initial* score, so
 //! `current + Σ (top remaining initial bounds) ≤ incumbent` prunes the
 //! subtree.
+//!
+//! ## Constraints
+//!
+//! Scenario constraints (`ses_core::constraints`) are enforced through the
+//! same `is_valid_assignment` gate every scheduler uses, and the search stays
+//! **complete** over the constrained space because all three rule families
+//! are downward-closed and order-independent: every prefix of a feasible
+//! schedule is feasible, so id-order skip-or-assign enumeration still visits
+//! every feasible schedule. `optimistic_remaining` stays a sound bound —
+//! constraints only *remove* options, never increase a gain. On top of
+//! that, the search prunes constraint-specific dead branches: when an
+//! already-scheduled conflict partner rules an event out entirely, all `|T|`
+//! assign branches are skipped in one check instead of failing one by one.
 
 use crate::common::{timed_result, RunConfig, ScheduleResult, Scheduler, Scratch};
 use ses_core::model::Instance;
@@ -54,6 +67,16 @@ struct Search<'a, 'b> {
 }
 
 impl Search<'_, '_> {
+    /// Whether a scheduled conflict partner makes `event` unassignable at
+    /// every interval. Sound to skip the whole assign loop: conflicts are
+    /// interval-independent, so one scheduled partner kills all branches.
+    fn conflict_blocked(&self, event: EventId) -> bool {
+        self.inst.constraints.conflicts().iter().any(|p| {
+            (p.a == event && self.schedule.is_scheduled(p.b))
+                || (p.b == event && self.schedule.is_scheduled(p.a))
+        })
+    }
+
     /// Upper bound on the extra utility attainable from events `from..`.
     fn optimistic_remaining(&self, from: usize) -> f64 {
         let slots = self.k - self.schedule.len();
@@ -75,18 +98,22 @@ impl Search<'_, '_> {
         }
 
         let event = EventId::new(next_event);
-        // Branch 1: assign `event` to each feasible interval.
-        for t in 0..self.inst.num_intervals() {
-            let interval = IntervalId::new(t);
-            if !self.schedule.is_valid_assignment(self.inst, event, interval) {
-                continue;
+        // Branch 1: assign `event` to each feasible interval — unless a
+        // scheduled conflict partner rules the event out at *every*
+        // interval, in which case all |T| branches die in one check.
+        if !self.conflict_blocked(event) {
+            for t in 0..self.inst.num_intervals() {
+                let interval = IntervalId::new(t);
+                if !self.schedule.is_valid_assignment(self.inst, event, interval) {
+                    continue;
+                }
+                let gain = self.engine.assignment_score(event, interval);
+                self.schedule.assign(self.inst, event, interval).expect("checked valid");
+                self.engine.apply(event, interval);
+                self.dfs(next_event + 1, current_utility + gain);
+                self.engine.unapply(event, interval);
+                self.schedule.unassign(self.inst, event).expect("just assigned");
             }
-            let gain = self.engine.assignment_score(event, interval);
-            self.schedule.assign(self.inst, event, interval).expect("checked valid");
-            self.engine.apply(event, interval);
-            self.dfs(next_event + 1, current_utility + gain);
-            self.engine.unapply(event, interval);
-            self.schedule.unassign(self.inst, event).expect("just assigned");
         }
         // Branch 2: skip `event`.
         self.dfs(next_event + 1, current_utility);
@@ -180,6 +207,44 @@ mod tests {
         let inst = running_example();
         for k in 0..=4 {
             assert!(Exact.run(&inst, k).schedule.len() <= k);
+        }
+    }
+
+    /// Constrained EXACT stays the optimality oracle: its schedules respect
+    /// the constraints, never beat the unconstrained optimum, and still
+    /// dominate constrained greedy runs.
+    #[test]
+    fn constrained_search_respects_rules_and_dominates_greedy() {
+        use ses_core::constraints::ConstraintSet;
+        use ses_core::{EventId, LocationId};
+
+        let unconstrained = running_example();
+        let free_opt = Exact.run(&unconstrained, 3).utility;
+
+        let mut inst = running_example();
+        let mut cs = ConstraintSet::new();
+        cs.add_conflict(EventId::new(0), EventId::new(3)); // e1 – e4 exclusive
+        cs.add_precedence(EventId::new(2), EventId::new(1)); // e3 before e2
+        cs.set_venue_capacity(LocationId::new(0), 1); // Stage 1: one slot
+        inst.constraints = cs;
+        assert!(inst.validate().is_ok());
+
+        let exact = Exact.run(&inst, 3);
+        exact.schedule.verify_feasible(&inst).expect("EXACT emitted an infeasible schedule");
+        let scheduled = |i: usize| exact.schedule.is_scheduled(EventId::new(i));
+        assert!(!(scheduled(0) && scheduled(3)), "conflict e1–e4 violated");
+        assert!(exact.utility <= free_opt + 1e-12, "constraints cannot raise the optimum");
+        assert!(exact.utility > 0.0);
+
+        for res in [Alg.run(&inst, 3), Hor.run(&inst, 3)] {
+            res.schedule.verify_feasible(&inst).expect("greedy emitted an infeasible schedule");
+            assert!(
+                res.utility <= exact.utility + 1e-9,
+                "{} beat constrained EXACT ({} > {})",
+                res.algorithm,
+                res.utility,
+                exact.utility
+            );
         }
     }
 }

@@ -74,6 +74,12 @@ pub enum Request {
         /// Opt-in per-phase engine profiling.
         #[serde(default)]
         profile: bool,
+        /// Optional scenario-constraint block, installed on the live
+        /// instance (warm repairer included) before the run and kept for
+        /// subsequent requests. `None` leaves the current constraints
+        /// untouched — pre-constraint (v1) request lines parse unchanged.
+        #[serde(default)]
+        constraints: Option<ses_core::constraints::ConstraintSet>,
     },
     /// Apply a batch of delta ops to the live instance, in order, each op
     /// atomically. While the repairer is armed (after a `Repair`), every
@@ -285,8 +291,18 @@ pub struct Snapshot {
     pub warm: bool,
     /// Delta ops applied over the service's lifetime.
     pub ops_applied: u64,
+    /// Total scenario-constraint rules on the live instance (capacities +
+    /// conflict pairs + precedence edges). Omitted from the wire encoding
+    /// when zero, so unconstrained transcripts keep their v1 bytes.
+    #[serde(default, skip_serializing_if = "snapshot_no_constraints")]
+    pub constraints: usize,
     /// The current schedule, if any request has produced one.
     pub schedule: Option<ScheduleState>,
+}
+
+/// `skip_serializing_if` predicate for [`Snapshot::constraints`].
+fn snapshot_no_constraints(n: &usize) -> bool {
+    *n == 0
 }
 
 /// The schedule slice of a [`Snapshot`].
@@ -484,6 +500,36 @@ impl SesService {
         res
     }
 
+    /// Replaces the live instance's scenario constraints wholesale,
+    /// validating the set first. Cold: the set is installed directly on the
+    /// owned instance (dropping a now-possibly-infeasible last schedule).
+    /// Warm: routed through [`StreamScheduler::set_constraints`], which
+    /// repairs the maintained schedule under the new rules.
+    ///
+    /// # Errors
+    /// [`ServiceError::Build`] when the set does not validate against the
+    /// current events; nothing changes on error.
+    pub fn set_constraints(
+        &mut self,
+        constraints: ses_core::constraints::ConstraintSet,
+    ) -> Result<(), ServiceError> {
+        match &mut self.stream {
+            Some(stream) => {
+                stream.set_constraints(constraints)?;
+                self.sync_last_from_stream();
+            }
+            None => {
+                let inst = self.inst.as_mut().expect("cold service owns an instance");
+                constraints.validate(inst.num_events())?;
+                inst.constraints = constraints;
+                // The rules changed under the last schedule; drop it rather
+                // than answer queries from a possibly-infeasible one.
+                self.last = None;
+            }
+        }
+        Ok(())
+    }
+
     /// Applies a batch of delta ops, in order, each op atomically. While
     /// the repairer is armed every op also repairs the maintained schedule
     /// incrementally, and the per-op [`RepairReport`]s are returned (empty
@@ -660,6 +706,7 @@ impl SesService {
             weighted: inst.is_weighted(),
             warm: self.stream.is_some(),
             ops_applied: self.ops_applied,
+            constraints: inst.constraints.len(),
             schedule: self.last.as_ref().map(|l| ScheduleState {
                 algorithm: l.algorithm.to_string(),
                 k: l.k,
@@ -696,7 +743,10 @@ impl SesService {
 
     fn dispatch(&mut self, req: &Request) -> Result<Response, ServiceError> {
         match req {
-            Request::Schedule { algorithm, k, threads, gate, profile } => {
+            Request::Schedule { algorithm, k, threads, gate, profile, constraints } => {
+                if let Some(cs) = constraints {
+                    self.set_constraints(cs.clone())?;
+                }
                 let cfg = RunConfig::threaded(self.resolve_threads(*threads))
                     .with_bound_gate(*gate)
                     .with_profile(*profile);
@@ -930,6 +980,78 @@ mod tests {
         assert_eq!(res.utility.to_bits(), direct.utility.to_bits());
     }
 
+    /// A `Schedule` request's constraints block installs on whichever side
+    /// owns the instance — cold or warm — persists across requests, and an
+    /// invalid set is rejected with the `build` code, state untouched.
+    #[test]
+    fn schedule_request_installs_constraints() {
+        use ses_core::constraints::ConstraintSet;
+        let mut cs = ConstraintSet::new();
+        cs.add_conflict(EventId::new(0), EventId::new(1));
+        cs.set_venue_capacity(LocationId::new(0), 1);
+
+        // Cold path: the run respects the rules, and they persist.
+        let mut svc = service();
+        let resp = svc.handle(&Request::Schedule {
+            algorithm: "inc".into(),
+            k: 3,
+            threads: None,
+            gate: false,
+            profile: false,
+            constraints: Some(cs.clone()),
+        });
+        let Response::Scheduled { assignments, .. } = resp else {
+            panic!("wrong response {resp:?}");
+        };
+        let placed: Vec<usize> = assignments.iter().map(|a| a.event.index()).collect();
+        assert!(!(placed.contains(&0) && placed.contains(&1)), "conflict violated");
+        assert_eq!(svc.instance().constraints, cs);
+        assert_eq!(svc.snapshot().constraints, 2);
+        // Direct run on an equivalently constrained instance: bit-identical.
+        let direct = Inc.run_configured(
+            &{
+                let mut i = running_example();
+                i.constraints = cs.clone();
+                i
+            },
+            3,
+            seq_cfg(),
+            &mut Scratch::new(),
+        );
+        assert_eq!(svc.current_schedule().unwrap(), &direct.schedule);
+
+        // Warm path routes through the repairer.
+        svc.repair(3, seq_cfg()).unwrap();
+        svc.handle(&Request::Schedule {
+            algorithm: "alg".into(),
+            k: 2,
+            threads: None,
+            gate: false,
+            profile: false,
+            constraints: Some(ConstraintSet::new()),
+        });
+        assert!(svc.is_warm());
+        assert!(svc.instance().constraints.is_empty());
+        assert_eq!(svc.snapshot().constraints, 0);
+
+        // Invalid set: typed `build` error, constraints unchanged.
+        let mut bad = ConstraintSet::new();
+        bad.add_precedence(EventId::new(0), EventId::new(42));
+        let resp = svc.handle(&Request::Schedule {
+            algorithm: "inc".into(),
+            k: 2,
+            threads: None,
+            gate: false,
+            profile: false,
+            constraints: Some(bad),
+        });
+        match resp {
+            Response::Error { code, .. } => assert_eq!(code, "build"),
+            other => panic!("wrong response {other:?}"),
+        }
+        assert!(svc.instance().constraints.is_empty());
+    }
+
     #[test]
     fn handle_converts_failures_to_error_responses() {
         let mut svc = service();
@@ -939,6 +1061,7 @@ mod tests {
             threads: None,
             gate: false,
             profile: false,
+            constraints: None,
         });
         match resp {
             Response::Error { code, message } => {

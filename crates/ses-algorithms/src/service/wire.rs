@@ -110,6 +110,21 @@ mod tests {
                 threads: Some(4),
                 gate: true,
                 profile: false,
+                constraints: None,
+            },
+            Request::Schedule {
+                algorithm: "ALG".into(),
+                k: 3,
+                threads: None,
+                gate: false,
+                profile: false,
+                constraints: Some({
+                    let mut cs = ses_core::constraints::ConstraintSet::new();
+                    cs.set_venue_capacity(ses_core::LocationId::new(0), 2);
+                    cs.add_conflict(EventId::new(0), EventId::new(1));
+                    cs.add_precedence(EventId::new(1), EventId::new(2));
+                    cs
+                }),
             },
             Request::ApplyOps {
                 ops: vec![DeltaOp::ShiftInterest {
@@ -162,6 +177,7 @@ mod tests {
                 threads: None,
                 gate: false,
                 profile: false,
+                constraints: None,
             }
         );
         let req = decode_request(r#"{"v":1,"req":{"Repair":{"k":2}}}"#).unwrap();

@@ -224,6 +224,84 @@ impl StreamScheduler {
         Ok(&self.last)
     }
 
+    /// Replaces the instance's [`ConstraintSet`] wholesale and repairs the
+    /// schedule under the new rules — the warm-path counterpart of building
+    /// a constrained instance cold (the service's `Schedule` request with a
+    /// `constraints` block routes here when a stream session is live).
+    ///
+    /// Scores are constraint-independent, so no cached score is touched;
+    /// only the table's empty-schedule *validity mask* is reconciled (cells
+    /// the new rules open up get scored, cells they close get dropped), and
+    /// selection re-runs through the constraint-aware `check_assign` gate.
+    ///
+    /// # Errors
+    /// Any [`BuildError`] from validating the set against the current
+    /// events; nothing changes on error.
+    ///
+    /// [`ConstraintSet`]: ses_core::constraints::ConstraintSet
+    pub fn set_constraints(
+        &mut self,
+        constraints: ses_core::constraints::ConstraintSet,
+    ) -> Result<&RepairReport, ses_core::error::BuildError> {
+        constraints.validate(self.inst.num_events())?;
+        let start = Instant::now();
+        self.inst.constraints = constraints;
+        let warm_caches = self.engine_caches.take();
+        let comp = std::mem::take(&mut self.comp_mass);
+        let mut engine = match warm_caches {
+            Some(caches) => ScoringEngine::from_warm_parts(&self.inst, comp, caches, self.threads),
+            None => ScoringEngine::from_comp_mass(&self.inst, comp, self.threads),
+        };
+        let num_e = self.inst.num_events();
+        let probe = Schedule::new(&self.inst);
+        let mut rescored = 0;
+        for t in 0..self.inst.num_intervals() {
+            let interval = IntervalId::new(t);
+            for e in 0..num_e {
+                let event = EventId::new(e);
+                let idx = t * num_e + e;
+                let valid = probe.is_valid_assignment(&self.inst, event, interval);
+                match (&self.table[idx], valid) {
+                    (None, true) => {
+                        engine.stats_mut().record_examined(1);
+                        self.table[idx] = if self.bound_gate {
+                            engine.stats_mut().record_bound_skip();
+                            Some(TableEntry {
+                                score: engine.score_bound(event, interval),
+                                exact: false,
+                            })
+                        } else {
+                            rescored += 1;
+                            Some(TableEntry {
+                                score: engine.assignment_score(event, interval),
+                                exact: true,
+                            })
+                        };
+                    }
+                    (Some(_), false) => self.table[idx] = None,
+                    _ => {}
+                }
+            }
+        }
+        let schedule =
+            run_selection(&self.inst, &mut engine, &mut self.table, self.k, &mut self.scratch);
+        let stats = *engine.stats();
+        let (comp_mass, engine_caches) = engine.into_warm_parts();
+        self.comp_mass = comp_mass;
+        self.engine_caches = Some(engine_caches);
+        self.utility = total_utility(&self.inst, &schedule);
+        self.schedule = schedule;
+        self.cumulative += stats;
+        self.last = RepairReport {
+            rescored,
+            stats,
+            utility: self.utility,
+            schedule_len: self.schedule.len(),
+            time_ms: start.elapsed().as_secs_f64() * 1e3,
+        };
+        Ok(&self.last)
+    }
+
     /// The live instance in its current (post-op) state.
     #[inline]
     pub fn instance(&self) -> &Instance {
@@ -469,6 +547,12 @@ fn maintain_table(
                     cell.exact = false;
                 }
             }
+            0
+        }
+        DeltaEffect::ConstraintsChanged => {
+            // Scores are constraint-independent: every cached score (and its
+            // exactness) is still correct. The re-run of selection that
+            // follows every apply enforces the new rules via check_assign.
             0
         }
     }
@@ -840,6 +924,66 @@ mod tests {
             assert_eq!(s1.schedule().assignments(), s4.schedule().assignments());
             assert_eq!(s1.utility().to_bits(), s4.utility().to_bits());
         }
+    }
+
+    /// Constraint churn ops repair to exactly what a full recompute of the
+    /// constrained instance produces, and every repaired schedule is
+    /// feasible under the live rules.
+    #[test]
+    fn constraint_ops_repair_to_recompute() {
+        let inst = mid_instance();
+        let mut stream = StreamScheduler::new(inst, 6, Threads::sequential());
+        let ops = [
+            DeltaOp::AddConflict { a: EventId::new(0), b: EventId::new(5) },
+            DeltaOp::AddPrecedence { before: EventId::new(2), after: EventId::new(9) },
+            DeltaOp::SetVenueCapacity { location: LocationId::new(0), capacity: Some(1) },
+            DeltaOp::RemoveEvent { event: EventId::new(5) }, // drops the conflict
+            DeltaOp::RemoveConflict { a: EventId::new(0), b: EventId::new(5) },
+        ];
+        for (i, op) in ops.iter().enumerate() {
+            let result = stream.apply(op);
+            if i == 4 {
+                // The conflict died with the removed event; retracting it
+                // again must fail atomically.
+                assert_eq!(result.unwrap_err(), DeltaError::UnknownConstraint);
+                continue;
+            }
+            result.unwrap();
+            assert_matches_recompute(&stream);
+            assert!(stream.schedule().verify_feasible(stream.instance()).is_ok());
+        }
+        assert!(stream.instance().constraints.has_precedence(EventId::new(2), EventId::new(8)));
+    }
+
+    /// The warm `set_constraints` path must land on the same schedule,
+    /// utility bits, and table validity mask as building the constrained
+    /// instance cold — in both directions (constrain, then relax).
+    #[test]
+    fn set_constraints_matches_cold_build() {
+        use ses_core::constraints::ConstraintSet;
+        let inst = mid_instance();
+        let mut stream = StreamScheduler::new(inst.clone(), 6, Threads::sequential());
+
+        let mut cs = ConstraintSet::new();
+        cs.set_venue_capacity(LocationId::new(1), 1);
+        cs.add_conflict(EventId::new(3), EventId::new(10));
+        cs.add_precedence(EventId::new(0), EventId::new(1));
+        stream.set_constraints(cs.clone()).unwrap();
+        assert_matches_recompute(&stream);
+        assert!(stream.schedule().verify_feasible(stream.instance()).is_ok());
+
+        // Relaxing back to empty restores the unconstrained result.
+        stream.set_constraints(ConstraintSet::new()).unwrap();
+        let cold = StreamScheduler::new(inst, 6, Threads::sequential());
+        assert_eq!(stream.schedule().assignments(), cold.schedule().assignments());
+        assert_eq!(stream.utility().to_bits(), cold.utility().to_bits());
+
+        // An invalid set is rejected and nothing changes.
+        let before = stream.schedule().assignments().to_vec();
+        let mut bad = ConstraintSet::new();
+        bad.add_conflict(EventId::new(0), EventId::new(99));
+        assert!(stream.set_constraints(bad).is_err());
+        assert_eq!(stream.schedule().assignments(), &before[..]);
     }
 
     /// The duration extension: spanning events keep the virgin-span

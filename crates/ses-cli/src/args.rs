@@ -33,7 +33,17 @@ const SWITCHES: &[&str] = &["full", "gate", "help", "profile", "quiet", "verify"
 const COMMANDS: &[(&str, &[&str], &[&str])] = &[
     (
         "run",
-        &["dataset", "users", "events", "intervals", "seed", "threads", "k", "algorithms"],
+        &[
+            "dataset",
+            "users",
+            "events",
+            "intervals",
+            "seed",
+            "threads",
+            "k",
+            "algorithms",
+            "constraints",
+        ],
         &["gate", "profile", "help"],
     ),
     ("experiment", &["users", "seed", "threads", "json", "csv"], &["full", "quiet", "help"]),
@@ -51,10 +61,16 @@ const COMMANDS: &[(&str, &[&str], &[&str])] = &[
             "ops",
             "churn",
             "user-churn",
+            "constraint-churn",
+            "constraints",
         ],
         &["verify", "quiet", "help"],
     ),
-    ("serve", &["dataset", "users", "events", "intervals", "seed", "threads"], &["help"]),
+    (
+        "serve",
+        &["dataset", "users", "events", "intervals", "seed", "threads", "constraints"],
+        &["help"],
+    ),
     ("bench-baseline", &["targets", "out", "label", "check", "from"], &["help"]),
     ("help", &[], &["help"]),
     ("", &[], &["help"]),
@@ -248,10 +264,13 @@ mod tests {
     fn valid_command_lines_pass_validation() {
         for line in [
             "run --dataset zip --k 50 --users 1000 --threads 4",
+            "run --dataset unf --constraints mixed --gate",
             "experiment fig5 --users 400 --full --seed 7 --csv out.csv",
             "generate --dataset meetup --out inst.json",
             "stream --dataset unf --ops 100 --churn 0.3 --user-churn 0.5 --threads 2 --quiet",
+            "stream --constraints capacity-tight --constraint-churn 0.2 --verify",
             "serve --dataset unf --users 50 --threads 2",
+            "serve --constraints conflict-clique",
             "help",
         ] {
             assert!(parse(line).validate().is_ok(), "{line}");

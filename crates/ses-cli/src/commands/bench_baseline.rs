@@ -22,9 +22,10 @@ use ses_core::error::ServiceError;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-/// The ten criterion bench targets of `crates/bench`.
+/// The eleven criterion bench targets of `crates/bench`.
 const ALL_TARGETS: &[&str] = &[
     "micro_scoring",
+    "constrained_feasibility",
     "fig5_vary_k",
     "fig6_vary_intervals",
     "fig7_vary_events",

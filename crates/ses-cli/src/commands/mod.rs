@@ -9,7 +9,8 @@ pub mod stream;
 
 use crate::args::Args;
 use ses_core::error::ServiceError;
-use ses_datasets::Dataset;
+use ses_core::model::Instance;
+use ses_datasets::{ConstraintFamily, Dataset};
 
 /// Shared flag handling: dataset + shape + seed.
 pub(crate) fn dataset_from_flags(
@@ -23,4 +24,26 @@ pub(crate) fn dataset_from_flags(
     let intervals = args.num_flag("intervals", 30usize)?;
     let seed = args.num_flag("seed", 0x5E5u64)?;
     Ok((dataset, users, events, intervals, seed))
+}
+
+/// Shared `--constraints <preset>` handling: parses the constraint family
+/// and installs its seeded set on `inst`. Returns the family (for header
+/// echoes) or `None` when the flag is absent.
+pub(crate) fn apply_constraints_flag(
+    args: &Args,
+    inst: &mut Instance,
+    seed: u64,
+) -> Result<Option<ConstraintFamily>, ServiceError> {
+    let Some(name) = args.opt_flag("constraints") else {
+        return Ok(None);
+    };
+    let family = ConstraintFamily::parse(name).ok_or_else(|| {
+        let known: Vec<&str> = ConstraintFamily::ALL.iter().map(|f| f.name()).collect();
+        ServiceError::invalid(format!(
+            "unknown constraint family '{name}' (known: {})",
+            known.join(", ")
+        ))
+    })?;
+    family.apply(inst, seed);
+    Ok(Some(family))
 }

@@ -10,7 +10,7 @@
 //! [`SchedulerRegistry`]: ses_algorithms::SchedulerRegistry
 
 use crate::args::Args;
-use crate::commands::dataset_from_flags;
+use crate::commands::{apply_constraints_flag, dataset_from_flags};
 use ses_algorithms::{RunConfig, SesService};
 use ses_core::error::ServiceError;
 use ses_core::parallel::Threads;
@@ -26,14 +26,19 @@ pub fn exec(args: &Args) -> Result<(), ServiceError> {
     let profile = args.switch("profile");
     let cfg = RunConfig::threaded(threads).with_bound_gate(gate).with_profile(profile);
 
+    let mut inst = dataset.build(users, events, intervals, seed);
+    let family = apply_constraints_flag(args, &mut inst, seed)?;
     eprintln!(
         "# dataset={} |U|={users} |E|={events} |T|={intervals} k={k} seed={seed} threads={threads}\
-         {}{}",
+         {}{}{}",
         dataset.name(),
         if gate { " gate=on" } else { "" },
         if profile { " profile=on" } else { "" },
+        match family {
+            Some(f) => format!(" constraints={}({} rules)", f.name(), inst.constraints.len()),
+            None => String::new(),
+        },
     );
-    let inst = dataset.build(users, events, intervals, seed);
     // One service for the whole lineup: the registry resolves names and the
     // per-scheduler scratch pools make repeat runs allocation-free.
     let mut service = SesService::new(inst).with_threads(threads);

@@ -12,7 +12,7 @@
 //! meaningful byte comparison.
 
 use crate::args::Args;
-use crate::commands::dataset_from_flags;
+use crate::commands::{apply_constraints_flag, dataset_from_flags};
 use ses_algorithms::SesService;
 use ses_core::error::{ServiceError, SERVICE_PROTOCOL_VERSION};
 use ses_core::parallel::Threads;
@@ -29,12 +29,18 @@ pub fn exec(args: &Args) -> Result<(), ServiceError> {
         None => Threads::default(),
     };
 
-    let inst = dataset.build(users, events, intervals, seed);
+    let mut inst = dataset.build(users, events, intervals, seed);
+    let family = apply_constraints_flag(args, &mut inst, seed)?;
+    let rules = inst.constraints.len();
     let mut service = SesService::new(inst).with_threads(threads);
     eprintln!(
         "# ses serve: protocol v{SERVICE_PROTOCOL_VERSION}, dataset={} |U|={users} |E|={events} \
-         |T|={intervals} seed={seed} threads={threads} — one JSON request per line, EOF ends",
+         |T|={intervals} seed={seed} threads={threads}{} — one JSON request per line, EOF ends",
         dataset.name(),
+        match family {
+            Some(f) => format!(" constraints={}({rules} rules)", f.name()),
+            None => String::new(),
+        },
     );
 
     let stdin = std::io::stdin().lock();

@@ -8,7 +8,7 @@
 //! the session.
 
 use crate::args::Args;
-use crate::commands::dataset_from_flags;
+use crate::commands::{apply_constraints_flag, dataset_from_flags};
 use ses_algorithms::stream::StreamScheduler;
 use ses_algorithms::{RunConfig, SchedulerKind, SesService};
 use ses_core::delta;
@@ -24,27 +24,41 @@ pub fn exec(args: &Args) -> Result<(), ServiceError> {
     let num_ops = args.num_flag("ops", 50usize)?;
     let churn = args.num_flag("churn", 0.3f64)?;
     let user_churn = args.num_flag("user-churn", 0.3f64)?;
+    let constraint_churn = args.num_flag("constraint-churn", 0.0f64)?;
     let threads = Threads::new(args.num_flag("threads", 0usize)?);
     let verify = args.switch("verify");
     let quiet = args.switch("quiet");
-    for (name, v) in [("churn", churn), ("user-churn", user_churn)] {
+    for (name, v) in
+        [("churn", churn), ("user-churn", user_churn), ("constraint-churn", constraint_churn)]
+    {
         if !(0.0..=1.0).contains(&v) {
             return Err(ServiceError::invalid(format!("flag --{name}: {v} is not within [0, 1]")));
         }
     }
 
-    let base = dataset.build(users, events, intervals, seed);
+    let mut base = dataset.build(users, events, intervals, seed);
+    let family = apply_constraints_flag(args, &mut base, seed)?;
     let params = OpStreamParams::default()
         .with_ops(num_ops)
         .with_churn(churn)
         .with_user_churn(user_churn)
+        .with_constraint_churn(constraint_churn)
         .with_seed(seed ^ 0x0D5);
     let stream_ops = ops::generate(&base, &params);
 
     eprintln!(
         "# dataset={} |U|={users} |E|={events} |T|={intervals} k={k} seed={seed} \
-         ops={num_ops} churn={churn} user-churn={user_churn} threads={threads}",
-        dataset.name()
+         ops={num_ops} churn={churn} user-churn={user_churn} threads={threads}{}",
+        dataset.name(),
+        match family {
+            Some(f) => format!(
+                " constraints={}({} rules) constraint-churn={constraint_churn}",
+                f.name(),
+                base.constraints.len()
+            ),
+            None if constraint_churn > 0.0 => format!(" constraint-churn={constraint_churn}"),
+            None => String::new(),
+        },
     );
     let mut service = SesService::new(base.clone()).with_threads(threads);
     let cold = service.repair(k, RunConfig::threaded(threads))?;

@@ -4,18 +4,24 @@
 //! ses run        --dataset <meetup|concerts|unf|zip> --k 20 [--users N] [--events N]
 //!                [--intervals N] [--seed S] [--threads N]
 //!                [--algorithms ALG,INC,HOR,HOR-I,TOP,RAND]
-//! ses experiment <fig5|fig6|fig7|fig8|fig9|fig10a|fig10b|summary|params|all>
+//! ses experiment <fig5|fig6|fig7|fig8|fig9|fig10a|fig10b|dynamic|constrained|
+//!                 summary|params|all>
 //!                [--users N] [--full] [--seed S] [--threads N]
 //!                [--json out.json] [--csv out.csv]
 //! ses stream     --dataset <...> [--k N] [--ops N] [--churn C] [--user-churn C]
-//!                [--users N] [--events N] [--intervals N] [--seed S] [--threads N]
+//!                [--constraint-churn C] [--constraints FAMILY] [--users N]
+//!                [--events N] [--intervals N] [--seed S] [--threads N]
 //!                [--verify] [--quiet]
 //! ses generate   --dataset <...> [--users N] [--events N] [--intervals N] [--seed S]
 //!                --out instance.json
 //! ses serve      --dataset <...> [--users N] [--events N] [--intervals N] [--seed S]
-//!                [--threads N]
+//!                [--threads N] [--constraints FAMILY]
 //! ses help
 //! ```
+//!
+//! `--constraints <capacity-tight|conflict-clique|precedence-chain|mixed>`
+//! installs a seeded constraint family (venue capacities, conflict
+//! cliques, precedence chains) on the instance before scheduling.
 //!
 //! `--threads 0` (the default) uses every hardware thread. Scheduling
 //! results and reports are bit-identical for every thread count; the flag
@@ -83,17 +89,19 @@ USAGE:
   ses run        --dataset <meetup|concerts|unf|zip> [--k N] [--users N]
                  [--events N] [--intervals N] [--seed S] [--threads N]
                  [--algorithms ALG,INC,HOR,HOR-I,TOP,RAND] [--gate] [--profile]
+                 [--constraints FAMILY]
   ses experiment <fig5|fig6|fig7|fig8|fig9|fig10a|fig10b|ablation-schemes|
-                  ablation-refine|dynamic|summary|params|all>
+                  ablation-refine|dynamic|constrained|summary|params|all>
                  [--users N] [--full] [--seed S] [--threads N]
                  [--json PATH] [--csv PATH]
   ses stream     --dataset <...> [--k N] [--ops N] [--churn C] [--user-churn C]
-                 [--users N] [--events N] [--intervals N] [--seed S]
-                 [--threads N] [--verify] [--quiet]
+                 [--constraint-churn C] [--constraints FAMILY] [--users N]
+                 [--events N] [--intervals N] [--seed S] [--threads N]
+                 [--verify] [--quiet]
   ses generate   --dataset <...> [--users N] [--events N] [--intervals N]
                  [--seed S] --out instance.json
   ses serve      --dataset <...> [--users N] [--events N] [--intervals N]
-                 [--seed S] [--threads N]
+                 [--seed S] [--threads N] [--constraints FAMILY]
   ses bench-baseline [--targets micro_scoring,...] [--out BENCH_BASELINE.json]
                  [--label NOTE] [--check FACTOR] [--from RUN.json]
   ses help
@@ -109,7 +117,7 @@ bit-identical to ungated runs; the `skips` column counts deferred
 sweeps. `run --profile` appends a per-phase engine timing breakdown
 (setup / score / apply / other) under each row.
 
-`bench-baseline` runs the criterion bench targets (all ten by default)
+`bench-baseline` runs the criterion bench targets (all eleven by default)
 and appends one annotated run — medians, rustc, commit — to the
 committed BENCH_BASELINE.json trajectory; with `--check FACTOR` it
 instead compares fresh medians against the last recorded run and fails
@@ -119,7 +127,14 @@ on a > FACTOR x regression (the CI perf-smoke gate).
 `--churn`, interest drift otherwise) through the incremental repair
 scheduler and prints its work next to a per-op full recompute;
 `--verify` additionally checks every repaired schedule against an INC
-recompute, bit for bit.
+recompute, bit for bit. `--constraint-churn C` makes a C-slice of the
+stream edit the constraint set (conflicts, precedences, capacities).
+
+`--constraints FAMILY` (run/stream/serve) installs a seeded constraint
+family before scheduling: capacity-tight (venue slot budgets),
+conflict-clique (mutual exclusion), precedence-chain (ordering), or
+mixed. Every scheduler admits candidates through the same feasibility
+gate, so constrained runs stay bit-identical across thread counts.
 
 `serve` turns the process into a long-lived session: one JSON request
 per stdin line (protocol v1: {\"v\":1,\"req\":{...}}), one JSON response

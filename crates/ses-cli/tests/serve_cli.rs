@@ -14,15 +14,15 @@ fn ses() -> Command {
     Command::new(env!("CARGO_BIN_EXE_ses"))
 }
 
-/// Pipes `scripts/serve-smoke.jsonl` through `ses serve` and byte-compares
-/// the response log against the committed golden transcript. Responses
-/// carry no wall-clock fields and are bit-identical across thread counts,
-/// so this holds under any `SES_THREADS` (CI runs it at 1 and 4).
-#[test]
-fn serve_round_trips_the_golden_transcript() {
+/// Pipes a request script through `ses serve` (the shared shape flags plus
+/// any `extra` args) and byte-compares the response log against a committed
+/// golden transcript. Responses carry no wall-clock fields and are
+/// bit-identical across thread counts, so the comparison holds under any
+/// `SES_THREADS` (CI runs it at 1 and 4).
+fn assert_serve_golden(extra: &[&str], script_path: &str, golden_path: &str) {
     let root = repo_root();
-    let script = std::fs::read_to_string(root.join("scripts/serve-smoke.jsonl")).unwrap();
-    let golden = std::fs::read_to_string(root.join("tests/golden/serve_smoke.jsonl")).unwrap();
+    let script = std::fs::read_to_string(root.join(script_path)).unwrap();
+    let golden = std::fs::read_to_string(root.join(golden_path)).unwrap();
 
     let mut child = ses()
         .args([
@@ -38,6 +38,7 @@ fn serve_round_trips_the_golden_transcript() {
             "--seed",
             "1509",
         ])
+        .args(extra)
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
@@ -50,8 +51,26 @@ fn serve_round_trips_the_golden_transcript() {
     let got = String::from_utf8(out.stdout).expect("responses are UTF-8");
     assert_eq!(
         got, golden,
-        "serve responses diverged from tests/golden/serve_smoke.jsonl — if the protocol \
-         changed intentionally, regenerate the golden with the command at the top of the script"
+        "serve responses diverged from {golden_path} — if the protocol changed \
+         intentionally, regenerate the golden with the command at the top of the script"
+    );
+}
+
+#[test]
+fn serve_round_trips_the_golden_transcript() {
+    assert_serve_golden(&[], "scripts/serve-smoke.jsonl", "tests/golden/serve_smoke.jsonl");
+}
+
+/// The constrained session golden: `--constraints mixed` installs a seeded
+/// preset, and the script exercises constrained scheduling, an inline
+/// constraints block, warm churn through the repairer, four distinct
+/// constraint-violation `Error` responses, and empty-set relaxation.
+#[test]
+fn serve_round_trips_the_constrained_golden_transcript() {
+    assert_serve_golden(
+        &["--constraints", "mixed"],
+        "scripts/serve-constrained-smoke.jsonl",
+        "tests/golden/serve_constrained.jsonl",
     );
 }
 
@@ -131,6 +150,19 @@ fn usage_errors_exit_2() {
     );
     // Missing required argument.
     assert_eq!(exit_code(&["generate", "--dataset", "unf"]), 2);
+}
+
+/// An unknown `--constraints` family is a usage error on every subcommand
+/// carrying the flag, caught before any scheduling work runs.
+#[test]
+fn unknown_constraint_family_exits_2() {
+    let shape = ["--dataset", "unf", "--users", "10", "--events", "4", "--intervals", "2"];
+    for sub in ["run", "stream", "serve"] {
+        let mut args = vec![sub];
+        args.extend_from_slice(&shape);
+        args.extend_from_slice(&["--constraints", "nope"]);
+        assert_eq!(exit_code(&args), 2, "{sub} accepted a bogus family");
+    }
 }
 
 /// Runtime failures keep exiting 1.

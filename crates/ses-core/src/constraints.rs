@@ -1,0 +1,637 @@
+//! Scenario constraints layered over the paper's feasibility model:
+//! per-venue capacities, mutually-exclusive event pairs, and precedence.
+//!
+//! §2.1 makes a schedule feasible when no interval double-books a location
+//! and no interval exceeds the resource budget θ. Real event scheduling
+//! adds organizer-level rules that the paper's model cannot express:
+//!
+//! * **venue capacity** — a location may host at most `c` interval-slots
+//!   across the whole schedule (an event of duration `d` consumes `d`
+//!   slots), modelling venues rented for a bounded number of sessions;
+//! * **conflict pairs** — two events that must never both be scheduled
+//!   (shared headliner, mutually-exclusive sponsorships); cliques expand
+//!   into pairs;
+//! * **precedence** — event `a` must *finish* before event `b` starts,
+//!   whenever both are scheduled.
+//!
+//! [`ConstraintSet`] carries the rules, [`ConstraintSet::validate`] rejects
+//! malformed sets at build time (dangling event ids, zero capacities,
+//! self-references, precedence cycles), and [`ConstraintSet::check`] is the
+//! single *feasibility gate* every candidate generator consults — it is
+//! called from [`Schedule::check_assign`], so ALG/INC/HOR/HOR-I/LAZY/TOP/
+//! RANDOM/REFINE/EXACT, the stream repairer, and the bound-first gate all
+//! admit candidates through the same predicate with zero per-scheduler
+//! code. Scores are constraint-independent (constraints only gate
+//! *admission*), so the scoring kernel and its reduction geometry are
+//! untouched and every bit-identity invariant carries over verbatim.
+//!
+//! ## Downward closure (why greedy and EXACT stay sound)
+//!
+//! All three rule families are *downward-closed*: removing an assignment
+//! from a feasible schedule never creates a violation. Venue usage only
+//! shrinks, a conflict needs both endpoints scheduled, and a precedence
+//! edge is checked only when both endpoints are scheduled. Consequently
+//! every prefix of a feasible schedule is feasible, which is exactly what
+//! greedy insertion and EXACT's skip-or-assign enumeration (in event-id
+//! order) need to remain complete over the constrained space.
+//!
+//! ## Example
+//!
+//! ```
+//! use ses_core::constraints::ConstraintSet;
+//! use ses_core::ids::{EventId, LocationId};
+//!
+//! let mut cs = ConstraintSet::new();
+//! cs.set_venue_capacity(LocationId::new(0), 2);
+//! cs.add_conflict(EventId::new(0), EventId::new(1));
+//! cs.add_precedence(EventId::new(1), EventId::new(2));
+//! assert_eq!(cs.len(), 3);
+//!
+//! // Well-formed against a 3-event instance…
+//! assert!(cs.validate(3).is_ok());
+//! // …but event id 2 dangles when only 2 events exist.
+//! assert!(cs.validate(2).is_err());
+//!
+//! // Rules are queryable both ways; conflicts are unordered.
+//! assert!(cs.has_conflict(EventId::new(1), EventId::new(0)));
+//! assert!(cs.has_precedence(EventId::new(1), EventId::new(2)));
+//! assert!(!cs.has_precedence(EventId::new(2), EventId::new(1)));
+//!
+//! // Cycle probes guard churn before it happens.
+//! assert!(cs.precedence_would_cycle(EventId::new(2), EventId::new(1)));
+//! ```
+//!
+//! [`Schedule::check_assign`]: crate::schedule::Schedule::check_assign
+
+use crate::error::{BuildError, ScheduleError};
+use crate::ids::{EventId, LocationId};
+use crate::model::Instance;
+use crate::schedule::Schedule;
+use serde::{Deserialize, Serialize};
+
+/// A per-venue capacity: location `location` may host at most `capacity`
+/// interval-slots across the whole schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VenueCapacity {
+    /// The constrained location.
+    pub location: LocationId,
+    /// Maximum interval-slots hosted there (`≥ 1`; an event of duration
+    /// `d` consumes `d` slots).
+    pub capacity: u32,
+}
+
+/// A mutual-exclusion pair: `a` and `b` must never both be scheduled.
+/// Unordered — `(a, b)` and `(b, a)` denote the same rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConflictPair {
+    /// One endpoint.
+    pub a: EventId,
+    /// The other endpoint.
+    pub b: EventId,
+}
+
+/// A precedence edge: whenever both are scheduled, `before` must finish
+/// (its last occupied interval) strictly before `after` starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrecedenceEdge {
+    /// The event that must run first.
+    pub before: EventId,
+    /// The event that must run later.
+    pub after: EventId,
+}
+
+/// The constraint layer of an [`Instance`] (see the module docs). An empty
+/// set is the paper's original model; [`check`](Self::check) fast-paths it.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConstraintSet {
+    /// Per-venue slot budgets (at most one entry per location).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    venue_capacities: Vec<VenueCapacity>,
+    /// Mutual-exclusion pairs.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    conflicts: Vec<ConflictPair>,
+    /// Precedence edges.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    precedences: Vec<PrecedenceEdge>,
+}
+
+impl ConstraintSet {
+    /// An empty (unconstrained) set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether no rule is present — the fast path every unconstrained
+    /// instance takes through [`check`](Self::check).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.venue_capacities.is_empty() && self.conflicts.is_empty() && self.precedences.is_empty()
+    }
+
+    /// Total number of rules (capacities + conflict pairs + precedence
+    /// edges) — what a service snapshot reports.
+    pub fn len(&self) -> usize {
+        self.venue_capacities.len() + self.conflicts.len() + self.precedences.len()
+    }
+
+    /// The venue-capacity entries.
+    pub fn venue_capacities(&self) -> &[VenueCapacity] {
+        &self.venue_capacities
+    }
+
+    /// The conflict pairs.
+    pub fn conflicts(&self) -> &[ConflictPair] {
+        &self.conflicts
+    }
+
+    /// The precedence edges.
+    pub fn precedences(&self) -> &[PrecedenceEdge] {
+        &self.precedences
+    }
+
+    /// The capacity configured for `location`, if any.
+    pub fn venue_capacity(&self, location: LocationId) -> Option<u32> {
+        self.venue_capacities.iter().find(|v| v.location == location).map(|v| v.capacity)
+    }
+
+    /// Whether an (unordered) conflict between `a` and `b` exists.
+    pub fn has_conflict(&self, a: EventId, b: EventId) -> bool {
+        self.conflicts.iter().any(|p| (p.a == a && p.b == b) || (p.a == b && p.b == a))
+    }
+
+    /// Whether the directed precedence edge `before → after` exists.
+    pub fn has_precedence(&self, before: EventId, after: EventId) -> bool {
+        self.precedences.iter().any(|e| e.before == before && e.after == after)
+    }
+
+    /// Sets (or replaces) the capacity for `location`. Validation rejects
+    /// `capacity == 0` — use [`clear_venue_capacity`](Self::clear_venue_capacity)
+    /// to lift a budget.
+    pub fn set_venue_capacity(&mut self, location: LocationId, capacity: u32) -> &mut Self {
+        match self.venue_capacities.iter_mut().find(|v| v.location == location) {
+            Some(v) => v.capacity = capacity,
+            None => self.venue_capacities.push(VenueCapacity { location, capacity }),
+        }
+        self
+    }
+
+    /// Removes the capacity entry for `location`, returning whether one
+    /// existed.
+    pub fn clear_venue_capacity(&mut self, location: LocationId) -> bool {
+        let before = self.venue_capacities.len();
+        self.venue_capacities.retain(|v| v.location != location);
+        self.venue_capacities.len() != before
+    }
+
+    /// Adds the (unordered) conflict `a – b`; duplicates are not added.
+    pub fn add_conflict(&mut self, a: EventId, b: EventId) -> &mut Self {
+        if !self.has_conflict(a, b) {
+            self.conflicts.push(ConflictPair { a, b });
+        }
+        self
+    }
+
+    /// Expands a clique into pairwise conflicts: every two distinct events
+    /// in `events` become mutually exclusive.
+    pub fn add_conflict_clique(&mut self, events: &[EventId]) -> &mut Self {
+        for (i, &a) in events.iter().enumerate() {
+            for &b in &events[i + 1..] {
+                if a != b {
+                    self.add_conflict(a, b);
+                }
+            }
+        }
+        self
+    }
+
+    /// Removes the (unordered) conflict `a – b`, returning whether it
+    /// existed.
+    pub fn remove_conflict(&mut self, a: EventId, b: EventId) -> bool {
+        let before = self.conflicts.len();
+        self.conflicts.retain(|p| !((p.a == a && p.b == b) || (p.a == b && p.b == a)));
+        self.conflicts.len() != before
+    }
+
+    /// Adds the precedence edge `before → after`; duplicates are not
+    /// added. Cycle safety is checked by [`validate`](Self::validate) (or
+    /// eagerly via [`precedence_would_cycle`](Self::precedence_would_cycle)).
+    pub fn add_precedence(&mut self, before: EventId, after: EventId) -> &mut Self {
+        if !self.has_precedence(before, after) {
+            self.precedences.push(PrecedenceEdge { before, after });
+        }
+        self
+    }
+
+    /// Removes the precedence edge `before → after`, returning whether it
+    /// existed.
+    pub fn remove_precedence(&mut self, before: EventId, after: EventId) -> bool {
+        let len = self.precedences.len();
+        self.precedences.retain(|e| !(e.before == before && e.after == after));
+        self.precedences.len() != len
+    }
+
+    /// Whether adding `before → after` would close a precedence cycle
+    /// (i.e. `before` is already reachable from `after`).
+    pub fn precedence_would_cycle(&self, before: EventId, after: EventId) -> bool {
+        if before == after {
+            return true;
+        }
+        // DFS from `after` along existing edges, looking for `before`.
+        let mut stack = vec![after];
+        let mut seen = vec![after];
+        while let Some(node) = stack.pop() {
+            for e in &self.precedences {
+                if e.before != node {
+                    continue;
+                }
+                if e.after == before {
+                    return true;
+                }
+                if !seen.contains(&e.after) {
+                    seen.push(e.after);
+                    stack.push(e.after);
+                }
+            }
+        }
+        false
+    }
+
+    /// Maintains the set across a dense-id event removal (`Vec::remove`
+    /// semantics, mirroring [`crate::delta`]): every rule referencing the
+    /// removed event is dropped, and ids above it shift down by one.
+    pub fn remove_event(&mut self, event: EventId) {
+        let shift = |id: &mut EventId| {
+            if *id > event {
+                *id = EventId::new(id.index() - 1);
+            }
+        };
+        self.conflicts.retain(|p| p.a != event && p.b != event);
+        for p in &mut self.conflicts {
+            shift(&mut p.a);
+            shift(&mut p.b);
+        }
+        self.precedences.retain(|e| e.before != event && e.after != event);
+        for e in &mut self.precedences {
+            shift(&mut e.before);
+            shift(&mut e.after);
+        }
+    }
+
+    /// Validates the set against an instance with `num_events` candidate
+    /// events: every referenced event must exist, capacities must be
+    /// positive and unique per location, conflicts and precedences must not
+    /// be self-referential, and the precedence relation must be acyclic.
+    ///
+    /// # Errors
+    /// The first violation found, as a [`BuildError`].
+    pub fn validate(&self, num_events: usize) -> Result<(), BuildError> {
+        for (i, v) in self.venue_capacities.iter().enumerate() {
+            if v.capacity == 0 {
+                return Err(BuildError::ZeroVenueCapacity { location: v.location });
+            }
+            if self.venue_capacities[..i].iter().any(|w| w.location == v.location) {
+                return Err(BuildError::DuplicateVenueCapacity { location: v.location });
+            }
+        }
+        let check_event = |id: EventId, context: &'static str| {
+            if id.index() >= num_events {
+                Err(BuildError::DanglingConstraintEvent { event: id, num_events, context })
+            } else {
+                Ok(())
+            }
+        };
+        for p in &self.conflicts {
+            check_event(p.a, "conflict pair")?;
+            check_event(p.b, "conflict pair")?;
+            if p.a == p.b {
+                return Err(BuildError::SelfReferentialConstraint {
+                    event: p.a,
+                    context: "conflict pair",
+                });
+            }
+        }
+        for e in &self.precedences {
+            check_event(e.before, "precedence edge")?;
+            check_event(e.after, "precedence edge")?;
+            if e.before == e.after {
+                return Err(BuildError::SelfReferentialConstraint {
+                    event: e.before,
+                    context: "precedence edge",
+                });
+            }
+        }
+        // Kahn's algorithm over the precedence relation; leftovers = cycle.
+        if !self.precedences.is_empty() {
+            let mut indeg = vec![0usize; num_events];
+            for e in &self.precedences {
+                indeg[e.after.index()] += 1;
+            }
+            let mut ready: Vec<usize> = (0..num_events).filter(|&v| indeg[v] == 0).collect();
+            let mut emitted = 0usize;
+            while let Some(v) = ready.pop() {
+                emitted += 1;
+                for e in &self.precedences {
+                    if e.before.index() == v {
+                        indeg[e.after.index()] -= 1;
+                        if indeg[e.after.index()] == 0 {
+                            ready.push(e.after.index());
+                        }
+                    }
+                }
+            }
+            if emitted != num_events {
+                let on_cycle = (0..num_events)
+                    .find(|&v| indeg[v] > 0)
+                    .expect("unemitted node has positive in-degree");
+                return Err(BuildError::PrecedenceCycle { event: EventId::new(on_cycle) });
+            }
+        }
+        Ok(())
+    }
+
+    /// The feasibility gate: whether assigning `e` at `t` on top of
+    /// `schedule` respects every rule. Called from
+    /// [`Schedule::check_assign`] after the §2.1 checks; an empty set
+    /// returns immediately, so unconstrained instances pay one branch.
+    ///
+    /// # Errors
+    /// The first violated rule, in a fixed order (capacity, conflicts,
+    /// precedence) so error selection is deterministic.
+    pub fn check(
+        &self,
+        inst: &Instance,
+        schedule: &Schedule,
+        e: EventId,
+        t: crate::ids::IntervalId,
+    ) -> Result<(), ScheduleError> {
+        if self.is_empty() {
+            return Ok(());
+        }
+        let ev = &inst.events[e.index()];
+        if let Some(capacity) = self.venue_capacity(ev.location) {
+            let mut used = u64::from(ev.duration);
+            for a in schedule.assignments() {
+                if inst.events[a.event.index()].location == ev.location {
+                    used += u64::from(inst.events[a.event.index()].duration);
+                }
+            }
+            if used > u64::from(capacity) {
+                return Err(ScheduleError::VenueCapacityExceeded {
+                    event: e,
+                    location: ev.location,
+                    capacity,
+                });
+            }
+        }
+        for p in &self.conflicts {
+            let other = if p.a == e {
+                p.b
+            } else if p.b == e {
+                p.a
+            } else {
+                continue;
+            };
+            if schedule.is_scheduled(other) {
+                return Err(ScheduleError::ConflictViolation { event: e, other });
+            }
+        }
+        for edge in &self.precedences {
+            if edge.before == e {
+                if let Some(t_after) = schedule.interval_of(edge.after) {
+                    if t.index() + ev.duration as usize > t_after.index() {
+                        return Err(ScheduleError::PrecedenceViolation {
+                            before: e,
+                            after: edge.after,
+                        });
+                    }
+                }
+            } else if edge.after == e {
+                if let Some(t_before) = schedule.interval_of(edge.before) {
+                    let d = inst.events[edge.before.index()].duration as usize;
+                    if t_before.index() + d > t.index() {
+                        return Err(ScheduleError::PrecedenceViolation {
+                            before: edge.before,
+                            after: e,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::IntervalId;
+    use crate::model::running_example;
+
+    fn e(i: usize) -> EventId {
+        EventId::new(i)
+    }
+    fn t(i: usize) -> IntervalId {
+        IntervalId::new(i)
+    }
+
+    #[test]
+    fn empty_set_allows_everything() {
+        let inst = running_example();
+        let cs = ConstraintSet::new();
+        assert!(cs.is_empty());
+        assert_eq!(cs.len(), 0);
+        let s = Schedule::new(&inst);
+        for (ev, tv) in inst.assignment_universe() {
+            assert!(cs.check(&inst, &s, ev, tv).is_ok());
+        }
+    }
+
+    #[test]
+    fn venue_capacity_counts_slots_across_schedule() {
+        let inst = running_example();
+        // e1 and e2 share Stage 1 (location 0); cap it at one slot.
+        let mut cs = ConstraintSet::new();
+        cs.set_venue_capacity(LocationId::new(0), 1);
+        let mut s = Schedule::new(&inst);
+        assert!(cs.check(&inst, &s, e(0), t(0)).is_ok());
+        s.assign(&inst, e(0), t(0)).unwrap();
+        // Second Stage-1 event, even at the *other* interval, exceeds cap.
+        let err = cs.check(&inst, &s, e(1), t(1)).unwrap_err();
+        assert!(matches!(err, ScheduleError::VenueCapacityExceeded { capacity: 1, .. }));
+        // A different location is unconstrained.
+        assert!(cs.check(&inst, &s, e(2), t(1)).is_ok());
+    }
+
+    #[test]
+    fn conflict_blocks_both_scheduled() {
+        let inst = running_example();
+        let mut cs = ConstraintSet::new();
+        cs.add_conflict(e(0), e(3));
+        let mut s = Schedule::new(&inst);
+        assert!(cs.check(&inst, &s, e(0), t(0)).is_ok());
+        s.assign(&inst, e(0), t(0)).unwrap();
+        let err = cs.check(&inst, &s, e(3), t(1)).unwrap_err();
+        assert_eq!(err, ScheduleError::ConflictViolation { event: e(3), other: e(0) });
+        // Unrelated events pass.
+        assert!(cs.check(&inst, &s, e(2), t(1)).is_ok());
+    }
+
+    #[test]
+    fn conflict_clique_expands_pairwise() {
+        let mut cs = ConstraintSet::new();
+        cs.add_conflict_clique(&[e(0), e(1), e(2)]);
+        assert_eq!(cs.conflicts().len(), 3);
+        assert!(cs.has_conflict(e(1), e(0)));
+        assert!(cs.has_conflict(e(2), e(1)));
+        // Re-adding the clique adds nothing (dedup).
+        cs.add_conflict_clique(&[e(0), e(1), e(2)]);
+        assert_eq!(cs.conflicts().len(), 3);
+    }
+
+    #[test]
+    fn precedence_enforced_only_when_both_scheduled() {
+        let inst = running_example();
+        let mut cs = ConstraintSet::new();
+        cs.add_precedence(e(0), e(3)); // e1 before e4
+        let mut s = Schedule::new(&inst);
+        // e4 alone anywhere: fine (partial schedules stay feasible).
+        assert!(cs.check(&inst, &s, e(3), t(0)).is_ok());
+        s.assign(&inst, e(3), t(0)).unwrap();
+        // e1 can no longer finish before t0.
+        let err = cs.check(&inst, &s, e(0), t(0)).unwrap_err();
+        assert_eq!(err, ScheduleError::PrecedenceViolation { before: e(0), after: e(3) });
+        assert!(cs.check(&inst, &s, e(0), t(1)).is_err());
+        // The other direction: with e1 at t0, e4 fits only at t1.
+        s.unassign(&inst, e(3)).unwrap();
+        s.assign(&inst, e(0), t(0)).unwrap();
+        assert!(cs.check(&inst, &s, e(3), t(0)).is_err());
+        assert!(cs.check(&inst, &s, e(3), t(1)).is_ok());
+    }
+
+    #[test]
+    fn precedence_respects_duration() {
+        let mut inst = running_example();
+        inst.events[2].duration = 2; // e3 spans two intervals
+        let mut cs = ConstraintSet::new();
+        cs.add_precedence(e(2), e(3));
+        let mut s = Schedule::new(&inst);
+        s.assign(&inst, e(2), t(0)).unwrap(); // occupies t0 and t1
+                                              // e4 at t1 starts before e3 finishes.
+        assert!(cs.check(&inst, &s, e(3), t(1)).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_malformed_sets() {
+        let mut cs = ConstraintSet::new();
+        cs.set_venue_capacity(LocationId::new(0), 0);
+        assert!(matches!(cs.validate(4), Err(BuildError::ZeroVenueCapacity { .. })));
+
+        let mut cs = ConstraintSet::new();
+        cs.add_conflict(e(0), e(9));
+        assert!(matches!(cs.validate(4), Err(BuildError::DanglingConstraintEvent { .. })));
+
+        let mut cs = ConstraintSet::new();
+        cs.conflicts.push(ConflictPair { a: e(1), b: e(1) });
+        assert!(matches!(cs.validate(4), Err(BuildError::SelfReferentialConstraint { .. })));
+
+        let mut cs = ConstraintSet::new();
+        cs.add_precedence(e(0), e(1)).add_precedence(e(1), e(2)).add_precedence(e(2), e(0));
+        assert!(matches!(cs.validate(4), Err(BuildError::PrecedenceCycle { .. })));
+
+        // A well-formed set passes.
+        let mut cs = ConstraintSet::new();
+        cs.set_venue_capacity(LocationId::new(0), 2);
+        cs.add_conflict(e(0), e(1));
+        cs.add_precedence(e(0), e(2)).add_precedence(e(2), e(3));
+        assert!(cs.validate(4).is_ok());
+    }
+
+    #[test]
+    fn duplicate_capacity_rejected_but_set_overwrites() {
+        // The mutator overwrites in place, so duplicates only arise from
+        // hand-built (e.g. deserialized) sets.
+        let mut cs = ConstraintSet::new();
+        cs.set_venue_capacity(LocationId::new(1), 2).set_venue_capacity(LocationId::new(1), 3);
+        assert_eq!(cs.venue_capacity(LocationId::new(1)), Some(3));
+        assert!(cs.validate(4).is_ok());
+
+        cs.venue_capacities.push(VenueCapacity { location: LocationId::new(1), capacity: 5 });
+        assert!(matches!(cs.validate(4), Err(BuildError::DuplicateVenueCapacity { .. })));
+    }
+
+    #[test]
+    fn cycle_probe_matches_validation() {
+        let mut cs = ConstraintSet::new();
+        cs.add_precedence(e(0), e(1)).add_precedence(e(1), e(2));
+        assert!(!cs.precedence_would_cycle(e(0), e(3)));
+        assert!(cs.precedence_would_cycle(e(2), e(0)));
+        assert!(cs.precedence_would_cycle(e(1), e(1)));
+    }
+
+    #[test]
+    fn remove_event_drops_and_shifts() {
+        let mut cs = ConstraintSet::new();
+        cs.add_conflict(e(0), e(2)).add_conflict(e(1), e(3));
+        cs.add_precedence(e(2), e(3)).add_precedence(e(0), e(1));
+        cs.remove_event(e(2));
+        // Rules touching e2 are gone; ids above 2 shifted down.
+        assert_eq!(cs.conflicts(), &[ConflictPair { a: e(1), b: e(2) }]);
+        assert_eq!(cs.precedences(), &[PrecedenceEdge { before: e(0), after: e(1) }]);
+        assert!(cs.validate(3).is_ok());
+    }
+
+    #[test]
+    fn removal_mutators_report_presence() {
+        let mut cs = ConstraintSet::new();
+        cs.add_conflict(e(0), e(1)).add_precedence(e(0), e(2));
+        cs.set_venue_capacity(LocationId::new(0), 2);
+        assert!(cs.remove_conflict(e(1), e(0))); // unordered
+        assert!(!cs.remove_conflict(e(0), e(1)));
+        assert!(cs.remove_precedence(e(0), e(2)));
+        assert!(!cs.remove_precedence(e(2), e(0))); // directed
+        assert!(cs.clear_venue_capacity(LocationId::new(0)));
+        assert!(!cs.clear_venue_capacity(LocationId::new(0)));
+        assert!(cs.is_empty());
+    }
+
+    /// The design decision §11 leans on: the constraint check runs *after*
+    /// the §2.1 checks in `check_assign`, so a candidate that violates both
+    /// reports the paper-model error — unconstrained instances keep their
+    /// exact historical error surface — while the constraint error appears
+    /// as soon as §2.1 alone is satisfied.
+    #[test]
+    fn paper_model_errors_outrank_constraint_errors() {
+        let mut inst = running_example();
+        inst.constraints.add_conflict(e(0), e(1)); // e0/e1 also share stage1
+        assert!(inst.validate().is_ok());
+
+        let mut s = Schedule::new(&inst);
+        s.assign(&inst, e(0), t(0)).unwrap();
+        // Same interval: both the §2.1 location rule and the conflict rule
+        // reject — the §2.1 error must win.
+        assert_eq!(
+            s.check_assign(&inst, e(1), t(0)),
+            Err(ScheduleError::LocationConflict { event: e(1), interval: t(0), occupant: e(0) })
+        );
+        // Other interval: §2.1 is satisfied, so the conflict surfaces.
+        assert_eq!(
+            s.check_assign(&inst, e(1), t(1)),
+            Err(ScheduleError::ConflictViolation { event: e(1), other: e(0) })
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip_and_empty_shape() {
+        let mut cs = ConstraintSet::new();
+        cs.set_venue_capacity(LocationId::new(2), 3);
+        cs.add_conflict(e(0), e(1));
+        cs.add_precedence(e(1), e(3));
+        let json = serde_json::to_string(&cs).unwrap();
+        let back: ConstraintSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(cs, back);
+        // The empty set serializes to an empty object and parses back.
+        assert_eq!(serde_json::to_string(&ConstraintSet::new()).unwrap(), "{}");
+        let empty: ConstraintSet = serde_json::from_str("{}").unwrap();
+        assert!(empty.is_empty());
+    }
+}

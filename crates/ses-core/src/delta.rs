@@ -33,6 +33,17 @@
 //! | `ShiftInterest` | unchanged | that event's column needs rescoring |
 //! | `AddUsers` | extend rows ([`refresh_comp_mass`]) | grows by at most `Σ_new w·σ(u,t)` (bound) |
 //! | `RetireUsers` | drop cells ([`refresh_comp_mass`]) | only shrinks (old value is a bound) |
+//! | constraint ops | unchanged | unchanged (scores are constraint-independent) |
+//!
+//! Constraint ops (`AddConflict` / `RemoveConflict` / `AddPrecedence` /
+//! `RemovePrecedence` / `SetVenueCapacity`) edit the instance's
+//! [`ConstraintSet`](crate::constraints::ConstraintSet) without touching any
+//! score, but the current schedule may have become infeasible — warm
+//! schedulers re-run selection on [`DeltaEffect::ConstraintsChanged`].
+//! `RemoveEvent` additionally drops the removed event's conflict and
+//! precedence edges and shifts the surviving edge ids, atomically with the
+//! event itself, so an op stream can never strand a dangling constraint
+//! reference.
 //!
 //! The two "bound" rows are what keep user churn cheap: cached scores stay
 //! *sound upper bounds* (the invariant INC-style pruning needs), so nothing
@@ -79,6 +90,42 @@ pub enum DeltaOp {
         /// The new interest `µ(user, event) ∈ [0, 1]`.
         interest: f64,
     },
+    /// Declare two events mutually exclusive.
+    AddConflict {
+        /// One endpoint.
+        a: EventId,
+        /// The other endpoint.
+        b: EventId,
+    },
+    /// Retract a mutual-exclusion pair (unordered match).
+    RemoveConflict {
+        /// One endpoint.
+        a: EventId,
+        /// The other endpoint.
+        b: EventId,
+    },
+    /// Add a precedence edge (`before` must finish before `after` starts).
+    /// Rejected if it would close a cycle.
+    AddPrecedence {
+        /// The event that must run first.
+        before: EventId,
+        /// The event that must run later.
+        after: EventId,
+    },
+    /// Retract a precedence edge (directed match).
+    RemovePrecedence {
+        /// The event that must run first.
+        before: EventId,
+        /// The event that must run later.
+        after: EventId,
+    },
+    /// Set (`Some(c)`, `c ≥ 1`) or clear (`None`) a venue's slot budget.
+    SetVenueCapacity {
+        /// The location to (un)constrain.
+        location: crate::ids::LocationId,
+        /// The new budget, or `None` to lift it.
+        capacity: Option<u32>,
+    },
 }
 
 impl DeltaOp {
@@ -90,6 +137,11 @@ impl DeltaOp {
             Self::AddUsers { .. } => "AddUsers",
             Self::RetireUsers { .. } => "RetireUsers",
             Self::ShiftInterest { .. } => "ShiftInterest",
+            Self::AddConflict { .. } => "AddConflict",
+            Self::RemoveConflict { .. } => "RemoveConflict",
+            Self::AddPrecedence { .. } => "AddPrecedence",
+            Self::RemovePrecedence { .. } => "RemovePrecedence",
+            Self::SetVenueCapacity { .. } => "SetVenueCapacity",
         }
     }
 }
@@ -138,6 +190,13 @@ pub enum DeltaEffect {
         /// The affected user.
         user: usize,
     },
+    /// The instance's [`ConstraintSet`] changed. Scores are
+    /// constraint-independent, so no cache entry is invalidated — but the
+    /// current schedule may have become infeasible, so warm schedulers must
+    /// re-run selection.
+    ///
+    /// [`ConstraintSet`]: crate::constraints::ConstraintSet
+    ConstraintsChanged,
 }
 
 fn check_unit_values(what: &'static str, values: &[f64]) -> Result<(), DeltaError> {
@@ -195,6 +254,11 @@ pub fn apply(inst: &mut Instance, op: &DeltaOp) -> Result<DeltaEffect, DeltaErro
             }
             inst.events.remove(event.index());
             inst.event_interest.remove_item(event.index());
+            // Constraint edges must move in lock-step with the dense ids:
+            // drop rules referencing the removed event and shift the rest,
+            // or later ops would resolve against the wrong (or a dangling)
+            // event.
+            inst.constraints.remove_event(*event);
             Ok(DeltaEffect::EventRemoved(*event))
         }
         DeltaOp::AddUsers { users } => {
@@ -287,7 +351,66 @@ pub fn apply(inst: &mut Instance, op: &DeltaOp) -> Result<DeltaEffect, DeltaErro
             inst.event_interest.set_value(event.index(), *user, *interest);
             Ok(DeltaEffect::InterestShifted { event: *event, user: *user })
         }
+        DeltaOp::AddConflict { a, b } => {
+            check_constraint_event(inst, *a)?;
+            check_constraint_event(inst, *b)?;
+            if a == b {
+                return Err(DeltaError::SelfConstraint { event: *a });
+            }
+            if inst.constraints.has_conflict(*a, *b) {
+                return Err(DeltaError::DuplicateConstraint);
+            }
+            inst.constraints.add_conflict(*a, *b);
+            Ok(DeltaEffect::ConstraintsChanged)
+        }
+        DeltaOp::RemoveConflict { a, b } => {
+            if !inst.constraints.remove_conflict(*a, *b) {
+                return Err(DeltaError::UnknownConstraint);
+            }
+            Ok(DeltaEffect::ConstraintsChanged)
+        }
+        DeltaOp::AddPrecedence { before, after } => {
+            check_constraint_event(inst, *before)?;
+            check_constraint_event(inst, *after)?;
+            if before == after {
+                return Err(DeltaError::SelfConstraint { event: *before });
+            }
+            if inst.constraints.has_precedence(*before, *after) {
+                return Err(DeltaError::DuplicateConstraint);
+            }
+            if inst.constraints.precedence_would_cycle(*before, *after) {
+                return Err(DeltaError::ConstraintCycle { before: *before, after: *after });
+            }
+            inst.constraints.add_precedence(*before, *after);
+            Ok(DeltaEffect::ConstraintsChanged)
+        }
+        DeltaOp::RemovePrecedence { before, after } => {
+            if !inst.constraints.remove_precedence(*before, *after) {
+                return Err(DeltaError::UnknownConstraint);
+            }
+            Ok(DeltaEffect::ConstraintsChanged)
+        }
+        DeltaOp::SetVenueCapacity { location, capacity } => match capacity {
+            Some(0) => Err(DeltaError::ZeroCapacity),
+            Some(c) => {
+                inst.constraints.set_venue_capacity(*location, *c);
+                Ok(DeltaEffect::ConstraintsChanged)
+            }
+            None => {
+                if !inst.constraints.clear_venue_capacity(*location) {
+                    return Err(DeltaError::UnknownConstraint);
+                }
+                Ok(DeltaEffect::ConstraintsChanged)
+            }
+        },
     }
+}
+
+fn check_constraint_event(inst: &Instance, event: EventId) -> Result<(), DeltaError> {
+    if event.index() >= inst.num_events() {
+        return Err(DeltaError::UnknownEvent { event, num_events: inst.num_events() });
+    }
+    Ok(())
 }
 
 /// Applies a whole op log to a clone of `base` — the "full recompute" side
@@ -336,7 +459,8 @@ pub fn refresh_comp_mass(mass: &mut Vec<f64>, inst: &Instance, effect: &DeltaEff
     match effect {
         DeltaEffect::EventAdded(_)
         | DeltaEffect::EventRemoved(_)
-        | DeltaEffect::InterestShifted { .. } => {}
+        | DeltaEffect::InterestShifted { .. }
+        | DeltaEffect::ConstraintsChanged => {}
         DeltaEffect::UsersAdded { first, count } => {
             let users = inst.num_users();
             let old_users = users - count;
@@ -548,5 +672,127 @@ mod tests {
     fn kind_labels() {
         assert_eq!(DeltaOp::RemoveEvent { event: EventId::new(0) }.kind(), "RemoveEvent");
         assert_eq!(DeltaOp::RetireUsers { users: vec![0] }.kind(), "RetireUsers");
+        assert_eq!(
+            DeltaOp::SetVenueCapacity { location: LocationId::new(0), capacity: None }.kind(),
+            "SetVenueCapacity"
+        );
+    }
+
+    #[test]
+    fn constraint_ops_edit_the_set() {
+        let mut inst = running_example();
+        let e = |i: usize| EventId::new(i);
+        for op in [
+            DeltaOp::AddConflict { a: e(0), b: e(3) },
+            DeltaOp::AddPrecedence { before: e(0), after: e(2) },
+            DeltaOp::SetVenueCapacity { location: LocationId::new(0), capacity: Some(2) },
+        ] {
+            assert_eq!(apply(&mut inst, &op).unwrap(), DeltaEffect::ConstraintsChanged);
+        }
+        assert!(inst.constraints.has_conflict(e(3), e(0)));
+        assert!(inst.constraints.has_precedence(e(0), e(2)));
+        assert_eq!(inst.constraints.venue_capacity(LocationId::new(0)), Some(2));
+        assert!(inst.validate().is_ok());
+
+        apply(&mut inst, &DeltaOp::RemoveConflict { a: e(3), b: e(0) }).unwrap();
+        apply(&mut inst, &DeltaOp::RemovePrecedence { before: e(0), after: e(2) }).unwrap();
+        apply(
+            &mut inst,
+            &DeltaOp::SetVenueCapacity { location: LocationId::new(0), capacity: None },
+        )
+        .unwrap();
+        assert!(inst.constraints.is_empty());
+    }
+
+    #[test]
+    fn constraint_op_validation_is_atomic() {
+        let mut inst = running_example();
+        apply(&mut inst, &DeltaOp::AddConflict { a: EventId::new(0), b: EventId::new(1) }).unwrap();
+        apply(
+            &mut inst,
+            &DeltaOp::AddPrecedence { before: EventId::new(1), after: EventId::new(2) },
+        )
+        .unwrap();
+        let before = inst.clone();
+        let e = |i: usize| EventId::new(i);
+        let bad: Vec<(DeltaOp, DeltaError)> = vec![
+            (
+                DeltaOp::AddConflict { a: e(0), b: e(9) },
+                DeltaError::UnknownEvent { event: e(9), num_events: 4 },
+            ),
+            (DeltaOp::AddConflict { a: e(2), b: e(2) }, DeltaError::SelfConstraint { event: e(2) }),
+            (DeltaOp::AddConflict { a: e(1), b: e(0) }, DeltaError::DuplicateConstraint),
+            (DeltaOp::RemoveConflict { a: e(2), b: e(3) }, DeltaError::UnknownConstraint),
+            (
+                DeltaOp::AddPrecedence { before: e(9), after: e(0) },
+                DeltaError::UnknownEvent { event: e(9), num_events: 4 },
+            ),
+            (
+                DeltaOp::AddPrecedence { before: e(3), after: e(3) },
+                DeltaError::SelfConstraint { event: e(3) },
+            ),
+            (DeltaOp::AddPrecedence { before: e(1), after: e(2) }, DeltaError::DuplicateConstraint),
+            (
+                DeltaOp::AddPrecedence { before: e(2), after: e(1) },
+                DeltaError::ConstraintCycle { before: e(2), after: e(1) },
+            ),
+            (
+                DeltaOp::RemovePrecedence { before: e(2), after: e(1) },
+                DeltaError::UnknownConstraint,
+            ),
+            (
+                DeltaOp::SetVenueCapacity { location: LocationId::new(0), capacity: Some(0) },
+                DeltaError::ZeroCapacity,
+            ),
+            (
+                DeltaOp::SetVenueCapacity { location: LocationId::new(7), capacity: None },
+                DeltaError::UnknownConstraint,
+            ),
+        ];
+        for (op, want) in bad {
+            assert_eq!(apply(&mut inst, &op).unwrap_err(), want, "{op:?}");
+            assert_eq!(inst, before, "{op:?} must leave the instance unchanged");
+        }
+    }
+
+    /// Regression: removing an event must drop its conflict/precedence
+    /// edges and shift the survivors' ids atomically with the event itself,
+    /// so op streams cannot strand dangling constraint references.
+    #[test]
+    fn remove_event_maintains_constraints() {
+        let mut inst = running_example();
+        let e = |i: usize| EventId::new(i);
+        apply(&mut inst, &DeltaOp::AddConflict { a: e(0), b: e(2) }).unwrap();
+        apply(&mut inst, &DeltaOp::AddConflict { a: e(1), b: e(3) }).unwrap();
+        apply(&mut inst, &DeltaOp::AddPrecedence { before: e(1), after: e(2) }).unwrap();
+        apply(&mut inst, &DeltaOp::AddPrecedence { before: e(0), after: e(3) }).unwrap();
+
+        apply(&mut inst, &DeltaOp::RemoveEvent { event: e(1) }).unwrap();
+        // Rules touching e1 are gone; ids above 1 shifted down in lock-step
+        // with events/event_interest, and the instance still validates.
+        assert_eq!(inst.num_events(), 3);
+        assert!(inst.constraints.has_conflict(e(0), e(1))); // was e0–e2
+        assert!(!inst.constraints.has_conflict(e(1), e(3)));
+        assert!(inst.constraints.has_precedence(e(0), e(2))); // was e0→e3
+        assert_eq!(inst.constraints.len(), 2);
+        assert!(inst.validate().is_ok());
+
+        // A failing removal leaves the constraints untouched too.
+        let before = inst.clone();
+        assert!(apply(&mut inst, &DeltaOp::RemoveEvent { event: e(9) }).is_err());
+        assert_eq!(inst, before);
+    }
+
+    #[test]
+    fn constraint_ops_serde_roundtrip() {
+        for op in [
+            DeltaOp::AddConflict { a: EventId::new(0), b: EventId::new(1) },
+            DeltaOp::RemovePrecedence { before: EventId::new(2), after: EventId::new(0) },
+            DeltaOp::SetVenueCapacity { location: LocationId::new(1), capacity: Some(4) },
+            DeltaOp::SetVenueCapacity { location: LocationId::new(1), capacity: None },
+        ] {
+            let back: DeltaOp = serde_json::from_str(&serde_json::to_string(&op).unwrap()).unwrap();
+            assert_eq!(op, back);
+        }
     }
 }

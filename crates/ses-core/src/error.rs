@@ -64,6 +64,39 @@ pub enum BuildError {
         /// The user it belongs to.
         user: usize,
     },
+    /// A venue capacity was zero (use no entry to leave a venue
+    /// unconstrained).
+    ZeroVenueCapacity {
+        /// The location with the zero budget.
+        location: crate::ids::LocationId,
+    },
+    /// Two capacity entries target the same location.
+    DuplicateVenueCapacity {
+        /// The doubly-constrained location.
+        location: crate::ids::LocationId,
+    },
+    /// A constraint referenced an event that does not exist.
+    DanglingConstraintEvent {
+        /// The dangling event id.
+        event: EventId,
+        /// Number of candidate events in the instance.
+        num_events: usize,
+        /// Which constraint family referenced it.
+        context: &'static str,
+    },
+    /// A conflict pair or precedence edge referenced an event on both sides.
+    SelfReferentialConstraint {
+        /// The twice-referenced event.
+        event: EventId,
+        /// Which constraint family it appeared in.
+        context: &'static str,
+    },
+    /// The precedence relation contains a cycle, so no schedule placing all
+    /// its events could ever be feasible.
+    PrecedenceCycle {
+        /// An event on the cycle.
+        event: EventId,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -92,6 +125,21 @@ impl fmt::Display for BuildError {
             }
             Self::InvalidWeight { value, user } => {
                 write!(f, "invalid weight {value} for user {user}")
+            }
+            Self::ZeroVenueCapacity { location } => {
+                write!(f, "venue capacity for {location} is zero (omit the entry instead)")
+            }
+            Self::DuplicateVenueCapacity { location } => {
+                write!(f, "duplicate venue-capacity entry for {location}")
+            }
+            Self::DanglingConstraintEvent { event, num_events, context } => {
+                write!(f, "{context} references {event} but instance has {num_events} events")
+            }
+            Self::SelfReferentialConstraint { event, context } => {
+                write!(f, "{context} references {event} on both sides")
+            }
+            Self::PrecedenceCycle { event } => {
+                write!(f, "precedence constraints form a cycle through {event}")
             }
         }
     }
@@ -126,6 +174,33 @@ pub enum ScheduleError {
     },
     /// The event is not currently scheduled (for removal operations).
     EventNotScheduled(EventId),
+    /// Assigning the event would push its venue past the per-venue
+    /// slot budget of the instance's [`ConstraintSet`].
+    ///
+    /// [`ConstraintSet`]: crate::constraints::ConstraintSet
+    VenueCapacityExceeded {
+        /// Event being assigned.
+        event: EventId,
+        /// The capped location.
+        location: crate::ids::LocationId,
+        /// The configured slot budget.
+        capacity: u32,
+    },
+    /// The event is in a conflict pair with an already-scheduled event.
+    ConflictViolation {
+        /// Event being assigned.
+        event: EventId,
+        /// The already-scheduled conflicting event.
+        other: EventId,
+    },
+    /// The assignment would violate a precedence edge (`before` would not
+    /// finish before `after` starts).
+    PrecedenceViolation {
+        /// The event that must run first.
+        before: EventId,
+        /// The event that must run later.
+        after: EventId,
+    },
 }
 
 impl fmt::Display for ScheduleError {
@@ -139,6 +214,15 @@ impl fmt::Display for ScheduleError {
                 write!(f, "assigning {event} at {interval} exceeds available resources")
             }
             Self::EventNotScheduled(e) => write!(f, "{e} is not scheduled"),
+            Self::VenueCapacityExceeded { event, location, capacity } => {
+                write!(f, "assigning {event} exceeds capacity {capacity} of {location}")
+            }
+            Self::ConflictViolation { event, other } => {
+                write!(f, "{event} conflicts with scheduled {other} (mutual exclusion)")
+            }
+            Self::PrecedenceViolation { before, after } => {
+                write!(f, "{before} must finish before {after} starts")
+            }
         }
     }
 }
@@ -201,6 +285,24 @@ pub enum DeltaError {
     },
     /// The op carried an empty payload where at least one entry is required.
     EmptyOp(&'static str),
+    /// A constraint op referenced the same event on both sides.
+    SelfConstraint {
+        /// The twice-referenced event.
+        event: EventId,
+    },
+    /// Adding the precedence edge would close a cycle.
+    ConstraintCycle {
+        /// The `before` endpoint of the rejected edge.
+        before: EventId,
+        /// The `after` endpoint of the rejected edge.
+        after: EventId,
+    },
+    /// The constraint to add already exists.
+    DuplicateConstraint,
+    /// The constraint to remove does not exist.
+    UnknownConstraint,
+    /// A venue-capacity op carried a zero budget (clear the entry instead).
+    ZeroCapacity,
 }
 
 impl fmt::Display for DeltaError {
@@ -234,6 +336,17 @@ impl fmt::Display for DeltaError {
                 }
             }
             Self::EmptyOp(what) => write!(f, "op carries no {what}"),
+            Self::SelfConstraint { event } => {
+                write!(f, "constraint references {event} on both sides")
+            }
+            Self::ConstraintCycle { before, after } => {
+                write!(f, "precedence {before} -> {after} would close a cycle")
+            }
+            Self::DuplicateConstraint => write!(f, "constraint already exists"),
+            Self::UnknownConstraint => write!(f, "constraint does not exist"),
+            Self::ZeroCapacity => {
+                write!(f, "venue capacity must be positive (clear the entry to unconstrain)")
+            }
         }
     }
 }

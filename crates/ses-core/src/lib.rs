@@ -26,9 +26,13 @@
 //!   resolution and the fixed-block reduction scheme that keeps parallel
 //!   scores bit-identical to sequential ones;
 //! * [`delta`] — dynamic-workload deltas: the [`delta::DeltaOp`] vocabulary
-//!   (event/user churn, interest drift), in-place application with dense-id
-//!   maintenance, and incremental competing-mass upkeep for warm-started
-//!   schedulers.
+//!   (event/user churn, interest drift, constraint churn), in-place
+//!   application with dense-id maintenance, and incremental competing-mass
+//!   upkeep for warm-started schedulers;
+//! * [`constraints`] — the scenario-constraint layer
+//!   ([`constraints::ConstraintSet`]: venue capacities, conflict
+//!   pairs/cliques, precedence edges) every candidate generator consults
+//!   through [`schedule::Schedule::check_assign`].
 //!
 //! Algorithms (ALG, INC, HOR, HOR-I, baselines) live in `ses-algorithms`;
 //! dataset generators in `ses-datasets`.
@@ -49,6 +53,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod constraints;
 pub mod delta;
 pub mod error;
 pub mod ids;
@@ -58,6 +63,7 @@ pub mod schedule;
 pub mod scoring;
 pub mod stats;
 
+pub use constraints::ConstraintSet;
 pub use delta::{DeltaEffect, DeltaOp, NewUser};
 pub use error::{BuildError, DeltaError, ScheduleError, ServiceError};
 pub use ids::{CompetingEventId, EventId, IntervalId, LocationId, UserId};

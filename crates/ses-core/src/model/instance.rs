@@ -1,5 +1,6 @@
 //! The SES problem instance: everything except the schedule itself.
 
+use crate::constraints::ConstraintSet;
 use crate::error::BuildError;
 use crate::ids::{CompetingEventId, EventId, IntervalId, LocationId};
 use crate::model::activity::ActivityMatrix;
@@ -35,6 +36,14 @@ pub struct Instance {
     /// extension, e.g. influence). `None` means every user weighs 1.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub user_weights: Option<Vec<f64>>,
+    /// Scenario constraints (venue capacities, conflict pairs, precedence)
+    /// consulted by [`Schedule::check_assign`]. Empty ≡ the paper's model;
+    /// absent in serialized form when empty, so pre-constraint JSON and wire
+    /// requests parse unchanged.
+    ///
+    /// [`Schedule::check_assign`]: crate::schedule::Schedule::check_assign
+    #[serde(default, skip_serializing_if = "ConstraintSet::is_empty")]
+    pub constraints: ConstraintSet,
 }
 
 impl Instance {
@@ -203,6 +212,7 @@ impl Instance {
         self.event_interest.validate()?;
         self.competing_interest.validate()?;
         self.activity.validate()?;
+        self.constraints.validate(self.num_events())?;
         Ok(())
     }
 }
@@ -218,6 +228,7 @@ pub struct InstanceBuilder {
     activity: Option<ActivityMatrix>,
     resources: f64,
     user_weights: Option<Vec<f64>>,
+    constraints: ConstraintSet,
 }
 
 impl Default for InstanceBuilder {
@@ -239,6 +250,7 @@ impl InstanceBuilder {
             activity: None,
             resources: f64::MAX,
             user_weights: None,
+            constraints: ConstraintSet::new(),
         }
     }
 
@@ -302,6 +314,13 @@ impl InstanceBuilder {
         self
     }
 
+    /// Sets the scenario constraints (validated at [`build`](Self::build)).
+    #[must_use]
+    pub fn constraints(mut self, cs: ConstraintSet) -> Self {
+        self.constraints = cs;
+        self
+    }
+
     /// Finalizes and validates the instance.
     ///
     /// # Errors
@@ -325,6 +344,7 @@ impl InstanceBuilder {
             activity,
             resources: self.resources,
             user_weights: self.user_weights,
+            constraints: self.constraints,
         };
         inst.validate()?;
         Ok(inst)

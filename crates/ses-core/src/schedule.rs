@@ -147,6 +147,10 @@ impl Schedule {
                 });
             }
         }
+        // Scenario constraints last, so the §2.1 error precedence (and thus
+        // every unconstrained code path) is unchanged; the empty set
+        // short-circuits inside `check`.
+        inst.constraints.check(inst, self, e, t)?;
         Ok(())
     }
 
@@ -199,8 +203,10 @@ impl Schedule {
         Ok(t)
     }
 
-    /// Full re-check of both §2.1 constraints from scratch — used by tests
-    /// and debug assertions to cross-validate the incremental bookkeeping.
+    /// Full re-check of the §2.1 constraints (and any scenario
+    /// [`ConstraintSet`](crate::constraints::ConstraintSet) rules) from
+    /// scratch — used by tests and debug assertions to cross-validate the
+    /// incremental bookkeeping.
     pub fn verify_feasible(&self, inst: &Instance) -> Result<(), ScheduleError> {
         let mut fresh = Schedule::new(inst);
         for a in &self.order {

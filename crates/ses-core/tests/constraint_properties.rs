@@ -1,0 +1,260 @@
+//! Property-based tests for the constraint layer: validation exactness
+//! (the validator rejects a set **iff** an independently-computed
+//! malformedness predicate says so), and downward closure (removing an
+//! assignment never invalidates a previously-valid candidate).
+//!
+//! Malformed sets cannot be built through the `ConstraintSet` mutators —
+//! they dedup and overwrite — so raw sets arrive the same way hostile ones
+//! would in production: through serde, from JSON assembled out of random
+//! id/capacity vectors.
+
+use proptest::prelude::*;
+use ses_core::constraints::ConstraintSet;
+use ses_core::ids::{EventId, IntervalId, LocationId};
+use ses_core::model::{ActivityMatrix, DenseInterest, Event, Instance, InstanceBuilder};
+use ses_core::schedule::Schedule;
+
+/// Raw constraint material: `(location, capacity)` pairs and two id-pair
+/// lists, each free to be malformed (zero capacities, duplicate locations,
+/// dangling or self-referential ids, precedence cycles). Lengths vary by
+/// truncating fixed-size samples (the vendored proptest generates
+/// fixed-length vectors only).
+type RawSet = (Vec<(u32, u32)>, Vec<(u32, u32)>, Vec<(u32, u32)>);
+
+fn raw_set() -> impl Strategy<Value = RawSet> {
+    let pair = || (0u32..8, 0u32..8);
+    (
+        (proptest::collection::vec((0u32..4, 0u32..4), 3), 0usize..=3),
+        (proptest::collection::vec(pair(), 5), 0usize..=5),
+        (proptest::collection::vec(pair(), 5), 0usize..=5),
+    )
+        .prop_map(|((mut caps, nc), (mut confl, nf), (mut prec, np))| {
+            caps.truncate(nc);
+            confl.truncate(nf);
+            prec.truncate(np);
+            (caps, confl, prec)
+        })
+}
+
+/// Deserializes the raw material into a `ConstraintSet` — the only door
+/// through which malformed sets can enter, exactly as in production.
+fn to_set((caps, conflicts, precedences): &RawSet) -> ConstraintSet {
+    let caps: Vec<String> =
+        caps.iter().map(|(l, c)| format!("{{\"location\":{l},\"capacity\":{c}}}")).collect();
+    let confl: Vec<String> =
+        conflicts.iter().map(|(a, b)| format!("{{\"a\":{a},\"b\":{b}}}")).collect();
+    let prec: Vec<String> =
+        precedences.iter().map(|(a, b)| format!("{{\"before\":{a},\"after\":{b}}}")).collect();
+    let json = format!(
+        "{{\"venue_capacities\":[{}],\"conflicts\":[{}],\"precedences\":[{}]}}",
+        caps.join(","),
+        confl.join(","),
+        prec.join(",")
+    );
+    serde_json::from_str(&json).expect("hand-assembled JSON is syntactically valid")
+}
+
+/// Independent malformedness predicate, re-derived from the documented
+/// rules with no shared code: a set is malformed iff it has a zero or
+/// duplicate-location capacity, a dangling or self-referential id, or a
+/// precedence cycle (found here by three-color DFS, not Kahn's algorithm).
+fn is_malformed((caps, conflicts, precedences): &RawSet, num_events: u32) -> bool {
+    if caps.iter().any(|&(_, c)| c == 0) {
+        return true;
+    }
+    if caps.iter().enumerate().any(|(i, &(l, _))| caps[..i].iter().any(|&(m, _)| m == l)) {
+        return true;
+    }
+    let bad_pair = |&(a, b): &(u32, u32)| a >= num_events || b >= num_events || a == b;
+    if conflicts.iter().any(bad_pair) || precedences.iter().any(bad_pair) {
+        return true;
+    }
+    // Cycle hunt: DFS from every node with three-color marking.
+    let n = num_events as usize;
+    let mut color = vec![0u8; n]; // 0 white, 1 gray, 2 black
+    for start in 0..n {
+        if color[start] != 0 {
+            continue;
+        }
+        // Explicit stack of (node, next-edge-cursor) frames.
+        let mut stack = vec![(start, 0usize)];
+        color[start] = 1;
+        while let Some(&mut (node, ref mut cursor)) = stack.last_mut() {
+            let next = precedences
+                .iter()
+                .enumerate()
+                .skip(*cursor)
+                .find(|(_, &(b, _))| b as usize == node);
+            match next {
+                Some((i, &(_, after))) => {
+                    *cursor = i + 1;
+                    let after = after as usize;
+                    if color[after] == 1 {
+                        return true; // back edge
+                    }
+                    if color[after] == 0 {
+                        color[after] = 1;
+                        stack.push((after, 0));
+                    }
+                }
+                None => {
+                    color[node] = 2;
+                    stack.pop();
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Quantized probability in [0, 1] (steps of 1/64).
+fn prob() -> impl Strategy<Value = f64> {
+    (0u8..=64).prop_map(|x| x as f64 / 64.0)
+}
+
+/// A small random instance (up to 6 events over 3 locations, 4 intervals,
+/// 5 users) — enough shape diversity for the feasibility properties while
+/// keeping the assignment universe enumerable.
+fn small_instance() -> impl Strategy<Value = Instance> {
+    let dims = (2usize..=6, 1usize..=4, 1usize..=5);
+    dims.prop_flat_map(|(ne, nt, nu)| {
+        (
+            Just(ne),
+            Just(nt),
+            Just(nu),
+            proptest::collection::vec(0usize..3, ne),
+            proptest::collection::vec(prob(), ne * nu),
+            proptest::collection::vec(prob(), nu * nt),
+        )
+    })
+    .prop_map(|(ne, nt, nu, locs, ev, act)| {
+        let mut b = InstanceBuilder::new();
+        for &l in &locs {
+            b.add_event(Event::new(LocationId::new(l), 1.0));
+        }
+        b.add_intervals(nt);
+        b.event_interest(DenseInterest::from_raw(ne, nu, ev).unwrap())
+            .competing_interest(DenseInterest::from_raw(0, nu, vec![]).unwrap())
+            .activity(ActivityMatrix::from_raw(nu, nt, act).unwrap())
+            .resources(100.0)
+            .build()
+            .unwrap()
+    })
+}
+
+/// Raw material for a *well-formed* constraint set: folded into range and
+/// made acyclic (precedence low → high) against a concrete event count.
+fn valid_raw() -> impl Strategy<Value = RawSet> {
+    (
+        (proptest::collection::vec((0u32..3, 1u32..4), 2), 0usize..=2),
+        (proptest::collection::vec((0u32..8, 0u32..8), 4), 0usize..=4),
+        (proptest::collection::vec((0u32..8, 0u32..8), 4), 0usize..=4),
+    )
+        .prop_map(|((mut caps, nc), (mut confl, nf), (mut prec, np))| {
+            caps.truncate(nc);
+            confl.truncate(nf);
+            prec.truncate(np);
+            (caps, confl, prec)
+        })
+}
+
+/// Builds the well-formed set for an instance with `ne` events: distinct
+/// in-range ids, positive capacities, precedence edges pointing from the
+/// lower id to the higher one (acyclic by construction).
+fn well_formed((caps, conflicts, precedences): &RawSet, ne: usize) -> ConstraintSet {
+    let mut cs = ConstraintSet::new();
+    for &(l, c) in caps {
+        cs.set_venue_capacity(LocationId::new(l as usize), c.max(1));
+    }
+    for &(a, b) in conflicts {
+        let (a, b) = (a as usize % ne, b as usize % ne);
+        if a != b {
+            cs.add_conflict(EventId::new(a), EventId::new(b));
+        }
+    }
+    for &(a, b) in precedences {
+        let (a, b) = (a as usize % ne, b as usize % ne);
+        if a != b {
+            cs.add_precedence(EventId::new(a.min(b)), EventId::new(a.max(b)));
+        }
+    }
+    cs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `ConstraintSet::validate` rejects **exactly** the malformed sets:
+    /// its verdict matches the independent predicate on every random raw
+    /// set, for every probed event count.
+    #[test]
+    fn validation_rejects_exactly_the_malformed_sets(
+        raw in raw_set(),
+        num_events in 1u32..8,
+    ) {
+        let cs = to_set(&raw);
+        let verdict = cs.validate(num_events as usize);
+        let malformed = is_malformed(&raw, num_events);
+        prop_assert_eq!(
+            verdict.is_err(),
+            malformed,
+            "validate said {:?} but the independent predicate said malformed={} for {:?} \
+             over {} events",
+            verdict,
+            malformed,
+            raw,
+            num_events
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Downward closure, the property greedy insertion and EXACT's
+    /// enumeration rely on: unassigning an event never *invalidates* a
+    /// candidate that was valid before (feasibility is monotone under
+    /// unapply), and the shrunken schedule itself stays feasible.
+    #[test]
+    fn feasibility_monotone_under_unapply(
+        inst in small_instance(),
+        raw in valid_raw(),
+        mask in proptest::collection::vec(0u8..2, 24),
+        victim in 0usize..8,
+    ) {
+        let mut inst = inst;
+        inst.constraints = well_formed(&raw, inst.num_events());
+        prop_assert!(inst.validate().is_ok());
+
+        // Greedily build a feasible schedule from a random admission mask.
+        let mut schedule = Schedule::new(&inst);
+        for (i, (e, t)) in inst.assignment_universe().enumerate() {
+            if mask[i % mask.len()] == 1 && schedule.check_assign(&inst, e, t).is_ok() {
+                schedule.assign(&inst, e, t).expect("checked valid");
+            }
+        }
+        if schedule.is_empty() {
+            continue; // nothing admitted this round — vacuous case
+        }
+
+        let valid_before: Vec<(EventId, IntervalId)> = inst
+            .assignment_universe()
+            .filter(|&(e, t)| schedule.is_valid_assignment(&inst, e, t))
+            .collect();
+
+        let scheduled: Vec<EventId> =
+            schedule.assignments().iter().map(|a| a.event).collect();
+        let x = scheduled[victim % scheduled.len()];
+        schedule.unassign(&inst, x).expect("scheduled event unassigns");
+
+        prop_assert!(schedule.verify_feasible(&inst).is_ok(),
+            "prefix of a feasible schedule became infeasible");
+        for (e, t) in valid_before {
+            prop_assert!(
+                schedule.is_valid_assignment(&inst, e, t),
+                "unassigning {:?} invalidated previously-valid candidate {:?}@{:?}",
+                x, e, t
+            );
+        }
+    }
+}

@@ -16,14 +16,18 @@
 //!
 //! [`distributions`] provides the hand-rolled Uniform/Normal/Zipf samplers
 //! everything is built on, [`hardness`] implements the paper's Theorem-1
-//! reduction (3DM-3 → restricted SES) as testable code, and [`ops`]
-//! generates seeded delta-op streams (event/user churn, interest drift)
-//! for the dynamic-workload experiments.
+//! reduction (3DM-3 → restricted SES) as testable code, [`ops`] generates
+//! seeded delta-op streams (event/user churn, interest drift, constraint
+//! churn) for the dynamic-workload experiments, and [`constrained`]
+//! derives the seeded constraint families (capacity-tight,
+//! conflict-clique, precedence-chain, mixed) the differential constraint
+//! suite runs every scheduler against.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod concerts;
+pub mod constrained;
 pub mod distributions;
 pub mod hardness;
 pub mod meetup;
@@ -33,6 +37,7 @@ pub mod scaffold;
 pub mod synthetic;
 
 pub use concerts::ConcertsParams;
+pub use constrained::ConstraintFamily;
 pub use meetup::MeetupParams;
 pub use ops::OpStreamParams;
 pub use params::{ActivityModel, InterestModel, SyntheticParams};

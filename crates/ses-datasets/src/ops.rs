@@ -9,9 +9,20 @@
 //! base shape — so long streams hover around the seed sizes, and hard
 //! floors keep removals from draining a dimension outright. Streams are
 //! deterministic per seed.
+//!
+//! With [`OpStreamParams::constraint_churn`] above zero, a slice of the
+//! stream edits the instance's [`ConstraintSet`] (conflict pairs,
+//! precedence edges, venue capacities). The generator mirrors the live
+//! set — including [`ConstraintSet::remove_event`] shifts when an event
+//! departs — so every emitted op is valid, and precedence edges only ever
+//! point from a lower event id to a higher one, which keeps the relation
+//! acyclic under arbitrary churn (removals preserve relative id order and
+//! new events append at the tail). At the default `0.0` the knob draws no
+//! RNG values at all, so pre-existing streams are byte-stable per seed.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use ses_core::constraints::ConstraintSet;
 use ses_core::delta::{DeltaOp, NewUser};
 use ses_core::model::{Event, Instance};
 use ses_core::{EventId, LocationId};
@@ -37,6 +48,12 @@ pub struct OpStreamParams {
     /// Probability a generated interest value is non-zero (1.0 = dense;
     /// lower values imitate sparse EBSN interest).
     pub interest_density: f64,
+    /// Probability an op edits the constraint set (conflicts, precedences,
+    /// venue capacities) instead of anything else. Checked *before* the
+    /// structural coin; `0.0` (the default) draws no RNG values, so
+    /// streams generated without the knob are byte-stable per seed.
+    #[serde(default)]
+    pub constraint_churn: f64,
     /// RNG seed; streams are deterministic per (base, params).
     pub seed: u64,
 }
@@ -49,6 +66,7 @@ impl Default for OpStreamParams {
             user_churn: 0.3,
             users_per_batch: 4,
             interest_density: 1.0,
+            constraint_churn: 0.0,
             seed: 0x0D5,
         }
     }
@@ -83,6 +101,13 @@ impl OpStreamParams {
         self
     }
 
+    /// Overrides the constraint-churn probability.
+    #[must_use]
+    pub fn with_constraint_churn(mut self, constraint_churn: f64) -> Self {
+        self.constraint_churn = constraint_churn;
+        self
+    }
+
     /// Overrides the seed.
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
@@ -107,8 +132,16 @@ pub fn generate(base: &Instance, params: &OpStreamParams) -> Vec<DeltaOp> {
     let num_locations = base.events.iter().map(|e| e.location.index() + 1).max().unwrap_or(1);
     let max_req = if base.resources.is_finite() { (base.resources / 2.0).max(0.0) } else { 1.0 };
 
+    let mut constraints = base.constraints.clone();
+
     let mut ops = Vec::with_capacity(params.num_ops);
     for _ in 0..params.num_ops {
+        // Constraint coin first, gated on the knob so the default 0.0
+        // draws nothing and leaves pre-existing streams byte-stable.
+        if params.constraint_churn > 0.0 && rng.gen_range(0.0..1.0) < params.constraint_churn {
+            ops.push(constraint_op(&mut rng, &mut constraints, num_events, num_locations));
+            continue;
+        }
         let structural = rng.gen_range(0.0..1.0) < params.churn;
         let op = if !structural {
             DeltaOp::ShiftInterest {
@@ -155,6 +188,9 @@ pub fn generate(base: &Instance, params: &OpStreamParams) -> Vec<DeltaOp> {
             } else {
                 let victim = rng.gen_range(0..num_events);
                 num_events -= 1;
+                // Keep the constraint mirror in lock-step with the dense-id
+                // shift `delta::apply` performs on removal.
+                constraints.remove_event(EventId::new(victim));
                 DeltaOp::RemoveEvent { event: EventId::new(victim) }
             }
         };
@@ -170,6 +206,74 @@ pub fn generate(base: &Instance, params: &OpStreamParams) -> Vec<DeltaOp> {
 fn mean_revert_grow(rng: &mut StdRng, current: usize, base: usize) -> bool {
     let bias = (base as f64 - current as f64) / (2.0 * base.max(1) as f64);
     rng.gen_range(0.0..1.0) < (0.5 + bias).clamp(0.1, 0.9)
+}
+
+/// Emits one valid constraint edit against the mirrored live set,
+/// mutating the mirror to match. Precedence edges only ever point from a
+/// lower id to a higher one (acyclic under churn — see the module docs);
+/// a cycle probe still guards against a base set that already carries
+/// high-to-low edges. Saturated kinds (nothing left to remove, every pair
+/// already conflicting) retry a few times, then fall back to a capacity
+/// write, which is always valid because `SetVenueCapacity` overwrites.
+fn constraint_op(
+    rng: &mut StdRng,
+    cs: &mut ConstraintSet,
+    num_events: usize,
+    num_locations: usize,
+) -> DeltaOp {
+    for _ in 0..16 {
+        match rng.gen_range(0..6) {
+            // Biased toward adds so streams grow rule mass to churn over.
+            0 | 1 => {
+                let a = EventId::new(rng.gen_range(0..num_events));
+                let b = EventId::new(rng.gen_range(0..num_events));
+                if a != b && !cs.has_conflict(a, b) {
+                    cs.add_conflict(a, b);
+                    return DeltaOp::AddConflict { a, b };
+                }
+            }
+            2 => {
+                if num_events < 2 {
+                    continue;
+                }
+                let i = rng.gen_range(0..num_events - 1);
+                let before = EventId::new(i);
+                let after = EventId::new(rng.gen_range(i + 1..num_events));
+                if !cs.has_precedence(before, after) && !cs.precedence_would_cycle(before, after) {
+                    cs.add_precedence(before, after);
+                    return DeltaOp::AddPrecedence { before, after };
+                }
+            }
+            3 => {
+                let location = LocationId::new(rng.gen_range(0..num_locations));
+                let capacity = rng.gen_range(1..=4u32);
+                cs.set_venue_capacity(location, capacity);
+                return DeltaOp::SetVenueCapacity { location, capacity: Some(capacity) };
+            }
+            4 => {
+                if !cs.conflicts().is_empty() {
+                    let p = cs.conflicts()[rng.gen_range(0..cs.conflicts().len())];
+                    cs.remove_conflict(p.a, p.b);
+                    return DeltaOp::RemoveConflict { a: p.a, b: p.b };
+                }
+            }
+            _ => {
+                if !cs.precedences().is_empty() {
+                    let e = cs.precedences()[rng.gen_range(0..cs.precedences().len())];
+                    cs.remove_precedence(e.before, e.after);
+                    return DeltaOp::RemovePrecedence { before: e.before, after: e.after };
+                }
+                if !cs.venue_capacities().is_empty() {
+                    let v = cs.venue_capacities()[rng.gen_range(0..cs.venue_capacities().len())];
+                    cs.clear_venue_capacity(v.location);
+                    return DeltaOp::SetVenueCapacity { location: v.location, capacity: None };
+                }
+            }
+        }
+    }
+    let location = LocationId::new(rng.gen_range(0..num_locations));
+    cs.set_venue_capacity(location, 2);
+    DeltaOp::SetVenueCapacity { location, capacity: Some(2) }
 }
 
 fn interest_value(rng: &mut StdRng, params: &OpStreamParams) -> f64 {
@@ -236,6 +340,69 @@ mod tests {
             .filter(|op| matches!(op, DeltaOp::ShiftInterest { interest, .. } if *interest == 0.0))
             .count();
         assert!(zeros > ops.len() / 2, "density 0.2 should zero most drifts ({zeros}/80)");
+    }
+
+    fn is_constraint_op(op: &DeltaOp) -> bool {
+        matches!(
+            op,
+            DeltaOp::AddConflict { .. }
+                | DeltaOp::RemoveConflict { .. }
+                | DeltaOp::AddPrecedence { .. }
+                | DeltaOp::RemovePrecedence { .. }
+                | DeltaOp::SetVenueCapacity { .. }
+        )
+    }
+
+    #[test]
+    fn zero_constraint_churn_emits_no_constraint_ops() {
+        let inst = base();
+        let p = OpStreamParams::default().with_ops(150).with_churn(0.6);
+        assert!((p.constraint_churn - 0.0).abs() < f64::EPSILON, "knob must default off");
+        assert!(!generate(&inst, &p).iter().any(is_constraint_op));
+    }
+
+    #[test]
+    fn constraint_streams_apply_cleanly_under_event_churn() {
+        // Start from an already-constrained base so removals and shifts
+        // exercise the mirror, then churn both events and rules hard.
+        let mut inst = base();
+        crate::ConstraintFamily::Mixed.apply(&mut inst, 0x5EED);
+        let p = OpStreamParams::default()
+            .with_ops(300)
+            .with_churn(0.5)
+            .with_user_churn(0.0)
+            .with_constraint_churn(0.4)
+            .with_seed(4);
+        let ops = generate(&inst, &p);
+        let constraint_ops = ops.iter().filter(|op| is_constraint_op(op)).count();
+        assert!(constraint_ops > 60, "expected a thick constraint slice, got {constraint_ops}");
+        assert!(ops.iter().any(|op| matches!(op, DeltaOp::AddConflict { .. })));
+        assert!(ops.iter().any(|op| matches!(op, DeltaOp::AddPrecedence { .. })));
+        assert!(ops.iter().any(|op| matches!(op, DeltaOp::SetVenueCapacity { .. })));
+        assert!(ops.iter().any(|op| matches!(op, DeltaOp::RemoveEvent { .. })));
+        let materialized = delta::materialize(&inst, &ops).expect("stream must apply cleanly");
+        assert!(materialized.validate().is_ok());
+    }
+
+    #[test]
+    fn constraint_streams_are_deterministic_per_seed() {
+        let inst = base();
+        let p = OpStreamParams::default().with_ops(120).with_constraint_churn(0.5);
+        assert_eq!(generate(&inst, &p), generate(&inst, &p));
+        assert_ne!(generate(&inst, &p), generate(&inst, &p.with_seed(77)));
+    }
+
+    #[test]
+    fn pure_constraint_churn_survives_saturation() {
+        // Only two events: one possible conflict pair, one possible
+        // precedence edge. A long pure-constraint stream saturates both
+        // axes and must keep emitting valid ops (capacity fallback).
+        let inst = Dataset::Unf.build(12, 2, 4, 0xB1);
+        let p = OpStreamParams::default().with_ops(120).with_constraint_churn(1.0).with_seed(6);
+        let ops = generate(&inst, &p);
+        assert!(ops.iter().all(is_constraint_op));
+        let materialized = delta::materialize(&inst, &ops).expect("saturated stream must apply");
+        assert!(materialized.validate().is_ok());
     }
 
     #[test]

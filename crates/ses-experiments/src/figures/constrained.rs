@@ -1,0 +1,133 @@
+//! **Constrained** (beyond the paper) — what a scenario-constraint set
+//! costs the schedulers.
+//!
+//! For each seeded [`ConstraintFamily`] preset (x = family index: 0
+//! capacity-tight, 1 conflict-clique, 2 precedence-chain, 3 mixed) the
+//! same Unf base instance is scheduled twice by each probed kind: free
+//! (`ALG`, `INC`, `HOR-I` rows) and with the family installed (`+C`
+//! rows). Every candidate then flows through `Schedule::check_assign`'s
+//! feasibility gate, so the `+C`/free ratio per metric — assignments
+//! examined, score user-ops, wall time — is the constraint layer's
+//! measured overhead (EXPERIMENTS.md tracks the examined ratio). Each
+//! constrained schedule is re-verified feasible before it is recorded.
+//!
+//! [`ConstraintFamily`]: ses_datasets::ConstraintFamily
+
+use crate::report::{FigureReport, Metric, RunRecord};
+use crate::runner::{par_rows, ExperimentConfig};
+use ses_algorithms::{RunConfig, SchedulerKind, SesService};
+use ses_datasets::{ConstraintFamily, Dataset};
+
+/// The probed scheduler kinds (the paper's headliner, its incremental
+/// refinement, and the bound-gated horizontal variant).
+pub const KINDS: [SchedulerKind; 3] = [SchedulerKind::Alg, SchedulerKind::Inc, SchedulerKind::HorI];
+
+/// The fixed `k` of this figure (before `dim` scaling).
+pub const K: usize = 20;
+/// `|E|` of the base instance (before `dim` scaling).
+pub const EVENTS: usize = 100;
+/// `|T|` of the base instance (before `dim` scaling).
+pub const INTERVALS: usize = 15;
+
+/// Runs the constrained-overhead figure (families fan out across
+/// `config.threads`).
+pub fn run(config: &ExperimentConfig) -> FigureReport {
+    let k = config.dim(K);
+    let events = config.dim(EVENTS);
+    let intervals = config.dim(INTERVALS);
+    let families: Vec<(usize, ConstraintFamily)> =
+        ConstraintFamily::ALL.into_iter().enumerate().collect();
+    let records = par_rows(config.row_threads(), &families, |&(ix, family)| {
+        let free = Dataset::Unf.build(config.num_users, events, intervals, config.seed ^ 0xC0);
+        let mut constrained = free.clone();
+        family.apply(&mut constrained, config.seed ^ 0x5E7);
+        let threads = config.scheduler_threads();
+
+        let mut row = Vec::with_capacity(2 * KINDS.len());
+        for (inst, suffix) in [(&free, ""), (&constrained, "+C")] {
+            let mut service = SesService::new(inst.clone()).with_threads(threads);
+            for kind in KINDS {
+                let res = service.schedule_kind(kind, k, RunConfig::threaded(threads));
+                // Feasibility is the layer's core guarantee — enforce it in
+                // real (release) experiment runs, not just in tests.
+                res.schedule
+                    .verify_feasible(inst)
+                    .unwrap_or_else(|e| panic!("{}{suffix}/{}: {e}", res.algorithm, family.name()));
+                row.push(RunRecord {
+                    figure: "constrained".into(),
+                    dataset: "Unf".into(),
+                    algorithm: format!("{}{suffix}", res.algorithm),
+                    x_label: "family".into(),
+                    x: ix as f64,
+                    k,
+                    num_events: inst.num_events(),
+                    num_intervals: inst.num_intervals(),
+                    num_users: inst.num_users(),
+                    utility: res.utility,
+                    computations: res.stats.user_ops,
+                    examined: res.stats.assignments_examined,
+                    time_ms: res.elapsed.as_secs_f64() * 1e3,
+                });
+            }
+        }
+        row
+    });
+    FigureReport {
+        id: "constrained".into(),
+        title: format!(
+            "Constraint-layer overhead: free vs constrained (+C) runs per family \
+             (Unf, k = {K}, |E| = {EVENTS}, |T| = {INTERVALS}; x = family index \
+             0:capacity-tight 1:conflict-clique 2:precedence-chain 3:mixed)"
+        ),
+        metrics: vec![Metric::Examined, Metric::Computations, Metric::Utility],
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_core::parallel::Threads;
+
+    /// Shape and semantics of the report: every family carries one free and
+    /// one `+C` record per kind, the free baseline is family-invariant, and
+    /// each constrained run examined a positive number of candidates.
+    #[test]
+    fn free_and_constrained_rows_cover_every_family() {
+        let config = ExperimentConfig::smoke();
+        let report = run(&config);
+        assert_eq!(report.records.len(), 2 * KINDS.len() * ConstraintFamily::ALL.len());
+        let baseline: Vec<&RunRecord> =
+            report.records.iter().filter(|r| !r.algorithm.ends_with("+C")).collect();
+        for r in &baseline {
+            let first = baseline.iter().find(|b| b.algorithm == r.algorithm).unwrap();
+            assert_eq!(
+                first.utility.to_bits(),
+                r.utility.to_bits(),
+                "{}: free baseline must not depend on the family axis",
+                r.algorithm
+            );
+            assert_eq!(first.examined, r.examined);
+        }
+        for r in report.records.iter().filter(|r| r.algorithm.ends_with("+C")) {
+            assert!(r.examined > 0, "{} @ x = {}: no candidates examined", r.algorithm, r.x);
+            assert!(r.utility.is_finite());
+        }
+    }
+
+    /// The report is bit-identical whether families run sequentially or fan
+    /// out across rows — same discipline as every other figure.
+    #[test]
+    fn parallel_fanout_is_bit_identical() {
+        let seq = run(&ExperimentConfig::smoke());
+        let par = run(&ExperimentConfig::smoke().with_threads(4));
+        assert!(!Threads::new(4).is_sequential());
+        assert_eq!(seq.records.len(), par.records.len());
+        for (a, b) in seq.records.iter().zip(&par.records) {
+            assert_eq!((a.x, a.algorithm.as_str()), (b.x, b.algorithm.as_str()));
+            assert_eq!(a.utility.to_bits(), b.utility.to_bits());
+            assert_eq!(a.examined, b.examined);
+            assert_eq!(a.computations, b.computations);
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! One module per table/figure of the paper's evaluation (§4.2).
 
 pub mod ablation;
+pub mod constrained;
 pub mod dynamic;
 pub mod fig10;
 pub mod fig5;
@@ -27,13 +28,14 @@ pub fn run_figure(id: &str, config: &ExperimentConfig) -> Option<FigureReport> {
         "ablation-schemes" => Some(ablation::run_schemes(config)),
         "ablation-refine" => Some(ablation::run_refinement(config)),
         "dynamic" => Some(dynamic::run(config)),
+        "constrained" => Some(constrained::run(config)),
         _ => None,
     }
 }
 
 /// All figure ids, in paper order, followed by the two ablations and the
-/// beyond-the-paper dynamic-workload figure.
-pub const ALL_FIGURES: [&str; 10] = [
+/// beyond-the-paper dynamic-workload and constraint-overhead figures.
+pub const ALL_FIGURES: [&str; 11] = [
     "fig5",
     "fig6",
     "fig7",
@@ -44,4 +46,5 @@ pub const ALL_FIGURES: [&str; 10] = [
     "ablation-schemes",
     "ablation-refine",
     "dynamic",
+    "constrained",
 ];

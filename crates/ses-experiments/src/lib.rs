@@ -15,6 +15,7 @@
 //! | §4.2.8 quality summary                   | [`figures::summary::run`] |
 //! | Table 1 (parameter space)                | `ses_datasets::params::table1` |
 //! | Dynamic op streams (beyond the paper)    | [`figures::dynamic::run`] |
+//! | Constraint-layer overhead (beyond paper) | [`figures::constrained::run`] |
 //!
 //! Runs are laptop-scaled via [`runner::ExperimentConfig`] (the paper used a
 //! Xeon with up to 1M users and multi-hour budgets); EXPERIMENTS.md records
