@@ -87,6 +87,16 @@ pub enum Request {
     ApplyOps {
         /// The ops, applied front to back.
         ops: Vec<DeltaOp>,
+        /// Windowed ingestion: chunk the ops into windows of this size,
+        /// coalesce each window to its canonical minimal batch
+        /// ([`ses_core::delta::coalesce`]), and pay **one** repair per
+        /// window flush instead of one per op. Omitted (`None`) keeps the
+        /// op-at-a-time v1 behavior — and v1 request lines parse
+        /// unchanged. Note the failure contract shifts with it: a
+        /// rejected op voids its whole window (window-atomic) instead of
+        /// only its own suffix.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        window: Option<usize>,
     },
     /// Arm (or re-use) the incremental repairer at `(k, threads, gate)`
     /// and report the maintained schedule. A matching warm repairer is
@@ -157,8 +167,15 @@ pub enum Response {
         /// Number of ops applied.
         applied: usize,
         /// One repair summary per op while the repairer is armed (empty
-        /// before the first `Repair`).
+        /// before the first `Repair`). In windowed mode every op of a
+        /// window shares its flush repair's summary, so the
+        /// one-entry-per-op shape is preserved.
         repairs: Vec<RepairSummary>,
+        /// Per-window coalescing detail — populated only by windowed
+        /// requests, so v1 (op-at-a-time) response lines keep their exact
+        /// bytes.
+        #[serde(default, skip_serializing_if = "Vec::is_empty")]
+        windows: Vec<WindowSummary>,
     },
     /// Result of a `Repair` request.
     Repaired {
@@ -210,6 +227,16 @@ pub struct RepairSummary {
     pub utility: f64,
     /// The repair's counters.
     pub stats: Stats,
+}
+
+/// What one window flush did: how many ops arrived and how few survived
+/// coalescing (the redundancy the window absorbed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowSummary {
+    /// Ops the window received.
+    pub ops: usize,
+    /// Ops left after coalescing — what the repairer actually consumed.
+    pub coalesced: usize,
 }
 
 impl From<&RepairReport> for RepairSummary {
@@ -564,6 +591,66 @@ impl SesService {
         Ok(reports)
     }
 
+    /// Applies a batch of delta ops through windowed ingestion: the ops
+    /// are chunked into windows of `window`, each window is coalesced to
+    /// its canonical minimal batch, and the repairer (when armed) pays
+    /// **one** repair per window flush. The net instance — and, warm, the
+    /// maintained schedule and its utility bits — is identical to
+    /// [`apply_ops`](Self::apply_ops) on the same ops; only the work (and
+    /// therefore the per-window `Stats`) differs.
+    ///
+    /// Returns one [`RepairReport`] per *original* op (ops of a window
+    /// share their flush repair's report; empty while cold) plus one
+    /// [`WindowSummary`] per window. [`Snapshot::ops_applied`] keeps
+    /// counting original ops.
+    ///
+    /// # Errors
+    /// [`ServiceError::InvalidArgument`] for `window == 0`;
+    /// [`ServiceError::Delta`] naming the first rejected op. Complete
+    /// windows before it remain applied, the rejected op's window is
+    /// rolled up entirely (window-atomic), and nothing after it runs.
+    pub fn apply_ops_windowed(
+        &mut self,
+        ops: &[DeltaOp],
+        window: usize,
+    ) -> Result<(Vec<RepairReport>, Vec<WindowSummary>), ServiceError> {
+        if window == 0 {
+            return Err(ServiceError::invalid("window size must be at least 1"));
+        }
+        let mut reports = Vec::new();
+        let mut windows = Vec::with_capacity(ops.len().div_ceil(window));
+        for (w, chunk) in ops.chunks(window).enumerate() {
+            let start = w * window;
+            if let Some(stream) = &mut self.stream {
+                let batch = delta::coalesce::coalesce(stream.instance(), chunk)
+                    .map_err(|e| ServiceError::delta(start + e.op_index, e.source))?;
+                let coalesced = batch.len();
+                // The coalesced batch re-validates clean by construction;
+                // a rejection here is an internal invariant breach and is
+                // reported against the window's first op.
+                let report = stream
+                    .apply_batch(&batch)
+                    .map_err(|e| ServiceError::delta(start, e.source))?
+                    .clone();
+                self.ops_applied += chunk.len() as u64;
+                self.sync_last_from_stream();
+                reports.extend(std::iter::repeat_n(report, chunk.len()));
+                windows.push(WindowSummary { ops: chunk.len(), coalesced });
+            } else {
+                let inst = self.inst.as_mut().expect("cold service owns an instance");
+                let batch = delta::coalesce::coalesce(inst, chunk)
+                    .map_err(|e| ServiceError::delta(start + e.op_index, e.source))?;
+                for op in &batch {
+                    delta::apply(inst, op).map_err(|e| ServiceError::delta(start, e))?;
+                }
+                self.ops_applied += chunk.len() as u64;
+                self.last = None;
+                windows.push(WindowSummary { ops: chunk.len(), coalesced: batch.len() });
+            }
+        }
+        Ok((reports, windows))
+    }
+
     /// Arms (or reuses) the incremental repairer at `(k, threads, gate)`
     /// and reports the maintained schedule. A warm repairer with matching
     /// parameters is reused as-is (idempotent, no work); any mismatch —
@@ -759,11 +846,15 @@ impl SesService {
                     stats: res.stats,
                 })
             }
-            Request::ApplyOps { ops } => {
-                let reports = self.apply_ops(ops)?;
+            Request::ApplyOps { ops, window } => {
+                let (reports, windows) = match window {
+                    Some(w) => self.apply_ops_windowed(ops, *w)?,
+                    None => (self.apply_ops(ops)?, Vec::new()),
+                };
                 Ok(Response::Applied {
                     applied: ops.len(),
                     repairs: reports.iter().map(RepairSummary::from).collect(),
+                    windows,
                 })
             }
             Request::Repair { k, threads, gate } => {
@@ -907,6 +998,93 @@ mod tests {
         // The valid prefix stayed applied.
         assert_eq!(svc.instance().event_interest.value(0, 0), 0.3);
         assert_eq!(svc.ops_applied(), 1);
+    }
+
+    /// Windowed ingestion must land on the op-at-a-time result: same
+    /// instance, same maintained schedule, same utility bits — with one
+    /// report per original op and the coalescing visible per window.
+    #[test]
+    fn windowed_apply_matches_op_at_a_time() {
+        let ops = vec![
+            DeltaOp::ShiftInterest { event: EventId::new(2), user: 0, interest: 0.7 },
+            DeltaOp::ShiftInterest { event: EventId::new(2), user: 0, interest: 0.1 },
+            DeltaOp::AddEvent {
+                event: Event::new(LocationId::new(3), 1.0),
+                interest: vec![0.5, 0.4],
+            },
+            DeltaOp::RemoveEvent { event: EventId::new(1) },
+            DeltaOp::ShiftInterest { event: EventId::new(0), user: 1, interest: 0.2 },
+        ];
+        let mut windowed = service();
+        let mut serial = service();
+        windowed.repair(3, seq_cfg()).unwrap();
+        serial.repair(3, seq_cfg()).unwrap();
+        serial.apply_ops(&ops).unwrap();
+        let (reports, windows) = windowed.apply_ops_windowed(&ops, 3).unwrap();
+        assert_eq!(reports.len(), ops.len());
+        assert_eq!(
+            windows,
+            // Window two's drift restores the running example's base
+            // interest at (0, 1), so it coalesces away entirely.
+            vec![WindowSummary { ops: 3, coalesced: 2 }, WindowSummary { ops: 2, coalesced: 1 }]
+        );
+        assert_eq!(windowed.instance(), serial.instance());
+        assert_eq!(windowed.current_schedule(), serial.current_schedule());
+        assert_eq!(windowed.ops_applied(), serial.ops_applied());
+        // Ops of one window share their flush repair's report.
+        assert_reports_match(&reports[0], &reports[2]);
+    }
+
+    /// Cold windowed ingestion coalesces too, and counts original ops.
+    #[test]
+    fn windowed_apply_cold_coalesces() {
+        let ops = vec![
+            DeltaOp::ShiftInterest { event: EventId::new(0), user: 0, interest: 0.4 },
+            DeltaOp::ShiftInterest { event: EventId::new(0), user: 0, interest: 0.6 },
+        ];
+        let mut svc = service();
+        let (reports, windows) = svc.apply_ops_windowed(&ops, 8).unwrap();
+        assert!(reports.is_empty(), "cold path has no repairs to report");
+        assert_eq!(windows, vec![WindowSummary { ops: 2, coalesced: 1 }]);
+        assert_eq!(svc.instance().event_interest.value(0, 0), 0.6);
+        assert_eq!(svc.ops_applied(), 2);
+        assert_eq!(svc.apply_ops_windowed(&[], 0).unwrap_err().code(), "invalid-argument");
+    }
+
+    /// A rejected op voids its whole window but keeps prior windows.
+    #[test]
+    fn windowed_failure_is_window_atomic() {
+        let mut svc = service();
+        svc.repair(3, seq_cfg()).unwrap();
+        let ops = vec![
+            DeltaOp::ShiftInterest { event: EventId::new(0), user: 0, interest: 0.3 },
+            DeltaOp::ShiftInterest { event: EventId::new(2), user: 1, interest: 0.8 },
+            DeltaOp::RemoveEvent { event: EventId::new(99) },
+        ];
+        let err = svc.apply_ops_windowed(&ops, 2).unwrap_err();
+        match err {
+            ServiceError::Delta { op_index, .. } => assert_eq!(op_index, 2),
+            other => panic!("wrong error {other:?}"),
+        }
+        // Window one (ops 0–1) flushed; window two applied nothing.
+        assert_eq!(svc.instance().event_interest.value(0, 0), 0.3);
+        assert_eq!(svc.instance().num_events(), 4);
+        assert_eq!(svc.ops_applied(), 2);
+    }
+
+    /// v1 `ApplyOps` lines (no `window` member) must parse and answer
+    /// with byte-stable `Applied` responses (no `windows` member).
+    #[test]
+    fn windowless_wire_lines_stay_v1_compatible() {
+        let mut svc = service();
+        let resp = svc.handle_line(
+            r#"{"v":1,"req":{"ApplyOps":{"ops":[{"ShiftInterest":{"event":0,"user":0,"interest":0.5}}]}}}"#,
+        );
+        assert_eq!(resp, r#"{"v":1,"resp":{"Applied":{"applied":1,"repairs":[]}}}"#);
+        let resp = svc.handle_line(
+            r#"{"v":1,"req":{"ApplyOps":{"ops":[{"ShiftInterest":{"event":0,"user":0,"interest":0.25}},{"ShiftInterest":{"event":0,"user":0,"interest":0.75}}],"window":4}}}"#,
+        );
+        assert!(resp.contains(r#""windows":[{"ops":2,"coalesced":1}]"#), "{resp}");
     }
 
     #[test]

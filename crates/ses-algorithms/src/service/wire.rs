@@ -132,6 +132,11 @@ mod tests {
                     user: 0,
                     interest: 0.25,
                 }],
+                window: None,
+            },
+            Request::ApplyOps {
+                ops: vec![DeltaOp::RemoveEvent { event: EventId::new(3) }],
+                window: Some(16),
             },
             Request::Repair { k: 3, threads: None, gate: false },
             Request::Query { query: Query::Event { event: 2 } },

@@ -48,6 +48,7 @@ use crate::common::{
     better, max_duration, reset_interval_lists, stale_window, Cand, Entry, IntervalList, Scratch,
 };
 use serde::{Deserialize, Serialize};
+use ses_core::delta::coalesce::CoalesceError;
 use ses_core::delta::{self, DeltaEffect, DeltaOp};
 use ses_core::error::DeltaError;
 use ses_core::model::Instance;
@@ -222,6 +223,126 @@ impl StreamScheduler {
             time_ms: start.elapsed().as_secs_f64() * 1e3,
         };
         Ok(&self.last)
+    }
+
+    /// Applies a whole batch of ops under a **single** repair: the score
+    /// table is maintained per op (same invalidation contract as
+    /// [`apply`](Self::apply)), but the selection loop — the dominant cost
+    /// of a repair — runs once, at the end. Because selection always
+    /// re-derives the true greedy argmax sequence on the live instance,
+    /// the resulting schedule, utility bits, and assignments are identical
+    /// to applying the same ops one at a time (what differs is the work,
+    /// which the per-window `Stats` in the report measure).
+    ///
+    /// [`ops_applied`](Self::ops_applied) counts every op of the batch.
+    ///
+    /// # Errors
+    /// [`CoalesceError`] wrapping the first rejected op. The valid prefix
+    /// stays applied and selection still runs, so the schedule always
+    /// matches the live instance even on failure.
+    pub fn apply_batch(&mut self, ops: &[DeltaOp]) -> Result<&RepairReport, CoalesceError> {
+        let start = Instant::now();
+        let mut rescored = 0usize;
+        let mut table_stats = Stats::default();
+        let mut failed = None;
+        for (op_index, op) in ops.iter().enumerate() {
+            let retire_adjust = match op {
+                DeltaOp::RetireUsers { users }
+                    if users.iter().all(|&u| u < self.inst.num_users()) =>
+                {
+                    Some(user_cell_contributions(&self.inst, &self.comp_mass, users))
+                }
+                _ => None,
+            };
+            let effect = match delta::apply(&mut self.inst, op) {
+                Ok(effect) => effect,
+                Err(source) => {
+                    failed = Some(CoalesceError { op_index, source });
+                    break;
+                }
+            };
+            delta::refresh_comp_mass(&mut self.comp_mass, &self.inst, &effect);
+            let adjust = match &effect {
+                DeltaEffect::UsersAdded { first, count } => {
+                    let joined: Vec<usize> = (*first..first + count).collect();
+                    Some(user_cell_contributions(&self.inst, &self.comp_mass, &joined))
+                }
+                DeltaEffect::UsersRetired { .. } => retire_adjust,
+                _ => None,
+            };
+            let warm_caches = match &effect {
+                DeltaEffect::UsersAdded { .. } | DeltaEffect::UsersRetired { .. } => {
+                    self.engine_caches = None;
+                    None
+                }
+                _ => self.engine_caches.take(),
+            };
+            let comp = std::mem::take(&mut self.comp_mass);
+            let mut engine = match warm_caches {
+                Some(caches) => {
+                    ScoringEngine::from_warm_parts(&self.inst, comp, caches, self.threads)
+                }
+                None => ScoringEngine::from_comp_mass(&self.inst, comp, self.threads),
+            };
+            rescored +=
+                maintain_table(&mut self.table, &effect, &mut engine, adjust, self.bound_gate);
+            table_stats += *engine.stats();
+            let (comp_mass, engine_caches) = engine.into_warm_parts();
+            self.comp_mass = comp_mass;
+            self.engine_caches = Some(engine_caches);
+            self.ops_applied += 1;
+        }
+        // One selection for the whole batch — also after a mid-batch
+        // failure, so the schedule matches whatever prefix was applied.
+        let warm_caches = self.engine_caches.take();
+        let comp = std::mem::take(&mut self.comp_mass);
+        let mut engine = match warm_caches {
+            Some(caches) => ScoringEngine::from_warm_parts(&self.inst, comp, caches, self.threads),
+            None => ScoringEngine::from_comp_mass(&self.inst, comp, self.threads),
+        };
+        let schedule =
+            run_selection(&self.inst, &mut engine, &mut self.table, self.k, &mut self.scratch);
+        let mut stats = *engine.stats();
+        stats += table_stats;
+        let (comp_mass, engine_caches) = engine.into_warm_parts();
+        self.comp_mass = comp_mass;
+        self.engine_caches = Some(engine_caches);
+        self.utility = total_utility(&self.inst, &schedule);
+        self.schedule = schedule;
+        self.cumulative += stats;
+        self.last = RepairReport {
+            rescored,
+            stats,
+            utility: self.utility,
+            schedule_len: self.schedule.len(),
+            time_ms: start.elapsed().as_secs_f64() * 1e3,
+        };
+        match failed {
+            Some(err) => Err(err),
+            None => Ok(&self.last),
+        }
+    }
+
+    /// Coalesces `window` against the live instance (see
+    /// [`ses_core::delta::coalesce`]) and applies the canonical batch under
+    /// one repair — the windowed-ingestion entry point. The repaired
+    /// schedule and utility bits equal both the op-at-a-time path and a
+    /// cold rebuild of the post-window instance.
+    ///
+    /// [`ops_applied`](Self::ops_applied) advances by the *coalesced* op
+    /// count (the ops the scheduler actually consumed), which may be far
+    /// below `window.len()` on redundant traffic.
+    ///
+    /// # Errors
+    /// [`CoalesceError`] from window validation, indexed by window
+    /// position; nothing is applied in that case (window-atomic, unlike
+    /// the op-at-a-time path's per-op atomicity).
+    pub fn repair_batch(&mut self, window: &[DeltaOp]) -> Result<&RepairReport, CoalesceError> {
+        let batch = delta::coalesce::coalesce(&self.inst, window)?;
+        // The coalesced batch re-validates clean by construction; any
+        // rejection here would be an internal invariant breach, so the
+        // error (with its batch-local index) is simply propagated.
+        self.apply_batch(&batch)
     }
 
     /// Replaces the instance's [`ConstraintSet`] wholesale and repairs the
@@ -708,7 +829,11 @@ fn run_selection(
                 .filter_map(|i| state.lists[i].front_stale_bound().map(|b| (b, i)))
                 .filter(|&(b, _)| phi.is_none_or(|p| b >= p.score)),
         );
-        pending.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+        // total_cmp instead of partial_cmp: scores are finite here, but a
+        // comparator that cannot panic costs nothing and orders the same
+        // way on every value the table can hold (scores are sums of
+        // non-negative products, so the -0.0 < 0.0 distinction is moot).
+        pending.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
         for &(_, i) in pending.iter() {
             phi = state.update_interval(i, phi);
         }
@@ -1003,6 +1128,87 @@ mod tests {
             .apply(&DeltaOp::ShiftInterest { event: EventId::new(4), user: 1, interest: 0.1 })
             .unwrap();
         assert_matches_recompute(&stream);
+    }
+
+    /// A batched repair must land on exactly the op-at-a-time result:
+    /// same assignments, same utility bits, same live instance.
+    #[test]
+    fn apply_batch_matches_op_at_a_time() {
+        let inst = mid_instance();
+        let ops = vec![
+            DeltaOp::ShiftInterest { event: EventId::new(1), user: 1, interest: 0.9 },
+            DeltaOp::ShiftInterest { event: EventId::new(1), user: 1, interest: 0.2 },
+            DeltaOp::AddEvent {
+                event: Event::new(LocationId::new(2), 1.0),
+                interest: vec![0.6; 40],
+            },
+            DeltaOp::RetireUsers { users: vec![0, 17] },
+            DeltaOp::AddConflict { a: EventId::new(0), b: EventId::new(5) },
+        ];
+        let mut batched = StreamScheduler::new(inst.clone(), 8, Threads::sequential());
+        let mut serial = StreamScheduler::new(inst, 8, Threads::sequential());
+        batched.apply_batch(&ops).unwrap();
+        for op in &ops {
+            serial.apply(op).unwrap();
+        }
+        assert_eq!(batched.instance(), serial.instance());
+        assert_eq!(batched.schedule().assignments(), serial.schedule().assignments());
+        assert_eq!(batched.utility().to_bits(), serial.utility().to_bits());
+        assert_eq!(batched.ops_applied(), 5);
+        assert_matches_recompute(&batched);
+    }
+
+    /// The windowed entry point: a redundant window coalesces down and the
+    /// repair still matches a recompute of the post-window instance.
+    #[test]
+    fn repair_batch_coalesces_and_matches_recompute() {
+        let inst = mid_instance();
+        let mut stream = StreamScheduler::new(inst.clone(), 8, Threads::sequential());
+        let window = vec![
+            DeltaOp::ShiftInterest { event: EventId::new(3), user: 2, interest: 0.8 },
+            DeltaOp::ShiftInterest { event: EventId::new(3), user: 2, interest: 0.3 },
+            DeltaOp::AddEvent {
+                event: Event::new(LocationId::new(1), 1.0),
+                interest: vec![0.4; 40],
+            },
+            DeltaOp::RemoveEvent { event: EventId::new(16) }, // cancels the add
+            DeltaOp::ShiftInterest { event: EventId::new(7), user: 5, interest: 0.55 },
+        ];
+        stream.repair_batch(&window).unwrap();
+        // Three redundant ops collapsed: only the two net drifts applied.
+        assert_eq!(stream.ops_applied(), 2);
+        assert_eq!(stream.instance(), &delta::materialize(&inst, &window).unwrap());
+        assert_matches_recompute(&stream);
+
+        // An empty window is one (cheap) repair that changes nothing.
+        let before = stream.schedule().assignments().to_vec();
+        stream.repair_batch(&[]).unwrap();
+        assert_eq!(stream.schedule().assignments(), &before[..]);
+        assert_eq!(stream.ops_applied(), 2);
+    }
+
+    /// A mid-batch rejection keeps the applied prefix and still runs
+    /// selection, so the scheduler stays consistent with its instance.
+    #[test]
+    fn apply_batch_failure_keeps_prefix_consistent() {
+        let inst = mid_instance();
+        let mut stream = StreamScheduler::new(inst.clone(), 8, Threads::sequential());
+        let ops = vec![
+            DeltaOp::ShiftInterest { event: EventId::new(2), user: 3, interest: 0.9 },
+            DeltaOp::RemoveEvent { event: EventId::new(99) }, // rejected
+            DeltaOp::ShiftInterest { event: EventId::new(4), user: 1, interest: 0.1 },
+        ];
+        let err = stream.apply_batch(&ops).unwrap_err();
+        assert_eq!(err.op_index, 1);
+        assert_eq!(stream.ops_applied(), 1);
+        assert_eq!(stream.instance(), &delta::materialize(&inst, &ops[..1]).unwrap());
+        assert_matches_recompute(&stream);
+
+        // A rejected window applies nothing at all (window-atomic).
+        let before = stream.instance().clone();
+        assert!(stream.repair_batch(&ops).is_err());
+        assert_eq!(stream.instance(), &before);
+        assert_eq!(stream.ops_applied(), 1);
     }
 
     #[test]

@@ -63,6 +63,9 @@ const COMMANDS: &[(&str, &[&str], &[&str])] = &[
             "user-churn",
             "constraint-churn",
             "constraints",
+            "window",
+            "redundancy",
+            "burst",
         ],
         &["verify", "quiet", "help"],
     ),
@@ -269,6 +272,7 @@ mod tests {
             "generate --dataset meetup --out inst.json",
             "stream --dataset unf --ops 100 --churn 0.3 --user-churn 0.5 --threads 2 --quiet",
             "stream --constraints capacity-tight --constraint-churn 0.2 --verify",
+            "stream --window 16 --redundancy 0.6 --burst 24 --ops 200 --verify",
             "serve --dataset unf --users 50 --threads 2",
             "serve --constraints conflict-clique",
             "help",

@@ -22,7 +22,7 @@ use ses_core::error::ServiceError;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-/// The eleven criterion bench targets of `crates/bench`.
+/// The twelve criterion bench targets of `crates/bench`.
 const ALL_TARGETS: &[&str] = &[
     "micro_scoring",
     "constrained_feasibility",
@@ -35,6 +35,7 @@ const ALL_TARGETS: &[&str] = &[
     "fig10b_search_space",
     "ablation",
     "dynamic_stream",
+    "windowed_stream",
 ];
 
 /// One benchmark's timing summary — the schema of the JSON lines the

@@ -5,7 +5,12 @@
 //! stdin line, one `{"v":1,"resp":{...}}` response per stdout line.
 //! Blank lines and `#` comments are skipped (so request scripts can be
 //! annotated), malformed lines come back as `Error` responses without
-//! ending the session, and EOF ends the process with exit 0.
+//! ending the session, and EOF ends the process with exit 0. A failed
+//! stdin *read* (e.g. invalid UTF-8 in the byte stream) is answered the
+//! same way the protocol answers everything else — one final `io`-coded
+//! `Error` response line — and then ends the session as cleanly as EOF;
+//! only a broken stdout aborts with exit 1, since the response channel
+//! itself is gone.
 //!
 //! All diagnostics go to **stderr** — stdout carries nothing but response
 //! lines, which is what makes `ses serve < script | diff - golden` a
@@ -13,7 +18,8 @@
 
 use crate::args::Args;
 use crate::commands::{apply_constraints_flag, dataset_from_flags};
-use ses_algorithms::SesService;
+use ses_algorithms::service::wire;
+use ses_algorithms::{Response, SesService};
 use ses_core::error::{ServiceError, SERVICE_PROTOCOL_VERSION};
 use ses_core::parallel::Threads;
 use std::io::{BufRead, Write};
@@ -49,7 +55,26 @@ pub fn exec(args: &Args) -> Result<(), ServiceError> {
     // decoding, which `service.requests_handled()` does not see.
     let mut answered = 0u64;
     for line in stdin.lines() {
-        let line = line?;
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                // A failed read must not abort mid-session with no
+                // response: answer with one io-coded Error line, note it
+                // on stderr, and wind down as cleanly as EOF. (Client
+                // scripts keyed on response count stay in sync — every
+                // submitted line up to the bad byte has been answered.)
+                let err = ServiceError::from(e);
+                let resp = wire::encode_response(&Response::Error {
+                    code: err.code().to_string(),
+                    message: err.to_string(),
+                });
+                writeln!(stdout, "{resp}")?;
+                stdout.flush()?;
+                answered += 1;
+                eprintln!("# ses serve: stdin read failed ({err}); ending session");
+                break;
+            }
+        };
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;

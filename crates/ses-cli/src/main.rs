@@ -5,13 +5,13 @@
 //!                [--intervals N] [--seed S] [--threads N]
 //!                [--algorithms ALG,INC,HOR,HOR-I,TOP,RAND]
 //! ses experiment <fig5|fig6|fig7|fig8|fig9|fig10a|fig10b|dynamic|constrained|
-//!                 summary|params|all>
+//!                 windowed|summary|params|all>
 //!                [--users N] [--full] [--seed S] [--threads N]
 //!                [--json out.json] [--csv out.csv]
 //! ses stream     --dataset <...> [--k N] [--ops N] [--churn C] [--user-churn C]
 //!                [--constraint-churn C] [--constraints FAMILY] [--users N]
 //!                [--events N] [--intervals N] [--seed S] [--threads N]
-//!                [--verify] [--quiet]
+//!                [--window N [--redundancy R] [--burst B]] [--verify] [--quiet]
 //! ses generate   --dataset <...> [--users N] [--events N] [--intervals N] [--seed S]
 //!                --out instance.json
 //! ses serve      --dataset <...> [--users N] [--events N] [--intervals N] [--seed S]
@@ -91,13 +91,13 @@ USAGE:
                  [--algorithms ALG,INC,HOR,HOR-I,TOP,RAND] [--gate] [--profile]
                  [--constraints FAMILY]
   ses experiment <fig5|fig6|fig7|fig8|fig9|fig10a|fig10b|ablation-schemes|
-                  ablation-refine|dynamic|constrained|summary|params|all>
+                  ablation-refine|dynamic|constrained|windowed|summary|params|all>
                  [--users N] [--full] [--seed S] [--threads N]
                  [--json PATH] [--csv PATH]
   ses stream     --dataset <...> [--k N] [--ops N] [--churn C] [--user-churn C]
                  [--constraint-churn C] [--constraints FAMILY] [--users N]
                  [--events N] [--intervals N] [--seed S] [--threads N]
-                 [--verify] [--quiet]
+                 [--window N [--redundancy R] [--burst B]] [--verify] [--quiet]
   ses generate   --dataset <...> [--users N] [--events N] [--intervals N]
                  [--seed S] --out instance.json
   ses serve      --dataset <...> [--users N] [--events N] [--intervals N]
@@ -117,7 +117,7 @@ bit-identical to ungated runs; the `skips` column counts deferred
 sweeps. `run --profile` appends a per-phase engine timing breakdown
 (setup / score / apply / other) under each row.
 
-`bench-baseline` runs the criterion bench targets (all eleven by default)
+`bench-baseline` runs the criterion bench targets (all twelve by default)
 and appends one annotated run — medians, rustc, commit — to the
 committed BENCH_BASELINE.json trajectory; with `--check FACTOR` it
 instead compares fresh medians against the last recorded run and fails
@@ -129,6 +129,12 @@ scheduler and prints its work next to a per-op full recompute;
 `--verify` additionally checks every repaired schedule against an INC
 recompute, bit for bit. `--constraint-churn C` makes a C-slice of the
 stream edit the constraint set (conflicts, precedences, capacities).
+`--window N` switches to windowed ingestion: a bursty feed (redundant
+re-drifts at rate `--redundancy`, bursts of `--burst` arrivals) is
+chunked into N-op windows, each coalesced to a minimal batch and
+repaired in one flush; the run reports sustained ops/sec against
+op-at-a-time ingestion of the same feed, whose end state must match
+bit-for-bit.
 
 `--constraints FAMILY` (run/stream/serve) installs a seeded constraint
 family before scheduling: capacity-tight (venue slot budgets),
@@ -152,4 +158,5 @@ EXAMPLES:
   ses experiment fig5 --users 400
   ses experiment all --users 200 --csv results.csv --threads 8
   ses stream --dataset unf --users 200 --ops 100 --churn 0.5 --verify
+  ses stream --dataset unf --ops 200 --window 32 --redundancy 0.6 --verify
 ";

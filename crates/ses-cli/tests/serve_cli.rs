@@ -108,6 +108,48 @@ fn serve_is_deterministic_across_sessions() {
     assert_eq!(run(), run());
 }
 
+/// A broken stdin read mid-session (one invalid-UTF-8 byte) must not
+/// abort with a bare exit 1: every line before the bad byte is answered,
+/// the failure itself comes back as a final `io`-coded `Error` response,
+/// and the session ends as cleanly as EOF.
+#[test]
+fn invalid_utf8_on_stdin_ends_the_session_cleanly() {
+    let mut child = ses()
+        .args([
+            "serve",
+            "--dataset",
+            "unf",
+            "--users",
+            "20",
+            "--events",
+            "6",
+            "--intervals",
+            "3",
+            "--seed",
+            "7",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn ses serve");
+    let mut stdin = child.stdin.take().unwrap();
+    stdin.write_all(b"{\"v\":1,\"req\":\"Snapshot\"}\n").unwrap();
+    stdin.write_all(b"\xFF\n").unwrap();
+    // Anything after the bad byte is past the end of the session.
+    stdin.write_all(b"{\"v\":1,\"req\":\"Snapshot\"}\n").unwrap();
+    drop(stdin);
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "serve exited {:?} instead of winding down", out.status);
+
+    let got = String::from_utf8(out.stdout).expect("responses are UTF-8");
+    let lines: Vec<&str> = got.lines().collect();
+    assert_eq!(lines.len(), 2, "one answer for the good line, one for the bad read:\n{got}");
+    assert!(lines[0].contains("\"State\""), "{}", lines[0]);
+    // Don't pin the OS error text — just the protocol shape and the code.
+    assert!(lines[1].starts_with("{\"v\":1,\"resp\":{\"Error\":{\"code\":\"io\""), "{}", lines[1]);
+}
+
 fn exit_code(args: &[&str]) -> i32 {
     ses()
         .args(args)

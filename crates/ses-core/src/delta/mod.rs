@@ -54,6 +54,8 @@ use crate::ids::EventId;
 use crate::model::{Event, Instance};
 use serde::{Deserialize, Serialize};
 
+pub mod coalesce;
+
 /// One mutation of a live [`Instance`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum DeltaOp {

@@ -169,12 +169,9 @@ pub fn generate(base: &Instance, params: &OpStreamParams) -> Vec<DeltaOp> {
                 num_users += batch;
                 DeltaOp::AddUsers { users }
             } else {
-                let mut gone = std::collections::BTreeSet::new();
-                while gone.len() < batch {
-                    gone.insert(rng.gen_range(0..num_users));
-                }
+                let users = draw_retirees(&mut rng, num_users, batch);
                 num_users -= batch;
-                DeltaOp::RetireUsers { users: gone.into_iter().collect() }
+                DeltaOp::RetireUsers { users }
             }
         } else {
             // Event churn; grow when at the floor, otherwise mean-revert.
@@ -197,6 +194,37 @@ pub fn generate(base: &Instance, params: &OpStreamParams) -> Vec<DeltaOp> {
         ops.push(op);
     }
     ops
+}
+
+/// Draws `batch` distinct retiree ids from `0..num_users`, ascending.
+///
+/// The sparse regime (`batch * 2 <= num_users`, which covers every seeded
+/// default — `users_per_batch` is 4 against a retire floor of
+/// [`MIN_USERS`]` + batch`) keeps the original rejection-sampling loop so
+/// pre-existing streams stay byte-stable per seed. Rejection sampling has
+/// no termination bound once the draw is dense relative to the pool — the
+/// last ids each take Θ(`num_users`) retries in expectation and the loop
+/// can stall arbitrarily long on an unlucky seed — so the dense regime
+/// switches to a partial Fisher–Yates shuffle, which is exactly `batch`
+/// draws regardless of density.
+fn draw_retirees(rng: &mut StdRng, num_users: usize, batch: usize) -> Vec<usize> {
+    debug_assert!(batch < num_users, "retire must leave at least one user");
+    if batch * 2 <= num_users {
+        let mut gone = std::collections::BTreeSet::new();
+        while gone.len() < batch {
+            gone.insert(rng.gen_range(0..num_users));
+        }
+        gone.into_iter().collect()
+    } else {
+        let mut pool: Vec<usize> = (0..num_users).collect();
+        for i in 0..batch {
+            let j = rng.gen_range(i..num_users);
+            pool.swap(i, j);
+        }
+        let mut gone = pool[..batch].to_vec();
+        gone.sort_unstable();
+        gone
+    }
 }
 
 /// Whether a structural op should grow (vs shrink) a dimension: the grow
@@ -282,6 +310,194 @@ fn interest_value(rng: &mut StdRng, params: &OpStreamParams) -> f64 {
     } else {
         0.0
     }
+}
+
+/// A [`DeltaOp`] stamped with its arrival time in a simulated feed.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TimedOp {
+    /// Arrival offset from the start of the feed, in milliseconds.
+    pub at_ms: u64,
+    /// The op itself.
+    pub op: DeltaOp,
+}
+
+/// Knobs of a bursty, redundancy-heavy arrival feed (see
+/// [`generate_bursts`]).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BurstParams {
+    /// Backbone stream: the churn mix, backbone op count, and seed — a
+    /// feed with zero [`BurstParams::redundancy`] carries exactly
+    /// `generate(base, &ops)` as its op sequence.
+    pub ops: OpStreamParams,
+    /// Mean ops per burst; actual burst lengths jitter within ±50%.
+    pub burst_len: usize,
+    /// Quiet gap between bursts, in milliseconds.
+    pub gap_ms: u64,
+    /// Spacing between consecutive arrivals inside a burst, in
+    /// milliseconds.
+    pub intra_ms: u64,
+    /// Redundancy pressure: after each backbone op, follower drifts that
+    /// re-touch recently drifted cells are emitted while a coin at this
+    /// probability keeps landing (capped at 4 per backbone op). `0.0`
+    /// emits the bare backbone.
+    pub redundancy: f64,
+}
+
+impl Default for BurstParams {
+    fn default() -> Self {
+        Self {
+            ops: OpStreamParams::default(),
+            burst_len: 16,
+            gap_ms: 250,
+            intra_ms: 5,
+            redundancy: 0.5,
+        }
+    }
+}
+
+impl BurstParams {
+    /// Overrides the backbone stream parameters.
+    #[must_use]
+    pub fn with_ops(mut self, ops: OpStreamParams) -> Self {
+        self.ops = ops;
+        self
+    }
+
+    /// Overrides the mean burst length.
+    #[must_use]
+    pub fn with_burst_len(mut self, burst_len: usize) -> Self {
+        self.burst_len = burst_len;
+        self
+    }
+
+    /// Overrides the redundancy pressure.
+    #[must_use]
+    pub fn with_redundancy(mut self, redundancy: f64) -> Self {
+        self.redundancy = redundancy;
+        self
+    }
+}
+
+/// How many recently drifted cells redundant followers re-target.
+const RECENT_CELLS: usize = 8;
+/// Cap on redundant followers per backbone op (keeps the geometric coin
+/// from inflating the feed unboundedly at redundancy near 1).
+const MAX_FOLLOWERS: usize = 4;
+
+/// Generates a timestamped, bursty arrival feed against `base`: the
+/// backbone op sequence of `generate(base, &params.ops)` interleaved with
+/// redundant follower drifts that re-touch recently drifted cells, carved
+/// into bursts separated by quiet gaps.
+///
+/// The feed is what a windowed ingestor wants to chew on: follower drifts
+/// re-write cells the window already touched, so coalescing collapses them
+/// (the whole point of `ses stream --window`). Ops are valid when applied
+/// in order, arrival times are nondecreasing, and the feed is
+/// deterministic per `(base, params)`. The burst/redundancy layer draws
+/// from its own RNG, so the backbone stays byte-identical to
+/// [`generate`] with the same [`OpStreamParams`] at any redundancy.
+///
+/// # Panics
+/// Panics if `base` has no events or users (an invalid instance).
+pub fn generate_bursts(base: &Instance, params: &BurstParams) -> Vec<TimedOp> {
+    let backbone = generate(base, &params.ops);
+    let mut rng = StdRng::seed_from_u64(params.ops.seed ^ 0x00B0_0575);
+    let mut num_events = base.num_events();
+    let mut num_users = base.num_users();
+    // Recently drifted cells still valid under the current shape, newest
+    // last, with the value last written to them.
+    let mut recent: Vec<(usize, usize, f64)> = Vec::with_capacity(RECENT_CELLS);
+
+    let burst_len = params.burst_len.max(1);
+    let mut feed = Vec::with_capacity(backbone.len());
+    let mut t: u64 = 0;
+    let mut in_burst = 0usize;
+    let mut target = jitter_burst_len(&mut rng, burst_len);
+    let mut push = |rng: &mut StdRng, op: DeltaOp, feed: &mut Vec<TimedOp>| {
+        if in_burst >= target {
+            t += params.gap_ms;
+            in_burst = 0;
+            target = jitter_burst_len(rng, burst_len);
+        } else if !feed.is_empty() {
+            t += params.intra_ms;
+        }
+        in_burst += 1;
+        feed.push(TimedOp { at_ms: t, op });
+    };
+
+    for op in backbone {
+        // Track the evolving shape and keep `recent` valid under it, in
+        // lock-step with the dense-id shifts `delta::apply` performs.
+        match &op {
+            DeltaOp::ShiftInterest { event, user, interest } => {
+                remember(&mut recent, event.index(), *user, *interest);
+            }
+            DeltaOp::AddEvent { .. } => num_events += 1,
+            DeltaOp::RemoveEvent { event } => {
+                let e = event.index();
+                recent.retain(|&(ce, _, _)| ce != e);
+                for cell in &mut recent {
+                    if cell.0 > e {
+                        cell.0 -= 1;
+                    }
+                }
+                num_events -= 1;
+            }
+            DeltaOp::AddUsers { users } => num_users += users.len(),
+            DeltaOp::RetireUsers { users } => {
+                recent.retain(|&(_, cu, _)| !users.contains(&cu));
+                for cell in &mut recent {
+                    cell.1 -= users.iter().filter(|&&u| u < cell.1).count();
+                }
+                num_users -= users.len();
+            }
+            _ => {}
+        }
+        push(&mut rng, op, &mut feed);
+
+        let mut followers = 0;
+        while followers < MAX_FOLLOWERS && rng.gen_range(0.0..1.0) < params.redundancy {
+            followers += 1;
+            let (event, user, prev) = match recent.last() {
+                // Bias toward hammering the newest cell; otherwise any
+                // recently drifted one.
+                Some(_) if rng.gen_range(0.0..1.0) < 0.5 => *recent.last().unwrap(),
+                Some(_) => recent[rng.gen_range(0..recent.len())],
+                None => (rng.gen_range(0..num_events), rng.gen_range(0..num_users), f64::NAN),
+            };
+            // Half the followers re-send the previous value verbatim (a
+            // pure duplicate), half drift the cell again.
+            let interest = if prev.is_finite() && rng.gen_range(0.0..1.0) < 0.5 {
+                prev
+            } else {
+                rng.gen_range(0.0..1.0)
+            };
+            remember(&mut recent, event, user, interest);
+            push(
+                &mut rng,
+                DeltaOp::ShiftInterest { event: EventId::new(event), user, interest },
+                &mut feed,
+            );
+        }
+    }
+    feed
+}
+
+/// Records a drifted cell as most-recent, deduplicating and bounding the
+/// recency list at [`RECENT_CELLS`].
+fn remember(recent: &mut Vec<(usize, usize, f64)>, event: usize, user: usize, value: f64) {
+    recent.retain(|&(ce, cu, _)| (ce, cu) != (event, user));
+    if recent.len() == RECENT_CELLS {
+        recent.remove(0);
+    }
+    recent.push((event, user, value));
+}
+
+/// Draws an actual burst length around the mean, within ±50%.
+fn jitter_burst_len(rng: &mut StdRng, mean: usize) -> usize {
+    let lo = (mean - mean / 2).max(1);
+    let hi = mean + mean / 2;
+    rng.gen_range(lo..=hi)
 }
 
 #[cfg(test)]
@@ -403,6 +619,99 @@ mod tests {
         assert!(ops.iter().all(is_constraint_op));
         let materialized = delta::materialize(&inst, &ops).expect("saturated stream must apply");
         assert!(materialized.validate().is_ok());
+    }
+
+    #[test]
+    fn dense_retire_draws_stay_bounded_and_valid() {
+        // users_per_batch close to the pool size used to drive the
+        // rejection-sampling draw into unbounded retry territory; the
+        // Fisher–Yates regime must finish immediately and stay valid.
+        let inst = Dataset::Unf.build(40, 12, 5, 0xB0);
+        let mut p = OpStreamParams::default()
+            .with_ops(120)
+            .with_churn(1.0)
+            .with_user_churn(1.0)
+            .with_seed(11);
+        p.users_per_batch = 30;
+        let ops = generate(&inst, &p);
+        let retire = ops
+            .iter()
+            .find_map(|op| match op {
+                DeltaOp::RetireUsers { users } => Some(users.clone()),
+                _ => None,
+            })
+            .expect("a 120-op pure-user-churn stream must retire at least once");
+        assert_eq!(retire.len(), 30);
+        assert!(retire.windows(2).all(|w| w[0] < w[1]), "ids must be strictly ascending");
+        assert!(delta::materialize(&inst, &ops).is_ok());
+    }
+
+    #[test]
+    fn sparse_retire_draws_match_the_historical_sampler() {
+        // The sparse regime must reproduce the original rejection-sampling
+        // draw bit-for-bit — every seeded default lives there, and the
+        // stream goldens pin it.
+        use rand::{Rng, SeedableRng};
+        for seed in [0u64, 7, 0xD15] {
+            let mut a = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut b = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut gone = std::collections::BTreeSet::new();
+            while gone.len() < 4 {
+                gone.insert(a.gen_range(0..40));
+            }
+            let old: Vec<usize> = gone.into_iter().collect();
+            assert_eq!(super::draw_retirees(&mut b, 40, 4), old);
+        }
+    }
+
+    #[test]
+    fn burst_feeds_are_deterministic_and_apply_cleanly() {
+        let inst = base();
+        let p = BurstParams::default().with_ops(OpStreamParams::default().with_ops(80));
+        let feed = generate_bursts(&inst, &p);
+        assert_eq!(feed, generate_bursts(&inst, &p));
+        assert!(feed.len() >= 80, "redundant followers only add ops");
+        assert!(feed.windows(2).all(|w| w[0].at_ms <= w[1].at_ms), "arrivals nondecreasing");
+        assert!(
+            feed.windows(2).any(|w| w[1].at_ms - w[0].at_ms >= p.gap_ms),
+            "a feed spanning several bursts must show a quiet gap"
+        );
+        let ops: Vec<DeltaOp> = feed.iter().map(|t| t.op.clone()).collect();
+        assert!(delta::materialize(&inst, &ops).expect("feed must apply").validate().is_ok());
+    }
+
+    #[test]
+    fn zero_redundancy_feed_is_the_backbone() {
+        let inst = base();
+        let p = BurstParams::default()
+            .with_ops(OpStreamParams::default().with_ops(60).with_churn(0.5))
+            .with_redundancy(0.0);
+        let ops: Vec<DeltaOp> = generate_bursts(&inst, &p).into_iter().map(|t| t.op).collect();
+        assert_eq!(ops, generate(&inst, &p.ops));
+    }
+
+    #[test]
+    fn redundant_feeds_coalesce_well() {
+        let inst = base();
+        let p = BurstParams::default()
+            .with_ops(OpStreamParams::default().with_ops(100))
+            .with_redundancy(0.8);
+        let feed = generate_bursts(&inst, &p);
+        assert!(feed.len() > 130, "redundancy 0.8 should inflate the feed, got {}", feed.len());
+        let mut cur = inst.clone();
+        let (mut total, mut coalesced) = (0usize, 0usize);
+        for window in feed.chunks(32) {
+            let ops: Vec<DeltaOp> = window.iter().map(|t| t.op.clone()).collect();
+            let batch = delta::coalesce::coalesce(&cur, &ops).expect("feed windows are valid");
+            total += ops.len();
+            coalesced += batch.len();
+            cur = delta::materialize(&cur, &ops).unwrap();
+        }
+        assert!(
+            coalesced * 4 <= total * 3,
+            "redundant windows should shed at least a quarter of their ops \
+             ({coalesced}/{total} survived)"
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod summary;
+pub mod windowed;
 
 use crate::report::FigureReport;
 use crate::runner::ExperimentConfig;
@@ -29,13 +30,15 @@ pub fn run_figure(id: &str, config: &ExperimentConfig) -> Option<FigureReport> {
         "ablation-refine" => Some(ablation::run_refinement(config)),
         "dynamic" => Some(dynamic::run(config)),
         "constrained" => Some(constrained::run(config)),
+        "windowed" => Some(windowed::run(config)),
         _ => None,
     }
 }
 
 /// All figure ids, in paper order, followed by the two ablations and the
-/// beyond-the-paper dynamic-workload and constraint-overhead figures.
-pub const ALL_FIGURES: [&str; 11] = [
+/// beyond-the-paper dynamic-workload, constraint-overhead, and windowed-
+/// ingestion figures.
+pub const ALL_FIGURES: [&str; 12] = [
     "fig5",
     "fig6",
     "fig7",
@@ -47,4 +50,5 @@ pub const ALL_FIGURES: [&str; 11] = [
     "ablation-refine",
     "dynamic",
     "constrained",
+    "windowed",
 ];

@@ -3,6 +3,7 @@
 #
 #   scripts/bench-baseline.sh --label "post-kernel-fusion"
 #   scripts/bench-baseline.sh --targets micro_scoring --check 2.0
+#   scripts/bench-baseline.sh --targets windowed_stream --label "windowed ops/sec"
 #
 # Thin wrapper around `ses bench-baseline` (crates/ses-cli); all flags are
 # forwarded. Run from the repository root so the baseline file and the

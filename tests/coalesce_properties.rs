@@ -1,0 +1,182 @@
+//! Property layer for the window-coalescing algebra
+//! (`core::delta::coalesce`): over seeded churn streams carved into
+//! windows of several sizes, the coalesced batch must be **sound** (it
+//! materializes to exactly the instance the window's ops reach one at a
+//! time), **minimal-or-equal** (never longer than the window),
+//! **idempotent** (re-coalescing a batch is a fixpoint), and — for
+//! windows of commuting ops — **canonical**: every interleaving of the
+//! window coalesces to the same batch.
+
+use social_event_scheduling::core::delta::coalesce::coalesce;
+use social_event_scheduling::core::delta::{self, DeltaOp};
+use social_event_scheduling::core::model::Instance;
+use social_event_scheduling::core::{EventId, LocationId};
+use social_event_scheduling::datasets::ops::{self, BurstParams, OpStreamParams};
+use social_event_scheduling::datasets::Dataset;
+
+const WINDOWS: &[usize] = &[1, 5, 16, 64];
+
+/// Chunks `stream` into `window`-sized windows against an evolving base
+/// and checks soundness, length, and idempotence of every coalesced batch.
+fn check_stream(label: &str, base: &Instance, stream: &[DeltaOp], window: usize) {
+    let mut cur = base.clone();
+    for (w, chunk) in stream.chunks(window).enumerate() {
+        let batch = coalesce(&cur, chunk)
+            .unwrap_or_else(|e| panic!("{label} window {w} (size {window}): {e}"));
+        assert!(
+            batch.len() <= chunk.len(),
+            "{label} window {w}: batch of {} from a window of {}",
+            batch.len(),
+            chunk.len()
+        );
+        let serial = delta::materialize(&cur, chunk)
+            .unwrap_or_else(|e| panic!("{label} window {w}: serial apply: {e}"));
+        let batched = delta::materialize(&cur, &batch)
+            .unwrap_or_else(|e| panic!("{label} window {w}: batch apply: {e}"));
+        assert!(
+            batched == serial,
+            "{label} window {w} (size {window}): coalesced batch diverged from \
+             op-at-a-time application"
+        );
+        let again = coalesce(&cur, &batch)
+            .unwrap_or_else(|e| panic!("{label} window {w}: re-coalesce: {e}"));
+        assert!(again == batch, "{label} window {w}: coalesce is not idempotent");
+        cur = serial;
+    }
+}
+
+#[test]
+fn coalescing_is_sound_over_generated_streams() {
+    let mixes: &[(&str, Dataset, OpStreamParams)] = &[
+        (
+            "unf/moderate",
+            Dataset::Unf,
+            OpStreamParams::default().with_ops(200).with_churn(0.3).with_seed(0xC0A1),
+        ),
+        (
+            "zip/heavy-structural",
+            Dataset::Zip,
+            OpStreamParams::default()
+                .with_ops(200)
+                .with_churn(0.8)
+                .with_user_churn(0.6)
+                .with_seed(0xC0A2),
+        ),
+        (
+            "meetup/sparse+constraints",
+            Dataset::Meetup,
+            OpStreamParams::default()
+                .with_ops(200)
+                .with_churn(0.5)
+                .with_interest_density(0.25)
+                .with_constraint_churn(0.3)
+                .with_seed(0xC0A3),
+        ),
+    ];
+    for (label, dataset, params) in mixes {
+        let base = dataset.build(50, 14, 5, params.seed);
+        let stream = ops::generate(&base, params);
+        for &window in WINDOWS {
+            check_stream(label, &base, &stream, window);
+        }
+    }
+}
+
+/// The redundancy-heavy bursty feed is the workload windowing exists for;
+/// its duplicate-laden windows must coalesce soundly too — and actually
+/// shrink.
+#[test]
+fn coalescing_is_sound_over_bursty_feeds() {
+    let base = Dataset::Unf.build(50, 14, 5, 0xB5);
+    let params = BurstParams::default()
+        .with_ops(OpStreamParams::default().with_ops(150).with_seed(0xB5))
+        .with_redundancy(0.7);
+    let feed: Vec<DeltaOp> =
+        ops::generate_bursts(&base, &params).into_iter().map(|t| t.op).collect();
+    for &window in WINDOWS {
+        check_stream("bursty", &base, &feed, window);
+    }
+    let shrunk: usize = feed
+        .chunks(16)
+        .scan(base.clone(), |cur, chunk| {
+            let n = coalesce(cur, chunk).unwrap().len();
+            *cur = delta::materialize(cur, chunk).unwrap();
+            Some(n)
+        })
+        .sum();
+    assert!(shrunk < feed.len(), "a redundant feed must coalesce below its raw length");
+}
+
+/// Tiny deterministic LCG so the interleaving shuffles need no RNG
+/// dependency in the root test crate.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+fn shuffled(window: &[DeltaOp], seed: u64) -> Vec<DeltaOp> {
+    let mut out = window.to_vec();
+    let mut state = seed;
+    for i in (1..out.len()).rev() {
+        let j = (lcg(&mut state) % (i as u64 + 1)) as usize;
+        out.swap(i, j);
+    }
+    out
+}
+
+/// Canonicality: a window of pairwise-commuting ops (drifts on distinct
+/// cells, capacity updates on distinct already-capacitated venues)
+/// reaches the same final state in any order, and **every interleaving
+/// coalesces to the identical batch** — the batch is a function of
+/// (base, final state), not of arrival order.
+#[test]
+fn commuting_interleavings_coalesce_to_one_canonical_batch() {
+    let mut base = Dataset::Unf.build(30, 12, 5, 0xCA);
+    // Pre-capacitate two venues so the window's capacity writes are
+    // in-place updates (fresh capacities would append in arrival order
+    // and thus not commute).
+    base.constraints.set_venue_capacity(LocationId::new(0), 5);
+    base.constraints.set_venue_capacity(LocationId::new(1), 5);
+
+    let mut window: Vec<DeltaOp> = (0..10)
+        .map(|i| DeltaOp::ShiftInterest {
+            event: EventId::new(i % base.num_events()),
+            user: i, // distinct (event, user) cells — drifts commute
+            interest: 0.05 * (i as f64 + 1.0),
+        })
+        .collect();
+    window.push(DeltaOp::SetVenueCapacity { location: LocationId::new(0), capacity: Some(2) });
+    window.push(DeltaOp::SetVenueCapacity { location: LocationId::new(1), capacity: Some(3) });
+
+    let canonical = coalesce(&base, &window).expect("window is valid");
+    let end = delta::materialize(&base, &window).unwrap();
+    for round in 0..24u64 {
+        let perm = shuffled(&window, 0x5EED + round);
+        assert!(
+            delta::materialize(&base, &perm).unwrap() == end,
+            "round {round}: ops were expected to commute"
+        );
+        let batch = coalesce(&base, &perm).expect("permuted window is valid");
+        assert!(
+            batch == canonical,
+            "round {round}: interleaving produced a different batch — coalescing is not \
+             canonical"
+        );
+    }
+}
+
+/// The canonical batch of a self-cancelling window is empty — redundant
+/// traffic costs a flush nothing.
+#[test]
+fn a_reverted_window_coalesces_to_nothing() {
+    let base = Dataset::Unf.build(30, 12, 5, 0xCB);
+    let original = base.event_interest.value(3, 7);
+    let window = vec![
+        DeltaOp::ShiftInterest { event: EventId::new(3), user: 7, interest: 0.9 },
+        DeltaOp::ShiftInterest { event: EventId::new(3), user: 7, interest: 0.4 },
+        DeltaOp::ShiftInterest { event: EventId::new(3), user: 7, interest: original },
+        DeltaOp::AddConflict { a: EventId::new(0), b: EventId::new(1) },
+        DeltaOp::RemoveConflict { a: EventId::new(0), b: EventId::new(1) },
+    ];
+    assert_eq!(coalesce(&base, &window).unwrap(), Vec::new());
+}

@@ -384,19 +384,32 @@ impl Input {
                         }
                         VariantShape::Struct(fields) => {
                             let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                            // Same shape as the named-struct arm: build the
+                            // field object incrementally so per-field
+                            // `skip_serializing_if` predicates apply here too
+                            // (the bindings are already references).
                             let pushes: Vec<String> = fields
                                 .iter()
                                 .map(|f| {
-                                    format!(
-                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))",
+                                    let push = format!(
+                                        "__vobj.push((\"{f}\".to_string(), ::serde::Serialize::to_value({f})));",
                                         f = f.name
-                                    )
+                                    );
+                                    match &f.attrs.skip_serializing_if {
+                                        Some(pred) => {
+                                            format!("if !({pred}({f})) {{ {push} }}", f = f.name)
+                                        }
+                                        None => push,
+                                    }
                                 })
                                 .collect();
                             arms.push_str(&format!(
-                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{pushes}]))]),\n",
+                                "{name}::{vn} {{ {binds} }} => {{\n\
+                                 let mut __vobj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                                 {pushes}\n\
+                                 ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(__vobj))])\n}},\n",
                                 binds = binds.join(", "),
-                                pushes = pushes.join(", ")
+                                pushes = pushes.join("\n")
                             ));
                         }
                     }
