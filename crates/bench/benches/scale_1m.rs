@@ -1,0 +1,59 @@
+//! **Scale baseline, 1M users** — the far end of the paper's Table-1 user
+//! axis. A dense layout at this shape would need `48 events × 1M users ×
+//! 8 B = 384 MB` for the event matrix alone; the compressed layout holds
+//! the same bits in ~2 B/entry u16 codes, and the counter-based streaming
+//! generator never materializes more than one `|U|`-long scratch column.
+//! Compressed only (that is the point of the axis), tiny sample count:
+//! this target exists to pin build time and resident bytes in
+//! BENCH_BASELINE.json, not to resolve microsecond noise.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ses_bench::{record_gauge, threaded_label, Threads, BENCH_THREADS};
+use ses_core::model::StorageKind;
+use ses_core::scoring::ScoringEngine;
+use ses_core::{EventId, IntervalId};
+use ses_datasets::{scale, InterestModel, SyntheticParams};
+use std::hint::black_box;
+
+fn params() -> SyntheticParams {
+    // Mirrors the `one_million_users_build_compressed` proof test in
+    // ses-datasets: Unf interest, 48 events, 8 intervals, 256 levels.
+    SyntheticParams {
+        num_users: 1_000_000,
+        num_events: 48,
+        num_intervals: 8,
+        competing_per_interval: (1, 4),
+        interest: InterestModel::Uniform,
+        interest_levels: 256,
+        seed: 0x1_000_000,
+        ..SyntheticParams::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let p = params();
+    let mut group = c.benchmark_group("scale_1m");
+    group.sample_size(2);
+
+    group.bench_with_input(BenchmarkId::new("build", "compressed"), &p, |b, p| {
+        b.iter(|| black_box(scale::build(p, StorageKind::Compressed)))
+    });
+
+    let inst = scale::build(&p, StorageKind::Compressed);
+    record_gauge("scale_1m/heap_bytes/compressed", inst.event_interest.heap_bytes() as u64);
+    record_gauge("scale_1m/heap_bytes/instance_compressed", inst.heap_bytes() as u64);
+
+    group.sample_size(5);
+    for threads in BENCH_THREADS {
+        let t = threaded_label("compressed", threads);
+        let mut engine = ScoringEngine::with_threads(&inst, Threads::new(threads));
+        engine.apply(EventId::new(1), IntervalId::new(0));
+        group.bench_with_input(BenchmarkId::new("assignment_score", &t), &t, |b, _| {
+            b.iter(|| black_box(engine.assignment_score(EventId::new(0), IntervalId::new(0))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

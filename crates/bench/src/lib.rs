@@ -34,3 +34,25 @@ pub fn instance_for_k(dataset: Dataset, k: usize, seed: u64) -> Instance {
 pub fn instance(dataset: Dataset, events: usize, intervals: usize, seed: u64) -> Instance {
     dataset.build(BENCH_USERS, events, intervals, seed)
 }
+
+/// Records one deterministic gauge (e.g. resident bytes) into the
+/// `CRITERION_JSON` stream, using the same line schema as timing results so
+/// `ses bench-baseline` picks it up alongside the medians. The value lands
+/// in the `median_ns`/`mean_ns`/`min_ns` fields verbatim; the id should make
+/// the unit obvious (e.g. `scale_100k/heap_bytes/compressed`). No-op when
+/// `CRITERION_JSON` is unset. Failures are reported, never fatal.
+pub fn record_gauge(id: &str, value: u64) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else { return };
+    if path.is_empty() {
+        return;
+    }
+    eprintln!("{id:<56} gauge {value:>14}");
+    let line = format!(
+        "{{\"id\":\"{id}\",\"median_ns\":{value},\"mean_ns\":{value},\"min_ns\":{value},\"samples\":1}}\n"
+    );
+    use std::io::Write as _;
+    let res = std::fs::OpenOptions::new().create(true).append(true).open(&path);
+    if let Err(e) = res.and_then(|mut f| f.write_all(line.as_bytes())) {
+        eprintln!("bench: cannot append gauge to CRITERION_JSON={path}: {e}");
+    }
+}

@@ -323,6 +323,16 @@ pub struct Snapshot {
     /// when zero, so unconstrained transcripts keep their v1 bytes.
     #[serde(default, skip_serializing_if = "snapshot_no_constraints")]
     pub constraints: usize,
+    /// Interest storage layout (`"sparse"`, `"compressed"`), reported only
+    /// when it differs from the dense default so dense transcripts keep
+    /// their v1 bytes.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub storage: Option<String>,
+    /// Approximate resident bytes of the live instance's matrices and lists
+    /// (deterministic element counts × sizes). Reported alongside `storage`
+    /// for the same compatibility reason.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub heap_bytes: Option<u64>,
     /// The current schedule, if any request has produced one.
     pub schedule: Option<ScheduleState>,
 }
@@ -794,6 +804,14 @@ impl SesService {
             warm: self.stream.is_some(),
             ops_applied: self.ops_applied,
             constraints: inst.constraints.len(),
+            storage: match inst.event_interest.storage_kind() {
+                ses_core::model::StorageKind::Dense => None,
+                kind => Some(kind.name().to_string()),
+            },
+            heap_bytes: match inst.event_interest.storage_kind() {
+                ses_core::model::StorageKind::Dense => None,
+                _ => Some(inst.heap_bytes() as u64),
+            },
             schedule: self.last.as_ref().map(|l| ScheduleState {
                 algorithm: l.algorithm.to_string(),
                 k: l.k,
@@ -1124,6 +1142,31 @@ mod tests {
             other => panic!("wrong reply {other:?}"),
         }
         assert_eq!(svc.query(&Query::User { user: 99 }).unwrap_err().code(), "out-of-range");
+    }
+
+    /// Dense services omit `storage`/`heap_bytes` entirely (old transcripts
+    /// stay byte-identical); non-dense services report both.
+    #[test]
+    fn snapshot_reports_storage_only_when_not_dense() {
+        let mut svc = service();
+        let snap = svc.snapshot();
+        assert_eq!(snap.storage, None);
+        assert_eq!(snap.heap_bytes, None);
+        let line = svc.handle_line(r#"{"v":1,"req":"Snapshot"}"#);
+        assert!(!line.contains("storage") && !line.contains("heap_bytes"), "{line}");
+
+        for kind in [ses_core::model::StorageKind::Sparse, ses_core::model::StorageKind::Compressed]
+        {
+            let mut inst = running_example();
+            inst.event_interest = inst.event_interest.convert_to(kind);
+            let expected = inst.heap_bytes() as u64;
+            let mut svc = SesService::new(inst).with_threads(Threads::sequential());
+            let snap = svc.snapshot();
+            assert_eq!(snap.storage.as_deref(), Some(kind.name()));
+            assert_eq!(snap.heap_bytes, Some(expected));
+            let line = svc.handle_line(r#"{"v":1,"req":"Snapshot"}"#);
+            assert!(line.contains(&format!(r#""storage":"{}""#, kind.name())), "{line}");
+        }
     }
 
     #[test]

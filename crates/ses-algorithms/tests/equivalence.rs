@@ -35,6 +35,7 @@ fn instance(seed: u64, ne: usize, nt: usize, nu: usize, model_ix: usize) -> Inst
         interest: model(model_ix),
         activity: ActivityModel::Uniform,
         seed,
+        interest_levels: 0,
     })
 }
 

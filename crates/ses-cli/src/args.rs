@@ -43,11 +43,17 @@ const COMMANDS: &[(&str, &[&str], &[&str])] = &[
             "k",
             "algorithms",
             "constraints",
+            "storage",
+            "levels",
         ],
         &["gate", "profile", "help"],
     ),
     ("experiment", &["users", "seed", "threads", "json", "csv"], &["full", "quiet", "help"]),
-    ("generate", &["dataset", "users", "events", "intervals", "seed", "out"], &["help"]),
+    (
+        "generate",
+        &["dataset", "users", "events", "intervals", "seed", "out", "storage", "levels"],
+        &["help"],
+    ),
     (
         "stream",
         &[
@@ -66,12 +72,24 @@ const COMMANDS: &[(&str, &[&str], &[&str])] = &[
             "window",
             "redundancy",
             "burst",
+            "storage",
+            "levels",
         ],
         &["verify", "quiet", "help"],
     ),
     (
         "serve",
-        &["dataset", "users", "events", "intervals", "seed", "threads", "constraints"],
+        &[
+            "dataset",
+            "users",
+            "events",
+            "intervals",
+            "seed",
+            "threads",
+            "constraints",
+            "storage",
+            "levels",
+        ],
         &["help"],
     ),
     ("bench-baseline", &["targets", "out", "label", "check", "from"], &["help"]),
@@ -275,6 +293,10 @@ mod tests {
             "stream --window 16 --redundancy 0.6 --burst 24 --ops 200 --verify",
             "serve --dataset unf --users 50 --threads 2",
             "serve --constraints conflict-clique",
+            "run --dataset zip --users 100000 --storage compressed --levels 256",
+            "stream --storage sparse --ops 50",
+            "serve --storage compressed --levels 64",
+            "generate --storage dense --out inst.json",
             "help",
         ] {
             assert!(parse(line).validate().is_ok(), "{line}");
@@ -304,5 +326,14 @@ mod tests {
     fn serve_rejects_foreign_flags() {
         assert!(parse("serve --verify").validate().is_err());
         assert!(parse("serve --k 5").validate().is_err());
+    }
+
+    #[test]
+    fn storage_flag_is_scoped_and_typo_suggested() {
+        // experiment and bench-baseline don't build a single instance.
+        assert!(parse("experiment fig5 --storage compressed").validate().is_err());
+        assert!(parse("bench-baseline --levels 8").validate().is_err());
+        let err = parse("run --storge compressed").validate().unwrap_err().to_string();
+        assert!(err.contains("did you mean --storage?"), "{err}");
     }
 }

@@ -2,18 +2,19 @@
 //! tooling or archival.
 
 use crate::args::Args;
-use crate::commands::dataset_from_flags;
+use crate::commands::{dataset_from_flags, storage_from_flags};
 use ses_core::error::ServiceError;
 
 /// Executes the `generate` subcommand.
 pub fn exec(args: &Args) -> Result<(), ServiceError> {
     let (dataset, users, events, intervals, seed) = dataset_from_flags(args)?;
+    let (storage, levels) = storage_from_flags(args, dataset, users)?;
     let out = args
         .opt_flag("out")
         .ok_or_else(|| ServiceError::invalid("generate requires --out <path>"))?
         .to_string();
 
-    let inst = dataset.build(users, events, intervals, seed);
+    let inst = dataset.build_with(users, events, intervals, seed, Some(storage), levels);
     let json = serde_json::to_string(&inst).map_err(|e| ServiceError::failed(e.to_string()))?;
     std::fs::write(&out, json)
         .map_err(|e| ServiceError::Io { detail: format!("writing {out}: {e}") })?;

@@ -9,10 +9,21 @@ pub mod stream;
 
 use crate::args::Args;
 use ses_core::error::ServiceError;
-use ses_core::model::Instance;
+use ses_core::model::{Instance, StorageKind};
 use ses_datasets::{ConstraintFamily, Dataset};
 
-/// Shared flag handling: dataset + shape + seed.
+/// Hard ceiling on `--users`: anything above this is almost certainly a
+/// typo (the paper's largest axis is 1M), and rejecting it with a usage
+/// error beats attempting a multi-hour, memory-exhausting build.
+pub(crate) const MAX_USERS: usize = 16_777_216;
+
+/// Default quantization level count when the compressed layout is in play
+/// and `--levels` was not given: keeps the dictionary `u16`-sized instead of
+/// letting continuous draws intern one code per cell.
+pub(crate) const DEFAULT_COMPRESSED_LEVELS: usize = 256;
+
+/// Shared flag handling: dataset + shape + seed. Rejects out-of-range user
+/// counts as usage errors (exit 2) before any memory is committed.
 pub(crate) fn dataset_from_flags(
     args: &Args,
 ) -> Result<(Dataset, usize, usize, usize, u64), ServiceError> {
@@ -20,10 +31,51 @@ pub(crate) fn dataset_from_flags(
     let dataset = Dataset::parse(&name)
         .ok_or_else(|| ServiceError::invalid(format!("unknown dataset '{name}'")))?;
     let users = args.num_flag("users", 400usize)?;
+    if users == 0 {
+        return Err(ServiceError::invalid("--users must be at least 1"));
+    }
+    if users > MAX_USERS {
+        return Err(ServiceError::invalid(format!(
+            "--users {users} exceeds the supported maximum {MAX_USERS}"
+        )));
+    }
     let events = args.num_flag("events", 200usize)?;
     let intervals = args.num_flag("intervals", 30usize)?;
     let seed = args.num_flag("seed", 0x5E5u64)?;
     Ok((dataset, users, events, intervals, seed))
+}
+
+/// Shared `--storage <auto|dense|sparse|compressed>` + `--levels <n>`
+/// handling. `auto` (the default) defers to [`Dataset::auto_storage`]:
+/// native layouts at small scale, compressed at 100k+ users. When the
+/// resolved layout is compressed and `--levels` was not given, levels
+/// default to [`DEFAULT_COMPRESSED_LEVELS`].
+pub(crate) fn storage_from_flags(
+    args: &Args,
+    dataset: Dataset,
+    users: usize,
+) -> Result<(StorageKind, usize), ServiceError> {
+    let storage = match args.opt_flag("storage") {
+        None | Some("auto") => dataset.auto_storage(users),
+        Some(s) => StorageKind::parse(s).ok_or_else(|| {
+            ServiceError::invalid(format!(
+                "unknown storage layout '{s}' (known: auto, dense, sparse, compressed)"
+            ))
+        })?,
+    };
+    let levels = match args.num_flag("levels", 0usize)? {
+        0 if storage == StorageKind::Compressed && args.opt_flag("levels").is_none() => {
+            DEFAULT_COMPRESSED_LEVELS
+        }
+        n if n > u16::MAX as usize + 1 => {
+            return Err(ServiceError::invalid(format!(
+                "--levels {n} exceeds the dictionary-friendly maximum {}",
+                u16::MAX as usize + 1
+            )))
+        }
+        n => n,
+    };
+    Ok((storage, levels))
 }
 
 /// Shared `--constraints <preset>` handling: parses the constraint family
@@ -46,4 +98,66 @@ pub(crate) fn apply_constraints_flag(
     })?;
     family.apply(inst, seed);
     Ok(Some(family))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(str::to_string)).unwrap()
+    }
+
+    #[test]
+    fn user_count_range_is_a_usage_error() {
+        let err = dataset_from_flags(&args("run --users 0")).unwrap_err();
+        assert!(err.is_usage(), "{err}");
+        let err = dataset_from_flags(&args("run --users 16777217")).unwrap_err();
+        assert!(err.is_usage(), "{err}");
+        assert!(err.to_string().contains("16777217"), "{err}");
+        assert!(dataset_from_flags(&args("run --users 16777216")).is_ok());
+    }
+
+    #[test]
+    fn storage_flag_parses_and_auto_selects() {
+        let parse = |s: &str, users: usize| storage_from_flags(&args(s), Dataset::Unf, users);
+        // Explicit layouts pass through.
+        assert_eq!(parse("run --storage sparse", 400).unwrap(), (StorageKind::Sparse, 0));
+        // Auto: native below the threshold, compressed at it — with the
+        // default level count kicking in only for compressed.
+        assert_eq!(parse("run", 400).unwrap(), (StorageKind::Dense, 0));
+        assert_eq!(
+            parse("run", 100_000).unwrap(),
+            (StorageKind::Compressed, DEFAULT_COMPRESSED_LEVELS)
+        );
+        assert_eq!(
+            parse("run --storage auto", 100_000).unwrap(),
+            (StorageKind::Compressed, DEFAULT_COMPRESSED_LEVELS)
+        );
+        // An explicit --levels (even 0) overrides the compressed default.
+        assert_eq!(
+            parse("run --storage compressed --levels 0", 400).unwrap(),
+            (StorageKind::Compressed, 0)
+        );
+        assert_eq!(
+            parse("run --storage compressed --levels 64", 400).unwrap(),
+            (StorageKind::Compressed, 64)
+        );
+        // Meetup's native layout is sparse.
+        assert_eq!(
+            storage_from_flags(&args("run"), Dataset::Meetup, 400).unwrap(),
+            (StorageKind::Sparse, 0)
+        );
+    }
+
+    #[test]
+    fn bad_storage_or_levels_is_a_usage_error() {
+        let err =
+            storage_from_flags(&args("run --storage columnar"), Dataset::Unf, 10).unwrap_err();
+        assert!(err.is_usage(), "{err}");
+        assert!(err.to_string().contains("columnar"), "{err}");
+        let err = storage_from_flags(&args("run --levels 70000"), Dataset::Unf, 10).unwrap_err();
+        assert!(err.is_usage(), "{err}");
+        assert!(storage_from_flags(&args("run --levels 65536"), Dataset::Unf, 10).is_ok());
+    }
 }

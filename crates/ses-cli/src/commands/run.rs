@@ -10,7 +10,7 @@
 //! [`SchedulerRegistry`]: ses_algorithms::SchedulerRegistry
 
 use crate::args::Args;
-use crate::commands::{apply_constraints_flag, dataset_from_flags};
+use crate::commands::{apply_constraints_flag, dataset_from_flags, storage_from_flags};
 use ses_algorithms::{RunConfig, SesService};
 use ses_core::error::ServiceError;
 use ses_core::parallel::Threads;
@@ -18,6 +18,7 @@ use ses_core::parallel::Threads;
 /// Executes the `run` subcommand.
 pub fn exec(args: &Args) -> Result<(), ServiceError> {
     let (dataset, users, events, intervals, seed) = dataset_from_flags(args)?;
+    let (storage, levels) = storage_from_flags(args, dataset, users)?;
     let k = args.num_flag("k", 20usize)?;
     // Worker threads for the schedulers (0 = machine width, the default).
     // Results are bit-identical for every count — only wall time changes.
@@ -26,7 +27,7 @@ pub fn exec(args: &Args) -> Result<(), ServiceError> {
     let profile = args.switch("profile");
     let cfg = RunConfig::threaded(threads).with_bound_gate(gate).with_profile(profile);
 
-    let mut inst = dataset.build(users, events, intervals, seed);
+    let mut inst = dataset.build_with(users, events, intervals, seed, Some(storage), levels);
     let family = apply_constraints_flag(args, &mut inst, seed)?;
     eprintln!(
         "# dataset={} |U|={users} |E|={events} |T|={intervals} k={k} seed={seed} threads={threads}\
@@ -39,6 +40,13 @@ pub fn exec(args: &Args) -> Result<(), ServiceError> {
             None => String::new(),
         },
     );
+    if profile {
+        eprintln!(
+            "# storage={storage} levels={levels} heap={:.1} MiB (interest {:.1} MiB)",
+            inst.heap_bytes() as f64 / (1024.0 * 1024.0),
+            inst.event_interest.heap_bytes() as f64 / (1024.0 * 1024.0),
+        );
+    }
     // One service for the whole lineup: the registry resolves names and the
     // per-scheduler scratch pools make repeat runs allocation-free.
     let mut service = SesService::new(inst).with_threads(threads);

@@ -17,7 +17,7 @@
 //! meaningful byte comparison.
 
 use crate::args::Args;
-use crate::commands::{apply_constraints_flag, dataset_from_flags};
+use crate::commands::{apply_constraints_flag, dataset_from_flags, storage_from_flags};
 use ses_algorithms::service::wire;
 use ses_algorithms::{Response, SesService};
 use ses_core::error::{ServiceError, SERVICE_PROTOCOL_VERSION};
@@ -27,6 +27,7 @@ use std::io::{BufRead, Write};
 /// Executes the `serve` subcommand.
 pub fn exec(args: &Args) -> Result<(), ServiceError> {
     let (dataset, users, events, intervals, seed) = dataset_from_flags(args)?;
+    let (storage, levels) = storage_from_flags(args, dataset, users)?;
     // No --threads flag = the ambient default (SES_THREADS or sequential),
     // so a thread-matrix CI can exercise the server at several widths —
     // responses are bit-identical for every count.
@@ -35,7 +36,7 @@ pub fn exec(args: &Args) -> Result<(), ServiceError> {
         None => Threads::default(),
     };
 
-    let mut inst = dataset.build(users, events, intervals, seed);
+    let mut inst = dataset.build_with(users, events, intervals, seed, Some(storage), levels);
     let family = apply_constraints_flag(args, &mut inst, seed)?;
     let rules = inst.constraints.len();
     let mut service = SesService::new(inst).with_threads(threads);

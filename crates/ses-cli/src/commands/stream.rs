@@ -15,7 +15,7 @@
 //! end state must match the windowed one bit-for-bit.
 
 use crate::args::Args;
-use crate::commands::{apply_constraints_flag, dataset_from_flags};
+use crate::commands::{apply_constraints_flag, dataset_from_flags, storage_from_flags};
 use ses_algorithms::stream::StreamScheduler;
 use ses_algorithms::{RunConfig, SchedulerKind, SesService};
 use ses_core::delta::{self, DeltaOp};
@@ -28,6 +28,7 @@ use ses_datasets::ops::{self, BurstParams, OpStreamParams};
 /// Executes the `stream` subcommand.
 pub fn exec(args: &Args) -> Result<(), ServiceError> {
     let (dataset, users, events, intervals, seed) = dataset_from_flags(args)?;
+    let (storage, levels) = storage_from_flags(args, dataset, users)?;
     let k = args.num_flag("k", 20usize)?;
     let num_ops = args.num_flag("ops", 50usize)?;
     let churn = args.num_flag("churn", 0.3f64)?;
@@ -59,7 +60,7 @@ pub fn exec(args: &Args) -> Result<(), ServiceError> {
         }
     }
 
-    let mut base = dataset.build(users, events, intervals, seed);
+    let mut base = dataset.build_with(users, events, intervals, seed, Some(storage), levels);
     let family = apply_constraints_flag(args, &mut base, seed)?;
     let params = OpStreamParams::default()
         .with_ops(num_ops)

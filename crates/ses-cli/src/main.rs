@@ -5,7 +5,7 @@
 //!                [--intervals N] [--seed S] [--threads N]
 //!                [--algorithms ALG,INC,HOR,HOR-I,TOP,RAND]
 //! ses experiment <fig5|fig6|fig7|fig8|fig9|fig10a|fig10b|dynamic|constrained|
-//!                 windowed|summary|params|all>
+//!                 windowed|scale|summary|params|all>
 //!                [--users N] [--full] [--seed S] [--threads N]
 //!                [--json out.json] [--csv out.csv]
 //! ses stream     --dataset <...> [--k N] [--ops N] [--churn C] [--user-churn C]
@@ -89,19 +89,22 @@ USAGE:
   ses run        --dataset <meetup|concerts|unf|zip> [--k N] [--users N]
                  [--events N] [--intervals N] [--seed S] [--threads N]
                  [--algorithms ALG,INC,HOR,HOR-I,TOP,RAND] [--gate] [--profile]
-                 [--constraints FAMILY]
+                 [--constraints FAMILY] [--storage KIND] [--levels N]
   ses experiment <fig5|fig6|fig7|fig8|fig9|fig10a|fig10b|ablation-schemes|
-                  ablation-refine|dynamic|constrained|windowed|summary|params|all>
+                  ablation-refine|dynamic|constrained|windowed|scale|summary|
+                  params|all>
                  [--users N] [--full] [--seed S] [--threads N]
                  [--json PATH] [--csv PATH]
   ses stream     --dataset <...> [--k N] [--ops N] [--churn C] [--user-churn C]
                  [--constraint-churn C] [--constraints FAMILY] [--users N]
                  [--events N] [--intervals N] [--seed S] [--threads N]
                  [--window N [--redundancy R] [--burst B]] [--verify] [--quiet]
+                 [--storage KIND] [--levels N]
   ses generate   --dataset <...> [--users N] [--events N] [--intervals N]
-                 [--seed S] --out instance.json
+                 [--seed S] --out instance.json [--storage KIND] [--levels N]
   ses serve      --dataset <...> [--users N] [--events N] [--intervals N]
                  [--seed S] [--threads N] [--constraints FAMILY]
+                 [--storage KIND] [--levels N]
   ses bench-baseline [--targets micro_scoring,...] [--out BENCH_BASELINE.json]
                  [--label NOTE] [--check FACTOR] [--from RUN.json]
   ses help
@@ -117,7 +120,7 @@ bit-identical to ungated runs; the `skips` column counts deferred
 sweeps. `run --profile` appends a per-phase engine timing breakdown
 (setup / score / apply / other) under each row.
 
-`bench-baseline` runs the criterion bench targets (all twelve by default)
+`bench-baseline` runs the criterion bench targets (all fourteen by default)
 and appends one annotated run — medians, rustc, commit — to the
 committed BENCH_BASELINE.json trajectory; with `--check FACTOR` it
 instead compares fresh medians against the last recorded run and fails
@@ -135,6 +138,15 @@ chunked into N-op windows, each coalesced to a minimal batch and
 repaired in one flush; the run reports sustained ops/sec against
 op-at-a-time ingestion of the same feed, whose end state must match
 bit-for-bit.
+
+`--storage <auto|dense|sparse|compressed>` (run/stream/serve/generate)
+picks the interest-matrix layout. `auto` (default) keeps each dataset's
+native layout below 100k users and switches to the dictionary-encoded
+compressed layout at or above it. Scheduling results are bit-identical
+across layouts; only memory and build time change. `--levels N`
+quantizes interest draws onto an N-step grid (0 = continuous; defaults
+to 256 when the compressed layout is selected) so the compression
+dictionary stays small. `run --profile` reports the resident bytes.
 
 `--constraints FAMILY` (run/stream/serve) installs a seeded constraint
 family before scheduling: capacity-tight (venue slot budgets),
@@ -159,4 +171,6 @@ EXAMPLES:
   ses experiment all --users 200 --csv results.csv --threads 8
   ses stream --dataset unf --users 200 --ops 100 --churn 0.5 --verify
   ses stream --dataset unf --ops 200 --window 32 --redundancy 0.6 --verify
+  ses run --dataset zip --users 100000 --events 60 --intervals 12 \\
+          --storage compressed --levels 256 --profile
 ";

@@ -115,6 +115,12 @@ impl ActivityMatrix {
         self.num_users -= users.len();
     }
 
+    /// Approximate resident bytes (element counts × element sizes; allocator
+    /// slack excluded so the figure is deterministic).
+    pub fn heap_bytes(&self) -> usize {
+        self.data.len() * 8
+    }
+
     /// Validates that every probability lies in `[0, 1]`.
     pub fn validate(&self) -> Result<(), BuildError> {
         for (i, &p) in self.data.iter().enumerate() {

@@ -1,0 +1,843 @@
+//! Dictionary-encoded, block-compressed columnar interest storage — the
+//! third [`super::InterestMatrix`] backend, built for the 10⁵–10⁶-user axis.
+//!
+//! The dataset generators draw interest values from small alphabets (the
+//! quantized scale generators cap them explicitly), so a column is mostly
+//! repetitions of a few hundred distinct doubles. [`CompressedInterest`]
+//! stores, per item:
+//!
+//! * one global **dictionary** of distinct non-zero values (`Vec<f64>`,
+//!   first-use order) and a `u16`/`u32` **code** per stored entry
+//!   ([`CodeVec`] starts narrow and promotes to wide only if the dictionary
+//!   outgrows `u16`);
+//! * entries grouped into **512-user-aligned blocks** (the same constant as
+//!   the engine's reduction geometry, [`crate::parallel::PAR_BLOCK`]). A
+//!   *full* block (512 stored entries) stores **no user indices at all** —
+//!   the user is `base + position` — while a partial block keeps one `u16`
+//!   local offset per entry. On a dense quantized column this is ~2 bytes
+//!   per entry against the sparse layout's 12 (`u32` user + `f64` value);
+//! * a per-item block directory with per-block non-zero counts, and the
+//!   same cached column sums as the other layouts.
+//!
+//! **Bit-identity.** A column decodes to exactly the `(user, µ)` sequence
+//! the sparse layout stores — same values (codes are exact `f64` bit
+//! patterns, never re-derived), same ascending-user order, same positional
+//! indexing for `column_part`. The cached column sum is the identical
+//! flat left-to-right [`stored_sum`] over the decoded sequence. So every
+//! consumer of the `InterestMatrix` API — the fused scoring kernel, the
+//! delta layer, the stream repairer, the constraint gate — produces the
+//! same output bits on `Compressed` as on `Sparse`, at any thread count.
+//!
+//! Mutations favour correctness over speed: `push_item` appends
+//! incrementally (the streaming-generation hot path), while point edits
+//! (`set_value`, `remove_item`, user churn) decode and re-encode the
+//! matrix, re-interning the dictionary in canonical first-use order. Delta
+//! streams run at test scale; the million-user path is build-once.
+
+use super::interest::{stored_sum, user_keep_mask};
+use crate::parallel::PAR_BLOCK;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Users per compressed block — deliberately the engine's reduction-block
+/// constant so the shard unit of a future multi-process split matches the
+/// sweep geometry.
+pub const COMPRESSED_BLOCK: usize = PAR_BLOCK;
+
+/// The physical layout of an interest matrix, selectable per instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StorageKind {
+    /// Item-major dense matrix — the faithful-reproduction layout.
+    Dense,
+    /// CSC non-zero lists — the EBSN-sparsity layout.
+    Sparse,
+    /// Dictionary-encoded 512-aligned compressed blocks — the scale layout.
+    Compressed,
+}
+
+impl StorageKind {
+    /// All kinds, in declaration order.
+    pub const ALL: [StorageKind; 3] = [Self::Dense, Self::Sparse, Self::Compressed];
+
+    /// Canonical lowercase name (the `--storage` flag vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Dense => "dense",
+            Self::Sparse => "sparse",
+            Self::Compressed => "compressed",
+        }
+    }
+
+    /// Parses a canonical name; `None` for anything else.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "dense" => Some(Self::Dense),
+            "sparse" => Some(Self::Sparse),
+            "compressed" => Some(Self::Compressed),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for StorageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-entry value codes: narrow while the dictionary fits `u16`, promoted
+/// to wide exactly once if it doesn't (quantized generators never do).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) enum CodeVec {
+    /// `u16` codes — 2 bytes per stored entry.
+    Narrow(Vec<u16>),
+    /// `u32` codes — for dictionaries beyond 65 536 distinct values.
+    Wide(Vec<u32>),
+}
+
+impl CodeVec {
+    fn new() -> Self {
+        Self::Narrow(Vec::new())
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            Self::Narrow(v) => v.len(),
+            Self::Wide(v) => v.len(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, i: usize) -> u32 {
+        match self {
+            Self::Narrow(v) => v[i] as u32,
+            Self::Wide(v) => v[i],
+        }
+    }
+
+    /// Appends one code, promoting narrow → wide on the first code that
+    /// doesn't fit.
+    fn push(&mut self, code: u32) {
+        if let Self::Narrow(v) = self {
+            if let Ok(c) = u16::try_from(code) {
+                v.push(c);
+                return;
+            }
+            *self = Self::Wide(v.iter().map(|&c| c as u32).collect());
+        }
+        match self {
+            Self::Wide(v) => v.push(code),
+            Self::Narrow(_) => unreachable!("narrow path returned above"),
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        match self {
+            Self::Narrow(v) => v.len() * 2,
+            Self::Wide(v) => v.len() * 4,
+        }
+    }
+}
+
+/// One non-empty 512-user block of one item's column.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct ColumnBlock {
+    /// User-range index: the block covers users
+    /// `[block · 512, block · 512 + 512)`.
+    block: u32,
+    /// Stored entries in this block (`1..=512`). `len == 512` means the
+    /// block is full and user indices are implicit (`base + position`).
+    len: u16,
+    /// Absolute index of the block's first entry in `codes`.
+    entry_start: usize,
+    /// Absolute index of the block's first local offset in `offsets`
+    /// (unused — equal to the next block's — when the block is full).
+    offset_start: usize,
+}
+
+impl ColumnBlock {
+    #[inline]
+    fn base(&self) -> usize {
+        self.block as usize * COMPRESSED_BLOCK
+    }
+
+    #[inline]
+    fn entry_end(&self) -> usize {
+        self.entry_start + self.len as usize
+    }
+
+    #[inline]
+    fn is_full(&self) -> bool {
+        self.len as usize == COMPRESSED_BLOCK
+    }
+}
+
+/// Transient dictionary index used while encoding — the matrix itself never
+/// holds the hash map, only the plain `Vec<f64>` dictionary.
+#[derive(Default)]
+struct Interner {
+    by_bits: HashMap<u64, u32>,
+}
+
+impl Interner {
+    fn for_dict(dict: &[f64]) -> Self {
+        let by_bits = dict.iter().enumerate().map(|(i, v)| (v.to_bits(), i as u32)).collect();
+        Self { by_bits }
+    }
+
+    #[inline]
+    fn intern(&mut self, dict: &mut Vec<f64>, value: f64) -> u32 {
+        *self.by_bits.entry(value.to_bits()).or_insert_with(|| {
+            dict.push(value);
+            (dict.len() - 1) as u32
+        })
+    }
+}
+
+/// Dictionary-encoded, 512-aligned block-compressed interest storage. See
+/// the module docs for the layout and the bit-identity argument.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompressedInterest {
+    num_users: usize,
+    /// Distinct non-zero values, in first-use (encode-order) position; codes
+    /// index into it. Exact `f64` bit patterns — never re-derived.
+    dict: Vec<f64>,
+    /// One code per stored entry, all items concatenated in column order.
+    codes: CodeVec,
+    /// Local user offsets (`user - block base`) of entries in **partial**
+    /// blocks only, in the same global order; full blocks store none.
+    offsets: Vec<u16>,
+    /// Non-empty blocks, grouped by item, ascending block index within.
+    blocks: Vec<ColumnBlock>,
+    /// `block_ptr[item]..block_ptr[item+1]` delimits item's blocks.
+    block_ptr: Vec<usize>,
+    /// `entry_ptr[item]..entry_ptr[item+1]` delimits item's entries.
+    entry_ptr: Vec<usize>,
+    /// Cached per-item column sums — the same bitwise left-to-right
+    /// [`stored_sum`] invariant as the dense and sparse layouts.
+    col_sums: Vec<f64>,
+}
+
+impl CompressedInterest {
+    /// An empty matrix (zero items) over the given user count.
+    pub fn empty(num_users: usize) -> Self {
+        Self {
+            num_users,
+            dict: Vec::new(),
+            codes: CodeVec::new(),
+            offsets: Vec::new(),
+            blocks: Vec::new(),
+            block_ptr: vec![0],
+            entry_ptr: vec![0],
+            col_sums: Vec::new(),
+        }
+    }
+
+    /// Number of stored non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Number of distinct dictionary values currently interned.
+    #[inline]
+    pub fn dict_len(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// Number of users (rows).
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// Number of items (columns).
+    #[inline]
+    pub fn num_items(&self) -> usize {
+        self.entry_ptr.len() - 1
+    }
+
+    /// Stored entries of one item's column.
+    #[inline]
+    pub fn column_len(&self, item: usize) -> usize {
+        self.entry_ptr[item + 1] - self.entry_ptr[item]
+    }
+
+    /// Cached column sum (O(1)).
+    #[inline]
+    pub fn column_sum(&self, item: usize) -> f64 {
+        self.col_sums[item]
+    }
+
+    /// Approximate resident bytes of the backing arrays (element counts ×
+    /// element sizes; allocator slack excluded so the figure is
+    /// deterministic).
+    pub fn heap_bytes(&self) -> usize {
+        self.dict.len() * 8
+            + self.codes.heap_bytes()
+            + self.offsets.len() * 2
+            + self.blocks.len() * std::mem::size_of::<ColumnBlock>()
+            + (self.block_ptr.len() + self.entry_ptr.len()) * 8
+            + self.col_sums.len() * 8
+    }
+
+    /// Value lookup; absent entries are `0.0`.
+    ///
+    /// # Panics
+    /// Panics if `item` or `user` is out of range.
+    pub fn value(&self, item: usize, user: usize) -> f64 {
+        assert!(user < self.num_users, "user {user} out of range");
+        let blocks = &self.blocks[self.block_ptr[item]..self.block_ptr[item + 1]];
+        let want = (user / COMPRESSED_BLOCK) as u32;
+        let Ok(b) = blocks.binary_search_by_key(&want, |b| b.block) else {
+            return 0.0;
+        };
+        let b = &blocks[b];
+        let local = user - b.base();
+        if b.is_full() {
+            return self.dict[self.codes.get(b.entry_start + local) as usize];
+        }
+        let offs = &self.offsets[b.offset_start..b.offset_start + b.len as usize];
+        match offs.binary_search(&(local as u16)) {
+            Ok(i) => self.dict[self.codes.get(b.entry_start + i) as usize],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Decodes the `(user, value)` entry at absolute position `pos`, given
+    /// the block that contains it.
+    #[inline]
+    fn decode_at(&self, b: &ColumnBlock, pos: usize) -> (usize, f64) {
+        let rel = pos - b.entry_start;
+        let user = if b.is_full() {
+            b.base() + rel
+        } else {
+            b.base() + self.offsets[b.offset_start + rel] as usize
+        };
+        (user, self.dict[self.codes.get(pos) as usize])
+    }
+
+    /// The block directory index (into `self.blocks`) of the block holding
+    /// absolute entry `pos` of `item`. `pos` must lie inside the item.
+    fn block_of(&self, item: usize, pos: usize) -> usize {
+        let (lo, hi) = (self.block_ptr[item], self.block_ptr[item + 1]);
+        // First block whose entry range ends beyond pos.
+        lo + self.blocks[lo..hi].partition_point(|b| b.entry_end() <= pos)
+    }
+
+    /// Streams `(user, µ)` over positions `range` of `item`'s column — the
+    /// compressed analogue of slicing the sparse parallel arrays, with one
+    /// layout dispatch **per block** rather than per entry. This is the
+    /// scoring kernel's entry point; the iteration order is identical to
+    /// the sparse layout's, so the fixed-block reduction sees the same
+    /// sequence of addends.
+    ///
+    /// # Panics
+    /// Panics if `range` exceeds `column_len(item)`.
+    pub fn for_each_in_part(
+        &self,
+        item: usize,
+        range: std::ops::Range<usize>,
+        mut f: impl FnMut(usize, f64),
+    ) {
+        assert!(range.end <= self.column_len(item), "range exceeds column length");
+        if range.start >= range.end {
+            return;
+        }
+        let mut pos = self.entry_ptr[item] + range.start;
+        let end = self.entry_ptr[item] + range.end;
+        let mut bi = self.block_of(item, pos);
+        while pos < end {
+            let b = &self.blocks[bi];
+            let stop = end.min(b.entry_end());
+            let base = b.base();
+            if b.is_full() {
+                let rel0 = pos - b.entry_start;
+                match &self.codes {
+                    CodeVec::Narrow(codes) => {
+                        for (i, &c) in codes[pos..stop].iter().enumerate() {
+                            f(base + rel0 + i, self.dict[c as usize]);
+                        }
+                    }
+                    CodeVec::Wide(codes) => {
+                        for (i, &c) in codes[pos..stop].iter().enumerate() {
+                            f(base + rel0 + i, self.dict[c as usize]);
+                        }
+                    }
+                }
+            } else {
+                let off0 = b.offset_start + (pos - b.entry_start);
+                let offs = &self.offsets[off0..off0 + (stop - pos)];
+                match &self.codes {
+                    CodeVec::Narrow(codes) => {
+                        for (&o, &c) in offs.iter().zip(&codes[pos..stop]) {
+                            f(base + o as usize, self.dict[c as usize]);
+                        }
+                    }
+                    CodeVec::Wide(codes) => {
+                        for (&o, &c) in offs.iter().zip(&codes[pos..stop]) {
+                            f(base + o as usize, self.dict[c as usize]);
+                        }
+                    }
+                }
+            }
+            pos = stop;
+            bi += 1;
+        }
+    }
+
+    /// Iterator state for [`super::ColumnIter::Compressed`]: the absolute
+    /// entry range of positions `range` of `item`'s column, plus the index
+    /// of the block containing the first position.
+    pub(crate) fn part_cursor(
+        &self,
+        item: usize,
+        range: std::ops::Range<usize>,
+    ) -> (usize, usize, usize) {
+        assert!(range.end <= self.column_len(item), "range exceeds column length");
+        let pos = self.entry_ptr[item] + range.start;
+        let end = self.entry_ptr[item] + range.end;
+        let block_idx = if pos < end { self.block_of(item, pos) } else { self.block_ptr[item] };
+        (pos, end, block_idx)
+    }
+
+    /// Advances the [`super::ColumnIter::Compressed`] cursor by one entry.
+    #[inline]
+    pub(crate) fn cursor_next(
+        &self,
+        pos: &mut usize,
+        end: usize,
+        block_idx: &mut usize,
+    ) -> Option<(usize, f64)> {
+        if *pos >= end {
+            return None;
+        }
+        while self.blocks[*block_idx].entry_end() <= *pos {
+            *block_idx += 1;
+        }
+        let out = self.decode_at(&self.blocks[*block_idx], *pos);
+        *pos += 1;
+        Some(out)
+    }
+
+    /// Encodes one item's sorted non-zero column at the arrays' tails and
+    /// pushes its block directory, pointers, and cached sum. The core of
+    /// both the incremental `push_item` and the rebuild paths.
+    fn encode_column(
+        &mut self,
+        entries: impl Iterator<Item = (u32, f64)>,
+        interner: &mut Interner,
+    ) {
+        let item_block_start = self.blocks.len();
+        let mut sum = 0.0;
+        let mut prev: Option<u32> = None;
+        for (user, value) in entries {
+            assert!((user as usize) < self.num_users, "user {user} out of range");
+            assert!(prev.is_none_or(|p| p < user), "column entries must be strictly increasing");
+            prev = Some(user);
+            debug_assert!(value != 0.0, "zeros are dropped before encoding");
+            let block = user / COMPRESSED_BLOCK as u32;
+            let local = (user as usize % COMPRESSED_BLOCK) as u16;
+            // A new block starts on the item's first entry or when the user
+            // crosses a 512 boundary (entries arrive in ascending user
+            // order, so each block index appears as one contiguous run).
+            let needs_new = self.blocks.len() == item_block_start
+                || self.blocks.last().expect("item has blocks").block != block;
+            if needs_new {
+                self.blocks.push(ColumnBlock {
+                    block,
+                    len: 0,
+                    entry_start: self.codes.len(),
+                    offset_start: self.offsets.len(),
+                });
+            }
+            let code = interner.intern(&mut self.dict, value);
+            self.codes.push(code);
+            self.offsets.push(local);
+            let b = self.blocks.last_mut().expect("pushed above");
+            b.len += 1;
+            sum += value;
+        }
+        // Full blocks drop their offsets: implicit users. (Done per item,
+        // after the fact, so the loop above stays branch-light.)
+        self.compact_full_block_offsets();
+        self.block_ptr.push(self.blocks.len());
+        self.entry_ptr.push(self.codes.len());
+        self.col_sums.push(sum);
+    }
+
+    /// Drops the stored offsets of every full block of the item currently
+    /// being finalized, shifting later offsets down.
+    fn compact_full_block_offsets(&mut self) {
+        let item_block_start = *self.block_ptr.last().expect("block_ptr is never empty");
+        let mut write = match self.blocks.get(item_block_start) {
+            Some(b) => b.offset_start,
+            None => return,
+        };
+        let mut read = write;
+        for bi in item_block_start..self.blocks.len() {
+            let (len, full) = {
+                let b = &self.blocks[bi];
+                (b.len as usize, b.is_full())
+            };
+            self.blocks[bi].offset_start = write;
+            if full {
+                read += len;
+            } else {
+                if read != write {
+                    self.offsets.copy_within(read..read + len, write);
+                }
+                read += len;
+                write += len;
+            }
+        }
+        self.offsets.truncate(write);
+    }
+
+    /// Appends one item column (dense input; zeros dropped) — incremental,
+    /// the streaming-generation hot path. See
+    /// [`super::InterestMatrix::push_item`].
+    pub fn push_item(&mut self, column: &[f64]) {
+        assert_eq!(column.len(), self.num_users, "column length must equal user count");
+        let mut interner = Interner::for_dict(&self.dict);
+        let entries =
+            column.iter().enumerate().filter(|(_, &v)| v != 0.0).map(|(u, &v)| (u as u32, v));
+        self.encode_column(entries, &mut interner);
+    }
+
+    /// Decodes every column into sorted `(user, value)` entry lists.
+    fn decode_columns(&self) -> Vec<Vec<(u32, f64)>> {
+        (0..self.num_items())
+            .map(|item| {
+                let mut col = Vec::with_capacity(self.column_len(item));
+                self.for_each_in_part(item, 0..self.column_len(item), |u, v| {
+                    col.push((u as u32, v));
+                });
+                col
+            })
+            .collect()
+    }
+
+    /// Rebuilds in place from decoded columns, re-interning the dictionary
+    /// in canonical first-use order (dead codes from prior removals are
+    /// dropped). All point mutations funnel through here — correctness over
+    /// speed; see the module docs.
+    fn rebuild_from(&mut self, num_users: usize, columns: Vec<Vec<(u32, f64)>>) {
+        let mut fresh = Self::empty(num_users);
+        let mut interner = Interner::default();
+        for col in columns {
+            fresh.encode_column(col.into_iter().filter(|&(_, v)| v != 0.0), &mut interner);
+        }
+        *self = fresh;
+    }
+
+    /// Removes one item column. See [`super::InterestMatrix::remove_item`].
+    pub fn remove_item(&mut self, item: usize) {
+        assert!(item < self.num_items(), "item {item} out of range");
+        let mut cols = self.decode_columns();
+        cols.remove(item);
+        self.rebuild_from(self.num_users, cols);
+    }
+
+    /// Sets one value, preserving the drop-exact-zeros convention. See
+    /// [`super::InterestMatrix::set_value`].
+    pub fn set_value(&mut self, item: usize, user: usize, value: f64) {
+        assert!(item < self.num_items(), "item {item} out of range");
+        assert!(user < self.num_users, "user {user} out of range");
+        let mut cols = self.decode_columns();
+        let col = &mut cols[item];
+        match col.binary_search_by_key(&(user as u32), |&(u, _)| u) {
+            Ok(i) if value != 0.0 => col[i].1 = value,
+            Ok(i) => {
+                col.remove(i);
+            }
+            Err(_) if value == 0.0 => {}
+            Err(i) => col.insert(i, (user as u32, value)),
+        }
+        self.rebuild_from(self.num_users, cols);
+    }
+
+    /// Appends new users (zeros dropped). See
+    /// [`super::InterestMatrix::append_users`].
+    pub fn append_users(&mut self, rows: &[Vec<f64>]) {
+        let num_items = self.num_items();
+        for row in rows {
+            assert_eq!(row.len(), num_items, "user row length must equal item count");
+        }
+        let mut cols = self.decode_columns();
+        for (item, col) in cols.iter_mut().enumerate() {
+            for (j, row) in rows.iter().enumerate() {
+                if row[item] != 0.0 {
+                    col.push(((self.num_users + j) as u32, row[item]));
+                }
+            }
+        }
+        self.rebuild_from(self.num_users + rows.len(), cols);
+    }
+
+    /// Removes users, remapping surviving indices down. See
+    /// [`super::InterestMatrix::remove_users`].
+    pub fn remove_users(&mut self, users: &[usize]) {
+        let keep = user_keep_mask(self.num_users, users);
+        let mut remap = vec![0u32; self.num_users];
+        let mut next = 0u32;
+        for (u, &k) in keep.iter().enumerate() {
+            remap[u] = next;
+            if k {
+                next += 1;
+            }
+        }
+        let cols = self
+            .decode_columns()
+            .into_iter()
+            .map(|col| {
+                col.into_iter()
+                    .filter(|&(u, _)| keep[u as usize])
+                    .map(|(u, v)| (remap[u as usize], v))
+                    .collect()
+            })
+            .collect();
+        self.rebuild_from(self.num_users - users.len(), cols);
+    }
+
+    /// Drops any stored exact zeros (possible only in hand-built or
+    /// deserialized data — every mutation path drops them) and re-interns
+    /// the dictionary canonically. Returns the number of entries dropped.
+    pub fn canonicalize(&mut self) -> usize {
+        let before = self.nnz();
+        let cols = self.decode_columns();
+        self.rebuild_from(self.num_users, cols);
+        before - self.nnz()
+    }
+
+    /// Validates internal consistency: sorted blocks, pointer monotonicity,
+    /// codes within the dictionary, and cached sums equal to a bitwise
+    /// recompute of the decoded columns.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        if self.block_ptr.len() != self.entry_ptr.len() {
+            return Err("block_ptr / entry_ptr length mismatch".into());
+        }
+        for item in 0..self.num_items() {
+            let mut values = Vec::new();
+            let mut prev_user = None;
+            self.for_each_in_part(item, 0..self.column_len(item), |u, v| {
+                assert!(prev_user.is_none_or(|p| p < u), "item {item}: users not increasing");
+                prev_user = Some(u);
+                values.push(v);
+            });
+            let want = stored_sum(&values);
+            if want.to_bits() != self.col_sums[item].to_bits() {
+                return Err(format!("item {item}: cached sum drifted"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`CompressedInterest`]. Entries may be pushed in
+/// any per-item order; `build` sorts each column and deduplicates (last
+/// write wins), matching [`super::SparseInterestBuilder`]'s semantics while
+/// holding only 8 transient bytes per entry (a `u32` user plus a `u32`
+/// code) — the property that lets the streaming generators assemble a
+/// million-user matrix without a dense intermediate.
+#[derive(Debug)]
+pub struct CompressedInterestBuilder {
+    num_items: usize,
+    num_users: usize,
+    dict: Vec<f64>,
+    index: HashMap<u64, u32>,
+    cols: Vec<ColBuf>,
+}
+
+#[derive(Debug, Default)]
+struct ColBuf {
+    users: Vec<u32>,
+    codes: Vec<u32>,
+}
+
+impl CompressedInterestBuilder {
+    /// A builder for a matrix of the given shape.
+    pub fn new(num_items: usize, num_users: usize) -> Self {
+        let mut cols = Vec::with_capacity(num_items);
+        cols.resize_with(num_items, ColBuf::default);
+        Self { num_items, num_users, dict: Vec::new(), index: HashMap::new(), cols }
+    }
+
+    /// Adds one `(item, user) -> value` entry. Zero values are dropped.
+    ///
+    /// # Panics
+    /// Panics if `item` or `user` is out of range.
+    pub fn push(&mut self, item: usize, user: usize, value: f64) {
+        assert!(item < self.num_items, "item {item} out of range");
+        assert!(user < self.num_users, "user {user} out of range");
+        if value == 0.0 {
+            return;
+        }
+        let code = *self.index.entry(value.to_bits()).or_insert_with(|| {
+            self.dict.push(value);
+            (self.dict.len() - 1) as u32
+        });
+        let col = &mut self.cols[item];
+        col.users.push(user as u32);
+        col.codes.push(code);
+    }
+
+    /// Finalizes into block-compressed form.
+    pub fn build(self) -> CompressedInterest {
+        let Self { num_users, dict, cols, .. } = self;
+        let mut out = CompressedInterest::empty(num_users);
+        // Encode with a fresh interner so the final dictionary is in
+        // first-use order of the *sorted* entry stream — the same canonical
+        // order `to_compressed` and the rebuild paths produce.
+        let mut interner = Interner::default();
+        for col in cols {
+            let mut entries: Vec<(u32, f64)> =
+                col.users.iter().zip(&col.codes).map(|(&u, &c)| (u, dict[c as usize])).collect();
+            entries.sort_by_key(|&(u, _)| u);
+            // Last write wins on duplicates: keep the final occurrence.
+            let mut dedup: Vec<(u32, f64)> = Vec::with_capacity(entries.len());
+            for (u, v) in entries {
+                match dedup.last_mut() {
+                    Some(last) if last.0 == u => last.1 = v,
+                    _ => dedup.push((u, v)),
+                }
+            }
+            out.encode_column(dedup.into_iter(), &mut interner);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::interest::{DenseInterest, InterestMatrix};
+    use super::*;
+
+    fn sample_dense() -> DenseInterest {
+        DenseInterest::from_raw(2, 3, vec![0.9, 0.0, 0.2, 0.3, 0.6, 0.0]).unwrap()
+    }
+
+    fn sample_compressed() -> CompressedInterest {
+        InterestMatrix::from(sample_dense()).to_compressed()
+    }
+
+    #[test]
+    fn skips_zeros_and_looks_up_values() {
+        let c = sample_compressed();
+        assert_eq!(c.nnz(), 4);
+        assert_eq!(c.value(0, 0), 0.9);
+        assert_eq!(c.value(0, 1), 0.0);
+        assert_eq!(c.value(0, 2), 0.2);
+        assert_eq!(c.value(1, 1), 0.6);
+        assert_eq!(c.column_len(0), 2);
+        assert_eq!(c.dict_len(), 4);
+    }
+
+    #[test]
+    fn dictionary_dedups_repeated_values() {
+        let d = DenseInterest::from_fn(3, 10, |_, u| if u % 2 == 0 { 0.25 } else { 0.75 });
+        let c = InterestMatrix::from(d).to_compressed();
+        assert_eq!(c.nnz(), 30);
+        assert_eq!(c.dict_len(), 2);
+    }
+
+    #[test]
+    fn full_blocks_store_no_offsets() {
+        // 512 users, fully dense column => exactly one full block, zero
+        // offsets; 513 users => one full + one partial block, one offset.
+        let full = InterestMatrix::from(DenseInterest::from_fn(1, COMPRESSED_BLOCK, |_, _| 0.5))
+            .to_compressed();
+        assert_eq!(full.blocks.len(), 1);
+        assert!(full.offsets.is_empty());
+        let spill =
+            InterestMatrix::from(DenseInterest::from_fn(1, COMPRESSED_BLOCK + 1, |_, _| 0.5))
+                .to_compressed();
+        assert_eq!(spill.blocks.len(), 2);
+        assert_eq!(spill.offsets.len(), 1);
+        assert_eq!(spill.value(0, COMPRESSED_BLOCK), 0.5);
+        spill.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn multi_block_columns_decode_in_order() {
+        let nu = 3 * COMPRESSED_BLOCK + 17;
+        let d = DenseInterest::from_fn(2, nu, |item, u| {
+            if (u + item) % 3 == 0 {
+                0.0
+            } else {
+                ((u % 7) + 1) as f64 / 8.0
+            }
+        });
+        let dense = InterestMatrix::from(d);
+        let sparse = dense.to_sparse();
+        let c = dense.to_compressed();
+        c.check_consistency().unwrap();
+        for item in 0..2 {
+            let (us, vs) = sparse.column_slices(item);
+            let mut got = Vec::new();
+            c.for_each_in_part(item, 0..c.column_len(item), |u, v| got.push((u as u32, v)));
+            let want: Vec<(u32, f64)> = us.iter().copied().zip(vs.iter().copied()).collect();
+            assert_eq!(got, want, "item {item}");
+            assert_eq!(c.column_sum(item).to_bits(), stored_sum(vs).to_bits(), "item {item} sum");
+        }
+    }
+
+    #[test]
+    fn code_vec_promotes_to_wide_past_u16_dictionary() {
+        let n = u16::MAX as usize + 10;
+        let d = DenseInterest::from_fn(1, n, |_, u| (u + 1) as f64 / (n + 1) as f64);
+        let c = InterestMatrix::from(d.clone()).to_compressed();
+        assert_eq!(c.dict_len(), n);
+        assert!(matches!(c.codes, CodeVec::Wide(_)), "dictionary overflow must promote codes");
+        c.check_consistency().unwrap();
+        // Values survive the promotion exactly.
+        for u in [0, 1, u16::MAX as usize, n - 1] {
+            assert_eq!(c.value(0, u).to_bits(), d.value(0, u).to_bits());
+        }
+    }
+
+    #[test]
+    fn builder_handles_unordered_and_duplicate_pushes() {
+        let mut b = CompressedInterestBuilder::new(2, 4);
+        b.push(1, 3, 0.5);
+        b.push(0, 2, 0.1);
+        b.push(0, 0, 0.7);
+        b.push(0, 2, 0.4); // overwrite
+        b.push(1, 1, 0.0); // dropped
+        let c = b.build();
+        assert_eq!(c.nnz(), 3);
+        assert_eq!(c.value(0, 2), 0.4);
+        assert_eq!(c.value(0, 0), 0.7);
+        assert_eq!(c.value(1, 3), 0.5);
+        assert_eq!(c.value(1, 1), 0.0);
+        c.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn rebuild_mutations_drop_dead_dictionary_codes() {
+        let mut c = sample_compressed();
+        c.set_value(0, 0, 0.2); // 0.9 becomes dead
+        assert_eq!(c.value(0, 0), 0.2);
+        assert_eq!(c.dict_len(), 3, "rebuild must drop dead codes");
+        c.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn heap_bytes_reflects_full_block_compression() {
+        // A fully dense quantized column: ~2 bytes/entry, far below the
+        // sparse layout's 12.
+        let nu = 8 * COMPRESSED_BLOCK;
+        let d = DenseInterest::from_fn(4, nu, |_, u| ((u % 16) + 1) as f64 / 16.0);
+        let m = InterestMatrix::from(d);
+        let sparse_bytes = {
+            let s = m.to_sparse();
+            s.heap_bytes()
+        };
+        let compressed_bytes = m.to_compressed().heap_bytes();
+        assert!(
+            compressed_bytes * 3 <= sparse_bytes,
+            "compressed {compressed_bytes} > sparse {sparse_bytes} / 3"
+        );
+    }
+}

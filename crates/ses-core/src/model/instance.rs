@@ -105,6 +105,21 @@ impl Instance {
             .map(|(i, _)| CompetingEventId::new(i))
     }
 
+    /// Approximate resident bytes of the instance's bulk data: both interest
+    /// matrices, the activity matrix, and the per-entity lists. The figure
+    /// the `scale` benches, `ses run --profile`, and the wire `Snapshot`
+    /// report; element counts × element sizes, so it is deterministic across
+    /// builds of the same logical instance.
+    pub fn heap_bytes(&self) -> usize {
+        self.event_interest.heap_bytes()
+            + self.competing_interest.heap_bytes()
+            + self.activity.heap_bytes()
+            + self.events.len() * std::mem::size_of::<Event>()
+            + self.intervals.len() * std::mem::size_of::<Interval>()
+            + self.competing.len() * std::mem::size_of::<CompetingEvent>()
+            + self.user_weights.as_ref().map_or(0, |w| w.len() * 8)
+    }
+
     /// All `(event, interval)` pairs — the initial assignment universe of
     /// size `|E| · |T|` that ALG scores up front.
     pub fn assignment_universe(&self) -> impl Iterator<Item = (EventId, IntervalId)> + '_ {

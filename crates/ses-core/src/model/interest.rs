@@ -13,14 +13,21 @@
 //!   handful of the ~16K events), and a score only receives contributions
 //!   from users with `µ_{u,e} > 0`, so iterating non-zeros is an exact
 //!   optimization. The `ablation` bench quantifies the difference.
+//! * [`CompressedInterest`] — dictionary-encoded codes in 512-user-aligned
+//!   compressed blocks, ~2 bytes per stored entry on quantized dense
+//!   columns. The million-user layout; see [`super::compressed`].
+//!
+//! All three decode to the same `(user, µ)` sequence in the same order, so
+//! every downstream float reduction is bit-identical across backends.
 //!
 //! Both candidate-event interest and competing-event interest use this type;
 //! an "item" is a column (an event) and the matrix is `items × users`.
 
+use super::compressed::{CompressedInterest, CompressedInterestBuilder, StorageKind};
 use crate::error::BuildError;
 use serde::{Deserialize, Serialize};
 
-/// Interest of every user over a set of items (events), in one of two
+/// Interest of every user over a set of items (events), in one of three
 /// physical layouts. See the module docs for the trade-off.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum InterestMatrix {
@@ -28,6 +35,9 @@ pub enum InterestMatrix {
     Dense(DenseInterest),
     /// Sparse per-item non-zero lists; column iteration touches `nnz` users.
     Sparse(SparseInterest),
+    /// Dictionary-encoded 512-aligned compressed blocks; column iteration
+    /// touches `nnz` users, decoded block-wise.
+    Compressed(CompressedInterest),
 }
 
 impl InterestMatrix {
@@ -37,6 +47,7 @@ impl InterestMatrix {
         match self {
             Self::Dense(d) => d.num_items,
             Self::Sparse(s) => s.indptr.len() - 1,
+            Self::Compressed(c) => c.num_items(),
         }
     }
 
@@ -46,6 +57,7 @@ impl InterestMatrix {
         match self {
             Self::Dense(d) => d.num_users,
             Self::Sparse(s) => s.num_users,
+            Self::Compressed(c) => c.num_users(),
         }
     }
 
@@ -58,6 +70,7 @@ impl InterestMatrix {
         match self {
             Self::Dense(d) => d.value(item, user),
             Self::Sparse(s) => s.value(item, user),
+            Self::Compressed(c) => c.value(item, user),
         }
     }
 
@@ -73,6 +86,10 @@ impl InterestMatrix {
             Self::Sparse(s) => {
                 let (users, values) = s.column_slices(item);
                 ColumnIter::Sparse { users, values, next: 0 }
+            }
+            Self::Compressed(c) => {
+                let (pos, end, block_idx) = c.part_cursor(item, 0..c.column_len(item));
+                ColumnIter::Compressed { matrix: c, pos, end, block_idx }
             }
         }
     }
@@ -105,6 +122,10 @@ impl InterestMatrix {
                     next: 0,
                 }
             }
+            Self::Compressed(c) => {
+                let (pos, end, block_idx) = c.part_cursor(item, range);
+                ColumnIter::Compressed { matrix: c, pos, end, block_idx }
+            }
         }
     }
 
@@ -121,6 +142,7 @@ impl InterestMatrix {
                 let (users, _) = s.column_slices(item);
                 users.len()
             }
+            Self::Compressed(c) => c.column_len(item),
         }
     }
 
@@ -133,6 +155,7 @@ impl InterestMatrix {
         match self {
             Self::Dense(d) => d.col_sums[item],
             Self::Sparse(s) => s.col_sums[item],
+            Self::Compressed(c) => c.column_sum(item),
         }
     }
 
@@ -160,6 +183,7 @@ impl InterestMatrix {
         match self {
             Self::Dense(d) => d.push_item(column),
             Self::Sparse(s) => s.push_item(column),
+            Self::Compressed(c) => c.push_item(column),
         }
     }
 
@@ -172,6 +196,7 @@ impl InterestMatrix {
         match self {
             Self::Dense(d) => d.remove_item(item),
             Self::Sparse(s) => s.remove_item(item),
+            Self::Compressed(c) => c.remove_item(item),
         }
     }
 
@@ -185,6 +210,7 @@ impl InterestMatrix {
         match self {
             Self::Dense(d) => d.set(item, user, value),
             Self::Sparse(s) => s.set_value(item, user, value),
+            Self::Compressed(c) => c.set_value(item, user, value),
         }
     }
 
@@ -198,6 +224,7 @@ impl InterestMatrix {
         match self {
             Self::Dense(d) => d.append_users(rows),
             Self::Sparse(s) => s.append_users(rows),
+            Self::Compressed(c) => c.append_users(rows),
         }
     }
 
@@ -210,6 +237,7 @@ impl InterestMatrix {
         match self {
             Self::Dense(d) => d.remove_users(users),
             Self::Sparse(s) => s.remove_users(users),
+            Self::Compressed(c) => c.remove_users(users),
         }
     }
 
@@ -228,6 +256,17 @@ impl InterestMatrix {
                     for (&u, &v) in users.iter().zip(values) {
                         data[item * num_users + u as usize] = v;
                     }
+                }
+                DenseInterest::from_raw(num_items, num_users, data)
+                    .expect("shape is consistent by construction")
+            }
+            Self::Compressed(c) => {
+                let (num_items, num_users) = (c.num_items(), c.num_users());
+                let mut data = vec![0.0; num_items * num_users];
+                for item in 0..num_items {
+                    c.for_each_in_part(item, 0..c.column_len(item), |u, v| {
+                        data[item * num_users + u] = v;
+                    });
                 }
                 DenseInterest::from_raw(num_items, num_users, data)
                     .expect("shape is consistent by construction")
@@ -251,6 +290,91 @@ impl InterestMatrix {
                 }
                 b.build()
             }
+            Self::Compressed(c) => {
+                let mut b = SparseInterestBuilder::new(c.num_items(), c.num_users());
+                for item in 0..c.num_items() {
+                    c.for_each_in_part(item, 0..c.column_len(item), |u, v| {
+                        b.push(item, u, v);
+                    });
+                }
+                b.build()
+            }
+        }
+    }
+
+    /// Converts to the compressed representation (no-op if already
+    /// compressed), dropping exact zeros and interning the dictionary in
+    /// canonical first-use order over the item-ascending, user-ascending
+    /// entry stream.
+    pub fn to_compressed(&self) -> CompressedInterest {
+        match self {
+            Self::Compressed(c) => c.clone(),
+            _ => {
+                let mut b = CompressedInterestBuilder::new(self.num_items(), self.num_users());
+                for item in 0..self.num_items() {
+                    for (u, v) in self.column(item) {
+                        b.push(item, u, v); // the builder drops zeros
+                    }
+                }
+                b.build()
+            }
+        }
+    }
+
+    /// An empty (zero-item) matrix in the requested layout, ready to grow
+    /// one column at a time via [`push_item`](Self::push_item) — the
+    /// streaming-generation entry point: large instances are assembled
+    /// column-by-column without ever materializing a dense matrix.
+    pub fn empty(kind: StorageKind, num_users: usize) -> InterestMatrix {
+        match kind {
+            StorageKind::Dense => Self::Dense(DenseInterest::zeros(0, num_users)),
+            StorageKind::Sparse => Self::Sparse(SparseInterestBuilder::new(0, num_users).build()),
+            StorageKind::Compressed => Self::Compressed(CompressedInterest::empty(num_users)),
+        }
+    }
+
+    /// The physical layout currently in use.
+    #[inline]
+    pub fn storage_kind(&self) -> StorageKind {
+        match self {
+            Self::Dense(_) => StorageKind::Dense,
+            Self::Sparse(_) => StorageKind::Sparse,
+            Self::Compressed(_) => StorageKind::Compressed,
+        }
+    }
+
+    /// Converts to the requested layout (no-op when already there).
+    pub fn convert_to(&self, kind: StorageKind) -> InterestMatrix {
+        match kind {
+            StorageKind::Dense => Self::Dense(self.to_dense()),
+            StorageKind::Sparse => Self::Sparse(self.to_sparse()),
+            StorageKind::Compressed => Self::Compressed(self.to_compressed()),
+        }
+    }
+
+    /// Approximate resident bytes of the backing arrays (element counts ×
+    /// element sizes; allocator slack excluded so the figure is
+    /// deterministic).
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Self::Dense(d) => d.heap_bytes(),
+            Self::Sparse(s) => s.heap_bytes(),
+            Self::Compressed(c) => c.heap_bytes(),
+        }
+    }
+
+    /// Normalizes the representation so that logically equal matrices built
+    /// through different mutation histories compare equal after conversion:
+    /// drops stored exact zeros from the sparse and compressed layouts
+    /// (reachable only via hand-built or deserialized data — every mutation
+    /// path already drops them) and re-interns the compressed dictionary.
+    /// Dense storage is always canonical. Returns the number of stored
+    /// entries dropped.
+    pub fn canonicalize(&mut self) -> usize {
+        match self {
+            Self::Dense(_) => 0,
+            Self::Sparse(s) => s.canonicalize(),
+            Self::Compressed(c) => c.canonicalize(),
         }
     }
 }
@@ -264,6 +388,12 @@ impl From<DenseInterest> for InterestMatrix {
 impl From<SparseInterest> for InterestMatrix {
     fn from(s: SparseInterest) -> Self {
         Self::Sparse(s)
+    }
+}
+
+impl From<CompressedInterest> for InterestMatrix {
+    fn from(c: CompressedInterest) -> Self {
+        Self::Compressed(c)
     }
 }
 
@@ -289,6 +419,17 @@ pub enum ColumnIter<'a> {
         /// Next position to yield.
         next: usize,
     },
+    /// Compressed column: yields stored non-zeros only, decoded block-wise.
+    Compressed {
+        /// The backing matrix (codes, dictionary, block directory).
+        matrix: &'a CompressedInterest,
+        /// Next absolute entry position to yield.
+        pos: usize,
+        /// One-past-the-last absolute entry position.
+        end: usize,
+        /// Directory index of the block containing `pos`.
+        block_idx: usize,
+    },
 }
 
 impl Iterator for ColumnIter<'_> {
@@ -309,6 +450,9 @@ impl Iterator for ColumnIter<'_> {
                 *next += 1;
                 Some((u as usize, values[i]))
             }
+            ColumnIter::Compressed { matrix, pos, end, block_idx } => {
+                matrix.cursor_next(pos, *end, block_idx)
+            }
         }
     }
 
@@ -316,6 +460,7 @@ impl Iterator for ColumnIter<'_> {
         let rem = match self {
             ColumnIter::Dense { values, next, .. } => values.len() - next,
             ColumnIter::Sparse { users, next, .. } => users.len() - next,
+            ColumnIter::Compressed { pos, end, .. } => end - pos,
         };
         (rem, Some(rem))
     }
@@ -336,10 +481,10 @@ pub struct DenseInterest {
 }
 
 /// The one definition of a cached column sum: the left-to-right sum of the
-/// stored values. Shared by both layouts so dense and sparse caches agree
-/// bitwise (interleaved exact zeros add nothing).
+/// stored values. Shared by all layouts so the caches agree bitwise
+/// (interleaved exact zeros add nothing).
 #[inline]
-fn stored_sum(values: &[f64]) -> f64 {
+pub(crate) fn stored_sum(values: &[f64]) -> f64 {
     let mut s = 0.0;
     for &v in values {
         s += v;
@@ -479,6 +624,12 @@ impl DenseInterest {
             data.extend(col.iter().zip(&keep).filter(|(_, &k)| k).map(|(&v, _)| v));
         }
         *self = Self::with_sums(self.num_items, self.num_users - users.len(), data);
+    }
+
+    /// Approximate resident bytes (element counts × element sizes; allocator
+    /// slack excluded so the figure is deterministic).
+    pub fn heap_bytes(&self) -> usize {
+        (self.data.len() + self.col_sums.len()) * 8
     }
 }
 
@@ -687,6 +838,41 @@ impl SparseInterest {
         self.num_users -= users.len();
         self.refresh_all_sums();
     }
+
+    /// Approximate resident bytes (element counts × element sizes; allocator
+    /// slack excluded so the figure is deterministic).
+    pub fn heap_bytes(&self) -> usize {
+        (self.indptr.len() + self.values.len() + self.col_sums.len()) * 8 + self.users.len() * 4
+    }
+
+    /// Drops any stored exact zeros (reachable only via deserialized data —
+    /// every mutation path drops them as it goes). Returns the number of
+    /// entries dropped. See [`InterestMatrix::canonicalize`].
+    pub fn canonicalize(&mut self) -> usize {
+        let before = self.values.len();
+        if !self.values.contains(&0.0) {
+            return 0;
+        }
+        let mut users = Vec::with_capacity(before);
+        let mut values = Vec::with_capacity(before);
+        let mut indptr = Vec::with_capacity(self.indptr.len());
+        indptr.push(0);
+        for item in 0..self.num_items() {
+            let (old_u, old_v) = self.column_slices(item);
+            for (&u, &v) in old_u.iter().zip(old_v) {
+                if v != 0.0 {
+                    users.push(u);
+                    values.push(v);
+                }
+            }
+            indptr.push(users.len());
+        }
+        self.users = users;
+        self.values = values;
+        self.indptr = indptr;
+        self.refresh_all_sums();
+        before - self.values.len()
+    }
 }
 
 /// Incremental builder for [`SparseInterest`]. Entries may be pushed in any
@@ -828,6 +1014,7 @@ mod tests {
         for mut m in [
             InterestMatrix::from(sample_dense()),
             InterestMatrix::from(sample_dense().to_sparse_helper()),
+            InterestMatrix::from(sample_dense()).convert_to(StorageKind::Compressed),
         ] {
             assert_cache(&m, "fresh");
             m.push_item(&[0.0, 0.5, 0.8]);
@@ -901,7 +1088,8 @@ mod tests {
     fn column_part_tiles_the_column() {
         let dense = InterestMatrix::from(sample_dense());
         let sparse = InterestMatrix::from(dense.to_sparse());
-        for m in [&dense, &sparse] {
+        let compressed = InterestMatrix::from(dense.to_compressed());
+        for m in [&dense, &sparse, &compressed] {
             for item in 0..2 {
                 let len = m.column_len(item);
                 let whole: Vec<_> = m.column(item).collect();
@@ -921,6 +1109,8 @@ mod tests {
     fn mutations_agree_across_layouts() {
         let mut dense = InterestMatrix::from(sample_dense());
         let mut sparse = InterestMatrix::from(sample_dense().to_sparse_helper());
+        let mut compressed =
+            InterestMatrix::from(sample_dense()).convert_to(StorageKind::Compressed);
         let assert_agree = |d: &InterestMatrix, s: &InterestMatrix, what: &str| {
             assert_eq!(d.num_items(), s.num_items(), "{what}: item counts");
             assert_eq!(d.num_users(), s.num_users(), "{what}: user counts");
@@ -930,7 +1120,7 @@ mod tests {
                 }
             }
         };
-        for m in [&mut dense, &mut sparse] {
+        for m in [&mut dense, &mut sparse, &mut compressed] {
             m.push_item(&[0.0, 0.5, 0.8]);
             m.set_value(0, 1, 0.4); // insert (was 0)
             m.set_value(2, 1, 0.0); // drop
@@ -939,12 +1129,14 @@ mod tests {
             m.remove_item(1);
             m.remove_users(&[0, 3]);
         }
-        assert_agree(&dense, &sparse, "after mutation chain");
+        assert_agree(&dense, &sparse, "after mutation chain (sparse)");
+        assert_agree(&dense, &compressed, "after mutation chain (compressed)");
         assert_eq!(dense.num_items(), 2);
         assert_eq!(dense.num_users(), 3);
-        // Mutated sparse must equal a from-scratch sparse of the mutated
-        // dense (canonical CSC form, zeros dropped).
+        // Mutated sparse/compressed must equal a from-scratch conversion of
+        // the mutated dense (canonical form, zeros dropped).
         assert_eq!(dense.to_sparse(), sparse.to_sparse());
+        assert_eq!(dense.to_compressed(), compressed.to_compressed());
     }
 
     #[test]
@@ -967,6 +1159,44 @@ mod tests {
         assert_eq!(s.column_len(0), nnz_before - 1, "zeros must be dropped, not stored");
         s.set_value(0, 0, 0.0); // idempotent on absent entries
         assert_eq!(s.column_len(0), nnz_before - 1);
+    }
+
+    /// `set_value(.., 0.0)` is representation-invariant: whichever backend
+    /// absorbs the write, converting all backends to canonical sparse form
+    /// afterwards yields the identical matrix — the regression the
+    /// `canonicalize` helper guards.
+    #[test]
+    fn set_zero_is_representation_invariant() {
+        let mut dense = InterestMatrix::from(sample_dense());
+        let mut sparse = InterestMatrix::from(sample_dense().to_sparse_helper());
+        let mut compressed =
+            InterestMatrix::from(sample_dense()).convert_to(StorageKind::Compressed);
+        for m in [&mut dense, &mut sparse, &mut compressed] {
+            m.set_value(0, 0, 0.0); // drop a stored non-zero
+            m.set_value(1, 2, 0.0); // no-op on an absent/zero entry
+            assert_eq!(m.canonicalize(), 0, "mutation paths must already drop zeros");
+        }
+        assert_eq!(dense.to_sparse(), sparse.to_sparse());
+        assert_eq!(dense.to_sparse(), compressed.to_sparse());
+        assert_eq!(dense.to_compressed(), compressed.to_compressed());
+        assert_eq!(dense.value(0, 0), 0.0);
+    }
+
+    /// Deserialized sparse data may carry stored exact zeros; `canonicalize`
+    /// drops them and restores equality with the canonical form.
+    #[test]
+    fn canonicalize_drops_stored_zeros() {
+        let mut s = sample_dense().to_sparse_helper();
+        // Hand-build a stored zero the mutation API can't produce.
+        let json = serde_json::to_string(&s).unwrap().replacen("0.9", "0.0", 1);
+        let mut tainted: SparseInterest = serde_json::from_str(&json).unwrap();
+        assert_eq!(tainted.nnz(), s.nnz(), "the zero is stored before canonicalization");
+        let mut m = InterestMatrix::from(tainted.clone());
+        assert_eq!(m.canonicalize(), 1);
+        tainted.canonicalize();
+        s.set_value(0, 0, 0.0);
+        assert_eq!(tainted, s);
+        assert_eq!(m, InterestMatrix::from(s));
     }
 
     #[test]

@@ -401,6 +401,15 @@ impl<'a> ScoringEngine<'a> {
                     total += wact[u] * cached_gain(num[u], tot[u], share[u], mu);
                 }
             }
+            InterestMatrix::Compressed(c) => {
+                // Decodes the same (user, µ) sequence at the same positions
+                // as the sparse arm — the addend order, and therefore every
+                // output bit, is unchanged. Layout dispatch happens per
+                // compressed block inside, not per entry.
+                c.for_each_in_part(e.index(), range, |u, mu| {
+                    total += wact[u] * cached_gain(num[u], tot[u], share[u], mu);
+                });
+            }
         }
         total
     }

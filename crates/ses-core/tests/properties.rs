@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use ses_core::ids::{EventId, IntervalId, LocationId};
 use ses_core::model::{
-    ActivityMatrix, CompetingEvent, DenseInterest, Event, Instance, InstanceBuilder,
+    ActivityMatrix, CompetingEvent, DenseInterest, Event, Instance, InstanceBuilder, StorageKind,
 };
 use ses_core::parallel::{Threads, PAR_BLOCK};
 use ses_core::schedule::Schedule;
@@ -90,18 +90,28 @@ fn wide_instance() -> impl Strategy<Value = Instance> {
     )
 }
 
+/// The instance with its interest matrices converted to `kind`.
+fn with_storage(inst: &Instance, kind: StorageKind) -> Instance {
+    let mut out = inst.clone();
+    out.event_interest = inst.event_interest.convert_to(kind);
+    out.competing_interest = inst.competing_interest.convert_to(kind);
+    out
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
     /// Parallel `score` equals sequential `score` **bit-for-bit**, on the
-    /// dense and the sparse interest layout, at every probed thread count —
-    /// the engine-level core of the `ses-parallel` differential contract.
+    /// dense, sparse, and compressed interest layouts, at every probed
+    /// thread count — the engine-level core of the `ses-parallel`
+    /// differential contract.
     #[test]
     fn parallel_scores_bit_identical(inst in wide_instance(), n in 2usize..=6) {
-        let mut sparse = inst.clone();
-        sparse.event_interest = inst.event_interest.to_sparse().into();
-        sparse.competing_interest = inst.competing_interest.to_sparse().into();
-        for (layout, variant) in [("dense", &inst), ("sparse", &sparse)] {
+        let sparse = with_storage(&inst, StorageKind::Sparse);
+        let compressed = with_storage(&inst, StorageKind::Compressed);
+        for (layout, variant) in
+            [("dense", &inst), ("sparse", &sparse), ("compressed", &compressed)]
+        {
             let mut seq = ScoringEngine::new(variant);
             let mut par = ScoringEngine::with_threads(variant, Threads::new(n));
             for (e, t) in variant.assignment_universe() {
@@ -218,19 +228,24 @@ proptest! {
         prop_assert!((omega - total).abs() < 1e-9, "Ω = {omega}, Σ scores = {total}");
     }
 
-    /// Dense and sparse layouts produce identical scores.
+    /// All three interest layouts produce **bit-identical** scores — zeros
+    /// contribute exactly nothing to the blocked reduction (no -0.0 in
+    /// probability data), so skipping them (sparse) or resolving dictionary
+    /// codes (compressed) reproduces the dense partial sums bit for bit.
     #[test]
     fn dense_sparse_equivalence(inst in small_instance()) {
-        let mut sparse = inst.clone();
-        sparse.event_interest = inst.event_interest.to_sparse().into();
-        sparse.competing_interest = inst.competing_interest.to_sparse().into();
-
         let mut de = ScoringEngine::new(&inst);
-        let mut se = ScoringEngine::new(&sparse);
-        for (e, t) in inst.assignment_universe() {
-            let a = de.assignment_score(e, t);
-            let b = se.assignment_score(e, t);
-            prop_assert!((a - b).abs() < 1e-9, "{e} {t}: dense {a} vs sparse {b}");
+        for kind in [StorageKind::Sparse, StorageKind::Compressed] {
+            let variant = with_storage(&inst, kind);
+            let mut se = ScoringEngine::new(&variant);
+            for (e, t) in inst.assignment_universe() {
+                let a = de.assignment_score(e, t);
+                let b = se.assignment_score(e, t);
+                prop_assert_eq!(
+                    a.to_bits(), b.to_bits(),
+                    "{:?} {:?}: dense {} vs {} {}", e, t, a, kind, b
+                );
+            }
         }
     }
 
@@ -306,16 +321,17 @@ proptest! {
 
     /// The engine's cached `share(u,t)` table stays **bitwise** equal to a
     /// recompute from the raw masses (`m̂/(C+m̂)` with the residue clamp)
-    /// through arbitrary apply/unapply churn — on the dense and the sparse
-    /// layout, at 1, 2, and 8 worker threads. This is the invariant that
+    /// through arbitrary apply/unapply churn — on the dense, sparse, and
+    /// compressed layouts, at 1, 2, and 8 worker threads. This is the invariant that
     /// lets the fused kernel drop a division per user without moving a bit.
     #[test]
     fn share_cache_matches_recompute_after_churn(inst in small_instance(), seed in 0u64..1000) {
         const MASS_SNAP: f64 = 1e-9;
-        let mut sparse = inst.clone();
-        sparse.event_interest = inst.event_interest.to_sparse().into();
-        sparse.competing_interest = inst.competing_interest.to_sparse().into();
-        for (layout, variant) in [("dense", &inst), ("sparse", &sparse)] {
+        let sparse = with_storage(&inst, StorageKind::Sparse);
+        let compressed = with_storage(&inst, StorageKind::Compressed);
+        for (layout, variant) in
+            [("dense", &inst), ("sparse", &sparse), ("compressed", &compressed)]
+        {
             for threads in [1usize, 2, 8] {
                 let mut engine = ScoringEngine::with_threads(variant, Threads::new(threads));
                 let mut applied: Vec<(EventId, IntervalId)> = Vec::new();
@@ -352,14 +368,15 @@ proptest! {
     }
 
     /// `score_bound` dominates the true assignment score at every reachable
-    /// schedule state, on both layouts — the soundness precondition of the
+    /// schedule state, on all three layouts — the soundness precondition of the
     /// bound-first gate (a skipped candidate can never have been the argmax).
     #[test]
     fn score_bound_is_sound(inst in small_instance(), seed in 0u64..1000) {
-        let mut sparse = inst.clone();
-        sparse.event_interest = inst.event_interest.to_sparse().into();
-        sparse.competing_interest = inst.competing_interest.to_sparse().into();
-        for (layout, variant) in [("dense", &inst), ("sparse", &sparse)] {
+        let sparse = with_storage(&inst, StorageKind::Sparse);
+        let compressed = with_storage(&inst, StorageKind::Compressed);
+        for (layout, variant) in
+            [("dense", &inst), ("sparse", &sparse), ("compressed", &compressed)]
+        {
             let mut engine = ScoringEngine::new(variant);
             let mut schedule = Schedule::new(variant);
             let mut x = seed | 1;
@@ -402,5 +419,81 @@ proptest! {
         prop_assert!(omega >= 0.0);
         let cap = inst.num_users() as f64 * inst.num_intervals() as f64;
         prop_assert!(omega <= cap + 1e-9, "Ω = {omega} exceeds cap {cap}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cross-backend delta-op churn: the same random op sequence (interest
+    /// drift, event arrivals/cancellations, user joins/retirements) applied
+    /// to the dense, sparse, and compressed copies of one instance keeps
+    /// all three backends value-identical (converted back to dense) and
+    /// their scoring engines **bit-identical** after every op.
+    #[test]
+    fn backends_stay_identical_under_delta_churn(inst in small_instance(), seed in 0u64..1000) {
+        use ses_core::delta::{self, DeltaOp, NewUser};
+
+        let mut dense = inst.clone();
+        let mut sparse = with_storage(&inst, StorageKind::Sparse);
+        let mut compressed = with_storage(&inst, StorageKind::Compressed);
+
+        let mut x = seed | 1;
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x >> 16
+        };
+        for step in 0..10 {
+            let nu = dense.num_users();
+            let ne = dense.num_events();
+            let nc = dense.competing_interest.num_items();
+            let nt = dense.num_intervals();
+            let q = |v: u64| (v % 65) as f64 / 64.0;
+            let op = match next() % 5 {
+                0 | 1 => DeltaOp::ShiftInterest {
+                    event: EventId::new(next() as usize % ne),
+                    user: next() as usize % nu,
+                    interest: q(next()),
+                },
+                2 => DeltaOp::AddEvent {
+                    event: Event::new(LocationId::new(next() as usize % 3), 1.0),
+                    interest: (0..nu).map(|_| q(next())).collect(),
+                },
+                3 if ne > 1 => DeltaOp::RemoveEvent { event: EventId::new(next() as usize % ne) },
+                _ => DeltaOp::AddUsers {
+                    users: vec![NewUser {
+                        event_interest: (0..ne).map(|_| q(next())).collect(),
+                        competing_interest: (0..nc).map(|_| q(next())).collect(),
+                        activity: (0..nt).map(|_| q(next())).collect(),
+                        weight: None,
+                    }],
+                },
+            };
+            delta::apply(&mut dense, &op).expect("op valid on dense");
+            delta::apply(&mut sparse, &op).expect("op valid on sparse");
+            delta::apply(&mut compressed, &op).expect("op valid on compressed");
+
+            // Layouts survive mutation (no silent densification)...
+            prop_assert_eq!(sparse.event_interest.storage_kind(), StorageKind::Sparse);
+            prop_assert_eq!(compressed.event_interest.storage_kind(), StorageKind::Compressed);
+            // ...hold identical values...
+            prop_assert_eq!(
+                &with_storage(&sparse, StorageKind::Dense), &dense,
+                "step {}: sparse drifted from dense", step
+            );
+            prop_assert_eq!(
+                &with_storage(&compressed, StorageKind::Dense), &dense,
+                "step {}: compressed drifted from dense", step
+            );
+            // ...and score bit-identically.
+            let mut d = ScoringEngine::new(&dense);
+            let mut s = ScoringEngine::new(&sparse);
+            let mut c = ScoringEngine::new(&compressed);
+            for (e, t) in dense.assignment_universe() {
+                let a = d.assignment_score(e, t);
+                prop_assert_eq!(a.to_bits(), s.assignment_score(e, t).to_bits());
+                prop_assert_eq!(a.to_bits(), c.assignment_score(e, t).to_bits());
+            }
+        }
     }
 }

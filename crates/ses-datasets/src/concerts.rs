@@ -19,11 +19,12 @@
 //!   with ≥ 10 rated genres), ratings `U[0, 1)`.
 
 use crate::distributions::Zipf;
+use crate::params::quantize;
 use crate::scaffold::{random_competing, random_events};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use ses_core::model::{ActivityMatrix, DenseInterest, Instance, InstanceBuilder};
+use ses_core::model::{ActivityMatrix, Instance, InstanceBuilder, InterestMatrix, StorageKind};
 
 /// Parameters of the Concerts-like generator. Defaults are scaled down from
 /// the real 379K-user corpus for laptop runs.
@@ -56,6 +57,11 @@ pub struct ConcertsParams {
     pub max_required_resources: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Interest quantization levels (0 = continuous; see
+    /// [`crate::params::quantize`]). Concerts interest is dense, so this is
+    /// what makes the compressed backend's dictionary small.
+    #[serde(default)]
+    pub interest_levels: usize,
 }
 
 impl Default for ConcertsParams {
@@ -74,6 +80,7 @@ impl Default for ConcertsParams {
             resources: 30.0,
             max_required_resources: 15.0,
             seed: 0x59414845, // "YAHE"
+            interest_levels: 0,
         }
     }
 }
@@ -104,6 +111,13 @@ impl ConcertsParams {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Overrides the interest quantization level count (0 = continuous).
+    #[must_use]
+    pub fn with_interest_levels(mut self, interest_levels: usize) -> Self {
+        self.interest_levels = interest_levels;
         self
     }
 }
@@ -158,8 +172,18 @@ fn album_interest(ratings: &Ratings, genres: &[usize]) -> f64 {
     sum / genres.len() as f64
 }
 
-/// Generates a Concerts-like [`Instance`]. Deterministic per parameters.
+/// Generates a Concerts-like [`Instance`] with dense interest storage.
+/// Deterministic per parameters.
 pub fn generate(params: &ConcertsParams) -> Instance {
+    generate_with_storage(params, StorageKind::Dense)
+}
+
+/// Generates a Concerts-like [`Instance`] with the interest matrices in the
+/// requested layout. The genre-derived interest formula draws no randomness
+/// of its own (all RNG happens while drawing genre sets and ratings), so the
+/// matrices are streamed column-by-column into the target layout — no dense
+/// intermediate — and the drawn values are layout-invariant.
+pub fn generate_with_storage(params: &ConcertsParams, storage: StorageKind) -> Instance {
     let mut rng = StdRng::seed_from_u64(params.seed);
     let zipf = Zipf::new(params.num_genres, params.genre_skew);
 
@@ -197,12 +221,20 @@ pub fn generate(params: &ConcertsParams) -> Instance {
         })
         .collect();
 
-    let event_interest = DenseInterest::from_fn(params.num_events, params.num_users, |e, u| {
-        album_interest(&user_ratings[u], &album_genres[e])
-    });
-    let competing_interest = DenseInterest::from_fn(num_competing, params.num_users, |c, u| {
-        album_interest(&user_ratings[u], &competing_genres[c])
-    });
+    let levels = params.interest_levels;
+    let stream_interest = |genres: &[Vec<usize>]| {
+        let mut m = InterestMatrix::empty(storage, params.num_users);
+        let mut col = vec![0.0f64; params.num_users];
+        for gs in genres {
+            for (u, v) in col.iter_mut().enumerate() {
+                *v = quantize(album_interest(&user_ratings[u], gs), levels);
+            }
+            m.push_item(&col);
+        }
+        m
+    };
+    let event_interest = stream_interest(&album_genres);
+    let competing_interest = stream_interest(&competing_genres);
     let activity = ActivityMatrix::from_fn(params.num_users, params.num_intervals, |_, _| {
         rng.gen_range(0.0..1.0)
     });

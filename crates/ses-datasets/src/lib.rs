@@ -34,6 +34,7 @@ pub mod meetup;
 pub mod ops;
 pub mod params;
 pub mod scaffold;
+pub mod scale;
 pub mod synthetic;
 
 pub use concerts::ConcertsParams;
@@ -42,7 +43,7 @@ pub use meetup::MeetupParams;
 pub use ops::OpStreamParams;
 pub use params::{ActivityModel, InterestModel, SyntheticParams};
 
-use ses_core::model::Instance;
+use ses_core::model::{Instance, StorageKind};
 
 /// The four datasets of the paper's evaluation, by name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
@@ -85,7 +86,9 @@ impl Dataset {
     /// Builds this dataset with the given structural shape. `num_users`,
     /// `num_events`, `num_intervals` override each generator's defaults;
     /// everything else (locations, resources, conflict density) stays at the
-    /// Table-1 defaults.
+    /// Table-1 defaults. Interest is stored in each generator's native
+    /// layout (sparse for Meetup, dense otherwise); see
+    /// [`build_with`](Self::build_with) to choose a layout explicitly.
     pub fn build(
         self,
         num_users: usize,
@@ -93,40 +96,96 @@ impl Dataset {
         num_intervals: usize,
         seed: u64,
     ) -> Instance {
+        self.build_with(num_users, num_events, num_intervals, seed, None, 0)
+    }
+
+    /// The generator's native interest layout at small scale.
+    pub fn native_storage(self) -> StorageKind {
         match self {
-            Dataset::Meetup => meetup::generate(
+            Dataset::Meetup => StorageKind::Sparse,
+            _ => StorageKind::Dense,
+        }
+    }
+
+    /// The layout `build_with` picks when none is requested: the generator's
+    /// native layout below [`AUTO_COMPRESSED_USERS`] users, compressed at or
+    /// above it (the dense layouts stop fitting comfortably in memory there).
+    pub fn auto_storage(self, num_users: usize) -> StorageKind {
+        if num_users >= AUTO_COMPRESSED_USERS {
+            StorageKind::Compressed
+        } else {
+            self.native_storage()
+        }
+    }
+
+    /// Builds this dataset with an explicit interest-storage layout and
+    /// quantization level count. `storage: None` auto-selects via
+    /// [`auto_storage`](Self::auto_storage); `interest_levels == 0` keeps the
+    /// continuous draws (byte-identical to [`build`](Self::build) when the
+    /// layout also matches the native one). The synthetic and Concerts
+    /// generators stream columns straight into the chosen layout, so a
+    /// compressed 1M-user build never materializes the dense matrix.
+    pub fn build_with(
+        self,
+        num_users: usize,
+        num_events: usize,
+        num_intervals: usize,
+        seed: u64,
+        storage: Option<StorageKind>,
+        interest_levels: usize,
+    ) -> Instance {
+        let storage = storage.unwrap_or_else(|| self.auto_storage(num_users));
+        match self {
+            Dataset::Meetup => meetup::generate_with_storage(
                 &MeetupParams::default()
                     .with_users(num_users)
                     .with_events(num_events)
                     .with_intervals(num_intervals)
-                    .with_seed(seed),
+                    .with_seed(seed)
+                    .with_interest_levels(interest_levels),
+                storage,
             ),
-            Dataset::Concerts => concerts::generate(
+            Dataset::Concerts => concerts::generate_with_storage(
                 &ConcertsParams::default()
                     .with_users(num_users)
                     .with_events(num_events)
                     .with_intervals(num_intervals)
-                    .with_seed(seed),
+                    .with_seed(seed)
+                    .with_interest_levels(interest_levels),
+                storage,
             ),
-            Dataset::Unf => synthetic::generate(&SyntheticParams {
-                num_users,
-                num_events,
-                num_intervals,
-                seed,
-                interest: InterestModel::Uniform,
-                ..SyntheticParams::default()
-            }),
-            Dataset::Zip => synthetic::generate(&SyntheticParams {
-                num_users,
-                num_events,
-                num_intervals,
-                seed,
-                interest: InterestModel::Zipf { s: 2.0 },
-                ..SyntheticParams::default()
-            }),
+            Dataset::Unf => synthetic::generate_with_storage(
+                &SyntheticParams {
+                    num_users,
+                    num_events,
+                    num_intervals,
+                    seed,
+                    interest: InterestModel::Uniform,
+                    interest_levels,
+                    ..SyntheticParams::default()
+                },
+                storage,
+            ),
+            Dataset::Zip => synthetic::generate_with_storage(
+                &SyntheticParams {
+                    num_users,
+                    num_events,
+                    num_intervals,
+                    seed,
+                    interest: InterestModel::Zipf { s: 2.0 },
+                    interest_levels,
+                    ..SyntheticParams::default()
+                },
+                storage,
+            ),
         }
     }
 }
+
+/// User count at or above which [`Dataset::build_with`] auto-selects the
+/// compressed layout. Matches the paper's |U| default (100K), the smallest
+/// scale where the dense matrix becomes the dominant memory cost.
+pub const AUTO_COMPRESSED_USERS: usize = 100_000;
 
 #[cfg(test)]
 mod tests {

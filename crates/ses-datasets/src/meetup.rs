@@ -21,11 +21,14 @@
 //! topic sets, scaled by a per-user enthusiasm draw.
 
 use crate::distributions::Zipf;
+use crate::params::quantize;
 use crate::scaffold::{random_competing, random_events};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use ses_core::model::{ActivityMatrix, Instance, InstanceBuilder, SparseInterestBuilder};
+use ses_core::model::{
+    ActivityMatrix, Instance, InstanceBuilder, SparseInterestBuilder, StorageKind,
+};
 
 /// Parameters of the Meetup-like generator. Defaults are scaled ~20× down
 /// from the real dump (2,000 users, 800 events) so the default experiment
@@ -56,6 +59,12 @@ pub struct MeetupParams {
     pub max_required_resources: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Interest quantization levels (0 = continuous; see
+    /// [`crate::params::quantize`]). Zero overlaps stay zero, so sparsity is
+    /// unchanged; non-zero levels cap the value alphabet for the compressed
+    /// backend's dictionary.
+    #[serde(default)]
+    pub interest_levels: usize,
 }
 
 impl Default for MeetupParams {
@@ -73,6 +82,7 @@ impl Default for MeetupParams {
             resources: 30.0,
             max_required_resources: 15.0,
             seed: 0x4D454554, // "MEET"
+            interest_levels: 0,
         }
     }
 }
@@ -103,6 +113,13 @@ impl MeetupParams {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Overrides the interest quantization level count (0 = continuous).
+    #[must_use]
+    pub fn with_interest_levels(mut self, interest_levels: usize) -> Self {
+        self.interest_levels = interest_levels;
         self
     }
 }
@@ -166,12 +183,15 @@ pub fn generate(params: &MeetupParams) -> Instance {
     let enthusiasm: Vec<f64> = (0..params.num_users).map(|_| rng.gen_range(0.5..1.0)).collect();
 
     // Sparse interest: only overlapping (user, event) pairs are stored.
+    // Quantization (if any) runs on the final overlap value; zeros never
+    // reach the builder, so sparsity structure is quantization-invariant.
+    let levels = params.interest_levels;
     let mut ev = SparseInterestBuilder::new(params.num_events, params.num_users);
     for (e, et) in event_topics.iter().enumerate() {
         for (u, ut) in user_topics.iter().enumerate() {
             let mu = overlap_interest(ut, et, enthusiasm[u]);
             if mu > 0.0 {
-                ev.push(e, u, mu);
+                ev.push(e, u, quantize(mu, levels));
             }
         }
     }
@@ -180,7 +200,7 @@ pub fn generate(params: &MeetupParams) -> Instance {
         for (u, ut) in user_topics.iter().enumerate() {
             let mu = overlap_interest(ut, ct, enthusiasm[u]);
             if mu > 0.0 {
-                cv.push(c, u, mu);
+                cv.push(c, u, quantize(mu, levels));
             }
         }
     }
@@ -198,6 +218,19 @@ pub fn generate(params: &MeetupParams) -> Instance {
         .resources(params.resources)
         .build()
         .expect("meetup parameters must produce a valid instance")
+}
+
+/// Generates a Meetup-like [`Instance`] with the interest matrices in the
+/// requested layout. The generator is natively sparse (interest is stored
+/// per overlapping pair throughout), so non-sparse layouts are produced by
+/// converting the sparse matrices — the drawn values are layout-invariant.
+pub fn generate_with_storage(params: &MeetupParams, storage: StorageKind) -> Instance {
+    let mut inst = generate(params);
+    if storage != StorageKind::Sparse {
+        inst.event_interest = inst.event_interest.convert_to(storage);
+        inst.competing_interest = inst.competing_interest.convert_to(storage);
+    }
+    inst
 }
 
 #[cfg(test)]

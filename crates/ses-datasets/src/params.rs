@@ -59,6 +59,13 @@ pub struct SyntheticParams {
     pub activity: ActivityModel,
     /// RNG seed — equal parameters and seed reproduce the identical instance.
     pub seed: u64,
+    /// Interest quantization: when non-zero, every drawn interest value is
+    /// snapped up onto the grid `{1/L, 2/L, …, 1}` (zeros stay zero), capping
+    /// the value alphabet at `L` so the compressed backend's dictionary stays
+    /// in `u16` range. `0` (the default) keeps the paper's continuous draws
+    /// and is byte-identical to the pre-quantization generator.
+    #[serde(default)]
+    pub interest_levels: usize,
 }
 
 impl Default for SyntheticParams {
@@ -75,6 +82,7 @@ impl Default for SyntheticParams {
             interest: InterestModel::Uniform,
             activity: ActivityModel::Uniform,
             seed: 0xEDB7_2019,
+            interest_levels: 0,
         }
     }
 }
@@ -100,6 +108,26 @@ impl SyntheticParams {
         self.seed = seed;
         self
     }
+
+    /// Overrides the interest quantization level count (0 = continuous).
+    #[must_use]
+    pub fn with_interest_levels(mut self, interest_levels: usize) -> Self {
+        self.interest_levels = interest_levels;
+        self
+    }
+}
+
+/// Snaps one `[0, 1]` interest draw up onto the `levels`-step grid
+/// `{1/L, …, 1}`. Zeros stay exactly zero (the sparse/compressed drop-zero
+/// convention), positives stay positive, and the map is monotone, so
+/// quantization changes values but never the support structure. With
+/// `levels == 0` the draw passes through untouched.
+#[inline]
+pub fn quantize(value: f64, levels: usize) -> f64 {
+    if levels == 0 || value == 0.0 {
+        return value;
+    }
+    (value * levels as f64).ceil() / levels as f64
 }
 
 /// Table 1 sweep values (non-bold columns), exposed for the experiment

@@ -1,21 +1,46 @@
 //! The synthetic instance generator over the Table-1 parameter space
 //! (the paper's `Unf`, `Nrm`, and `Zip` datasets).
+//!
+//! Generation streams one interest column (event) at a time into the chosen
+//! storage backend, so a 1M-user instance in the compressed layout never
+//! materializes the `|E| × |U|` dense matrix. The RNG draw order is the
+//! item-outer/user-inner order the original dense generator used, so
+//! `generate` (dense storage, no quantization) is byte-identical to every
+//! previously committed instance.
 
 use crate::distributions::{ClampedNormal, Sampler, UniformRange};
-use crate::params::{ActivityModel, InterestModel, SyntheticParams};
+use crate::params::{quantize, ActivityModel, InterestModel, SyntheticParams};
 use crate::scaffold::{random_competing, random_events};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use ses_core::model::{ActivityMatrix, DenseInterest, Instance, InstanceBuilder};
+use ses_core::model::{ActivityMatrix, Instance, InstanceBuilder, InterestMatrix, StorageKind};
 
-/// Generates a synthetic [`Instance`] from the given parameters.
-/// Deterministic: equal parameters (including seed) yield equal instances.
+/// Generates a synthetic [`Instance`] from the given parameters, with the
+/// interest matrices in the dense layout. Deterministic: equal parameters
+/// (including seed) yield equal instances.
 ///
 /// # Panics
 /// Panics on degenerate parameters (zero events/intervals/users), matching
 /// the instance validator's requirements.
 pub fn generate(params: &SyntheticParams) -> Instance {
+    generate_with_storage(params, StorageKind::Dense)
+}
+
+/// Generates a synthetic [`Instance`] with the interest matrices in the
+/// requested storage layout. The RNG stream and every drawn value are
+/// independent of the layout, so for any fixed parameters the three backends
+/// hold bitwise-identical logical matrices (`generate_with_storage(p, k)` ==
+/// `generate(p).convert_to(k)` cell for cell) — but the non-dense layouts are
+/// built by streaming columns, never allocating the dense intermediate.
+///
+/// Pair the compressed layout with a non-zero `params.interest_levels`:
+/// quantization caps the value alphabet so the dictionary stays `u16`-sized.
+///
+/// # Panics
+/// Panics on degenerate parameters (zero events/intervals/users), matching
+/// the instance validator's requirements.
+pub fn generate_with_storage(params: &SyntheticParams, storage: StorageKind) -> Instance {
     let mut rng = StdRng::seed_from_u64(params.seed);
 
     let mut builder = InstanceBuilder::new();
@@ -34,10 +59,22 @@ pub fn generate(params: &SyntheticParams) -> Instance {
         builder.add_competing(c);
     }
 
-    let event_interest =
-        interest_matrix(&mut rng, params.interest, params.num_events, params.num_users);
-    let competing_interest =
-        interest_matrix(&mut rng, params.interest, num_competing, params.num_users);
+    let event_interest = interest_matrix(
+        &mut rng,
+        params.interest,
+        params.interest_levels,
+        params.num_events,
+        params.num_users,
+        storage,
+    );
+    let competing_interest = interest_matrix(
+        &mut rng,
+        params.interest,
+        params.interest_levels,
+        num_competing,
+        params.num_users,
+        storage,
+    );
     let activity =
         activity_matrix(&mut rng, params.activity, params.num_users, params.num_intervals);
 
@@ -50,21 +87,37 @@ pub fn generate(params: &SyntheticParams) -> Instance {
         .expect("synthetic parameters must produce a valid instance")
 }
 
-/// Draws an `items × users` interest matrix under the chosen model.
+/// Draws an `items × users` interest matrix under the chosen model, streamed
+/// column-by-column into the chosen layout. One scratch column (`|U|` f64s)
+/// is the only dense allocation regardless of backend.
 fn interest_matrix(
     rng: &mut StdRng,
     model: InterestModel,
+    levels: usize,
     num_items: usize,
     num_users: usize,
-) -> DenseInterest {
+    storage: StorageKind,
+) -> InterestMatrix {
+    let mut m = InterestMatrix::empty(storage, num_users);
+    let mut col = vec![0.0f64; num_users];
     match model {
         InterestModel::Uniform => {
             let d = UniformRange::unit();
-            DenseInterest::from_fn(num_items, num_users, |_, _| d.sample(rng))
+            for _ in 0..num_items {
+                for v in col.iter_mut() {
+                    *v = quantize(d.sample(rng), levels);
+                }
+                m.push_item(&col);
+            }
         }
         InterestModel::Normal => {
             let d = ClampedNormal::probability();
-            DenseInterest::from_fn(num_items, num_users, |_, _| d.sample(rng))
+            for _ in 0..num_items {
+                for v in col.iter_mut() {
+                    *v = quantize(d.sample(rng), levels);
+                }
+                m.push_item(&col);
+            }
         }
         InterestModel::Zipf { s } => {
             // Event-level Zipf popularity: a random permutation of ranks,
@@ -73,9 +126,15 @@ fn interest_matrix(
             ranks.shuffle(rng);
             let pops: Vec<f64> = ranks.iter().map(|&r| (r as f64).powf(-s)).collect();
             let d = UniformRange::unit();
-            DenseInterest::from_fn(num_items, num_users, |item, _| pops[item] * d.sample(rng))
+            for &pop in pops.iter().take(num_items) {
+                for v in col.iter_mut() {
+                    *v = quantize(pop * d.sample(rng), levels);
+                }
+                m.push_item(&col);
+            }
         }
     }
+    m
 }
 
 fn activity_matrix(
@@ -123,6 +182,7 @@ mod tests {
             interest,
             activity: ActivityModel::Uniform,
             seed: 7,
+            interest_levels: 0,
         }
     }
 
@@ -146,6 +206,55 @@ mod tests {
         assert_eq!(a, b);
         let c = generate(&tiny(InterestModel::Uniform).with_seed(8));
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn storage_layouts_draw_identical_instances() {
+        for model in [InterestModel::Uniform, InterestModel::Normal, InterestModel::Zipf { s: 2.0 }]
+        {
+            let params = tiny(model).with_interest_levels(64);
+            let dense = generate_with_storage(&params, StorageKind::Dense);
+            for kind in [StorageKind::Sparse, StorageKind::Compressed] {
+                let streamed = generate_with_storage(&params, kind);
+                assert_eq!(streamed.event_interest.storage_kind(), kind);
+                assert_eq!(streamed.competing_interest.storage_kind(), kind);
+                // Same RNG stream, so converting the dense run must reproduce
+                // the streamed run exactly (bitwise, via PartialEq on f64).
+                let mut converted = dense.clone();
+                converted.event_interest = dense.event_interest.convert_to(kind);
+                converted.competing_interest = dense.competing_interest.convert_to(kind);
+                assert_eq!(streamed, converted, "{model:?} {kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_caps_the_alphabet_and_preserves_support() {
+        let params = tiny(InterestModel::Zipf { s: 2.0 }).with_interest_levels(16);
+        let plain = generate(&tiny(InterestModel::Zipf { s: 2.0 }));
+        let quantized = generate(&params);
+        let m = &quantized.event_interest;
+        let mut distinct = std::collections::BTreeSet::new();
+        for item in 0..m.num_items() {
+            for (u, v) in m.column(item) {
+                assert!(v > 0.0 && v <= 1.0);
+                // Snapped up onto the grid: v = n/16 and v ≥ the raw draw.
+                assert_eq!(v, (v * 16.0).round() / 16.0, "off-grid value {v}");
+                assert!(v >= plain.event_interest.value(item, u));
+                distinct.insert(v.to_bits());
+            }
+            assert_eq!(m.column_len(item), plain.event_interest.column_len(item));
+        }
+        assert!(distinct.len() <= 16);
+        assert!(quantized.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_levels_is_the_identity() {
+        assert_eq!(quantize(0.37, 0), 0.37);
+        assert_eq!(quantize(0.0, 16), 0.0);
+        assert_eq!(quantize(1.0, 16), 1.0);
+        assert_eq!(quantize(0.001, 4), 0.25);
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub fn run(config: &ExperimentConfig) -> FigureReport {
                     computations: res.stats.user_ops,
                     examined: res.stats.assignments_examined,
                     time_ms: res.elapsed.as_secs_f64() * 1e3,
+                    heap_bytes: 0,
                 });
             }
         }

@@ -9,6 +9,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod scale;
 pub mod summary;
 pub mod windowed;
 
@@ -31,14 +32,15 @@ pub fn run_figure(id: &str, config: &ExperimentConfig) -> Option<FigureReport> {
         "dynamic" => Some(dynamic::run(config)),
         "constrained" => Some(constrained::run(config)),
         "windowed" => Some(windowed::run(config)),
+        "scale" => Some(scale::run(config)),
         _ => None,
     }
 }
 
 /// All figure ids, in paper order, followed by the two ablations and the
-/// beyond-the-paper dynamic-workload, constraint-overhead, and windowed-
-/// ingestion figures.
-pub const ALL_FIGURES: [&str; 12] = [
+/// beyond-the-paper dynamic-workload, constraint-overhead, windowed-
+/// ingestion, and storage-scale figures.
+pub const ALL_FIGURES: [&str; 13] = [
     "fig5",
     "fig6",
     "fig7",
@@ -51,4 +53,5 @@ pub const ALL_FIGURES: [&str; 12] = [
     "dynamic",
     "constrained",
     "windowed",
+    "scale",
 ];

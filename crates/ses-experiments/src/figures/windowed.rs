@@ -106,6 +106,7 @@ pub fn run(config: &ExperimentConfig) -> FigureReport {
             computations: stats.user_ops,
             examined: stats.assignments_examined,
             time_ms,
+            heap_bytes: 0,
         };
         vec![
             record("WINDOWED", &batched, windowed.utility(), batched_ms),

@@ -40,6 +40,11 @@ pub struct RunRecord {
     pub examined: u64,
     /// Wall-clock milliseconds.
     pub time_ms: f64,
+    /// Resident interest bytes (the scale figure's metric; zero where the
+    /// figure does not measure memory). Defaulted so reports recorded
+    /// before the field existed still deserialize.
+    #[serde(default)]
+    pub heap_bytes: u64,
 }
 
 /// The metric a rendered table reports.
@@ -53,6 +58,8 @@ pub enum Metric {
     Time,
     /// Assignments examined (Fig 10b).
     Examined,
+    /// Resident interest bytes (the scale figure).
+    Memory,
 }
 
 impl Metric {
@@ -63,6 +70,7 @@ impl Metric {
             Metric::Computations => "Computations",
             Metric::Time => "Time (ms)",
             Metric::Examined => "Assignments examined",
+            Metric::Memory => "Heap (bytes)",
         }
     }
 
@@ -73,6 +81,7 @@ impl Metric {
             Metric::Computations => r.computations as f64,
             Metric::Time => r.time_ms,
             Metric::Examined => r.examined as f64,
+            Metric::Memory => r.heap_bytes as f64,
         }
     }
 }
@@ -214,12 +223,12 @@ impl FigureReport {
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "figure,dataset,algorithm,x_label,x,k,num_events,num_intervals,num_users,\
-             utility,computations,examined,time_ms\n",
+             utility,computations,examined,time_ms,heap_bytes\n",
         );
         for r in &self.records {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 r.figure,
                 r.dataset,
                 r.algorithm,
@@ -232,7 +241,8 @@ impl FigureReport {
                 r.utility,
                 r.computations,
                 r.examined,
-                r.time_ms
+                r.time_ms,
+                r.heap_bytes
             );
         }
         out
@@ -259,6 +269,7 @@ mod tests {
             computations: 1000,
             examined: 50,
             time_ms: 1.5,
+            heap_bytes: 0,
         }
     }
 

@@ -182,6 +182,7 @@ pub fn run_lineup_threaded(
                 computations: res.stats.user_ops,
                 examined: res.stats.assignments_examined,
                 time_ms: res.elapsed.as_secs_f64() * 1e3,
+                heap_bytes: 0,
             }
         })
         .collect()

@@ -4,10 +4,14 @@
 #   scripts/bench-baseline.sh --label "post-kernel-fusion"
 #   scripts/bench-baseline.sh --targets micro_scoring --check 2.0
 #   scripts/bench-baseline.sh --targets windowed_stream --label "windowed ops/sec"
+#   scripts/bench-baseline.sh --targets scale_100k,scale_1m --label "scale axis"
 #
 # Thin wrapper around `ses bench-baseline` (crates/ses-cli); all flags are
 # forwarded. Run from the repository root so the baseline file and the
-# bench targets resolve.
+# bench targets resolve. The default target set is all fourteen bench
+# targets; note scale_100k/scale_1m build 100k- and 1M-user instances and
+# take minutes, so CI's perf-smoke gate lists its targets explicitly
+# (micro_scoring,windowed_stream,scale_100k) instead of using the default.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 exec cargo run --release -p ses-cli -- bench-baseline "$@"

@@ -302,6 +302,46 @@ fn constrained_gate_on_matches_gate_off_bit_for_bit() {
     assert!(total_skips > 0, "gate never fired across the constrained matrix");
 }
 
+/// Pillar 6 (storage axis): converting a constrained instance's interest
+/// matrices to the compressed columnar layout changes nothing — every
+/// scalable scheduler emits the same assignment sequence, utility bits,
+/// and full `Stats` it emits on the native layout, for every constraint
+/// family, and the schedules stay independently feasible.
+#[test]
+fn constrained_runs_bit_identical_on_compressed_storage() {
+    use social_event_scheduling::core::model::StorageKind;
+
+    for family in ConstraintFamily::ALL {
+        let mut native = Dataset::Unf.build(USERS, 24, 6, 0xC0DE);
+        family.apply(&mut native, 0xFA);
+        let mut compressed = native.clone();
+        compressed.event_interest = native.event_interest.convert_to(StorageKind::Compressed);
+        compressed.competing_interest =
+            native.competing_interest.convert_to(StorageKind::Compressed);
+        let label = format!("Unf-compressed/{}", family.name());
+        for &kind in &SCALABLE {
+            for &n in &THREAD_COUNTS {
+                let a = kind.run_threaded(&native, 8, Threads::new(n));
+                let b = kind.run_threaded(&compressed, 8, Threads::new(n));
+                validate_independently(&compressed, &b.schedule, &label);
+                assert_eq!(
+                    a.schedule.assignments(),
+                    b.schedule.assignments(),
+                    "{label}/{}/t{n}: schedule diverged across storage",
+                    kind.name()
+                );
+                assert_eq!(
+                    a.utility.to_bits(),
+                    b.utility.to_bits(),
+                    "{label}/{}/t{n}: utility bits diverged across storage",
+                    kind.name()
+                );
+                assert_eq!(a.stats, b.stats, "{label}/{}/t{n}", kind.name());
+            }
+        }
+    }
+}
+
 /// Pillar 5: the dynamic side of the matrix. A constraint-churning op
 /// stream over a constrained base repairs bit-identically at 1/2/8
 /// threads, every intermediate repair stays independently feasible under

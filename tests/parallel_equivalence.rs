@@ -18,6 +18,7 @@
 //! executes rather than degenerating to the single-block fast path.
 
 use social_event_scheduling::algorithms::{SchedulerKind, SchedulerRegistry};
+use social_event_scheduling::core::model::StorageKind;
 use social_event_scheduling::core::parallel::{Threads, PAR_BLOCK};
 use social_event_scheduling::datasets::Dataset;
 use social_event_scheduling::Instance;
@@ -100,6 +101,31 @@ fn sparse_layout_bit_identical_across_thread_counts() {
     sparse.competing_interest = dense.competing_interest.to_sparse().into();
     for kind in [SchedulerKind::Alg, SchedulerKind::Inc, SchedulerKind::Hor, SchedulerKind::HorI] {
         assert_bit_identical(kind, &sparse, 10, "Unf-sparse");
+    }
+}
+
+/// The compressed (dictionary-encoded columnar) layout drives the
+/// code-resolving variant of the blocked reduction. The quantized rebuild
+/// keeps the dictionary small the way real compressed instances do, and
+/// the layout must stay bit-identical to itself across thread counts *and*
+/// to the dense run of the same matrix at every count.
+#[test]
+fn compressed_layout_bit_identical_across_thread_counts() {
+    let dense = Dataset::Unf.build(USERS, 30, 8, 0x5AE);
+    let mut compressed = dense.clone();
+    compressed.event_interest = dense.event_interest.convert_to(StorageKind::Compressed);
+    compressed.competing_interest = dense.competing_interest.convert_to(StorageKind::Compressed);
+    for kind in [SchedulerKind::Alg, SchedulerKind::Inc, SchedulerKind::Hor, SchedulerKind::HorI] {
+        assert_bit_identical(kind, &compressed, 10, "Unf-compressed");
+        // Cross-backend: the compressed run must match the dense run bit
+        // for bit at every thread count, not merely be self-consistent.
+        for &n in &[1usize, 2, 8] {
+            let d = kind.run_threaded(&dense, 10, Threads::new(n));
+            let c = kind.run_threaded(&compressed, 10, Threads::new(n));
+            assert_eq!(d.schedule.assignments(), c.schedule.assignments(), "{}/t{n}", kind.name());
+            assert_eq!(d.utility.to_bits(), c.utility.to_bits(), "{}/t{n}", kind.name());
+            assert_eq!(d.stats, c.stats, "{}/t{n}", kind.name());
+        }
     }
 }
 

@@ -14,24 +14,31 @@
 use social_event_scheduling::algorithms::stream::StreamScheduler;
 use social_event_scheduling::algorithms::SchedulerKind;
 use social_event_scheduling::core::delta;
+use social_event_scheduling::core::model::StorageKind;
 use social_event_scheduling::core::parallel::Threads;
 use social_event_scheduling::datasets::ops::{self, OpStreamParams};
 use social_event_scheduling::datasets::Dataset;
 
-/// One 500-op scenario: base dataset, shape, and stream knobs.
+/// One 500-op scenario: base dataset, shape, stream knobs, and (optionally)
+/// an interest-storage override for the live base.
 struct Scenario {
     dataset: Dataset,
     churn: f64,
     user_churn: f64,
     density: f64,
     seed: u64,
+    storage: Option<StorageKind>,
 }
 
 const K: usize = 8;
 const OPS: usize = 500;
 
 fn run_scenario(s: &Scenario) {
-    let base = s.dataset.build(70, 18, 6, s.seed);
+    let mut base = s.dataset.build(70, 18, 6, s.seed);
+    if let Some(kind) = s.storage {
+        base.event_interest = base.event_interest.convert_to(kind);
+        base.competing_interest = base.competing_interest.convert_to(kind);
+    }
     let params = OpStreamParams::default()
         .with_ops(OPS)
         .with_churn(s.churn)
@@ -102,6 +109,7 @@ fn dense_base_moderate_churn_500_ops() {
         user_churn: 0.3,
         density: 1.0,
         seed: 0xA11,
+        storage: None,
     });
 }
 
@@ -113,6 +121,7 @@ fn dense_base_heavy_structural_churn_500_ops() {
         user_churn: 0.5,
         density: 1.0,
         seed: 0xB22,
+        storage: None,
     });
 }
 
@@ -124,5 +133,22 @@ fn sparse_base_sparse_drift_500_ops() {
         user_churn: 0.4,
         density: 0.25,
         seed: 0xC33,
+        storage: None,
+    });
+}
+
+/// A compressed-backend live base: the repair path mutates the instance
+/// through every delta op (interest drift, event/user churn) while the
+/// interest matrices live in the dictionary-encoded columnar layout —
+/// and must stay bit-identical to the dense INC recompute at every step.
+#[test]
+fn compressed_base_moderate_churn_500_ops() {
+    run_scenario(&Scenario {
+        dataset: Dataset::Unf,
+        churn: 0.3,
+        user_churn: 0.3,
+        density: 1.0,
+        seed: 0xD44,
+        storage: Some(StorageKind::Compressed),
     });
 }

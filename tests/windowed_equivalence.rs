@@ -10,7 +10,7 @@
 
 use social_event_scheduling::algorithms::stream::StreamScheduler;
 use social_event_scheduling::core::delta;
-use social_event_scheduling::core::model::Instance;
+use social_event_scheduling::core::model::{Instance, StorageKind};
 use social_event_scheduling::core::parallel::Threads;
 use social_event_scheduling::datasets::ops::{self, BurstParams, OpStreamParams};
 use social_event_scheduling::datasets::Dataset;
@@ -29,6 +29,8 @@ struct Scenario {
     /// bursty feed instead of the bare backbone.
     redundancy: f64,
     seed: u64,
+    /// Interest-storage override for the live base (`None` = native).
+    storage: Option<StorageKind>,
 }
 
 fn feed_for(s: &Scenario, base: &Instance) -> Vec<delta::DeltaOp> {
@@ -48,7 +50,11 @@ fn feed_for(s: &Scenario, base: &Instance) -> Vec<delta::DeltaOp> {
 }
 
 fn run_scenario(s: &Scenario) {
-    let base = s.dataset.build(60, 16, 6, s.seed);
+    let mut base = s.dataset.build(60, 16, 6, s.seed);
+    if let Some(kind) = s.storage {
+        base.event_interest = base.event_interest.convert_to(kind);
+        base.competing_interest = base.competing_interest.convert_to(kind);
+    }
     let feed = feed_for(s, &base);
     for &window in WINDOWS {
         let label = format!("{}/window={window}", s.dataset.name());
@@ -135,6 +141,7 @@ fn unf_moderate_churn_with_constraints() {
         constraint_churn: 0.2,
         redundancy: 0.0,
         seed: 0xA11,
+        storage: None,
     });
 }
 
@@ -148,6 +155,7 @@ fn zip_heavy_structural_churn() {
         constraint_churn: 0.0,
         redundancy: 0.0,
         seed: 0xB22,
+        storage: None,
     });
 }
 
@@ -161,5 +169,23 @@ fn meetup_sparse_redundant_bursts() {
         constraint_churn: 0.0,
         redundancy: 0.6,
         seed: 0xC33,
+        storage: None,
+    });
+}
+
+/// The compressed columnar base under redundant bursty windows: batch
+/// coalescing, per-op repair, and cold rebuilds must all agree bit for bit
+/// while the interest matrices live in the dictionary-encoded layout.
+#[test]
+fn unf_compressed_redundant_bursts() {
+    run_scenario(&Scenario {
+        dataset: Dataset::Unf,
+        churn: 0.4,
+        user_churn: 0.3,
+        density: 1.0,
+        constraint_churn: 0.2,
+        redundancy: 0.5,
+        seed: 0xD44,
+        storage: Some(StorageKind::Compressed),
     });
 }
