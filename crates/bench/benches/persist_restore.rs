@@ -1,0 +1,121 @@
+//! **Durability baseline, 100k users** — the cost of crash safety at the
+//! paper's scale axis: snapshot write (`Persist` = fold + fsync + rename),
+//! snapshot load (`Restore` = read + checksum + parse + rebuild), log
+//! replay on top of a snapshot, and the per-request write-ahead-log
+//! append that every acknowledged mutation pays. Gauges record the
+//! snapshot's on-disk size alongside the timings.
+//!
+//! The session state is a 100k-user Zipf instance in the sparse layout
+//! (mutation replay is layout-dependent; sparse keeps a `ShiftInterest`
+//! cheap, which isolates the durability cost from storage-layout cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ses_algorithms::{DurableService, Request, Response};
+use ses_bench::{record_gauge, Threads};
+use ses_core::delta::DeltaOp;
+use ses_core::durable::{generations, snapshot_path};
+use ses_core::model::StorageKind;
+use ses_core::EventId;
+use ses_datasets::{scale, InterestModel, SyntheticParams};
+use std::hint::black_box;
+
+const USERS: usize = 100_000;
+
+fn params() -> SyntheticParams {
+    SyntheticParams {
+        num_users: USERS,
+        num_events: 60,
+        num_intervals: 18,
+        competing_per_interval: (1, 3),
+        interest: InterestModel::Zipf { s: 2.0 },
+        interest_levels: 256,
+        seed: 0x9E_5157,
+        ..SyntheticParams::default()
+    }
+}
+
+fn shift(i: u64) -> Request {
+    Request::ApplyOps {
+        ops: vec![DeltaOp::ShiftInterest {
+            event: EventId::new((i % 60) as usize),
+            user: (i as usize * 7919) % USERS,
+            interest: (i % 11) as f64 / 10.0,
+        }],
+        window: None,
+    }
+}
+
+fn assert_ok(resp: &Response) {
+    assert!(!matches!(resp, Response::Error { .. }), "{resp:?}");
+}
+
+fn bench(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("ses-bench-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let inst = scale::build(&params(), StorageKind::Sparse);
+    // snapshot_every = 0 disables auto-compaction: the bench triggers
+    // every fold explicitly through `Persist`.
+    let (mut svc, report) =
+        DurableService::open(&dir, inst, Threads::new(1), 0).expect("open state dir");
+    assert!(report.fresh);
+
+    // Warm state worth snapshotting: a schedule plus a few logged ops.
+    assert_ok(&svc.handle(&Request::Schedule {
+        algorithm: "INC".into(),
+        k: 12,
+        threads: None,
+        gate: false,
+        profile: false,
+        constraints: None,
+    }));
+    for i in 0..4 {
+        assert_ok(&svc.handle(&shift(i)));
+    }
+
+    let mut group = c.benchmark_group("persist_restore");
+    group.sample_size(5);
+
+    // Fold-to-snapshot: serialize session state, write-to-temp, checksum,
+    // fsync, atomic rename, retire old generations.
+    group.bench_with_input(BenchmarkId::new("persist", "100k"), &USERS, |b, _| {
+        b.iter(|| assert_ok(&black_box(svc.handle(&Request::Persist))))
+    });
+
+    // Snapshot size on disk, riding the same baseline stream.
+    let gen = generations(&dir).unwrap().last().copied().unwrap();
+    let snapshot_bytes = std::fs::metadata(snapshot_path(&dir, gen)).unwrap().len();
+    record_gauge("persist_restore/snapshot_bytes/100k", snapshot_bytes);
+
+    // Pure snapshot load: the log is empty right after a Persist, so
+    // Restore measures read + CRC check + parse + service rebuild.
+    group.bench_with_input(BenchmarkId::new("restore", "100k"), &USERS, |b, _| {
+        b.iter(|| assert_ok(&black_box(svc.handle(&Request::Restore))))
+    });
+
+    // The write-ahead tax per acknowledged mutation: encode + append +
+    // fsync + apply.
+    let mut i = 100u64;
+    group.bench_with_input(BenchmarkId::new("logged_apply", "100k"), &USERS, |b, _| {
+        b.iter(|| {
+            i += 1;
+            assert_ok(&black_box(svc.handle(&shift(i))))
+        })
+    });
+
+    // Recovery with a log tail: compact, append 64 records, then restore
+    // repeatedly — each iteration replays all 64 on top of the snapshot.
+    assert_ok(&svc.handle(&Request::Persist));
+    for i in 0..64 {
+        assert_ok(&svc.handle(&shift(1000 + i)));
+    }
+    group.sample_size(3);
+    group.bench_with_input(BenchmarkId::new("restore_replay64", "100k"), &USERS, |b, _| {
+        b.iter(|| assert_ok(&black_box(svc.handle(&Request::Restore))))
+    });
+
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

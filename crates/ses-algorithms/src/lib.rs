@@ -49,7 +49,7 @@ pub mod stream;
 pub mod top;
 
 pub use common::{RunConfig, ScheduleResult, Scheduler, Scratch};
-pub use service::{Request, Response, SchedulerRegistry, SesService};
+pub use service::{DurableService, Request, Response, SchedulerRegistry, SesService};
 
 use serde::{Deserialize, Serialize};
 use ses_core::model::Instance;

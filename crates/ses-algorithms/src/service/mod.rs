@@ -37,9 +37,11 @@
 //!
 //! [`Scheduler::run_configured`]: crate::common::Scheduler::run_configured
 
+pub mod durable;
 mod registry;
 pub mod wire;
 
+pub use durable::{DurableService, Inspection, RecoveryReport};
 pub use registry::SchedulerRegistry;
 
 use crate::common::{RunConfig, ScheduleResult, Scratch};
@@ -122,6 +124,16 @@ pub enum Request {
     /// schedule). The live instance — including every applied op — is
     /// kept.
     Reset,
+    /// Fold the write-ahead log into a fresh on-disk snapshot generation
+    /// and retire old generations (compaction). Only served by a durable
+    /// session (`ses serve --state-dir`); plain sessions answer a typed
+    /// error. Appended after v1 — pre-durability transcripts parse and
+    /// answer byte-identically.
+    Persist,
+    /// Drop the in-memory state and reload it from disk (newest valid
+    /// snapshot + log replay) — the recovery path, on demand. Durable
+    /// sessions only, like `Persist`.
+    Restore,
 }
 
 /// Entity lookups served by [`Request::Query`].
@@ -205,6 +217,20 @@ pub enum Response {
     },
     /// Acknowledges a `Reset`.
     ResetDone,
+    /// Result of a `Persist`: a new snapshot generation is durable.
+    Persisted {
+        /// The snapshot generation just written.
+        generation: u64,
+        /// Write-ahead-log records folded into it.
+        folded: u64,
+    },
+    /// Result of a `Restore`: state reloaded from disk.
+    Restored {
+        /// The snapshot generation the state was loaded from.
+        generation: u64,
+        /// Log records replayed on top of it.
+        replayed: u64,
+    },
     /// Any failure, as a stable machine-readable code plus rendered
     /// message (see [`ServiceError::code`]).
     Error {
@@ -369,11 +395,38 @@ pub struct RepairOutcome {
 /// The current schedule the service answers `Query`/`Snapshot` from.
 #[derive(Debug)]
 struct LastSchedule {
-    algorithm: &'static str,
+    algorithm: String,
     k: usize,
     schedule: Schedule,
     utility: f64,
 }
+
+/// Versioned serialized form of a whole [`SesService`] session — the
+/// payload of a durable snapshot. Exactly one of `inst` / `stream` is
+/// populated, mirroring the live authority model (the armed repairer owns
+/// the instance while warm). Produced by [`SesService::to_state`],
+/// consumed by [`SesService::from_state`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionState {
+    /// Layout version; readers reject anything they do not speak.
+    pub version: u32,
+    /// The live instance, while the session is cold.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub inst: Option<Instance>,
+    /// The armed repairer's full warm state, while the session is warm.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub stream: Option<crate::stream::StreamState>,
+    /// The schedule the session answers queries from, if any.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub last: Option<ScheduleState>,
+    /// Delta ops applied over the session's lifetime.
+    pub ops_applied: u64,
+    /// Requests handled over the session's lifetime.
+    pub requests_handled: u64,
+}
+
+/// The session-state layout version [`SesService::to_state`] writes.
+pub const SESSION_STATE_VERSION: u32 = 1;
 
 /// The long-lived session service (see the module docs).
 #[derive(Debug)]
@@ -504,7 +557,7 @@ impl SesService {
         let inst = authority(&self.stream, &self.inst);
         let res = self.registry.run(idx, inst, k, cfg, &mut self.scratches[idx]);
         self.last = Some(LastSchedule {
-            algorithm: res.algorithm,
+            algorithm: res.algorithm.to_string(),
             k,
             schedule: res.schedule.clone(),
             utility: res.utility,
@@ -529,7 +582,7 @@ impl SesService {
             None => kind.run_configured(inst, k, cfg, &mut self.misc_scratch),
         };
         self.last = Some(LastSchedule {
-            algorithm: res.algorithm,
+            algorithm: res.algorithm.to_string(),
             k,
             schedule: res.schedule.clone(),
             utility: res.utility,
@@ -691,7 +744,7 @@ impl SesService {
     fn sync_last_from_stream(&mut self) {
         let stream = self.stream.as_ref().expect("sync requires an armed repairer");
         self.last = Some(LastSchedule {
-            algorithm: "STREAM",
+            algorithm: "STREAM".to_string(),
             k: stream.k(),
             schedule: stream.schedule().clone(),
             utility: stream.utility(),
@@ -813,12 +866,93 @@ impl SesService {
                 _ => Some(inst.heap_bytes() as u64),
             },
             schedule: self.last.as_ref().map(|l| ScheduleState {
-                algorithm: l.algorithm.to_string(),
+                algorithm: l.algorithm.clone(),
                 k: l.k,
                 utility: l.utility,
                 assignments: l.schedule.assignments().to_vec(),
             }),
         }
+    }
+
+    /// Serializes the full session state for a durable snapshot (see
+    /// [`SessionState`]): the authoritative instance (cold) or the
+    /// repairer's warm state (warm), the current schedule, and the
+    /// lifetime counters. Scratch pools are excluded (pure capacity).
+    /// For a seeded session the state is deterministic byte for byte.
+    pub fn to_state(&self) -> SessionState {
+        SessionState {
+            version: SESSION_STATE_VERSION,
+            inst: self.inst.clone(),
+            stream: self.stream.as_ref().map(|s| s.to_state()),
+            last: self.last.as_ref().map(|l| ScheduleState {
+                algorithm: l.algorithm.clone(),
+                k: l.k,
+                utility: l.utility,
+                assignments: l.schedule.assignments().to_vec(),
+            }),
+            ops_applied: self.ops_applied,
+            requests_handled: self.requests_handled,
+        }
+    }
+
+    /// Rebuilds a session from a persisted state, re-validating everything
+    /// checkable: layout version, the authority invariant (exactly one
+    /// owner), the instance's invariants, the repairer's caches (see
+    /// [`StreamScheduler::from_state`]), and the recorded schedule — which
+    /// is replayed through the feasibility gate and must reproduce the
+    /// stored utility bits. A state that passes answers subsequent
+    /// requests **byte-identically** to the session that produced it.
+    ///
+    /// # Errors
+    /// [`ServiceError::Corrupt`] naming the first failing check.
+    pub fn from_state(state: SessionState, default_threads: Threads) -> Result<Self, ServiceError> {
+        let corrupt = |what: &str| ServiceError::corrupt(format!("session state: {what}"));
+        if state.version != SESSION_STATE_VERSION {
+            return Err(corrupt(&format!(
+                "layout version {} (this build speaks {SESSION_STATE_VERSION})",
+                state.version
+            )));
+        }
+        let (inst, stream) = match (state.inst, state.stream) {
+            (Some(inst), None) => {
+                inst.validate().map_err(|e| corrupt(&format!("instance fails validation: {e}")))?;
+                (Some(inst), None)
+            }
+            (None, Some(s)) => (None, Some(StreamScheduler::from_state(s)?)),
+            (Some(_), Some(_)) => return Err(corrupt("two instance owners (cold and warm)")),
+            (None, None) => return Err(corrupt("no instance owner")),
+        };
+        let last = match state.last {
+            None => None,
+            Some(s) => {
+                let live = authority(&stream, &inst);
+                let mut schedule = Schedule::new(live);
+                for a in &s.assignments {
+                    schedule
+                        .assign(live, a.event, a.interval)
+                        .map_err(|e| corrupt(&format!("schedule replay: {e}")))?;
+                }
+                let utility = ses_core::scoring::utility::total_utility(live, &schedule);
+                if utility.to_bits() != s.utility.to_bits() {
+                    return Err(corrupt("stored utility does not match the schedule"));
+                }
+                Some(LastSchedule { algorithm: s.algorithm, k: s.k, schedule, utility: s.utility })
+            }
+        };
+        let registry = SchedulerRegistry::standard();
+        let mut scratches = Vec::new();
+        scratches.resize_with(registry.len(), Scratch::new);
+        Ok(Self {
+            registry,
+            scratches,
+            misc_scratch: Scratch::new(),
+            inst,
+            stream,
+            last,
+            default_threads,
+            ops_applied: state.ops_applied,
+            requests_handled: state.requests_handled,
+        })
     }
 
     /// Drops all warm state — the armed repairer, the scratch pools, the
@@ -894,6 +1028,13 @@ impl SesService {
             Request::Reset => {
                 self.reset();
                 Ok(Response::ResetDone)
+            }
+            // Durability is opt-in per session; a plain service has no
+            // state directory to persist to. `ses serve --state-dir`
+            // wraps the session in a `DurableService`, which intercepts
+            // these before dispatch.
+            Request::Persist | Request::Restore => {
+                Err(ServiceError::invalid("session is not durable (start serve with --state-dir)"))
             }
         }
     }

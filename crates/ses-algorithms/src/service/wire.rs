@@ -28,6 +28,46 @@ use ses_core::error::{ServiceError, SERVICE_PROTOCOL_VERSION};
 /// The protocol version this build speaks.
 pub const VERSION: u64 = SERVICE_PROTOCOL_VERSION;
 
+/// Hard ceiling on JSON nesting depth accepted on the wire. The parser's
+/// recursion is bounded by input depth, so a pathological `[[[[…` line
+/// must be rejected by a flat pre-scan before parsing ever starts —
+/// answering a protocol error instead of overflowing the stack.
+pub const MAX_DEPTH: usize = 128;
+
+/// Flat single-pass depth check: counts `{`/`[` nesting outside string
+/// literals (escape-aware). Runs in O(len) with no allocation.
+fn depth_guard(line: &str) -> Result<(), ServiceError> {
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for b in line.bytes() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_string = true,
+            b'{' | b'[' => {
+                depth += 1;
+                if depth > MAX_DEPTH {
+                    return Err(ServiceError::protocol(format!(
+                        "JSON nesting deeper than {MAX_DEPTH} levels"
+                    )));
+                }
+            }
+            b'}' | b']' => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
 /// Ordered-object key lookup.
 fn get<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
     obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
@@ -44,6 +84,7 @@ fn encode(key: &str, payload: Value) -> String {
 /// payload out of the parsed tree (no clone — `ApplyOps` batches can
 /// carry full per-user interest vectors).
 fn decode(line: &str, key: &str) -> Result<Value, ServiceError> {
+    depth_guard(line)?;
     let value: Value =
         serde_json::from_str(line).map_err(|e| ServiceError::protocol(e.to_string()))?;
     let Value::Object(mut obj) = value else {
@@ -205,6 +246,25 @@ mod tests {
             let err = decode_request(line).unwrap_err();
             assert_eq!(err.code(), "protocol", "line {line:?} gave {err:?}");
         }
+    }
+
+    #[test]
+    fn pathological_nesting_is_rejected_flat() {
+        // Deeper than MAX_DEPTH: rejected by the pre-scan (a recursive
+        // parse would risk the stack), answered as a protocol error.
+        let deep = format!(r#"{{"v":1,"req":{}{}"#, "[".repeat(500), "]".repeat(500));
+        let err = decode_request(&deep).unwrap_err();
+        assert_eq!(err.code(), "protocol");
+        assert!(err.to_string().contains("nesting"), "{err}");
+        // Unterminated-deep (no closers at all) is rejected the same way.
+        let open = format!(r#"{{"v":1,"req":{}"#, "[".repeat(100_000));
+        assert_eq!(decode_request(&open).unwrap_err().code(), "protocol");
+        // Brackets inside strings don't count toward depth.
+        let bracket_string = format!(r#"{{"v":1,"req":{{"Nope":"{}"}}}}"#, r"[\\[".repeat(300));
+        let err = decode_request(&bracket_string).unwrap_err();
+        assert!(!err.to_string().contains("nesting"), "{err}");
+        // Depth within the cap parses normally.
+        assert!(decode_request(r#"{"v":1,"req":"Snapshot"}"#).is_ok());
     }
 
     #[test]

@@ -50,12 +50,12 @@ use crate::common::{
 use serde::{Deserialize, Serialize};
 use ses_core::delta::coalesce::CoalesceError;
 use ses_core::delta::{self, DeltaEffect, DeltaOp};
-use ses_core::error::DeltaError;
+use ses_core::error::{DeltaError, ServiceError};
 use ses_core::model::Instance;
 use ses_core::parallel::{par_chunks_mut, Threads};
 use ses_core::schedule::Schedule;
 use ses_core::scoring::utility::total_utility;
-use ses_core::scoring::{ScoringEngine, StaticCaches};
+use ses_core::scoring::{ScoringEngine, StaticCaches, WarmCacheState};
 use ses_core::stats::Stats;
 use ses_core::{EventId, IntervalId};
 use std::time::Instant;
@@ -83,6 +83,55 @@ pub struct RepairReport {
     pub schedule_len: usize,
     /// Wall-clock milliseconds of the repair.
     pub time_ms: f64,
+}
+
+/// One serialized score-table cell — the public mirror of the private
+/// cache entry, so durable snapshots have an explicit layout.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TableCellState {
+    /// The cached empty-schedule score — exact, or a sound upper bound.
+    pub score: f64,
+    /// Whether `score` is the exact blocked-reduction value.
+    pub exact: bool,
+}
+
+/// Versioned serialized form of a whole [`StreamScheduler`] — everything a
+/// restored session needs to keep answering requests **byte-identically**
+/// to the uninterrupted run: the live instance (storage layout and
+/// constraint set ride along), the maintained schedule, the engine's warm
+/// caches, the score table with its exact/bound flags (history-dependent:
+/// they steer future lazy refreshes and therefore future `Stats`), and
+/// the lifetime counters. Produced by [`StreamScheduler::to_state`],
+/// consumed by [`StreamScheduler::from_state`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamState {
+    /// Layout version; readers reject anything they do not speak.
+    pub version: u32,
+    /// The live instance, post every applied op.
+    pub inst: Instance,
+    /// Maintained schedule size `k`.
+    pub k: usize,
+    /// Resolved worker-thread count (≥ 1). Results are thread-invariant;
+    /// this only preserves the service's warm-match behavior on restore.
+    pub threads: usize,
+    /// Whether the bound-first gate is enabled for repairs.
+    pub bound_gate: bool,
+    /// The engine's warm caches (competing-mass + fused kernel tables).
+    pub warm: WarmCacheState,
+    /// Empty-schedule score table, `[t·|E| + e]`; `None` marks cells
+    /// infeasible on the empty schedule.
+    pub table: Vec<Option<TableCellState>>,
+    /// The maintained schedule.
+    pub schedule: Schedule,
+    /// Ω(S) of the maintained schedule.
+    pub utility: f64,
+    /// Counters accumulated since the cold build.
+    pub cumulative: Stats,
+    /// The most recent repair's measurements, wall-clock zeroed — snapshot
+    /// bytes are fully deterministic for a seeded session.
+    pub last: RepairReport,
+    /// Ops applied so far.
+    pub ops_applied: u64,
 }
 
 /// Maintains a schedule over a live instance under a [`DeltaOp`] stream
@@ -478,6 +527,113 @@ impl StreamScheduler {
     #[inline]
     pub fn ops_applied(&self) -> u64 {
         self.ops_applied
+    }
+
+    /// The state-layout version [`to_state`](Self::to_state) writes.
+    pub const STATE_VERSION: u32 = 1;
+
+    /// Serializes the full warm state for a durable snapshot (see
+    /// [`StreamState`]). The selection scratch is excluded (pure capacity,
+    /// behavior-neutral) and the report's wall clock is zeroed, so the
+    /// state of a seeded session is deterministic byte for byte.
+    pub fn to_state(&self) -> StreamState {
+        let warm = match &self.engine_caches {
+            Some(caches) => caches.to_state(&self.comp_mass),
+            // The caches are materialized outside every method body; this
+            // arm only guards against serializing mid-construction state.
+            None => {
+                let engine =
+                    ScoringEngine::from_comp_mass(&self.inst, self.comp_mass.clone(), self.threads);
+                let (comp_mass, caches) = engine.into_warm_parts();
+                caches.to_state(&comp_mass)
+            }
+        };
+        StreamState {
+            version: Self::STATE_VERSION,
+            inst: self.inst.clone(),
+            k: self.k,
+            threads: self.threads.get(),
+            bound_gate: self.bound_gate,
+            warm,
+            table: self
+                .table
+                .iter()
+                .map(|c| c.map(|c| TableCellState { score: c.score, exact: c.exact }))
+                .collect(),
+            schedule: self.schedule.clone(),
+            utility: self.utility,
+            cumulative: self.cumulative,
+            last: RepairReport { time_ms: 0.0, ..self.last.clone() },
+            ops_applied: self.ops_applied,
+        }
+    }
+
+    /// Rebuilds a warm scheduler from a persisted state, re-validating
+    /// everything checkable before trusting it: the layout version, the
+    /// instance's own invariants ([`Instance::validate`]), every cache
+    /// shape, and the schedule — which is **replayed** assignment by
+    /// assignment through the feasibility gate and required to reproduce
+    /// the stored bookkeeping (and the stored utility bits) exactly.
+    ///
+    /// # Errors
+    /// [`ServiceError::Corrupt`] naming the first failing check; content
+    /// that passes answers subsequent requests bit-identically to the
+    /// scheduler [`to_state`](Self::to_state) captured.
+    pub fn from_state(state: StreamState) -> Result<Self, ServiceError> {
+        let corrupt = |what: String| ServiceError::corrupt(format!("stream state: {what}"));
+        if state.version != Self::STATE_VERSION {
+            return Err(corrupt(format!(
+                "layout version {} (this build speaks {})",
+                state.version,
+                Self::STATE_VERSION
+            )));
+        }
+        if state.threads == 0 {
+            return Err(corrupt("thread count of 0".into()));
+        }
+        state.inst.validate().map_err(|e| corrupt(format!("instance fails validation: {e}")))?;
+        let (users, events, intervals) =
+            (state.inst.num_users(), state.inst.num_events(), state.inst.num_intervals());
+        let (comp_mass, caches) =
+            StaticCaches::from_state(state.warm, users, intervals).map_err(corrupt)?;
+        if state.table.len() != events * intervals {
+            return Err(corrupt(format!(
+                "score table has {} cells, instance needs {}",
+                state.table.len(),
+                events * intervals
+            )));
+        }
+        let mut replayed = Schedule::new(&state.inst);
+        for a in state.schedule.assignments() {
+            replayed
+                .assign(&state.inst, a.event, a.interval)
+                .map_err(|e| corrupt(format!("schedule replay: {e}")))?;
+        }
+        if replayed != state.schedule {
+            return Err(corrupt("schedule bookkeeping does not match its own assignments".into()));
+        }
+        if total_utility(&state.inst, &state.schedule).to_bits() != state.utility.to_bits() {
+            return Err(corrupt("stored utility does not match the schedule".into()));
+        }
+        Ok(Self {
+            k: state.k,
+            threads: Threads::new(state.threads),
+            comp_mass,
+            table: state
+                .table
+                .iter()
+                .map(|c| c.map(|c| TableEntry { score: c.score, exact: c.exact }))
+                .collect(),
+            schedule: state.schedule,
+            utility: state.utility,
+            cumulative: state.cumulative,
+            last: state.last,
+            ops_applied: state.ops_applied,
+            scratch: Scratch::new(),
+            engine_caches: Some(caches),
+            bound_gate: state.bound_gate,
+            inst: state.inst,
+        })
     }
 }
 

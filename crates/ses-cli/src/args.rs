@@ -45,6 +45,7 @@ const COMMANDS: &[(&str, &[&str], &[&str])] = &[
             "constraints",
             "storage",
             "levels",
+            "input",
         ],
         &["gate", "profile", "help"],
     ),
@@ -74,6 +75,7 @@ const COMMANDS: &[(&str, &[&str], &[&str])] = &[
             "burst",
             "storage",
             "levels",
+            "input",
         ],
         &["verify", "quiet", "help"],
     ),
@@ -89,9 +91,14 @@ const COMMANDS: &[(&str, &[&str], &[&str])] = &[
             "constraints",
             "storage",
             "levels",
+            "input",
+            "state-dir",
+            "snapshot-ops",
+            "max-line-bytes",
         ],
         &["help"],
     ),
+    ("recover", &["state-dir", "threads"], &["help"]),
     ("bench-baseline", &["targets", "out", "label", "check", "from"], &["help"]),
     ("help", &[], &["help"]),
     ("", &[], &["help"]),
@@ -297,10 +304,26 @@ mod tests {
             "stream --storage sparse --ops 50",
             "serve --storage compressed --levels 64",
             "generate --storage dense --out inst.json",
+            "run --input inst.json --k 10",
+            "stream --input inst.json --ops 50",
+            "serve --input inst.json --max-line-bytes 1024",
+            "serve --state-dir /tmp/ses --snapshot-ops 64",
+            "recover --state-dir /tmp/ses --threads 2",
             "help",
         ] {
             assert!(parse(line).validate().is_ok(), "{line}");
         }
+    }
+
+    #[test]
+    fn durability_flags_are_scoped() {
+        // --state-dir belongs to serve and recover, nothing else.
+        assert!(parse("run --state-dir /tmp/x").validate().is_err());
+        assert!(parse("stream --snapshot-ops 8").validate().is_err());
+        // recover takes only --state-dir/--threads.
+        assert!(parse("recover --users 5").validate().is_err());
+        let err = parse("serve --state-dr /tmp/x").validate().unwrap_err().to_string();
+        assert!(err.contains("did you mean --state-dir?"), "{err}");
     }
 
     #[test]

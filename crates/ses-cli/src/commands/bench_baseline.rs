@@ -22,10 +22,10 @@ use ses_core::error::ServiceError;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-/// The fourteen criterion bench targets of `crates/bench`. The two `scale_*`
-/// targets build 100k/1M-user instances — minutes, not seconds — so the CI
-/// perf-smoke gate lists its targets explicitly rather than taking this
-/// default set.
+/// The fifteen criterion bench targets of `crates/bench`. The `scale_*`
+/// and `persist_restore` targets build 100k/1M-user instances — minutes,
+/// not seconds — so the CI perf-smoke gate lists its targets explicitly
+/// rather than taking this default set.
 const ALL_TARGETS: &[&str] = &[
     "micro_scoring",
     "constrained_feasibility",
@@ -41,6 +41,7 @@ const ALL_TARGETS: &[&str] = &[
     "windowed_stream",
     "scale_100k",
     "scale_1m",
+    "persist_restore",
 ];
 
 /// One benchmark's timing summary — the schema of the JSON lines the

@@ -3,6 +3,7 @@
 pub mod bench_baseline;
 pub mod experiment;
 pub mod generate;
+pub mod recover;
 pub mod run;
 pub mod serve;
 pub mod stream;
@@ -76,6 +77,26 @@ pub(crate) fn storage_from_flags(
         n => n,
     };
     Ok((storage, levels))
+}
+
+/// Shared `--input FILE` handling for `run`/`stream`/`serve`: loads the
+/// JSON instance `ses generate` wrote instead of building from the
+/// dataset flags. `Ok(None)` when the flag is absent. An unreadable file
+/// is an I/O failure (exit 1); a file that reads but does not parse — or
+/// parses into an instance that fails its own invariants — is typed
+/// corruption (exit 1, code `corrupt`), never a partial build.
+pub(crate) fn input_instance_flag(args: &Args) -> Result<Option<Instance>, ServiceError> {
+    let Some(path) = args.opt_flag("input") else {
+        return Ok(None);
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ServiceError::Io { detail: format!("{path}: {e}") })?;
+    let inst: Instance = serde_json::from_str(&text)
+        .map_err(|e| ServiceError::corrupt(format!("instance file {path}: {e}")))?;
+    inst.validate().map_err(|e| {
+        ServiceError::corrupt(format!("instance file {path} fails validation: {e}"))
+    })?;
+    Ok(Some(inst))
 }
 
 /// Shared `--constraints <preset>` handling: parses the constraint family

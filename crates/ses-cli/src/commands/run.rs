@@ -10,7 +10,9 @@
 //! [`SchedulerRegistry`]: ses_algorithms::SchedulerRegistry
 
 use crate::args::Args;
-use crate::commands::{apply_constraints_flag, dataset_from_flags, storage_from_flags};
+use crate::commands::{
+    apply_constraints_flag, dataset_from_flags, input_instance_flag, storage_from_flags,
+};
 use ses_algorithms::{RunConfig, SesService};
 use ses_core::error::ServiceError;
 use ses_core::parallel::Threads;
@@ -27,7 +29,13 @@ pub fn exec(args: &Args) -> Result<(), ServiceError> {
     let profile = args.switch("profile");
     let cfg = RunConfig::threaded(threads).with_bound_gate(gate).with_profile(profile);
 
-    let mut inst = dataset.build_with(users, events, intervals, seed, Some(storage), levels);
+    let mut inst = match input_instance_flag(args)? {
+        Some(inst) => inst,
+        None => dataset.build_with(users, events, intervals, seed, Some(storage), levels),
+    };
+    // The header echoes the instance actually scheduled — with `--input`
+    // its shape comes from the file, not the dataset flags.
+    let (users, events, intervals) = (inst.num_users(), inst.num_events(), inst.num_intervals());
     let family = apply_constraints_flag(args, &mut inst, seed)?;
     eprintln!(
         "# dataset={} |U|={users} |E|={events} |T|={intervals} k={k} seed={seed} threads={threads}\

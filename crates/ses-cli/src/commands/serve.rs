@@ -1,28 +1,131 @@
 //! `ses serve` — run the process as a long-lived session service.
 //!
-//! Builds one instance from the dataset flags, then answers the versioned
-//! JSON-lines protocol on stdio: one `{"v":1,"req":{...}}` request per
-//! stdin line, one `{"v":1,"resp":{...}}` response per stdout line.
-//! Blank lines and `#` comments are skipped (so request scripts can be
-//! annotated), malformed lines come back as `Error` responses without
-//! ending the session, and EOF ends the process with exit 0. A failed
-//! stdin *read* (e.g. invalid UTF-8 in the byte stream) is answered the
-//! same way the protocol answers everything else — one final `io`-coded
-//! `Error` response line — and then ends the session as cleanly as EOF;
-//! only a broken stdout aborts with exit 1, since the response channel
-//! itself is gone.
+//! Builds one instance from the dataset flags (or loads one via
+//! `--input`), then answers the versioned JSON-lines protocol on stdio:
+//! one `{"v":1,"req":{...}}` request per stdin line, one
+//! `{"v":1,"resp":{...}}` response per stdout line. Blank lines and `#`
+//! comments are skipped (so request scripts can be annotated), malformed
+//! lines come back as `Error` responses without ending the session, and
+//! EOF ends the process with exit 0. A failed stdin *read* (e.g. invalid
+//! UTF-8 in the byte stream) is answered the same way the protocol
+//! answers everything else — one final `io`-coded `Error` response line —
+//! and then ends the session as cleanly as EOF; only a broken stdout
+//! aborts with exit 1, since the response channel itself is gone.
+//!
+//! Input is guarded against pathological lines: a request line longer
+//! than `--max-line-bytes` (default 16 MiB) is never buffered whole — the
+//! reader answers a protocol-coded `Error`, drains the rest of the line,
+//! and the session continues. (Nesting depth is capped inside the wire
+//! decoder itself.)
+//!
+//! With `--state-dir DIR` the session is **durable**: every mutating
+//! request is appended to a write-ahead log (fsynced) before it is
+//! applied, snapshots fold the log every `--snapshot-ops` records, and
+//! startup auto-recovers — newest valid snapshot, log replay, torn final
+//! record truncated. See `DurableService` for the recovery contract.
 //!
 //! All diagnostics go to **stderr** — stdout carries nothing but response
 //! lines, which is what makes `ses serve < script | diff - golden` a
 //! meaningful byte comparison.
 
 use crate::args::Args;
-use crate::commands::{apply_constraints_flag, dataset_from_flags, storage_from_flags};
+use crate::commands::{
+    apply_constraints_flag, dataset_from_flags, input_instance_flag, storage_from_flags,
+};
 use ses_algorithms::service::wire;
-use ses_algorithms::{Response, SesService};
+use ses_algorithms::{DurableService, Response, SesService};
 use ses_core::error::{ServiceError, SERVICE_PROTOCOL_VERSION};
 use ses_core::parallel::Threads;
 use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// Default `--max-line-bytes`: 16 MiB holds any reasonable `ApplyOps`
+/// batch while bounding what one line can make the server buffer.
+const DEFAULT_MAX_LINE_BYTES: usize = 16 * 1024 * 1024;
+
+/// Default `--snapshot-ops`: fold the write-ahead log into a fresh
+/// snapshot every this many logged requests.
+const DEFAULT_SNAPSHOT_OPS: u64 = 1024;
+
+/// The two session flavors behind the serve loop.
+enum Session {
+    Plain(SesService),
+    Durable(DurableService),
+}
+
+impl Session {
+    fn handle_line(&mut self, line: &str) -> String {
+        match self {
+            Session::Plain(s) => s.handle_line(line),
+            Session::Durable(s) => s.handle_line(line),
+        }
+    }
+
+    fn ops_applied(&self) -> u64 {
+        match self {
+            Session::Plain(s) => s.ops_applied(),
+            Session::Durable(s) => s.service().ops_applied(),
+        }
+    }
+}
+
+/// One capped line read.
+enum LineRead {
+    /// Clean end of input.
+    Eof,
+    /// A complete line within the cap (without the terminator).
+    Line(String),
+    /// The line exceeded the cap; its bytes were drained, not buffered.
+    Oversized,
+}
+
+/// Reads one `\n`-terminated line, buffering at most `cap` bytes. An
+/// over-cap line is consumed chunk by chunk (bounded memory) and reported
+/// as [`LineRead::Oversized`] so the caller can answer an error and keep
+/// the session alive.
+fn read_capped_line(reader: &mut impl BufRead, cap: usize) -> std::io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut overflowed = false;
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            // EOF. A final unterminated line still counts as a line.
+            return Ok(if overflowed {
+                LineRead::Oversized
+            } else if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line(finish(buf)?)
+            });
+        }
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let take = newline.unwrap_or(chunk.len());
+        if !overflowed {
+            if buf.len() + take > cap {
+                overflowed = true;
+                buf = Vec::new(); // drop what was buffered; keep draining
+            } else {
+                buf.extend_from_slice(&chunk[..take]);
+            }
+        }
+        let consumed = take + usize::from(newline.is_some());
+        reader.consume(consumed);
+        if newline.is_some() {
+            return Ok(if overflowed { LineRead::Oversized } else { LineRead::Line(finish(buf)?) });
+        }
+    }
+}
+
+/// UTF-8 conversion with the same error shape `BufRead::lines` produces,
+/// and the same trailing-`\r` trim.
+fn finish(mut buf: Vec<u8>) -> std::io::Result<String> {
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "stream did not contain valid UTF-8")
+    })
+}
 
 /// Executes the `serve` subcommand.
 pub fn exec(args: &Args) -> Result<(), ServiceError> {
@@ -35,11 +138,51 @@ pub fn exec(args: &Args) -> Result<(), ServiceError> {
         Some(_) => Threads::new(args.num_flag("threads", 0usize)?),
         None => Threads::default(),
     };
+    let max_line_bytes = args.num_flag("max-line-bytes", DEFAULT_MAX_LINE_BYTES)?;
+    if max_line_bytes == 0 {
+        return Err(ServiceError::invalid("--max-line-bytes must be at least 1"));
+    }
+    if args.opt_flag("snapshot-ops").is_some() && args.opt_flag("state-dir").is_none() {
+        return Err(ServiceError::invalid("--snapshot-ops requires --state-dir"));
+    }
 
-    let mut inst = dataset.build_with(users, events, intervals, seed, Some(storage), levels);
+    let mut inst = match input_instance_flag(args)? {
+        Some(inst) => inst,
+        None => dataset.build_with(users, events, intervals, seed, Some(storage), levels),
+    };
+    let (users, events, intervals) = (inst.num_users(), inst.num_events(), inst.num_intervals());
     let family = apply_constraints_flag(args, &mut inst, seed)?;
     let rules = inst.constraints.len();
-    let mut service = SesService::new(inst).with_threads(threads);
+
+    let session = match args.opt_flag("state-dir") {
+        None => Session::Plain(SesService::new(inst).with_threads(threads)),
+        Some(dir) => {
+            let snapshot_every = args.num_flag("snapshot-ops", DEFAULT_SNAPSHOT_OPS)?;
+            let (svc, report) =
+                DurableService::open(Path::new(dir), inst, threads, snapshot_every)?;
+            if report.fresh {
+                eprintln!("# ses serve: state-dir={dir} fresh durable session (generation 0)");
+            } else {
+                // Recovery wins over the dataset flags: the instance the
+                // session answers from is the recovered one.
+                let torn = match report.torn {
+                    Some(at) => format!(", torn final record truncated at byte {at}"),
+                    None => String::new(),
+                };
+                let fell = match report.fell_back {
+                    0 => String::new(),
+                    n => format!(", fell back past {n} corrupt snapshot(s)"),
+                };
+                eprintln!(
+                    "# ses serve: state-dir={dir} recovered generation {} \
+                     ({} log records replayed{torn}{fell}); dataset flags ignored",
+                    report.generation, report.replayed,
+                );
+            }
+            Session::Durable(svc)
+        }
+    };
+    let mut session = session;
     eprintln!(
         "# ses serve: protocol v{SERVICE_PROTOCOL_VERSION}, dataset={} |U|={users} |E|={events} \
          |T|={intervals} seed={seed} threads={threads}{} — one JSON request per line, EOF ends",
@@ -50,14 +193,29 @@ pub fn exec(args: &Args) -> Result<(), ServiceError> {
         },
     );
 
-    let stdin = std::io::stdin().lock();
+    let mut stdin = std::io::stdin().lock();
     let mut stdout = std::io::stdout().lock();
     // Counts every answered line — including ones that failed wire
-    // decoding, which `service.requests_handled()` does not see.
+    // decoding, which the session's own counters do not see.
     let mut answered = 0u64;
-    for line in stdin.lines() {
-        let line = match line {
-            Ok(line) => line,
+    loop {
+        let line = match read_capped_line(&mut stdin, max_line_bytes) {
+            Ok(LineRead::Eof) => break,
+            Ok(LineRead::Line(line)) => line,
+            Ok(LineRead::Oversized) => {
+                // Guarded input: answer in-protocol and keep serving.
+                let err = ServiceError::protocol(format!(
+                    "request line exceeds --max-line-bytes ({max_line_bytes})"
+                ));
+                let resp = wire::encode_response(&Response::Error {
+                    code: err.code().to_string(),
+                    message: err.to_string(),
+                });
+                writeln!(stdout, "{resp}")?;
+                stdout.flush()?;
+                answered += 1;
+                continue;
+            }
             Err(e) => {
                 // A failed read must not abort mid-session with no
                 // response: answer with one io-coded Error line, note it
@@ -80,14 +238,14 @@ pub fn exec(args: &Args) -> Result<(), ServiceError> {
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let response = service.handle_line(trimmed);
+        let response = session.handle_line(trimmed);
         writeln!(stdout, "{response}")?;
         stdout.flush()?;
         answered += 1;
     }
     eprintln!(
         "# ses serve: EOF after {answered} request lines ({} ops applied)",
-        service.ops_applied()
+        session.ops_applied()
     );
     Ok(())
 }

@@ -15,7 +15,9 @@
 //! end state must match the windowed one bit-for-bit.
 
 use crate::args::Args;
-use crate::commands::{apply_constraints_flag, dataset_from_flags, storage_from_flags};
+use crate::commands::{
+    apply_constraints_flag, dataset_from_flags, input_instance_flag, storage_from_flags,
+};
 use ses_algorithms::stream::StreamScheduler;
 use ses_algorithms::{RunConfig, SchedulerKind, SesService};
 use ses_core::delta::{self, DeltaOp};
@@ -60,7 +62,11 @@ pub fn exec(args: &Args) -> Result<(), ServiceError> {
         }
     }
 
-    let mut base = dataset.build_with(users, events, intervals, seed, Some(storage), levels);
+    let mut base = match input_instance_flag(args)? {
+        Some(inst) => inst,
+        None => dataset.build_with(users, events, intervals, seed, Some(storage), levels),
+    };
+    let (users, events, intervals) = (base.num_users(), base.num_events(), base.num_intervals());
     let family = apply_constraints_flag(args, &mut base, seed)?;
     let params = OpStreamParams::default()
         .with_ops(num_ops)

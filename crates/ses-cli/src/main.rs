@@ -15,7 +15,9 @@
 //! ses generate   --dataset <...> [--users N] [--events N] [--intervals N] [--seed S]
 //!                --out instance.json
 //! ses serve      --dataset <...> [--users N] [--events N] [--intervals N] [--seed S]
-//!                [--threads N] [--constraints FAMILY]
+//!                [--threads N] [--constraints FAMILY] [--input FILE]
+//!                [--state-dir DIR [--snapshot-ops N]] [--max-line-bytes N]
+//! ses recover    --state-dir DIR [--threads N]
 //! ses help
 //! ```
 //!
@@ -54,7 +56,7 @@ fn main() -> ExitCode {
     }) {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}");
+            eprintln!("error[{}]: {e}", e.code());
             return exit_code(&e);
         }
     };
@@ -65,6 +67,7 @@ fn main() -> ExitCode {
         "generate" => commands::generate::exec(&args),
         "stream" => commands::stream::exec(&args),
         "serve" => commands::serve::exec(&args),
+        "recover" => commands::recover::exec(&args),
         "bench-baseline" => commands::bench_baseline::exec(&args),
         "" | "help" => {
             print!("{HELP}");
@@ -76,7 +79,9 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
+            // The bracketed code is the stable, grep-friendly half of the
+            // contract (exit-code tests key on it); the message may evolve.
+            eprintln!("error[{}]: {e}", e.code());
             exit_code(&e)
         }
     }
@@ -90,6 +95,7 @@ USAGE:
                  [--events N] [--intervals N] [--seed S] [--threads N]
                  [--algorithms ALG,INC,HOR,HOR-I,TOP,RAND] [--gate] [--profile]
                  [--constraints FAMILY] [--storage KIND] [--levels N]
+                 [--input instance.json]
   ses experiment <fig5|fig6|fig7|fig8|fig9|fig10a|fig10b|ablation-schemes|
                   ablation-refine|dynamic|constrained|windowed|scale|summary|
                   params|all>
@@ -99,12 +105,14 @@ USAGE:
                  [--constraint-churn C] [--constraints FAMILY] [--users N]
                  [--events N] [--intervals N] [--seed S] [--threads N]
                  [--window N [--redundancy R] [--burst B]] [--verify] [--quiet]
-                 [--storage KIND] [--levels N]
+                 [--storage KIND] [--levels N] [--input instance.json]
   ses generate   --dataset <...> [--users N] [--events N] [--intervals N]
                  [--seed S] --out instance.json [--storage KIND] [--levels N]
   ses serve      --dataset <...> [--users N] [--events N] [--intervals N]
                  [--seed S] [--threads N] [--constraints FAMILY]
-                 [--storage KIND] [--levels N]
+                 [--storage KIND] [--levels N] [--input instance.json]
+                 [--state-dir DIR [--snapshot-ops N]] [--max-line-bytes N]
+  ses recover    --state-dir DIR [--threads N]
   ses bench-baseline [--targets micro_scoring,...] [--out BENCH_BASELINE.json]
                  [--label NOTE] [--check FACTOR] [--from RUN.json]
   ses help
@@ -120,7 +128,7 @@ bit-identical to ungated runs; the `skips` column counts deferred
 sweeps. `run --profile` appends a per-phase engine timing breakdown
 (setup / score / apply / other) under each row.
 
-`bench-baseline` runs the criterion bench targets (all fourteen by default)
+`bench-baseline` runs the criterion bench targets (all fifteen by default)
 and appends one annotated run — medians, rustc, commit — to the
 committed BENCH_BASELINE.json trajectory; with `--check FACTOR` it
 instead compares fresh medians against the last recorded run and fails
@@ -161,6 +169,23 @@ per-scheduler scratch pools and the incremental repairer's caches — and
 answers Schedule / ApplyOps / Repair / Query / Snapshot / Reset.
 Responses carry no wall-clock fields, so a seeded request script always
 produces a byte-identical response log (see scripts/serve-smoke.jsonl).
+Input is guarded: request lines longer than `--max-line-bytes` (default
+16 MiB) and JSON nested deeper than 128 levels are answered with
+protocol-coded Error responses instead of being buffered or parsed.
+
+`serve --state-dir DIR` makes the session durable: every mutating
+request is fsynced to a write-ahead log before it is applied, the log
+folds into a checksummed snapshot every `--snapshot-ops` records
+(default 1024, also on the Persist request), and startup auto-recovers
+the newest valid state — replaying the log tail and truncating a torn
+final record. `ses recover --state-dir DIR` prints the same recovery as
+a read-only dry run: generations on disk, the chosen snapshot, replay
+count, torn-tail/fallback status, and the recovered session summary.
+
+`--input instance.json` (run/stream/serve) schedules the instance file
+`ses generate` wrote instead of building one from the dataset flags. A
+file that fails to parse or validate is typed corruption: exit 1 with
+`error[corrupt]` on stderr.
 
 Exit codes: 0 success, 1 runtime failure, 2 usage error (bad flag or
 unknown subcommand/algorithm).

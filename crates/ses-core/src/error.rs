@@ -425,6 +425,15 @@ pub enum ServiceError {
         /// The rendered I/O error.
         detail: String,
     },
+    /// Durable state (a snapshot, a write-ahead log, or a persisted
+    /// instance file) failed its integrity checks: bad magic, checksum
+    /// mismatch, impossible framing, or content that no longer validates.
+    /// Recovery refuses to proceed rather than risk a silently wrong
+    /// answer — this is the loud-failure half of the durability contract.
+    Corrupt {
+        /// What was corrupt and how it failed validation.
+        detail: String,
+    },
     /// A runtime failure that is not a caller mistake (verification
     /// divergence, regression-gate trip, …).
     Failed {
@@ -454,6 +463,11 @@ impl ServiceError {
         Self::Protocol { detail: detail.into() }
     }
 
+    /// Convenience constructor for [`Corrupt`](Self::Corrupt).
+    pub fn corrupt(detail: impl Into<String>) -> Self {
+        Self::Corrupt { detail: detail.into() }
+    }
+
     /// Stable machine-readable tag, carried by wire `Error` responses.
     pub fn code(&self) -> &'static str {
         match self {
@@ -466,6 +480,7 @@ impl ServiceError {
             Self::UnsupportedVersion { .. } => "unsupported-version",
             Self::Protocol { .. } => "protocol",
             Self::Io { .. } => "io",
+            Self::Corrupt { .. } => "corrupt",
             Self::Failed { .. } => "failed",
         }
     }
@@ -496,6 +511,7 @@ impl fmt::Display for ServiceError {
             }
             Self::Protocol { detail } => write!(f, "malformed request: {detail}"),
             Self::Io { detail } => write!(f, "I/O error: {detail}"),
+            Self::Corrupt { detail } => write!(f, "corrupt state: {detail}"),
             Self::Failed { detail } => write!(f, "{detail}"),
         }
     }
@@ -580,6 +596,9 @@ mod tests {
         assert!(!ServiceError::failed("verify diverged").is_usage());
         assert!(!ServiceError::Io { detail: "broken pipe".into() }.is_usage());
         assert!(!ServiceError::UnsupportedVersion { got: 9, supported: 1 }.is_usage());
+        // Corrupt durable state is a runtime failure (exit 1), never a
+        // usage error: the caller typed nothing wrong.
+        assert!(!ServiceError::corrupt("wal record 3: payload checksum mismatch").is_usage());
     }
 
     #[test]
@@ -594,6 +613,7 @@ mod tests {
             ServiceError::UnsupportedVersion { got: 0, supported: 1 }.code(),
             ServiceError::protocol("").code(),
             ServiceError::Io { detail: String::new() }.code(),
+            ServiceError::corrupt("").code(),
             ServiceError::failed("").code(),
         ];
         let mut dedup = all.to_vec();

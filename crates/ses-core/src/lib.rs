@@ -32,7 +32,10 @@
 //! * [`constraints`] — the scenario-constraint layer
 //!   ([`constraints::ConstraintSet`]: venue capacities, conflict
 //!   pairs/cliques, precedence edges) every candidate generator consults
-//!   through [`schedule::Schedule::check_assign`].
+//!   through [`schedule::Schedule::check_assign`];
+//! * [`durable`] — crash-safe on-disk session state: checksummed snapshot
+//!   containers written atomically, a CRC-framed append-only write-ahead
+//!   log, and generation discovery/compaction (LSM-style snapshot + log).
 //!
 //! Algorithms (ALG, INC, HOR, HOR-I, baselines) live in `ses-algorithms`;
 //! dataset generators in `ses-datasets`.
@@ -55,6 +58,7 @@
 
 pub mod constraints;
 pub mod delta;
+pub mod durable;
 pub mod error;
 pub mod ids;
 pub mod model;

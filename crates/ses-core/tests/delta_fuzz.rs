@@ -1,0 +1,234 @@
+//! Fuzz-style property test for the validation-first guarantee of
+//! [`ses_core::delta::apply`]: an op that fails validation — dangling ids,
+//! out-of-range cells, cycle-inducing precedence, shape mismatches — must
+//! be rejected **before** any mutation, leaving the instance, its
+//! constraint set, and every cached column sum bitwise untouched.
+//!
+//! This is the invariant the durable session layer leans on: a failed
+//! `ApplyOps` request is still written to the write-ahead log, and replay
+//! reproduces the same rejection — which is only deterministic if a
+//! rejected op has *zero* side effects, every time, for every interleaving
+//! with valid ops.
+
+use proptest::prelude::*;
+use ses_core::delta::{apply, DeltaOp, NewUser};
+use ses_core::ids::{EventId, IntervalId, LocationId};
+use ses_core::model::{running_example, Event, Instance};
+use ses_core::scoring::ScoringEngine;
+
+/// The fixed instance every case runs against: the paper's running
+/// example (4 events, 2 users, 2 intervals, 2 competing events, θ = 10)
+/// with a conflict pair, a precedence chain, and a venue capacity
+/// pre-installed, so duplicate/cycle-inducing/unknown-removal constraint
+/// ops have something to collide with.
+fn fixture() -> Instance {
+    let mut inst = running_example();
+    let e = |i: usize| EventId::new(i);
+    apply(&mut inst, &DeltaOp::AddConflict { a: e(0), b: e(3) }).unwrap();
+    apply(&mut inst, &DeltaOp::AddPrecedence { before: e(0), after: e(1) }).unwrap();
+    apply(&mut inst, &DeltaOp::AddPrecedence { before: e(1), after: e(2) }).unwrap();
+    apply(
+        &mut inst,
+        &DeltaOp::SetVenueCapacity { location: LocationId::new(0), capacity: Some(1) },
+    )
+    .unwrap();
+    inst
+}
+
+/// Every float cache a warm scheduler would carry for this instance:
+/// the competing-mass table `C(u,t)` and the per-event interest column
+/// sums, captured as raw bits so `-0.0`/`NaN` differences can't hide.
+fn cached_sums(inst: &Instance) -> Vec<u64> {
+    let engine = ScoringEngine::new(inst);
+    let mut bits = Vec::new();
+    for t in 0..inst.num_intervals() {
+        for u in 0..inst.num_users() {
+            bits.push(engine.competing_mass(u, IntervalId::new(t)).to_bits());
+        }
+    }
+    for e in 0..inst.num_events() {
+        let col: f64 = (0..inst.num_users()).map(|u| inst.event_interest.value(e, u)).sum();
+        bits.push(col.to_bits());
+    }
+    bits
+}
+
+/// Number of distinct rejection arms in [`invalid_op`]; every validation
+/// clause `apply` has maps to at least one.
+const ARMS: usize = 28;
+
+/// A well-formed user payload for the fixture's shape, to perturb.
+fn unit_user() -> NewUser {
+    NewUser {
+        event_interest: vec![0.5; 4],
+        competing_interest: vec![0.5; 2],
+        activity: vec![0.5; 2],
+        weight: None,
+    }
+}
+
+/// Strategy over ops that must ALL fail validation against [`fixture`].
+///
+/// The mini-proptest shim has no `prop_oneof!`, so one generic draw
+/// `(arm, x, y, r)` is shaped into the chosen arm by `match` — `arm`
+/// selects the rejection path, `x`/`y`/`r` add in-arm variation.
+fn invalid_op() -> impl Strategy<Value = DeltaOp> {
+    (0usize..ARMS, 0usize..64, 0usize..64, 0u8..=100).prop_map(|(arm, x, y, r)| {
+        let live = EventId::new(x % 4); // |E| = 4
+                                        // Floors sit well above anything the interleaving test's valid
+                                        // ops can append, so "dangling" stays dangling mid-stream.
+        let dangling_event = EventId::new(16 + x % 48);
+        let dangling_user = 8 + y % 56; // |U| = 2
+        let unit = (r % 11) as f64 / 10.0; // valid [0, 1] cell
+                                           // A value guaranteed to fail the [0, 1] range check.
+        let bad_unit = match r % 4 {
+            0 => 1.0 + (1 + r / 4) as f64 / 10.0,
+            1 => -((1 + r / 4) as f64) / 10.0,
+            2 => f64::NAN,
+            _ => f64::INFINITY,
+        };
+        let event_at = |loc: usize, res: f64| Event::new(LocationId::new(loc), res);
+        match arm {
+            // -- dangling ids --------------------------------------------
+            0 => DeltaOp::RemoveEvent { event: dangling_event },
+            1 => DeltaOp::ShiftInterest { event: dangling_event, user: y % 2, interest: unit },
+            2 => DeltaOp::ShiftInterest { event: live, user: dangling_user, interest: unit },
+            3 => DeltaOp::AddConflict { a: live, b: dangling_event },
+            4 => DeltaOp::AddPrecedence { before: dangling_event, after: live },
+            5 => DeltaOp::RetireUsers { users: vec![dangling_user] },
+            // -- out-of-range cells --------------------------------------
+            6 => DeltaOp::ShiftInterest { event: live, user: y % 2, interest: bad_unit },
+            7 => DeltaOp::AddEvent { event: event_at(x % 5, 1.0), interest: vec![unit, bad_unit] },
+            // Resources beyond the organizer budget θ = 10, or malformed.
+            8 => DeltaOp::AddEvent {
+                event: event_at(x % 5, 11.0 + r as f64),
+                interest: vec![0.5, 0.5],
+            },
+            9 => DeltaOp::AddEvent {
+                event: event_at(x % 5, if r % 2 == 0 { f64::NAN } else { -1.0 }),
+                interest: vec![0.5, 0.5],
+            },
+            10 => DeltaOp::AddUsers {
+                users: vec![NewUser { activity: vec![bad_unit, 0.5], ..unit_user() }],
+            },
+            // -- shape mismatches ----------------------------------------
+            11 => DeltaOp::AddEvent {
+                event: event_at(x % 5, 1.0),
+                interest: vec![0.5; x % 2], // |U| = 2
+            },
+            12 => DeltaOp::AddUsers {
+                users: vec![NewUser {
+                    event_interest: vec![0.5; 1 + x % 3], // |E| = 4
+                    ..unit_user()
+                }],
+            },
+            // Weight on an unweighted instance.
+            13 => DeltaOp::AddUsers { users: vec![NewUser { weight: Some(unit), ..unit_user() }] },
+            // -- batch-shape violations ----------------------------------
+            14 => DeltaOp::AddUsers { users: vec![] },
+            15 => DeltaOp::RetireUsers { users: vec![] },
+            16 => DeltaOp::RetireUsers { users: vec![1, 0] }, // unsorted
+            17 => DeltaOp::RetireUsers { users: vec![y % 2, y % 2] }, // duplicate
+            18 => DeltaOp::RetireUsers { users: vec![0, 1] }, // would empty
+            // -- constraint-set violations -------------------------------
+            19 => DeltaOp::AddConflict { a: live, b: live }, // self
+            20 => DeltaOp::AddConflict { a: EventId::new(3), b: EventId::new(0) }, // duplicate
+            21 => {
+                // Any pair except the installed {0, 3} is unknown.
+                let pairs = [(0, 1), (1, 2), (1, 3), (0, 2)];
+                let (a, b) = pairs[x % pairs.len()];
+                DeltaOp::RemoveConflict { a: EventId::new(a), b: EventId::new(b) }
+            }
+            22 => {
+                // Closing the pre-installed 0 → 1 → 2 chain into a cycle.
+                let edges = [(1, 0), (2, 0), (2, 1)];
+                let (before, after) = edges[x % edges.len()];
+                DeltaOp::AddPrecedence { before: EventId::new(before), after: EventId::new(after) }
+            }
+            23 => DeltaOp::AddPrecedence { before: EventId::new(0), after: EventId::new(1) }, // dup
+            24 => DeltaOp::AddPrecedence { before: live, after: live }, // self
+            25 => DeltaOp::RemovePrecedence { before: EventId::new(1), after: EventId::new(0) },
+            26 => DeltaOp::SetVenueCapacity { location: LocationId::new(x % 8), capacity: Some(0) },
+            _ => DeltaOp::SetVenueCapacity {
+                // Only location 0 has a capacity installed; clearing any
+                // other is an unknown-constraint error.
+                location: LocationId::new(1 + x % 7),
+                capacity: None,
+            },
+        }
+    })
+}
+
+/// A batch of 1–11 invalid ops.
+fn invalid_batch(max: usize) -> impl Strategy<Value = Vec<DeltaOp>> {
+    (1usize..max).prop_flat_map(|n| collection::vec(invalid_op(), n))
+}
+
+proptest! {
+    /// Every op the strategy produces is rejected, and rejection has zero
+    /// side effects: the serialized instance (which embeds the constraint
+    /// set) is byte-identical and every cached column sum bit-identical.
+    #[test]
+    fn rejected_ops_leave_no_trace(ops in invalid_batch(12)) {
+        let mut inst = fixture();
+        let golden_json = serde_json::to_string(&inst).unwrap();
+        let golden_sums = cached_sums(&inst);
+        let golden = inst.clone();
+        for op in &ops {
+            prop_assert!(apply(&mut inst, op).is_err(), "{op:?} must fail validation");
+        }
+        prop_assert_eq!(&inst, &golden);
+        prop_assert_eq!(serde_json::to_string(&inst).unwrap(), golden_json);
+        prop_assert_eq!(cached_sums(&inst), golden_sums);
+    }
+
+    /// Interleaving rejected ops between valid ones changes nothing: the
+    /// final instance equals the one produced by the valid ops alone. This
+    /// is exactly the shape a write-ahead log replays — mixed accepted and
+    /// rejected batches — so determinism here is what makes recovery
+    /// byte-exact.
+    #[test]
+    fn rejected_ops_do_not_perturb_valid_ones(
+        bad in invalid_batch(8),
+        seed_interest in collection::vec(0u8..=10, 4),
+    ) {
+        let valid: Vec<DeltaOp> = vec![
+            DeltaOp::ShiftInterest {
+                event: EventId::new(0),
+                user: 0,
+                interest: seed_interest[0] as f64 / 10.0,
+            },
+            DeltaOp::AddEvent {
+                event: Event::new(LocationId::new(2), 1.0),
+                interest: vec![seed_interest[1] as f64 / 10.0, seed_interest[2] as f64 / 10.0],
+            },
+            DeltaOp::ShiftInterest {
+                event: EventId::new(3),
+                user: 1,
+                interest: seed_interest[3] as f64 / 10.0,
+            },
+        ];
+
+        // Reference: valid ops only.
+        let mut want = fixture();
+        for op in &valid {
+            apply(&mut want, op).unwrap();
+        }
+
+        // Same valid ops with rejected ops interleaved round-robin.
+        let mut got = fixture();
+        let mut bad_iter = bad.iter().cycle();
+        for op in &valid {
+            apply(&mut got, bad_iter.next().unwrap()).unwrap_err();
+            apply(&mut got, op).unwrap();
+        }
+        apply(&mut got, bad_iter.next().unwrap()).unwrap_err();
+
+        prop_assert_eq!(&got, &want);
+        prop_assert_eq!(
+            serde_json::to_string(&got).unwrap(),
+            serde_json::to_string(&want).unwrap()
+        );
+        prop_assert_eq!(cached_sums(&got), cached_sums(&want));
+    }
+}

@@ -10,7 +10,7 @@ use ses_core::model::{
 use ses_core::parallel::{Threads, PAR_BLOCK};
 use ses_core::schedule::Schedule;
 use ses_core::scoring::utility::total_utility;
-use ses_core::scoring::{gain, ScoringEngine};
+use ses_core::scoring::{gain, ScoringEngine, StaticCaches, WarmCacheState};
 
 /// Quantized probability in [0, 1] (steps of 1/64) — avoids degenerate
 /// float noise while still hitting exact 0 and 1.
@@ -495,5 +495,71 @@ proptest! {
                 prop_assert_eq!(a.to_bits(), c.assignment_score(e, t).to_bits());
             }
         }
+    }
+}
+
+proptest! {
+    /// The durable-snapshot round trip of the engine's warm state:
+    /// `into_comp_mass` / `into_warm_parts` → versioned [`WarmCacheState`]
+    /// → JSON bytes → `from_state` → `from_comp_mass` /
+    /// `from_warm_parts` must be the identity, bit for bit — both on the
+    /// cache vectors themselves and on every score the rebuilt engine
+    /// produces. This is what lets a restored session keep the repairer's
+    /// warm caches without any reliance on in-memory layout.
+    #[test]
+    fn warm_cache_state_roundtrips_bit_for_bit(inst in small_instance()) {
+        let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<u64>>();
+        let (comp_mass, caches) = ScoringEngine::new(&inst).into_warm_parts();
+        let state = caches.to_state(&comp_mass);
+        prop_assert_eq!(state.version, WarmCacheState::VERSION);
+
+        let json = serde_json::to_string(&state).unwrap();
+        let back: WarmCacheState = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &state);
+        prop_assert_eq!(bits(&back.comp_mass), bits(&comp_mass));
+
+        let (comp2, caches2) =
+            StaticCaches::from_state(back, inst.num_users(), inst.num_intervals()).unwrap();
+        prop_assert_eq!(bits(&comp2), bits(&comp_mass));
+
+        // The three rebuild paths — original parts, round-tripped parts,
+        // and comp-mass-only (static caches recomputed) — score every
+        // assignment with identical bits and extract identical tables.
+        let comp3 = comp2.clone();
+        let mut orig = ScoringEngine::from_warm_parts(
+            &inst, comp_mass, caches, Threads::sequential());
+        let mut warm = ScoringEngine::from_warm_parts(
+            &inst, comp2, caches2, Threads::sequential());
+        let mut cold = ScoringEngine::from_comp_mass(&inst, comp3, Threads::sequential());
+        for (e, t) in inst.assignment_universe() {
+            let a = orig.assignment_score(e, t);
+            prop_assert_eq!(a.to_bits(), warm.assignment_score(e, t).to_bits());
+            prop_assert_eq!(a.to_bits(), cold.assignment_score(e, t).to_bits());
+        }
+        prop_assert_eq!(bits(&orig.into_comp_mass()), bits(&warm.into_comp_mass()));
+    }
+
+    /// `from_state` refuses version and shape mismatches instead of
+    /// rebuilding an engine around tables that do not fit the instance.
+    #[test]
+    fn warm_cache_state_rejects_mismatches(inst in small_instance()) {
+        let (comp_mass, caches) = ScoringEngine::new(&inst).into_warm_parts();
+        let (users, intervals) = (inst.num_users(), inst.num_intervals());
+
+        let mut future = caches.to_state(&comp_mass);
+        future.version = WarmCacheState::VERSION + 1;
+        prop_assert!(StaticCaches::from_state(future, users, intervals)
+            .unwrap_err()
+            .contains("version"));
+
+        let mut short = caches.to_state(&comp_mass);
+        short.comp_mass.push(0.5);
+        prop_assert!(StaticCaches::from_state(short, users, intervals)
+            .unwrap_err()
+            .contains("comp_mass"));
+
+        prop_assert!(
+            StaticCaches::from_state(caches.to_state(&comp_mass), users + 1, intervals).is_err()
+        );
     }
 }

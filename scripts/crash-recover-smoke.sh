@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# crash-recover-smoke.sh — kill-and-recover smoke for `ses serve --state-dir`.
+#
+# Drives the committed durable request script against a fresh state
+# directory, SIGKILLs the server mid-transcript (after its responses for
+# the first half have been flushed), restarts it on the same directory,
+# feeds the remaining requests, and byte-compares the stitched response
+# log against the committed uninterrupted golden. Any divergence — a lost
+# acknowledged mutation, a replayed duplicate, a silent fresh start — is a
+# diff failure.
+#
+# Usage: scripts/crash-recover-smoke.sh [path-to-ses-binary]
+# (defaults to target/release/ses; run `cargo build --release -p ses-cli`
+# first). Honors SES_THREADS like every other entry point.
+set -euo pipefail
+
+SES="${1:-target/release/ses}"
+SCRIPT="scripts/serve-durable-smoke.jsonl"
+GOLDEN="tests/golden/serve_durable.jsonl"
+SHAPE=(--dataset unf --users 40 --events 12 --intervals 6 --seed 1509)
+
+WORK="$(mktemp -d)"
+STATE="$WORK/state"
+trap 'kill -9 "${SERVE_PID:-}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+# Split the transcript at a request boundary past the first Persist, so
+# the kill exercises snapshot + WAL-tail recovery, not just the WAL.
+grep -v '^\s*#' "$SCRIPT" | grep -v '^\s*$' > "$WORK/requests.jsonl"
+TOTAL=$(wc -l < "$WORK/requests.jsonl")
+CUT=$((TOTAL / 2))
+head -n "$CUT" "$WORK/requests.jsonl" > "$WORK/part1.jsonl"
+tail -n +"$((CUT + 1))" "$WORK/requests.jsonl" > "$WORK/part2.jsonl"
+
+# Phase 1: serve from a FIFO so stdin stays open after part1 is written —
+# the server must die from SIGKILL, not a clean EOF.
+mkfifo "$WORK/in"
+"$SES" serve "${SHAPE[@]}" --state-dir "$STATE" \
+  < "$WORK/in" > "$WORK/out1.jsonl" 2> "$WORK/serve1.log" &
+SERVE_PID=$!
+disown "$SERVE_PID" 2>/dev/null || true
+exec 3> "$WORK/in"
+cat "$WORK/part1.jsonl" >&3
+
+# Wait until every part-1 request is answered (responses are flushed per
+# line), then kill without ceremony.
+for _ in $(seq 1 600); do
+  [ "$(wc -l < "$WORK/out1.jsonl")" -ge "$CUT" ] && break
+  sleep 0.1
+done
+[ "$(wc -l < "$WORK/out1.jsonl")" -ge "$CUT" ] || {
+  echo "crash-recover-smoke: server answered $(wc -l < "$WORK/out1.jsonl")/$CUT before timeout" >&2
+  exit 1
+}
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+exec 3>&-
+
+# Phase 2: restart on the same state directory; recovery must pick up
+# exactly where the acknowledged transcript left off.
+"$SES" serve "${SHAPE[@]}" --state-dir "$STATE" \
+  < "$WORK/part2.jsonl" > "$WORK/out2.jsonl" 2> "$WORK/serve2.log"
+grep -q "recovered generation" "$WORK/serve2.log" || {
+  echo "crash-recover-smoke: restart did not report a recovery" >&2
+  cat "$WORK/serve2.log" >&2
+  exit 1
+}
+
+# The stitched transcript must be byte-identical to the uninterrupted run.
+cat "$WORK/out1.jsonl" "$WORK/out2.jsonl" | diff - "$GOLDEN" || {
+  echo "crash-recover-smoke: stitched transcript diverged from $GOLDEN" >&2
+  exit 1
+}
+echo "crash-recover-smoke: OK (killed after $CUT/$TOTAL requests, recovery byte-identical)"
