@@ -1,0 +1,159 @@
+//! **Network-serving baseline** — sustained requests/sec through the
+//! multi-session [`SessionManager`] at N sessions × M concurrent clients,
+//! measured at the wire boundary (`handle_line`: decode, route, answer,
+//! encode) so the number is what a TCP connection thread actually pays,
+//! minus only the socket itself.
+//!
+//! Three traffic shapes bracket the design space of the published-view
+//! concurrency model:
+//!
+//! * `reads_1s4c` — four clients hammering `Query`/`Snapshot` on one
+//!   session: the lock-free read path under maximal sharing;
+//! * `mixed_4s4c` — four sessions, one client each, every client mixing
+//!   mutations and reads: the multiplexing steady state with no
+//!   cross-client contention;
+//! * `contended_1s4c` — one session, one mutating client racing three
+//!   readers: reads answering from the published view while the writer
+//!   serializes (the tentpole's reads-never-block claim, as a timing).
+//!
+//! Each iteration drives a fixed batch of requests per client, so the
+//! reported time is `batch × clients` requests; requests/sec falls out as
+//! `(REQS_PER_CLIENT × clients) / time`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ses_algorithms::service::wire;
+use ses_algorithms::service::Query;
+use ses_algorithms::{Request, SessionManager};
+use ses_bench::{instance, Threads};
+use ses_core::delta::DeltaOp;
+use ses_core::EventId;
+use ses_datasets::Dataset;
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// Requests each client sends per measured iteration.
+const REQS_PER_CLIENT: usize = 64;
+
+fn manager(sessions: &[&str]) -> Arc<SessionManager> {
+    let inst = instance(Dataset::Unf, 24, 6, 0x5E5);
+    let (m, _) = SessionManager::new(inst, Threads::new(1), None, 1024, 16).expect("boot");
+    for s in sessions {
+        m.open(s).expect("open");
+    }
+    Arc::new(m)
+}
+
+/// A deterministic read-mostly request mix addressed to one session.
+fn read_lines(session: &str) -> Vec<String> {
+    let mut lines = Vec::new();
+    for i in 0..REQS_PER_CLIENT {
+        let req = match i % 4 {
+            0 => Request::Snapshot,
+            1 => Request::Query { query: Query::Event { event: i % 24 } },
+            2 => Request::Query { query: Query::User { user: (i * 7) % 150 } },
+            _ => Request::Query { query: Query::Interval { interval: i % 6 } },
+        };
+        lines.push(wire::encode_request_for(session, &req));
+    }
+    lines
+}
+
+/// A mutation-heavy mix: small op batches with reads interleaved.
+fn write_lines(session: &str) -> Vec<String> {
+    let mut lines = Vec::new();
+    for i in 0..REQS_PER_CLIENT {
+        let req = if i % 4 == 3 {
+            Request::Snapshot
+        } else {
+            Request::ApplyOps {
+                ops: vec![DeltaOp::ShiftInterest {
+                    event: EventId::new(i % 24),
+                    user: (i * 13) % 150,
+                    interest: (i % 10) as f64 / 10.0,
+                }],
+                window: None,
+            }
+        };
+        lines.push(wire::encode_request_for(session, &req));
+    }
+    lines
+}
+
+/// Runs one client batch on the calling thread.
+fn drive(m: &SessionManager, lines: &[String]) {
+    for line in lines {
+        let resp = m.handle_line(line);
+        debug_assert!(!resp.contains("\"Error\""), "{resp}");
+        black_box(resp);
+    }
+}
+
+/// Fans `scripts` out to one thread each and joins — one measured
+/// iteration of an N-session × M-client burst.
+fn drive_concurrent(m: &Arc<SessionManager>, scripts: &[Arc<Vec<String>>]) {
+    let handles: Vec<_> = scripts
+        .iter()
+        .map(|script| {
+            let m = Arc::clone(m);
+            let script = Arc::clone(script);
+            std::thread::spawn(move || drive(&m, &script))
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+
+    // Lock-free reads, one shared session, four clients.
+    {
+        let m = manager(&[]);
+        // Publish a schedule so reads observe a non-trivial state.
+        let warm = wire::encode_request(&Request::Schedule {
+            algorithm: "INC".into(),
+            k: 6,
+            threads: None,
+            gate: false,
+            profile: false,
+            constraints: None,
+        });
+        assert!(!m.handle_line(&warm).contains("\"Error\""));
+        let scripts: Vec<Arc<Vec<String>>> =
+            (0..4).map(|_| Arc::new(read_lines("default"))).collect();
+        group.bench_with_input(BenchmarkId::new("reads_1s4c", REQS_PER_CLIENT * 4), &0, |b, _| {
+            b.iter(|| drive_concurrent(&m, &scripts))
+        });
+    }
+
+    // Multiplexed steady state: four sessions, one client each, mixed
+    // mutate/read traffic.
+    {
+        let names = ["s0", "s1", "s2", "s3"];
+        let m = manager(&names);
+        let scripts: Vec<Arc<Vec<String>>> =
+            names.iter().map(|s| Arc::new(write_lines(s))).collect();
+        group.bench_with_input(BenchmarkId::new("mixed_4s4c", REQS_PER_CLIENT * 4), &0, |b, _| {
+            b.iter(|| drive_concurrent(&m, &scripts))
+        });
+    }
+
+    // Contended single session: one writer, three readers.
+    {
+        let m = manager(&[]);
+        let mut scripts = vec![Arc::new(write_lines("default"))];
+        scripts.extend((0..3).map(|_| Arc::new(read_lines("default"))));
+        group.bench_with_input(
+            BenchmarkId::new("contended_1s4c", REQS_PER_CLIENT * 4),
+            &0,
+            |b, _| b.iter(|| drive_concurrent(&m, &scripts)),
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -49,7 +49,10 @@ pub mod stream;
 pub mod top;
 
 pub use common::{RunConfig, ScheduleResult, Scheduler, Scratch};
-pub use service::{DurableService, Request, Response, SchedulerRegistry, SesService};
+pub use service::{
+    DurableService, NetConfig, Request, Response, SchedulerRegistry, SesService, SessionBackend,
+    SessionManager,
+};
 
 use serde::{Deserialize, Serialize};
 use ses_core::model::Instance;

@@ -262,7 +262,24 @@ impl DurableService {
                 resp
             }
             Request::Query { .. } | Request::Snapshot => self.svc.handle(req),
+            // Session control is the network layer's business; a lone
+            // durable session answers with the same typed error a plain
+            // service does (and logs nothing — no state changed).
+            Request::OpenSession { .. } | Request::CloseSession { .. } | Request::ListSessions => {
+                self.svc.handle(req)
+            }
         }
+    }
+
+    /// Forces the write-ahead log to stable storage — the graceful-
+    /// shutdown wind-down. Every acknowledged mutation is already fsynced
+    /// individually, so this only matters as a belt-and-braces barrier
+    /// before the process exits.
+    ///
+    /// # Errors
+    /// [`ServiceError::Io`] when the sync fails.
+    pub fn sync_wal(&mut self) -> Result<(), ServiceError> {
+        self.wal.sync()
     }
 
     /// The serve-loop body, like [`SesService::handle_line`] but durable.

@@ -38,10 +38,12 @@
 //! [`Scheduler::run_configured`]: crate::common::Scheduler::run_configured
 
 pub mod durable;
+pub mod net;
 mod registry;
 pub mod wire;
 
 pub use durable::{DurableService, Inspection, RecoveryReport};
+pub use net::{NetConfig, SessionBackend, SessionManager};
 pub use registry::SchedulerRegistry;
 
 use crate::common::{RunConfig, ScheduleResult, Scratch};
@@ -134,6 +136,27 @@ pub enum Request {
     /// snapshot + log replay) — the recovery path, on demand. Durable
     /// sessions only, like `Persist`.
     Restore,
+    /// Create a new named session on a multi-session server (`ses serve
+    /// --listen`). The session starts from a fresh copy of the server's
+    /// boot instance; with `--state-dir` it is durable under
+    /// `<state-dir>/<name>`. Single-session (stdio) serve answers a typed
+    /// error. Appended after v1 — committed transcripts parse and answer
+    /// byte-identically.
+    OpenSession {
+        /// The new session's name (`[A-Za-z0-9_-]`, at most 64 chars).
+        session: String,
+    },
+    /// Retire a named session: it stops resolving for new requests, its
+    /// state is dropped (a durable session's on-disk state stays and
+    /// reopens on the next `OpenSession`/boot). Multi-session servers
+    /// only, like `OpenSession`.
+    CloseSession {
+        /// The session to close.
+        session: String,
+    },
+    /// Enumerate the live sessions, sorted by name. Multi-session servers
+    /// only, like `OpenSession`.
+    ListSessions,
 }
 
 /// Entity lookups served by [`Request::Query`].
@@ -231,6 +254,27 @@ pub enum Response {
         /// Log records replayed on top of it.
         replayed: u64,
     },
+    /// Result of an `OpenSession`: the named session is live.
+    SessionOpened {
+        /// The session's name.
+        session: String,
+        /// Whether the session persists its state under the server's
+        /// state directory.
+        durable: bool,
+        /// Whether existing on-disk state was recovered into the session
+        /// (`false` for a brand-new session).
+        recovered: bool,
+    },
+    /// Result of a `CloseSession`: the name no longer resolves.
+    SessionClosed {
+        /// The closed session's name.
+        session: String,
+    },
+    /// Result of a `ListSessions`: every live session, sorted by name.
+    Sessions {
+        /// One summary per live session.
+        sessions: Vec<SessionInfo>,
+    },
     /// Any failure, as a stable machine-readable code plus rendered
     /// message (see [`ServiceError::code`]).
     Error {
@@ -253,6 +297,19 @@ pub struct RepairSummary {
     pub utility: f64,
     /// The repair's counters.
     pub stats: Stats,
+}
+
+/// One row of a [`Response::Sessions`] listing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionInfo {
+    /// The session's name.
+    pub session: String,
+    /// Whether its incremental repairer is armed.
+    pub warm: bool,
+    /// Delta ops applied over the session's lifetime.
+    pub ops_applied: u64,
+    /// Whether the session persists to the server's state directory.
+    pub durable: bool,
 }
 
 /// What one window flush did: how many ops arrived and how few survived
@@ -393,12 +450,211 @@ pub struct RepairOutcome {
 }
 
 /// The current schedule the service answers `Query`/`Snapshot` from.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct LastSchedule {
     algorithm: String,
     k: usize,
     schedule: Schedule,
     utility: f64,
+}
+
+/// An immutable copy of everything a read-only request can observe: the
+/// instance, the current schedule, and the lifetime counters.
+///
+/// The network layer publishes one of these per session after every
+/// mutating request (behind an `Arc` swap), so concurrent `Query`/
+/// `Snapshot` requests are answered without touching — or waiting on —
+/// the live session. Both the live [`SesService`] and a `ReadView` route
+/// through the same `query_on`/`snapshot_on` functions, so a view's
+/// answer is byte-identical to the serialized answer the session itself
+/// would have produced at the moment the view was taken.
+#[derive(Debug, Clone)]
+pub struct ReadView {
+    inst: Instance,
+    last: Option<LastSchedule>,
+    warm: bool,
+    ops_applied: u64,
+}
+
+impl ReadView {
+    /// Answers [`Request::Query`] exactly as the source session would
+    /// have at capture time.
+    ///
+    /// # Errors
+    /// [`ServiceError::OutOfRange`] for a dangling index.
+    pub fn query(&self, q: &Query) -> Result<QueryReply, ServiceError> {
+        query_on(&self.inst, self.last.as_ref(), q)
+    }
+
+    /// Answers [`Request::Snapshot`] exactly as the source session would
+    /// have at capture time.
+    pub fn snapshot(&self) -> Snapshot {
+        snapshot_on(&self.inst, self.last.as_ref(), self.warm, self.ops_applied)
+    }
+
+    /// Whether the source session had an armed repairer at capture time.
+    pub fn warm(&self) -> bool {
+        self.warm
+    }
+
+    /// Delta ops the source session had applied at capture time.
+    pub fn ops_applied(&self) -> u64 {
+        self.ops_applied
+    }
+
+    /// Answers one read-only request ([`Request::Query`] or
+    /// [`Request::Snapshot`]); any other request kind is a logic error in
+    /// the caller and answered as [`ServiceError::Failed`] — the network
+    /// router never sends one here.
+    pub fn answer(&self, req: &Request) -> Response {
+        match req {
+            Request::Query { query } => match self.query(query) {
+                Ok(reply) => Response::Info { reply },
+                Err(e) => Response::Error { code: e.code().to_string(), message: e.to_string() },
+            },
+            Request::Snapshot => Response::State { snapshot: self.snapshot() },
+            _ => {
+                let e = ServiceError::failed("read view can only answer Query/Snapshot");
+                Response::Error { code: e.code().to_string(), message: e.to_string() }
+            }
+        }
+    }
+}
+
+/// Whether a request can be answered from a published [`ReadView`]
+/// (shared-read path) as opposed to requiring the session's writer lock.
+/// The single classification the network router and the proof tests key
+/// on: exactly `Query` and `Snapshot`, the two requests the durable layer
+/// also exempts from write-ahead logging.
+pub fn is_read_only(req: &Request) -> bool {
+    matches!(req, Request::Query { .. } | Request::Snapshot)
+}
+
+/// Answers a [`Query`] against an explicit instance + schedule pair — the
+/// single implementation behind both [`SesService::query`] (live state)
+/// and [`ReadView::query`] (published state), which is what makes the two
+/// paths byte-identical by construction.
+fn query_on(
+    inst: &Instance,
+    last: Option<&LastSchedule>,
+    q: &Query,
+) -> Result<QueryReply, ServiceError> {
+    match *q {
+        Query::Event { event } => {
+            if event >= inst.num_events() {
+                return Err(ServiceError::OutOfRange {
+                    what: "event",
+                    index: event,
+                    len: inst.num_events(),
+                });
+            }
+            let e = &inst.events[event];
+            let users = inst.num_users();
+            let mean_interest =
+                (0..users).map(|u| inst.event_interest.value(event, u)).sum::<f64>() / users as f64;
+            let scheduled_at =
+                last.and_then(|l| l.schedule.interval_of(EventId::new(event))).map(|t| t.index());
+            Ok(QueryReply::Event {
+                event,
+                label: e.label.clone(),
+                location: e.location.index(),
+                required_resources: e.required_resources,
+                duration: e.duration,
+                mean_interest,
+                scheduled_at,
+            })
+        }
+        Query::Interval { interval } => {
+            if interval >= inst.num_intervals() {
+                return Err(ServiceError::OutOfRange {
+                    what: "interval",
+                    index: interval,
+                    len: inst.num_intervals(),
+                });
+            }
+            let t = IntervalId::new(interval);
+            let (scheduled, used_resources) = match last {
+                Some(l) => {
+                    let mut events: Vec<usize> =
+                        l.schedule.events_at(t).iter().map(|e| e.index()).collect();
+                    events.sort_unstable();
+                    (events, l.schedule.used_resources(t))
+                }
+                None => (Vec::new(), 0.0),
+            };
+            Ok(QueryReply::Interval {
+                interval,
+                scheduled,
+                used_resources,
+                resources: inst.resources,
+                competing: inst.competing_at(t).count(),
+            })
+        }
+        Query::User { user } => {
+            if user >= inst.num_users() {
+                return Err(ServiceError::OutOfRange {
+                    what: "user",
+                    index: user,
+                    len: inst.num_users(),
+                });
+            }
+            let intervals = inst.num_intervals();
+            let mean_activity = (0..intervals).map(|t| inst.activity.value(user, t)).sum::<f64>()
+                / intervals as f64;
+            let mut favorite_event = None;
+            let mut best = 0.0;
+            for e in 0..inst.num_events() {
+                let mu = inst.event_interest.value(e, user);
+                if mu > best {
+                    best = mu;
+                    favorite_event = Some(e);
+                }
+            }
+            Ok(QueryReply::User {
+                user,
+                weight: inst.user_weight(user),
+                mean_activity,
+                favorite_event,
+            })
+        }
+    }
+}
+
+/// Builds a [`Snapshot`] from an explicit instance + schedule pair — the
+/// shared implementation behind [`SesService::snapshot`] and
+/// [`ReadView::snapshot`] (see [`query_on`]).
+fn snapshot_on(
+    inst: &Instance,
+    last: Option<&LastSchedule>,
+    warm: bool,
+    ops_applied: u64,
+) -> Snapshot {
+    Snapshot {
+        users: inst.num_users(),
+        events: inst.num_events(),
+        intervals: inst.num_intervals(),
+        competing: inst.num_competing(),
+        locations: inst.num_locations(),
+        resources: inst.resources,
+        weighted: inst.is_weighted(),
+        warm,
+        ops_applied,
+        constraints: inst.constraints.len(),
+        storage: match inst.event_interest.storage_kind() {
+            ses_core::model::StorageKind::Dense => None,
+            kind => Some(kind.name().to_string()),
+        },
+        heap_bytes: match inst.event_interest.storage_kind() {
+            ses_core::model::StorageKind::Dense => None,
+            _ => Some(inst.heap_bytes() as u64),
+        },
+        schedule: last.map(|l| ScheduleState {
+            algorithm: l.algorithm.clone(),
+            k: l.k,
+            utility: l.utility,
+            assignments: l.schedule.assignments().to_vec(),
+        }),
+    }
 }
 
 /// Versioned serialized form of a whole [`SesService`] session — the
@@ -756,121 +1012,25 @@ impl SesService {
     /// # Errors
     /// [`ServiceError::OutOfRange`] for a dangling index.
     pub fn query(&self, q: &Query) -> Result<QueryReply, ServiceError> {
-        let inst = self.instance();
-        match *q {
-            Query::Event { event } => {
-                if event >= inst.num_events() {
-                    return Err(ServiceError::OutOfRange {
-                        what: "event",
-                        index: event,
-                        len: inst.num_events(),
-                    });
-                }
-                let e = &inst.events[event];
-                let users = inst.num_users();
-                let mean_interest =
-                    (0..users).map(|u| inst.event_interest.value(event, u)).sum::<f64>()
-                        / users as f64;
-                let scheduled_at = self
-                    .last
-                    .as_ref()
-                    .and_then(|l| l.schedule.interval_of(EventId::new(event)))
-                    .map(|t| t.index());
-                Ok(QueryReply::Event {
-                    event,
-                    label: e.label.clone(),
-                    location: e.location.index(),
-                    required_resources: e.required_resources,
-                    duration: e.duration,
-                    mean_interest,
-                    scheduled_at,
-                })
-            }
-            Query::Interval { interval } => {
-                if interval >= inst.num_intervals() {
-                    return Err(ServiceError::OutOfRange {
-                        what: "interval",
-                        index: interval,
-                        len: inst.num_intervals(),
-                    });
-                }
-                let t = IntervalId::new(interval);
-                let (scheduled, used_resources) = match &self.last {
-                    Some(l) => {
-                        let mut events: Vec<usize> =
-                            l.schedule.events_at(t).iter().map(|e| e.index()).collect();
-                        events.sort_unstable();
-                        (events, l.schedule.used_resources(t))
-                    }
-                    None => (Vec::new(), 0.0),
-                };
-                Ok(QueryReply::Interval {
-                    interval,
-                    scheduled,
-                    used_resources,
-                    resources: inst.resources,
-                    competing: inst.competing_at(t).count(),
-                })
-            }
-            Query::User { user } => {
-                if user >= inst.num_users() {
-                    return Err(ServiceError::OutOfRange {
-                        what: "user",
-                        index: user,
-                        len: inst.num_users(),
-                    });
-                }
-                let intervals = inst.num_intervals();
-                let mean_activity =
-                    (0..intervals).map(|t| inst.activity.value(user, t)).sum::<f64>()
-                        / intervals as f64;
-                let mut favorite_event = None;
-                let mut best = 0.0;
-                for e in 0..inst.num_events() {
-                    let mu = inst.event_interest.value(e, user);
-                    if mu > best {
-                        best = mu;
-                        favorite_event = Some(e);
-                    }
-                }
-                Ok(QueryReply::User {
-                    user,
-                    weight: inst.user_weight(user),
-                    mean_activity,
-                    favorite_event,
-                })
-            }
-        }
+        query_on(self.instance(), self.last.as_ref(), q)
     }
 
     /// The full state summary.
     pub fn snapshot(&self) -> Snapshot {
-        let inst = self.instance();
-        Snapshot {
-            users: inst.num_users(),
-            events: inst.num_events(),
-            intervals: inst.num_intervals(),
-            competing: inst.num_competing(),
-            locations: inst.num_locations(),
-            resources: inst.resources,
-            weighted: inst.is_weighted(),
+        snapshot_on(self.instance(), self.last.as_ref(), self.stream.is_some(), self.ops_applied)
+    }
+
+    /// Captures an immutable [`ReadView`] of everything a read-only
+    /// request can observe. The network layer publishes one per session
+    /// after each mutating request; its answers are byte-identical to
+    /// [`query`](Self::query)/[`snapshot`](Self::snapshot) at capture
+    /// time (all three route through the same functions).
+    pub fn read_view(&self) -> ReadView {
+        ReadView {
+            inst: self.instance().clone(),
+            last: self.last.clone(),
             warm: self.stream.is_some(),
             ops_applied: self.ops_applied,
-            constraints: inst.constraints.len(),
-            storage: match inst.event_interest.storage_kind() {
-                ses_core::model::StorageKind::Dense => None,
-                kind => Some(kind.name().to_string()),
-            },
-            heap_bytes: match inst.event_interest.storage_kind() {
-                ses_core::model::StorageKind::Dense => None,
-                _ => Some(inst.heap_bytes() as u64),
-            },
-            schedule: self.last.as_ref().map(|l| ScheduleState {
-                algorithm: l.algorithm.clone(),
-                k: l.k,
-                utility: l.utility,
-                assignments: l.schedule.assignments().to_vec(),
-            }),
         }
     }
 
@@ -1035,6 +1195,14 @@ impl SesService {
             // these before dispatch.
             Request::Persist | Request::Restore => {
                 Err(ServiceError::invalid("session is not durable (start serve with --state-dir)"))
+            }
+            // Session control only makes sense where sessions are plural;
+            // the network layer's `SessionManager` intercepts these
+            // before they ever reach a single service.
+            Request::OpenSession { .. } | Request::CloseSession { .. } | Request::ListSessions => {
+                Err(ServiceError::invalid(
+                    "session control requires a multi-session server (start serve with --listen)",
+                ))
             }
         }
     }

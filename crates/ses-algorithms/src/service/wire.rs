@@ -109,6 +109,19 @@ pub fn encode_request(req: &Request) -> String {
     encode("req", req.to_value())
 }
 
+/// Encodes one request line addressed to a named session: the same
+/// envelope as [`encode_request`] plus a `"session"` key. Stdio servers
+/// (which pre-date the field) decode it unchanged — unknown envelope keys
+/// are forward-compatible padding by rule.
+pub fn encode_request_for(session: &str, req: &Request) -> String {
+    let envelope = Value::Object(vec![
+        ("v".to_string(), Value::UInt(VERSION)),
+        ("session".to_string(), Value::String(session.to_string())),
+        ("req".to_string(), req.to_value()),
+    ]);
+    serde_json::to_string(&envelope).expect("wire payloads contain only finite floats")
+}
+
 /// Decodes one request line.
 ///
 /// # Errors
@@ -117,6 +130,45 @@ pub fn encode_request(req: &Request) -> String {
 pub fn decode_request(line: &str) -> Result<Request, ServiceError> {
     let payload = decode(line, "req")?;
     Request::from_value(&payload).map_err(|e| ServiceError::protocol(e.to_string()))
+}
+
+/// Decodes one request line together with the optional `"session"`
+/// envelope field — the address a multi-session server routes on. A line
+/// without the field is exactly the v1 stdio shape and comes back as
+/// `None` (the connection's default session), which is what lets v1
+/// transcripts replay byte-identically against a networked server.
+///
+/// # Errors
+/// As [`decode_request`]; additionally [`ServiceError::Protocol`] when
+/// `"session"` is present but not a string.
+pub fn decode_request_routed(line: &str) -> Result<(Request, Option<String>), ServiceError> {
+    depth_guard(line)?;
+    let value: Value =
+        serde_json::from_str(line).map_err(|e| ServiceError::protocol(e.to_string()))?;
+    let Value::Object(mut obj) = value else {
+        return Err(ServiceError::protocol("envelope must be a JSON object"));
+    };
+    let v = get(&obj, "v").ok_or_else(|| ServiceError::protocol("missing version field \"v\""))?;
+    let got = v
+        .as_u64()
+        .ok_or_else(|| ServiceError::protocol("version field \"v\" must be an integer"))?;
+    if got != VERSION {
+        return Err(ServiceError::UnsupportedVersion { got, supported: VERSION });
+    }
+    let session = match get(&obj, "session") {
+        None => None,
+        Some(Value::String(s)) => Some(s.clone()),
+        Some(_) => {
+            return Err(ServiceError::protocol("envelope field \"session\" must be a string"))
+        }
+    };
+    let idx = obj
+        .iter()
+        .position(|(k, _)| k == "req")
+        .ok_or_else(|| ServiceError::protocol("missing payload field \"req\""))?;
+    let payload = obj.swap_remove(idx).1;
+    let req = Request::from_value(&payload).map_err(|e| ServiceError::protocol(e.to_string()))?;
+    Ok((req, session))
 }
 
 /// Encodes one response line.
@@ -265,6 +317,58 @@ mod tests {
         assert!(!err.to_string().contains("nesting"), "{err}");
         // Depth within the cap parses normally.
         assert!(decode_request(r#"{"v":1,"req":"Snapshot"}"#).is_ok());
+    }
+
+    #[test]
+    fn session_envelope_round_trips_and_defaults() {
+        // Addressed: the session comes back alongside the request.
+        let line = encode_request_for("night-shift", &Request::Snapshot);
+        assert_eq!(line, r#"{"v":1,"session":"night-shift","req":"Snapshot"}"#);
+        let (req, session) = decode_request_routed(&line).unwrap();
+        assert_eq!(req, Request::Snapshot);
+        assert_eq!(session.as_deref(), Some("night-shift"));
+        // Unaddressed: exactly the v1 shape, session defaults to None.
+        let line = encode_request(&Request::Snapshot);
+        let (req, session) = decode_request_routed(&line).unwrap();
+        assert_eq!(req, Request::Snapshot);
+        assert_eq!(session, None);
+        // Key order is irrelevant (decode ignores envelope ordering).
+        let (_, session) =
+            decode_request_routed(r#"{"req":"Snapshot","session":"s","v":1}"#).unwrap();
+        assert_eq!(session.as_deref(), Some("s"));
+        // A non-string session is a protocol error, not a silent default.
+        let err = decode_request_routed(r#"{"v":1,"session":7,"req":"Snapshot"}"#).unwrap_err();
+        assert_eq!(err.code(), "protocol");
+    }
+
+    #[test]
+    fn stdio_decoder_ignores_the_session_key() {
+        // The pre-session decoder must keep accepting addressed lines —
+        // unknown envelope keys are forward-compatible padding.
+        let line = encode_request_for("x", &Request::Snapshot);
+        assert_eq!(decode_request(&line).unwrap(), Request::Snapshot);
+    }
+
+    #[test]
+    fn session_control_requests_round_trip() {
+        for req in [
+            Request::OpenSession { session: "a".into() },
+            Request::CloseSession { session: "a".into() },
+            Request::ListSessions,
+        ] {
+            let line = encode_request(&req);
+            assert_eq!(decode_request(&line).unwrap(), req);
+        }
+        let resp = Response::Sessions {
+            sessions: vec![crate::service::SessionInfo {
+                session: "a".into(),
+                warm: true,
+                ops_applied: 9,
+                durable: false,
+            }],
+        };
+        let line = encode_response(&resp);
+        assert_eq!(decode_response(&line).unwrap(), resp);
     }
 
     #[test]

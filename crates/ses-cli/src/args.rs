@@ -95,6 +95,10 @@ const COMMANDS: &[(&str, &[&str], &[&str])] = &[
             "state-dir",
             "snapshot-ops",
             "max-line-bytes",
+            "listen",
+            "max-sessions",
+            "max-connections",
+            "idle-timeout-ms",
         ],
         &["help"],
     ),

@@ -42,6 +42,7 @@ const ALL_TARGETS: &[&str] = &[
     "scale_100k",
     "scale_1m",
     "persist_restore",
+    "serve_throughput",
 ];
 
 /// One benchmark's timing summary — the schema of the JSON lines the

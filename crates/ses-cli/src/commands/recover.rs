@@ -7,6 +7,12 @@
 //! restore — **without** truncating torn tails, compacting, or writing a
 //! single byte. Safe to run against the state directory of a live server.
 //!
+//! Both on-disk layouts are understood: a single-session directory (stdio
+//! `serve --state-dir`, generation files at the top level) and the
+//! multi-session layout `serve --listen` writes (one `DIR/<name>`
+//! subdirectory per session) — the latter prints one report per session,
+//! in sorted name order, exactly the set a server boot would recover.
+//!
 //! Exit codes follow the corruption taxonomy: a directory that recovers
 //! (even with a torn tail or a fallen-back generation) exits 0 with the
 //! report below; a directory where no generation survives exits 1 with a
@@ -15,6 +21,7 @@
 
 use crate::args::Args;
 use ses_algorithms::service::durable;
+use ses_algorithms::service::net;
 use ses_core::error::ServiceError;
 use ses_core::parallel::Threads;
 use std::path::Path;
@@ -27,20 +34,39 @@ fn gen_list(gens: &[u64]) -> String {
     gens.iter().map(u64::to_string).collect::<Vec<_>>().join(", ")
 }
 
-/// Executes the `recover` subcommand.
-pub fn exec(args: &Args) -> Result<(), ServiceError> {
-    let Some(dir) = args.opt_flag("state-dir") else {
-        return Err(ServiceError::invalid("recover requires --state-dir DIR"));
-    };
-    // Replay runs real schedulers; the thread count changes nothing but
-    // wall time (results are bit-identical for every count).
-    let threads = match args.opt_flag("threads") {
-        Some(_) => Threads::new(args.num_flag("threads", 0usize)?),
-        None => Threads::default(),
-    };
-    let ins = durable::inspect(Path::new(dir), threads)?;
+/// Session subdirectories of a multi-session state dir: entries whose
+/// name is a valid session name and that hold at least one generation
+/// file, sorted. Empty for a single-session (top-level) layout.
+fn session_subdirs(dir: &Path) -> Result<Vec<String>, ServiceError> {
+    let mut names = Vec::new();
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| ServiceError::Io { detail: format!("{}: {e}", dir.display()) })?;
+    for entry in entries {
+        let entry =
+            entry.map_err(|e| ServiceError::Io { detail: format!("{}: {e}", dir.display()) })?;
+        let Ok(name) = entry.file_name().into_string() else { continue };
+        if net::validate_session_name(&name).is_err() || !entry.path().is_dir() {
+            continue;
+        }
+        let has_generations = std::fs::read_dir(entry.path())
+            .map(|sub| {
+                sub.flatten().any(|f| {
+                    let n = f.file_name();
+                    let n = n.to_string_lossy();
+                    n.starts_with("snapshot-") || n.starts_with("wal-")
+                })
+            })
+            .unwrap_or(false);
+        if has_generations {
+            names.push(name);
+        }
+    }
+    names.sort();
+    Ok(names)
+}
 
-    println!("state-dir:        {dir}");
+/// Prints one session's recovery report (everything below `state-dir:`).
+fn print_report(ins: &durable::Inspection) {
     println!("snapshots:        {}", gen_list(&ins.generations));
     println!("write-ahead logs: {}", gen_list(&ins.wal_generations));
     println!("recovers from:    generation {}", ins.report.generation);
@@ -70,6 +96,39 @@ pub fn exec(args: &Args) -> Result<(), ServiceError> {
             sched.utility
         ),
         None => println!("schedule:         none"),
+    }
+}
+
+/// Executes the `recover` subcommand.
+pub fn exec(args: &Args) -> Result<(), ServiceError> {
+    let Some(dir) = args.opt_flag("state-dir") else {
+        return Err(ServiceError::invalid("recover requires --state-dir DIR"));
+    };
+    // Replay runs real schedulers; the thread count changes nothing but
+    // wall time (results are bit-identical for every count).
+    let threads = match args.opt_flag("threads") {
+        Some(_) => Threads::new(args.num_flag("threads", 0usize)?),
+        None => Threads::default(),
+    };
+    let path = Path::new(dir);
+
+    let sessions = if path.is_dir() { session_subdirs(path)? } else { Vec::new() };
+    if sessions.is_empty() {
+        // Single-session layout (stdio `serve --state-dir`).
+        let ins = durable::inspect(path, threads)?;
+        println!("state-dir:        {dir}");
+        print_report(&ins);
+        return Ok(());
+    }
+
+    // Multi-session layout (`serve --listen --state-dir`): one report per
+    // session, the exact set a server boot would recover.
+    println!("state-dir:        {dir} — multi-session ({})", sessions.len());
+    for name in &sessions {
+        let ins = durable::inspect(&path.join(name), threads)?;
+        println!();
+        println!("[session:{name}]");
+        print_report(&ins);
     }
     Ok(())
 }

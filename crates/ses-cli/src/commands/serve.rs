@@ -24,20 +24,30 @@
 //! startup auto-recovers — newest valid snapshot, log replay, torn final
 //! record truncated. See `DurableService` for the recovery contract.
 //!
+//! With `--listen ADDR` the process becomes a **multi-session TCP
+//! server** instead: many named sessions in one process, serialized
+//! writes with concurrent lock-free reads per session, graceful
+//! SIGTERM/SIGINT drain — see `ses_algorithms::service::net` for the
+//! whole contract. The stdio path below is untouched by `--listen`
+//! (and its golden transcripts stay byte-identical).
+//!
 //! All diagnostics go to **stderr** — stdout carries nothing but response
 //! lines, which is what makes `ses serve < script | diff - golden` a
-//! meaningful byte comparison.
+//! meaningful byte comparison. Session-attributable diagnostics carry a
+//! `[session:NAME]` prefix so multiplexed logs stay readable.
 
 use crate::args::Args;
 use crate::commands::{
     apply_constraints_flag, dataset_from_flags, input_instance_flag, storage_from_flags,
 };
+use ses_algorithms::service::net::{self, read_capped_line, LineRead, DEFAULT_SESSION};
 use ses_algorithms::service::wire;
-use ses_algorithms::{DurableService, Response, SesService};
+use ses_algorithms::{DurableService, NetConfig, Response, SesService, SessionBackend};
 use ses_core::error::{ServiceError, SERVICE_PROTOCOL_VERSION};
 use ses_core::parallel::Threads;
-use std::io::{BufRead, Write};
-use std::path::Path;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// Default `--max-line-bytes`: 16 MiB holds any reasonable `ApplyOps`
 /// batch while bounding what one line can make the server buffer.
@@ -47,85 +57,11 @@ const DEFAULT_MAX_LINE_BYTES: usize = 16 * 1024 * 1024;
 /// snapshot every this many logged requests.
 const DEFAULT_SNAPSHOT_OPS: u64 = 1024;
 
-/// The two session flavors behind the serve loop.
-enum Session {
-    Plain(SesService),
-    Durable(DurableService),
-}
+/// Default `--max-sessions` for `--listen` servers.
+const DEFAULT_MAX_SESSIONS: usize = 16;
 
-impl Session {
-    fn handle_line(&mut self, line: &str) -> String {
-        match self {
-            Session::Plain(s) => s.handle_line(line),
-            Session::Durable(s) => s.handle_line(line),
-        }
-    }
-
-    fn ops_applied(&self) -> u64 {
-        match self {
-            Session::Plain(s) => s.ops_applied(),
-            Session::Durable(s) => s.service().ops_applied(),
-        }
-    }
-}
-
-/// One capped line read.
-enum LineRead {
-    /// Clean end of input.
-    Eof,
-    /// A complete line within the cap (without the terminator).
-    Line(String),
-    /// The line exceeded the cap; its bytes were drained, not buffered.
-    Oversized,
-}
-
-/// Reads one `\n`-terminated line, buffering at most `cap` bytes. An
-/// over-cap line is consumed chunk by chunk (bounded memory) and reported
-/// as [`LineRead::Oversized`] so the caller can answer an error and keep
-/// the session alive.
-fn read_capped_line(reader: &mut impl BufRead, cap: usize) -> std::io::Result<LineRead> {
-    let mut buf: Vec<u8> = Vec::new();
-    let mut overflowed = false;
-    loop {
-        let chunk = reader.fill_buf()?;
-        if chunk.is_empty() {
-            // EOF. A final unterminated line still counts as a line.
-            return Ok(if overflowed {
-                LineRead::Oversized
-            } else if buf.is_empty() {
-                LineRead::Eof
-            } else {
-                LineRead::Line(finish(buf)?)
-            });
-        }
-        let newline = chunk.iter().position(|&b| b == b'\n');
-        let take = newline.unwrap_or(chunk.len());
-        if !overflowed {
-            if buf.len() + take > cap {
-                overflowed = true;
-                buf = Vec::new(); // drop what was buffered; keep draining
-            } else {
-                buf.extend_from_slice(&chunk[..take]);
-            }
-        }
-        let consumed = take + usize::from(newline.is_some());
-        reader.consume(consumed);
-        if newline.is_some() {
-            return Ok(if overflowed { LineRead::Oversized } else { LineRead::Line(finish(buf)?) });
-        }
-    }
-}
-
-/// UTF-8 conversion with the same error shape `BufRead::lines` produces,
-/// and the same trailing-`\r` trim.
-fn finish(mut buf: Vec<u8>) -> std::io::Result<String> {
-    if buf.last() == Some(&b'\r') {
-        buf.pop();
-    }
-    String::from_utf8(buf).map_err(|_| {
-        std::io::Error::new(std::io::ErrorKind::InvalidData, "stream did not contain valid UTF-8")
-    })
-}
+/// Default `--max-connections` for `--listen` servers.
+const DEFAULT_MAX_CONNECTIONS: usize = 64;
 
 /// Executes the `serve` subcommand.
 pub fn exec(args: &Args) -> Result<(), ServiceError> {
@@ -145,6 +81,11 @@ pub fn exec(args: &Args) -> Result<(), ServiceError> {
     if args.opt_flag("snapshot-ops").is_some() && args.opt_flag("state-dir").is_none() {
         return Err(ServiceError::invalid("--snapshot-ops requires --state-dir"));
     }
+    for flag in ["max-sessions", "max-connections", "idle-timeout-ms"] {
+        if args.opt_flag(flag).is_some() && args.opt_flag("listen").is_none() {
+            return Err(ServiceError::invalid(format!("--{flag} requires --listen")));
+        }
+    }
 
     let mut inst = match input_instance_flag(args)? {
         Some(inst) => inst,
@@ -154,14 +95,53 @@ pub fn exec(args: &Args) -> Result<(), ServiceError> {
     let family = apply_constraints_flag(args, &mut inst, seed)?;
     let rules = inst.constraints.len();
 
+    if let Some(addr) = args.opt_flag("listen") {
+        // Networked multi-session serving: the net module owns the whole
+        // loop (sessions, connections, shutdown); this function only
+        // assembles its config from the flags.
+        let max_sessions = args.num_flag("max-sessions", DEFAULT_MAX_SESSIONS)?;
+        if max_sessions == 0 {
+            return Err(ServiceError::invalid("--max-sessions must be at least 1"));
+        }
+        let max_connections = args.num_flag("max-connections", DEFAULT_MAX_CONNECTIONS)?;
+        if max_connections == 0 {
+            return Err(ServiceError::invalid("--max-connections must be at least 1"));
+        }
+        let idle_ms = args.num_flag("idle-timeout-ms", 0u64)?;
+        let cfg = NetConfig {
+            listen: addr.to_string(),
+            max_sessions,
+            max_connections,
+            max_line_bytes,
+            idle_timeout: (idle_ms > 0).then(|| Duration::from_millis(idle_ms)),
+            state_dir: args.opt_flag("state-dir").map(PathBuf::from),
+            snapshot_every: args.num_flag("snapshot-ops", DEFAULT_SNAPSHOT_OPS)?,
+            threads,
+        };
+        eprintln!(
+            "# ses serve: protocol v{SERVICE_PROTOCOL_VERSION}, dataset={} |U|={users} \
+             |E|={events} |T|={intervals} seed={seed} threads={threads}{} — TCP multi-session mode",
+            dataset.name(),
+            match family {
+                Some(f) => format!(" constraints={}({rules} rules)", f.name()),
+                None => String::new(),
+            },
+        );
+        net::serve(&cfg, inst)?;
+        return Ok(());
+    }
+
     let session = match args.opt_flag("state-dir") {
-        None => Session::Plain(SesService::new(inst).with_threads(threads)),
+        None => SessionBackend::Plain(SesService::new(inst).with_threads(threads)),
         Some(dir) => {
             let snapshot_every = args.num_flag("snapshot-ops", DEFAULT_SNAPSHOT_OPS)?;
             let (svc, report) =
                 DurableService::open(Path::new(dir), inst, threads, snapshot_every)?;
             if report.fresh {
-                eprintln!("# ses serve: state-dir={dir} fresh durable session (generation 0)");
+                eprintln!(
+                    "# ses serve [session:{DEFAULT_SESSION}]: state-dir={dir} fresh durable \
+                     session (generation 0)"
+                );
             } else {
                 // Recovery wins over the dataset flags: the instance the
                 // session answers from is the recovered one.
@@ -174,12 +154,12 @@ pub fn exec(args: &Args) -> Result<(), ServiceError> {
                     n => format!(", fell back past {n} corrupt snapshot(s)"),
                 };
                 eprintln!(
-                    "# ses serve: state-dir={dir} recovered generation {} \
-                     ({} log records replayed{torn}{fell}); dataset flags ignored",
+                    "# ses serve [session:{DEFAULT_SESSION}]: state-dir={dir} recovered \
+                     generation {} ({} log records replayed{torn}{fell}); dataset flags ignored",
                     report.generation, report.replayed,
                 );
             }
-            Session::Durable(svc)
+            SessionBackend::Durable(svc)
         }
     };
     let mut session = session;
@@ -230,7 +210,10 @@ pub fn exec(args: &Args) -> Result<(), ServiceError> {
                 writeln!(stdout, "{resp}")?;
                 stdout.flush()?;
                 answered += 1;
-                eprintln!("# ses serve: stdin read failed ({err}); ending session");
+                eprintln!(
+                    "# ses serve [session:{DEFAULT_SESSION}]: stdin read failed ({err}); \
+                     ending session"
+                );
                 break;
             }
         };
@@ -244,7 +227,8 @@ pub fn exec(args: &Args) -> Result<(), ServiceError> {
         answered += 1;
     }
     eprintln!(
-        "# ses serve: EOF after {answered} request lines ({} ops applied)",
+        "# ses serve [session:{DEFAULT_SESSION}]: EOF after {answered} request lines ({} ops \
+         applied)",
         session.ops_applied()
     );
     Ok(())

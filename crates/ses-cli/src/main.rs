@@ -112,6 +112,8 @@ USAGE:
                  [--seed S] [--threads N] [--constraints FAMILY]
                  [--storage KIND] [--levels N] [--input instance.json]
                  [--state-dir DIR [--snapshot-ops N]] [--max-line-bytes N]
+                 [--listen HOST:PORT [--max-sessions N] [--max-connections N]
+                  [--idle-timeout-ms MS]]
   ses recover    --state-dir DIR [--threads N]
   ses bench-baseline [--targets micro_scoring,...] [--out BENCH_BASELINE.json]
                  [--label NOTE] [--check FACTOR] [--from RUN.json]
@@ -128,7 +130,7 @@ bit-identical to ungated runs; the `skips` column counts deferred
 sweeps. `run --profile` appends a per-phase engine timing breakdown
 (setup / score / apply / other) under each row.
 
-`bench-baseline` runs the criterion bench targets (all fifteen by default)
+`bench-baseline` runs the criterion bench targets (all sixteen by default)
 and appends one annotated run — medians, rustc, commit — to the
 committed BENCH_BASELINE.json trajectory; with `--check FACTOR` it
 instead compares fresh medians against the last recorded run and fails
@@ -181,6 +183,23 @@ the newest valid state — replaying the log tail and truncating a torn
 final record. `ses recover --state-dir DIR` prints the same recovery as
 a read-only dry run: generations on disk, the chosen snapshot, replay
 count, torn-tail/fallback status, and the recovered session summary.
+
+`serve --listen HOST:PORT` turns the session service into a TCP
+multi-session server: the same JSON-lines protocol per connection, plus
+an optional \"session\" envelope key naming the target session (absent =
+the `default` session, so stdio scripts replay byte-identically). Many
+named sessions live in one process (OpenSession / CloseSession /
+ListSessions manage them, `--max-sessions` caps them); per session,
+mutating requests serialize while Query/Snapshot answer concurrently
+from an immutable published view — reads never block on writes and are
+bit-identical to a serialized execution. With `--state-dir DIR` each
+session persists under DIR/<name>, every one recovers at boot, and
+`ses recover` prints one per-session report for the directory.
+SIGTERM/SIGINT shut down gracefully: drain in-flight requests, fsync
+every write-ahead log, exit 0. Connection guards: `--max-connections`
+(excess connects are answered with one protocol Error line),
+`--idle-timeout-ms` (quiet connections are closed), and the same
+`--max-line-bytes` cap per connection.
 
 `--input instance.json` (run/stream/serve) schedules the instance file
 `ses generate` wrote instead of building one from the dataset flags. A

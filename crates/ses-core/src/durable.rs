@@ -252,6 +252,19 @@ impl WalWriter {
         Ok(Self { file })
     }
 
+    /// Re-fsyncs the log file. Every [`append`](Self::append) already
+    /// syncs before acknowledging, so this adds no durability for
+    /// committed records — it exists for explicit wind-down points (the
+    /// network server's graceful shutdown fsyncs every session's log one
+    /// final time before closing the listeners).
+    ///
+    /// # Errors
+    /// [`ServiceError::Io`] on sync failure.
+    pub fn sync(&mut self) -> Result<(), ServiceError> {
+        self.file.sync_all()?;
+        Ok(())
+    }
+
     /// Appends one record and fsyncs. After `Ok`, the record is durable.
     ///
     /// # Errors

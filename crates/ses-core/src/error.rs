@@ -440,6 +440,12 @@ pub enum ServiceError {
         /// What failed.
         detail: String,
     },
+    /// A request addressed a session name the server does not have — the
+    /// multi-session analogue of [`UnknownAlgorithm`](Self::UnknownAlgorithm).
+    UnknownSession {
+        /// The unresolvable session name.
+        name: String,
+    },
 }
 
 impl ServiceError {
@@ -482,6 +488,7 @@ impl ServiceError {
             Self::Io { .. } => "io",
             Self::Corrupt { .. } => "corrupt",
             Self::Failed { .. } => "failed",
+            Self::UnknownSession { .. } => "unknown-session",
         }
     }
 
@@ -489,7 +496,12 @@ impl ServiceError {
     /// opposed to a runtime failure. The CLI maps usage errors to exit
     /// code 2 and everything else to exit code 1.
     pub fn is_usage(&self) -> bool {
-        matches!(self, Self::InvalidArgument { .. } | Self::UnknownAlgorithm { .. })
+        matches!(
+            self,
+            Self::InvalidArgument { .. }
+                | Self::UnknownAlgorithm { .. }
+                | Self::UnknownSession { .. }
+        )
     }
 }
 
@@ -513,6 +525,9 @@ impl fmt::Display for ServiceError {
             Self::Io { detail } => write!(f, "I/O error: {detail}"),
             Self::Corrupt { detail } => write!(f, "corrupt state: {detail}"),
             Self::Failed { detail } => write!(f, "{detail}"),
+            Self::UnknownSession { name } => {
+                write!(f, "unknown session '{name}' (open it first with OpenSession)")
+            }
         }
     }
 }

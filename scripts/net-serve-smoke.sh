@@ -1,0 +1,146 @@
+#!/usr/bin/env bash
+# net-serve-smoke.sh — TCP multi-session smoke for `ses serve --listen`.
+#
+# Boots one durable server on an ephemeral port and proves the three
+# wire-level contracts the network layer makes, end to end:
+#
+#   1. Transcript fidelity under concurrency: three clients connect at
+#      once — one speaks the committed stdio request script verbatim
+#      (routing to the `default` session), two open their own named
+#      sessions and replay the same script session-addressed. Every
+#      client's response log must be byte-identical to the committed
+#      stdio golden (responses never echo the session key, so one golden
+#      covers all three).
+#   2. Session multiplexing: the named sessions are opened over the wire
+#      (OpenSession) and answer independently on the same process.
+#   3. Crash durability per session: a mutation is acknowledged on a
+#      named durable session, the server is SIGKILLed, and a restart on
+#      the same state dir must recover that session by name and answer a
+#      Snapshot with bytes identical to the pre-kill answer.
+#
+# Clients are plain bash /dev/tcp — no netcat dependency. One response
+# line arrives per request line, so each client reads exactly as many
+# lines as it wrote.
+#
+# Usage: scripts/net-serve-smoke.sh [path-to-ses-binary]
+# (defaults to target/release/ses; run `cargo build --release -p ses-cli`
+# first). Honors SES_THREADS like every other entry point.
+set -euo pipefail
+
+SES="${1:-target/release/ses}"
+SCRIPT="scripts/serve-smoke.jsonl"
+GOLDEN="tests/golden/serve_smoke.jsonl"
+SHAPE=(--dataset unf --users 40 --events 12 --intervals 6 --seed 1509)
+
+WORK="$(mktemp -d)"
+STATE="$WORK/state"
+SERVE_PID=""
+trap 'kill -9 "${SERVE_PID:-}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+grep -v '^\s*#' "$SCRIPT" | grep -v '^\s*$' > "$WORK/requests.jsonl"
+NREQ=$(wc -l < "$WORK/requests.jsonl")
+
+# Boots the server with stderr to $1, parses the ephemeral port off the
+# "listening on" banner into $PORT.
+start_server() {
+  "$SES" serve "${SHAPE[@]}" --state-dir "$STATE" --listen 127.0.0.1:0 \
+    > /dev/null 2> "$1" &
+  SERVE_PID=$!
+  disown "$SERVE_PID" 2>/dev/null || true
+  PORT=""
+  for _ in $(seq 1 300); do
+    PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$1")"
+    [ -n "$PORT" ] && return 0
+    sleep 0.1
+  done
+  echo "net-serve-smoke: server did not print its listening banner" >&2
+  cat "$1" >&2
+  exit 1
+}
+
+# client NAME OUT — one TCP connection: if NAME is non-empty, opens that
+# session and replays the request script session-addressed; if empty,
+# replays it verbatim (default-session routing). Writes the responses to
+# OUT — for named sessions, minus the leading SessionOpened ack (checked
+# here instead), so OUT always diffs against the stdio golden.
+client() {
+  local session="$1" out="$2" fd
+  exec {fd}<>"/dev/tcp/127.0.0.1/$PORT"
+  if [ -n "$session" ]; then
+    printf '{"v":1,"req":{"OpenSession":{"session":"%s"}}}\n' "$session" >&"$fd"
+    sed "s/^{\"v\":1,/{\"v\":1,\"session\":\"$session\",/" \
+      "$WORK/requests.jsonl" >&"$fd"
+    IFS= read -r ack <&"$fd"
+    case "$ack" in
+      *SessionOpened*) ;;
+      *) echo "net-serve-smoke: [$session] OpenSession answered: $ack" >&2
+         exit 1 ;;
+    esac
+  else
+    cat "$WORK/requests.jsonl" >&"$fd"
+  fi
+  head -n "$NREQ" <&"$fd" > "$out"
+  exec {fd}>&-
+}
+
+echo "net-serve-smoke: booting durable server on an ephemeral port"
+start_server "$WORK/serve1.log"
+
+# --- 1+2: three concurrent clients, one golden ------------------------
+client ""   "$WORK/out-default.jsonl" &
+C1=$!
+client "s1" "$WORK/out-s1.jsonl" &
+C2=$!
+client "s2" "$WORK/out-s2.jsonl" &
+C3=$!
+wait "$C1" "$C2" "$C3"
+
+for name in default s1 s2; do
+  diff "$WORK/out-$name.jsonl" "$GOLDEN" || {
+    echo "net-serve-smoke: [$name] transcript diverged from $GOLDEN" >&2
+    exit 1
+  }
+done
+echo "net-serve-smoke: 3 concurrent clients byte-identical to the stdio golden"
+
+# --- 3: SIGKILL + named-session recovery ------------------------------
+# Acknowledge a mutation on a fresh durable session, capture its
+# Snapshot bytes, then pull the plug.
+exec {fd}<>"/dev/tcp/127.0.0.1/$PORT"
+{
+  printf '{"v":1,"req":{"OpenSession":{"session":"crash"}}}\n'
+  printf '{"v":1,"session":"crash","req":{"Schedule":{"algorithm":"INC","k":4}}}\n'
+  printf '{"v":1,"session":"crash","req":"Snapshot"}\n'
+} >&"$fd"
+head -n 3 <&"$fd" > "$WORK/crash-pre.jsonl"
+exec {fd}>&-
+grep -q SessionOpened "$WORK/crash-pre.jsonl" || {
+  echo "net-serve-smoke: crash session did not open" >&2
+  exit 1
+}
+tail -n 1 "$WORK/crash-pre.jsonl" > "$WORK/snap-pre.jsonl"
+
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
+start_server "$WORK/serve2.log"
+grep -q '\[session:crash\].*recovered generation' "$WORK/serve2.log" || {
+  echo "net-serve-smoke: restart did not recover session 'crash'" >&2
+  cat "$WORK/serve2.log" >&2
+  exit 1
+}
+
+exec {fd}<>"/dev/tcp/127.0.0.1/$PORT"
+printf '{"v":1,"session":"crash","req":"Snapshot"}\n' >&"$fd"
+head -n 1 <&"$fd" > "$WORK/snap-post.jsonl"
+exec {fd}>&-
+diff "$WORK/snap-pre.jsonl" "$WORK/snap-post.jsonl" || {
+  echo "net-serve-smoke: recovered snapshot diverged from the acknowledged pre-kill state" >&2
+  exit 1
+}
+
+kill -9 "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+echo "net-serve-smoke: OK ($NREQ requests x 3 concurrent clients; SIGKILL + by-name recovery byte-identical)"
